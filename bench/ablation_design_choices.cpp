@@ -1,0 +1,114 @@
+/// \file ablation_design_choices.cpp
+/// Ablation studies of the design choices DESIGN.md calls out — the
+/// quantified "why" behind the paper's final kernel:
+///   1. cb_set_rd_ptr aliasing vs memcpy (Section VI's key idea);
+///   2. row-chunk width (FPU tile-granularity waste below 1024 elements);
+///   3. grid-buffer placement under core scaling (single bank vs tt-metal
+///      interleave vs per-core slab striping);
+///   4. circular-buffer pipelining depth between the data movers.
+
+#include "bench_util.hpp"
+#include "ttsim/core/jacobi_device.hpp"
+#include "ttsim/stream/stream_bench.hpp"
+
+using namespace ttsim;
+
+namespace {
+
+void ablate_alias_vs_memcpy(const bench::BenchOptions& opts) {
+  std::cout << "--- ablation 1: cb_set_rd_ptr aliasing vs data-mover memcpy ---\n";
+  Table t{"domain", "memcpy design (GPt/s)", "aliasing design (GPt/s)", "speedup"};
+  for (std::uint32_t size : {128u, 256u, 512u}) {
+    core::JacobiProblem p;
+    p.width = size;
+    p.height = size;
+    p.iterations = opts.quick ? 4 : 12;
+    core::DeviceRunConfig copy_cfg;
+    copy_cfg.strategy = core::DeviceStrategy::kDoubleBuffered;
+    core::DeviceRunConfig alias_cfg;
+    alias_cfg.strategy = core::DeviceStrategy::kRowChunk;
+    const double copy_g = core::run_jacobi_on_device(p, copy_cfg).gpts(p, true);
+    const double alias_g = core::run_jacobi_on_device(p, alias_cfg).gpts(p, true);
+    t.add_row(std::to_string(size) + "^2", Table::fmt(copy_g, 4),
+              Table::fmt(alias_g, 3), Table::fmt(alias_g / copy_g, 1) + "x");
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+void ablate_chunk_width(const bench::BenchOptions& opts) {
+  std::cout << "--- ablation 2: row-chunk width (FPU works in 1024-lane tiles) ---\n";
+  Table t{"chunk (elems)", "GPt/s", "FPU lane utilisation"};
+  core::JacobiProblem p;
+  p.width = 1024;
+  p.height = 1024;
+  p.iterations = opts.quick ? 4 : 12;
+  for (std::uint32_t chunk : {128u, 256u, 512u, 1024u}) {
+    core::DeviceRunConfig cfg;
+    cfg.strategy = core::DeviceStrategy::kRowChunk;
+    cfg.chunk_elems = chunk;
+    const double g = core::run_jacobi_on_device(p, cfg).gpts(p, true);
+    t.add_row(static_cast<unsigned>(chunk), Table::fmt(g, 3),
+              Table::fmt(100.0 * chunk / 1024.0, 0) + "%");
+  }
+  t.print(std::cout);
+  std::cout << "narrow chunks waste FPU lanes and multiply per-batch overheads —\n"
+               "why the paper reads 1024-element rows.\n\n";
+}
+
+void ablate_buffer_placement(const bench::BenchOptions& opts) {
+  std::cout << "--- ablation 3: grid placement under core scaling ---\n";
+  Table t{"cores", "single bank (GPt/s)", "interleaved 32K (GPt/s)",
+          "striped slabs (GPt/s)"};
+  core::JacobiProblem p;
+  p.width = 2048;
+  p.height = 512;
+  p.iterations = opts.quick ? 4 : 10;
+  for (int cores_y : {1, 4, 16}) {
+    std::vector<std::string> cells{std::to_string(cores_y * 2)};
+    for (auto layout : {ttmetal::BufferLayout::kSingleBank,
+                        ttmetal::BufferLayout::kInterleaved,
+                        ttmetal::BufferLayout::kStriped}) {
+      core::DeviceRunConfig cfg;
+      cfg.strategy = core::DeviceStrategy::kRowChunk;
+      cfg.cores_x = 2;
+      cfg.cores_y = cores_y;
+      cfg.buffer_layout = layout;
+      cells.push_back(Table::fmt(core::run_jacobi_on_device(p, cfg).gpts(p, true), 3));
+    }
+    t.add_row(std::move(cells));
+  }
+  t.print(std::cout);
+  std::cout << "single banks wall at low core counts; tt-metal pages pay per-page\n"
+               "DMA dispatch; coarse slab striping spreads banks for free.\n\n";
+}
+
+void ablate_cb_depth(const bench::BenchOptions& opts) {
+  std::cout << "--- ablation 4: conveyor CB pipelining depth (streaming) ---\n";
+  Table t{"CB pages", "runtime (ms)"};
+  for (std::uint32_t pages : {1u, 2u, 4u, 8u}) {
+    stream::StreamParams sp;
+    sp.rows = opts.quick ? 64 : 256;
+    sp.verify = false;
+    sp.read_batch = 2048;  // enough per-row work for overlap to matter
+    sp.cb_pages = pages;
+    const auto r = stream::run_streaming_benchmark(sp);
+    t.add_row(static_cast<unsigned>(pages), Table::fmt(r.seconds() * 1e3, 2));
+  }
+  t.print(std::cout);
+  std::cout << "one page serialises the movers; two pages recover most of the\n"
+               "overlap; the paper's four pages leave margin for jitter.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  bench::print_header("Ablations: the design choices behind the optimised kernel",
+                      opts);
+  ablate_alias_vs_memcpy(opts);
+  ablate_chunk_width(opts);
+  ablate_buffer_placement(opts);
+  ablate_cb_depth(opts);
+  return 0;
+}

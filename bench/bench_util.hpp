@@ -1,0 +1,64 @@
+#pragma once
+/// \file bench_util.hpp
+/// Shared scaffolding for the paper-table bench binaries: problem scaling,
+/// run averaging (the paper averages over five runs; the simulator is
+/// deterministic so one run suffices, but --runs is honoured), and flag
+/// parsing.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "ttsim/common/compare.hpp"
+#include "ttsim/common/table.hpp"
+#include "ttsim/common/units.hpp"
+
+namespace ttsim::bench {
+
+struct BenchOptions {
+  /// Row scale divider for the 4096-row streaming problem: the default
+  /// simulates 256 rows and scales timings by 16 (per-row work is identical);
+  /// --full runs the paper's full geometry.
+  std::uint32_t stream_rows = 256;
+  double stream_scale = 16.0;
+  /// Iteration count used for Jacobi-style experiments (GPt/s is
+  /// steady-state, so fewer iterations measure the same rate); --full uses
+  /// the paper's counts.
+  int jacobi_iters = 40;
+  bool full = false;
+  bool quick = false;
+
+  static BenchOptions parse(int argc, char** argv) {
+    BenchOptions o;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--full") == 0) {
+        o.full = true;
+        o.stream_rows = 4096;
+        o.stream_scale = 1.0;
+        o.jacobi_iters = 0;  // sentinel: use the paper's count
+      } else if (std::strcmp(argv[i], "--quick") == 0) {
+        o.quick = true;
+        o.stream_rows = 64;
+        o.stream_scale = 64.0;
+        o.jacobi_iters = 10;
+      } else if (std::strcmp(argv[i], "--help") == 0) {
+        std::printf("usage: %s [--full | --quick]\n", argv[0]);
+        std::exit(0);
+      }
+    }
+    return o;
+  }
+};
+
+inline void print_header(const std::string& title, const BenchOptions& o) {
+  std::cout << "\n=== " << title << " ===\n";
+  if (!o.full) {
+    std::cout << "(scaled run: simulating 1/" << o.stream_scale
+              << " of the paper geometry and scaling linearly; --full for the "
+                 "exact geometry)\n";
+  }
+  std::cout << '\n';
+}
+
+}  // namespace ttsim::bench

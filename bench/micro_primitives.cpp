@@ -1,0 +1,126 @@
+/// \file micro_primitives.cpp
+/// google-benchmark microbenchmarks of the simulator's primitives: these
+/// measure *host* cost of the simulation machinery (events/second, fiber
+/// switches, BF16 arithmetic), which bounds how large an experiment the
+/// reproduction can run. They complement the table benches, which report
+/// *simulated* time.
+
+#include <benchmark/benchmark.h>
+
+#include "ttsim/bfloat/bfloat16.hpp"
+#include "ttsim/common/rng.hpp"
+#include "ttsim/sim/sync.hpp"
+#include "ttsim/stream/stream_bench.hpp"
+
+namespace {
+
+using namespace ttsim;
+
+void BM_FiberSwitch(benchmark::State& state) {
+  sim::Fiber* self = nullptr;
+  bool done = false;
+  sim::Fiber fiber(
+      [&] {
+        while (!done) self->yield();
+      },
+      64 * 1024);
+  self = &fiber;
+  for (auto _ : state) {
+    fiber.resume();  // one switch in, one out
+  }
+  done = true;
+  fiber.resume();
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_FiberSwitch);
+
+void BM_EngineEventDispatch(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (int i = 0; i < events; ++i) {
+      engine.schedule_at(i, [] {});
+    }
+    engine.run();
+    benchmark::DoNotOptimize(engine.now());
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EngineEventDispatch)->Arg(1000)->Arg(100000);
+
+void BM_ProcessDelayLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    engine.spawn("p", [&engine] {
+      for (int i = 0; i < 1000; ++i) engine.delay(10);
+    });
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ProcessDelayLoop);
+
+void BM_CbProducerConsumer(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::vector<std::byte> storage(64 * 4);
+    sim::CircularBuffer cb(engine, storage.data(), 64, 4);
+    engine.spawn("producer", [&] {
+      for (int i = 0; i < 500; ++i) {
+        cb.reserve_back(1);
+        cb.push_back(1);
+      }
+    });
+    engine.spawn("consumer", [&] {
+      for (int i = 0; i < 500; ++i) {
+        cb.wait_front(1);
+        cb.pop_front(1);
+      }
+    });
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_CbProducerConsumer);
+
+void BM_Bf16RoundTrip(benchmark::State& state) {
+  Rng rng{42};
+  std::vector<float> src(4096);
+  for (auto& v : src) v = static_cast<float>(rng.next_double(-100, 100));
+  std::vector<bfloat16_t> dst(4096);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < src.size(); ++i) dst[i] = bfloat16_t{src[i]};
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_Bf16RoundTrip);
+
+void BM_Bf16TileAdd(benchmark::State& state) {
+  std::vector<bfloat16_t> a(1024, bfloat16_t{1.5f}), b(1024, bfloat16_t{2.5f}),
+      c(1024);
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) c[static_cast<std::size_t>(i)] =
+        a[static_cast<std::size_t>(i)] + b[static_cast<std::size_t>(i)];
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_Bf16TileAdd);
+
+void BM_StreamingBenchmarkHostCost(benchmark::State& state) {
+  // Host seconds per simulated streaming row — the simulator's "speed".
+  for (auto _ : state) {
+    stream::StreamParams p;
+    p.rows = 32;
+    p.verify = false;
+    const auto r = stream::run_streaming_benchmark(p);
+    benchmark::DoNotOptimize(r.kernel_time);
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_StreamingBenchmarkHostCost);
+
+}  // namespace
+
+BENCHMARK_MAIN();

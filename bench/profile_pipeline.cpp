@@ -1,0 +1,89 @@
+/// \file profile_pipeline.cpp
+/// Pipeline utilisation analysis: for each Jacobi design, how busy each baby
+/// core actually is. This is the quantitative form of the paper's
+/// bottleneck narrative — the initial design's reading mover is saturated by
+/// memcpy while everything else idles; the optimised design shifts the
+/// bottleneck to the compute cores; the SRAM-resident future-work design
+/// keeps compute near fully busy.
+
+#include <map>
+
+#include "bench_util.hpp"
+#include "ttsim/core/jacobi_device.hpp"
+
+using namespace ttsim;
+
+namespace {
+
+void profile(const char* title, const core::JacobiProblem& p,
+             const core::DeviceRunConfig& cfg) {
+  auto device = ttmetal::Device::open();
+  const auto r = core::run_jacobi_on_device(*device, p, cfg);
+  std::cout << "--- " << title << " (" << Table::fmt(r.gpts(p, true), 3)
+            << " GPt/s) ---\n";
+  // Aggregate per kernel role across cores.
+  struct Agg {
+    SimTime active = 0, lifetime = 0;
+    int n = 0;
+  };
+  std::map<std::string, Agg> by_role;
+  for (const auto& k : device->last_profile()) {
+    auto& a = by_role[k.name];
+    a.active += k.active;
+    a.lifetime += k.lifetime;
+    ++a.n;
+  }
+  Table t{"Kernel", "Cores", "Active (ms)", "Stalled (ms)", "Utilisation"};
+  for (const auto& [name, a] : by_role) {
+    t.add_row(name, a.n, Table::fmt(to_seconds(a.active) * 1e3 / a.n, 3),
+              Table::fmt(to_seconds(a.lifetime - a.active) * 1e3 / a.n, 3),
+              Table::fmt(100.0 * static_cast<double>(a.active) /
+                             static_cast<double>(a.lifetime),
+                         1) +
+                  "%");
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  bench::print_header("Pipeline utilisation per design", opts);
+
+  core::JacobiProblem p;
+  p.width = 512;
+  p.height = 512;
+  p.iterations = opts.quick ? 3 : 8;
+
+  {
+    core::DeviceRunConfig cfg;
+    cfg.strategy = core::DeviceStrategy::kInitial;
+    profile("Section IV initial (memcpy-bound reader)", p, cfg);
+  }
+  {
+    core::DeviceRunConfig cfg;
+    cfg.strategy = core::DeviceStrategy::kDoubleBuffered;
+    profile("Section IV double-buffered", p, cfg);
+  }
+  {
+    core::DeviceRunConfig cfg;
+    cfg.strategy = core::DeviceStrategy::kRowChunk;
+    profile("Section VI row-chunk (compute-bound)", p, cfg);
+  }
+  {
+    core::JacobiProblem q = p;
+    q.width = 1024;
+    q.height = 256;
+    core::DeviceRunConfig cfg;
+    cfg.strategy = core::DeviceStrategy::kSramResident;
+    cfg.cores_y = 4;
+    profile("Future work: SRAM-resident, 4 cores", q, cfg);
+  }
+  std::cout << "Reading: the paper's Table II located the bottleneck in the\n"
+               "reading mover's memcpy; these profiles show the same story as\n"
+               "per-kernel utilisation, and how each redesign moves the\n"
+               "bottleneck until compute dominates.\n";
+  return 0;
+}

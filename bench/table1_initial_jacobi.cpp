@@ -1,0 +1,57 @@
+/// \file table1_initial_jacobi.cpp
+/// Reproduces paper Table I: the Section IV tiled Jacobi versions on one
+/// Tensix core, 512x512 BF16 elements over 10000 iterations, in GPt/s
+/// against a single Xeon Platinum core. GPt/s is steady-state, so scaled
+/// runs use fewer iterations (--full runs the paper's 10000).
+
+#include "bench_util.hpp"
+#include "ttsim/core/jacobi_device.hpp"
+#include "ttsim/cpu/jacobi_cpu.hpp"
+#include "ttsim/cpu/xeon_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ttsim;
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  bench::print_header("Table I: tiled Jacobi versions, 512x512, one Tensix core", opts);
+
+  core::JacobiProblem p;
+  p.width = 512;
+  p.height = 512;
+  p.iterations = opts.jacobi_iters > 0 ? opts.jacobi_iters : 10000;
+
+  Table t{"Version", "Performance (GPt/s)"};
+  ComparisonReport rep("Table I", "tiled Jacobi versions (GPt/s)", false);
+
+  cpu::XeonModel xeon;
+  t.add_row("CPU single core", Table::fmt(xeon.gpts(1), 3));
+  rep.add("CPU single core", 1.41, xeon.gpts(1), "GPt/s");
+
+  const struct {
+    core::DeviceStrategy strategy;
+    const char* name;
+    double paper;
+  } rows[] = {
+      {core::DeviceStrategy::kInitial, "Initial", 0.0065},
+      {core::DeviceStrategy::kWriteOptimised, "Data write optimised", 0.0072},
+      {core::DeviceStrategy::kDoubleBuffered, "Double buffering", 0.0140},
+  };
+  for (const auto& row : rows) {
+    core::DeviceRunConfig cfg;
+    cfg.strategy = row.strategy;
+    const auto r = core::run_jacobi_on_device(p, cfg);
+    const double g = r.gpts(p);
+    t.add_row(row.name, Table::fmt(g, 4));
+    rep.add(row.name, row.paper, g, "GPt/s");
+  }
+  t.print(std::cout);
+  std::cout << '\n' << rep.to_string() << '\n';
+
+  // Live host baseline for context (not the paper's Xeon).
+  core::JacobiProblem host_p = p;
+  host_p.iterations = opts.quick ? 20 : 100;
+  const auto host = cpu::measure_host_jacobi(host_p, 1);
+  std::cout << "(this host, 1 thread, FP32: " << Table::fmt(host.gpts, 3)
+            << " GPt/s — reported for context only; paper rows use the "
+               "calibrated Xeon 8260M model)\n";
+  return 0;
+}

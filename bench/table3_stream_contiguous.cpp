@@ -1,0 +1,93 @@
+/// \file table3_stream_contiguous.cpp
+/// Reproduces paper Table III: contiguous streaming benchmark over a
+/// 4096x4096 int32 problem, sweeping the DRAM access batch size from 16 KiB
+/// down to 4 B, reads and writes, with and without per-access
+/// synchronisation. Also reproduces the Section V inline finding that
+/// reading into a local buffer and memcpy'ing into the CB is ~10x slower
+/// than receiving into the CB directly.
+
+#include "bench_util.hpp"
+#include "ttsim/stream/stream_bench.hpp"
+
+namespace {
+
+using namespace ttsim;
+
+struct PaperRow {
+  std::uint32_t batch;
+  double read_nosync, read_sync, write_nosync, write_sync;
+};
+
+// Table III as printed in the paper (seconds).
+constexpr PaperRow kPaper[] = {
+    {16384, 0.011, 0.011, 0.011, 0.011}, {8192, 0.011, 0.011, 0.011, 0.016},
+    {4096, 0.012, 0.013, 0.011, 0.020},  {2048, 0.012, 0.020, 0.011, 0.023},
+    {1024, 0.016, 0.034, 0.011, 0.031},  {512, 0.031, 0.074, 0.011, 0.038},
+    {256, 0.039, 0.201, 0.011, 0.053},   {128, 0.067, 0.327, 0.014, 0.093},
+    {64, 0.122, 0.802, 0.027, 0.182},    {32, 0.238, 1.571, 0.052, 0.360},
+    {16, 0.470, 3.150, 0.104, 0.718},    {8, 0.916, 6.331, 0.206, 1.436},
+    {4, 1.761, 12.659, 0.411, 2.873},
+};
+
+double run_cell(const bench::BenchOptions& opts, std::uint32_t batch, bool is_read,
+                bool sync) {
+  stream::StreamParams p;
+  p.rows = opts.stream_rows;
+  p.verify = false;
+  if (is_read) {
+    p.read_batch = batch;
+    p.read_sync_each = sync;
+  } else {
+    p.write_batch = batch;
+    p.write_sync_each = sync;
+  }
+  return stream::run_streaming_benchmark(p).seconds() * opts.stream_scale;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  bench::print_header(
+      "Table III: contiguous streaming, 4096x4096 int32, batch size sweep", opts);
+
+  Table t{"Batch size (bytes)", "Requests/row", "Read no-sync (s)", "Read sync (s)",
+          "Write no-sync (s)", "Write sync (s)"};
+  ComparisonReport read_ns("Table III", "contiguous read, no sync", true);
+  ComparisonReport read_s("Table III", "contiguous read, per-access sync", true);
+  ComparisonReport write_ns("Table III", "contiguous write, no sync", true);
+  ComparisonReport write_s("Table III", "contiguous write, per-access sync", true);
+
+  for (const auto& row : kPaper) {
+    const double rn = run_cell(opts, row.batch, true, false);
+    const double rs = run_cell(opts, row.batch, true, true);
+    const double wn = run_cell(opts, row.batch, false, false);
+    const double ws = run_cell(opts, row.batch, false, true);
+    t.add_row(static_cast<unsigned>(row.batch), 16384u / row.batch, Table::fmt(rn, 3),
+              Table::fmt(rs, 3), Table::fmt(wn, 3), Table::fmt(ws, 3));
+    const std::string label = std::to_string(row.batch) + "B";
+    read_ns.add(label, row.read_nosync, rn, "s");
+    read_s.add(label, row.read_sync, rs, "s");
+    write_ns.add(label, row.write_nosync, wn, "s");
+    write_s.add(label, row.write_sync, ws, "s");
+  }
+  t.print(std::cout);
+  std::cout << '\n'
+            << read_ns.to_string() << '\n'
+            << read_s.to_string() << '\n'
+            << write_ns.to_string() << '\n'
+            << write_s.to_string() << '\n';
+
+  // Section V inline experiment: direct-to-CB vs local-buffer + memcpy.
+  stream::StreamParams p;
+  p.rows = opts.stream_rows;
+  p.verify = false;
+  const double direct = stream::run_streaming_benchmark(p).seconds() * opts.stream_scale;
+  p.via_local_buffer = true;
+  const double copied = stream::run_streaming_benchmark(p).seconds() * opts.stream_scale;
+  ComparisonReport memcpy_rep("Section V inline", "local-buffer memcpy overhead", true);
+  memcpy_rep.add("direct to CB", 0.011, direct, "s");
+  memcpy_rep.add("via local buffer + memcpy", 0.106, copied, "s");
+  std::cout << memcpy_rep.to_string() << '\n';
+  return 0;
+}

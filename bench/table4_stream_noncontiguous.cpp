@@ -1,0 +1,79 @@
+/// \file table4_stream_noncontiguous.cpp
+/// Reproduces paper Table IV: the Table III sweep with non-contiguous
+/// accesses — each batch proceeds down the Y dimension so successive DRAM
+/// requests stride by a full row (the access pattern of the tiled Jacobi
+/// kernel, which reads 34 non-contiguous 68-byte chunks per batch).
+
+#include "bench_util.hpp"
+#include "ttsim/stream/stream_bench.hpp"
+
+namespace {
+
+using namespace ttsim;
+
+struct PaperRow {
+  std::uint32_t batch;
+  double read_nosync, read_sync, write_nosync, write_sync;
+};
+
+constexpr PaperRow kPaper[] = {
+    {16384, 0.011, 0.011, 0.011, 0.011}, {8192, 0.011, 0.011, 0.011, 0.014},
+    {4096, 0.012, 0.012, 0.011, 0.020},  {2048, 0.013, 0.021, 0.011, 0.021},
+    {1024, 0.016, 0.042, 0.012, 0.029},  {512, 0.031, 0.077, 0.017, 0.032},
+    {256, 0.042, 0.201, 0.022, 0.052},   {128, 0.082, 0.340, 0.040, 0.095},
+    {64, 0.148, 0.809, 0.074, 0.182},    {32, 0.275, 1.597, 0.143, 0.361},
+    {16, 0.544, 3.219, 0.280, 0.721},    {8, 1.081, 6.491, 0.556, 1.441},
+    {4, 1.969, 13.013, 0.715, 2.882},
+};
+
+double run_cell(const bench::BenchOptions& opts, std::uint32_t batch, bool is_read,
+                bool sync) {
+  stream::StreamParams p;
+  p.rows = opts.stream_rows;
+  p.verify = false;
+  p.contiguous = false;
+  if (is_read) {
+    p.read_batch = batch;
+    p.read_sync_each = sync;
+  } else {
+    p.write_batch = batch;
+    p.write_sync_each = sync;
+  }
+  return stream::run_streaming_benchmark(p).seconds() * opts.stream_scale;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  bench::print_header(
+      "Table IV: non-contiguous streaming, 4096x4096 int32, batch size sweep", opts);
+
+  Table t{"Batch size (bytes)", "Requests/row", "Read no-sync (s)", "Read sync (s)",
+          "Write no-sync (s)", "Write sync (s)"};
+  ComparisonReport read_ns("Table IV", "non-contiguous read, no sync", true);
+  ComparisonReport read_s("Table IV", "non-contiguous read, per-access sync", true);
+  ComparisonReport write_ns("Table IV", "non-contiguous write, no sync", true);
+  ComparisonReport write_s("Table IV", "non-contiguous write, per-access sync", true);
+
+  for (const auto& row : kPaper) {
+    const double rn = run_cell(opts, row.batch, true, false);
+    const double rs = run_cell(opts, row.batch, true, true);
+    const double wn = run_cell(opts, row.batch, false, false);
+    const double ws = run_cell(opts, row.batch, false, true);
+    t.add_row(static_cast<unsigned>(row.batch), 16384u / row.batch, Table::fmt(rn, 3),
+              Table::fmt(rs, 3), Table::fmt(wn, 3), Table::fmt(ws, 3));
+    const std::string label = std::to_string(row.batch) + "B";
+    read_ns.add(label, row.read_nosync, rn, "s");
+    read_s.add(label, row.read_sync, rs, "s");
+    write_ns.add(label, row.write_nosync, wn, "s");
+    write_s.add(label, row.write_sync, ws, "s");
+  }
+  t.print(std::cout);
+  std::cout << '\n'
+            << read_ns.to_string() << '\n'
+            << read_s.to_string() << '\n'
+            << write_ns.to_string() << '\n'
+            << write_s.to_string() << '\n';
+  return 0;
+}

@@ -1,0 +1,37 @@
+/// \file table5_replication.cpp
+/// Reproduces paper Table V: each 16 KiB read is replicated to also read the
+/// n previous rows, quantifying the cost of duplicate DRAM reads — the cost
+/// a shift-buffer-style reuse scheme must avoid (Section V).
+
+#include "bench_util.hpp"
+#include "ttsim/stream/stream_bench.hpp"
+
+namespace {
+using namespace ttsim;
+
+constexpr struct {
+  int factor;
+  double seconds;
+} kPaper[] = {{1, 0.011}, {2, 0.017}, {4, 0.033}, {8, 0.055}, {16, 0.098}, {32, 0.185}};
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  bench::print_header("Table V: replicated DRAM reads, 16 KiB batches", opts);
+
+  Table t{"Replication factor", "Runtime (s)"};
+  ComparisonReport rep("Table V", "read replication overhead", true);
+  for (const auto& row : kPaper) {
+    stream::StreamParams p;
+    p.rows = opts.stream_rows;
+    p.verify = false;
+    p.replication = row.factor;
+    const double s =
+        stream::run_streaming_benchmark(p).seconds() * opts.stream_scale;
+    t.add_row(row.factor, Table::fmt(s, 3));
+    rep.add("x" + std::to_string(row.factor), row.seconds, s, "s");
+  }
+  t.print(std::cout);
+  std::cout << '\n' << rep.to_string() << '\n';
+  return 0;
+}

@@ -1,0 +1,60 @@
+/// \file table6_interleaving.cpp
+/// Reproduces paper Table VI: DRAM page interleaving across the e150's eight
+/// banks, sweeping the tt-metal page size against read-replication factors.
+/// The paper's finding: interleaving costs little when idle and roughly
+/// doubles throughput when the DDR is under replicated-read load at 16-32 KiB
+/// pages, while small pages are counterproductive.
+
+#include "bench_util.hpp"
+#include "ttsim/stream/stream_bench.hpp"
+
+namespace {
+using namespace ttsim;
+
+struct PaperRow {
+  std::uint64_t page;  // 0 = no interleaving
+  double r0, r8, r16, r32;
+};
+
+constexpr PaperRow kPaper[] = {
+    {0, 0.010, 0.047, 0.086, 0.162},          {64 * 1024, 0.013, 0.034, 0.050, 0.084},
+    {32 * 1024, 0.012, 0.030, 0.046, 0.079},  {16 * 1024, 0.013, 0.030, 0.046, 0.079},
+    {8 * 1024, 0.015, 0.042, 0.072, 0.131},   {4 * 1024, 0.015, 0.075, 0.136, 0.258},
+    {2 * 1024, 0.021, 0.148, 0.274, 0.527},   {1 * 1024, 0.038, 0.302, 0.565, 1.094},
+};
+
+std::string page_name(std::uint64_t page) {
+  if (page == 0) return "none";
+  return std::to_string(page / 1024) + "K";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  bench::print_header("Table VI: interleaving page size x replication factor", opts);
+
+  Table t{"Page size", "repl 0 (s)", "repl 8 (s)", "repl 16 (s)", "repl 32 (s)"};
+  ComparisonReport rep("Table VI", "page size x replication grid", true);
+  const int factors[] = {0, 8, 16, 32};
+  for (const auto& row : kPaper) {
+    const double paper_vals[] = {row.r0, row.r8, row.r16, row.r32};
+    std::vector<std::string> cells{page_name(row.page)};
+    for (int fi = 0; fi < 4; ++fi) {
+      stream::StreamParams p;
+      p.rows = opts.stream_rows;
+      p.verify = false;
+      p.replication = factors[fi];
+      p.interleave_page = row.page;
+      const double s =
+          stream::run_streaming_benchmark(p).seconds() * opts.stream_scale;
+      cells.push_back(Table::fmt(s, 3));
+      rep.add(page_name(row.page) + "/x" + std::to_string(factors[fi]),
+              paper_vals[fi], s, "s");
+    }
+    t.add_row(std::move(cells));
+  }
+  t.print(std::cout);
+  std::cout << '\n' << rep.to_string() << '\n';
+  return 0;
+}

@@ -1,0 +1,58 @@
+/// \file table7_multicore_stream.cpp
+/// Reproduces paper Table VII: streaming across 1-8 Tensix cores decomposed
+/// vertically in Y, for each interleave page size. The paper's surprise:
+/// scaling stops at two cores regardless of page size — the NoC/DDR
+/// bandwidth wall that later limits the multi-core Jacobi solver.
+
+#include "bench_util.hpp"
+#include "ttsim/stream/stream_bench.hpp"
+
+namespace {
+using namespace ttsim;
+
+struct PaperRow {
+  std::uint64_t page;
+  double c1, c2, c4, c8;
+};
+
+constexpr PaperRow kPaper[] = {
+    {0, 0.010, 0.005, 0.005, 0.005},         {64 * 1024, 0.011, 0.006, 0.007, 0.007},
+    {32 * 1024, 0.012, 0.005, 0.007, 0.007}, {16 * 1024, 0.013, 0.006, 0.007, 0.007},
+    {8 * 1024, 0.015, 0.010, 0.007, 0.007},  {4 * 1024, 0.015, 0.008, 0.005, 0.005},
+    {2 * 1024, 0.021, 0.010, 0.006, 0.007},
+};
+
+std::string page_name(std::uint64_t page) {
+  return page == 0 ? "none" : std::to_string(page / 1024) + "K";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  bench::print_header("Table VII: streaming scaling over Tensix cores", opts);
+
+  Table t{"Page size", "1 core (s)", "2 cores (s)", "4 cores (s)", "8 cores (s)"};
+  ComparisonReport rep("Table VII", "page size x core count grid", true);
+  const int core_counts[] = {1, 2, 4, 8};
+  for (const auto& row : kPaper) {
+    const double paper_vals[] = {row.c1, row.c2, row.c4, row.c8};
+    std::vector<std::string> cells{page_name(row.page)};
+    for (int ci = 0; ci < 4; ++ci) {
+      stream::StreamParams p;
+      p.rows = opts.stream_rows;
+      p.verify = false;
+      p.num_cores = core_counts[ci];
+      p.interleave_page = row.page;
+      const double s =
+          stream::run_streaming_benchmark(p).seconds() * opts.stream_scale;
+      cells.push_back(Table::fmt(s, 3));
+      rep.add(page_name(row.page) + "/" + std::to_string(core_counts[ci]) + "c",
+              paper_vals[ci], s, "s");
+    }
+    t.add_row(std::move(cells));
+  }
+  t.print(std::cout);
+  std::cout << '\n' << rep.to_string() << '\n';
+  return 0;
+}

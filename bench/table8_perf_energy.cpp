@@ -1,0 +1,120 @@
+/// \file table8_perf_energy.cpp
+/// Reproduces paper Table VIII: the optimised (Section VI) Jacobi solver on
+/// a 1024x9216 BF16 domain over 5000 iterations — performance and energy
+/// for the Xeon Platinum CPU (1 and 24 cores), 1..108 Tensix cores on one
+/// e150, and two/four e150 cards. Headline results to reproduce: a full
+/// e150 roughly matches the 24-core CPU at ~5x less energy; four cards give
+/// ~4x the CPU performance at similar total energy.
+///
+/// The paper stores the domain with 9216 elements contiguous; cores are
+/// arranged "cores in Y x cores in X" with X strips of 1024 elements at the
+/// full decomposition (12 x 9 over 108 workers).
+
+#include "bench_util.hpp"
+#include "ttsim/core/jacobi_device.hpp"
+#include "ttsim/cpu/xeon_model.hpp"
+#include "ttsim/energy/energy.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ttsim;
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  bench::print_header(
+      "Table VIII: performance and energy, 1024x9216 BF16, 5000 iterations", opts);
+
+  core::JacobiProblem p;
+  p.width = 9216;   // contiguous dimension
+  p.height = 1024;
+  p.iterations = opts.jacobi_iters > 0 ? opts.jacobi_iters : 5000;
+  // Energy figures below are quoted for the paper's full 5000 iterations:
+  // GPt/s is steady-state, so joules scale as (paper iters / run iters).
+  core::JacobiProblem full = p;
+  full.iterations = 5000;
+
+  Table t{"Type", "Total cores", "Cores Y", "Cores X", "Performance (GPt/s)",
+          "Energy (J)"};
+  ComparisonReport perf("Table VIII", "performance (GPt/s)", false);
+  ComparisonReport joules("Table VIII", "energy to solution (J)", true);
+
+  // --- CPU rows (calibrated Xeon 8260M model) ---
+  cpu::XeonModel xeon;
+  for (const auto& [cores, paper_g, paper_j] :
+       {std::tuple{1, 1.41, 1657.0}, std::tuple{24, 21.61, 588.0}}) {
+    t.add_row("CPU", cores, "-", "-", Table::fmt(xeon.gpts(cores), 2),
+              Table::fmt(xeon.joules(full, cores), 0));
+    perf.add("CPU " + std::to_string(cores), paper_g, xeon.gpts(cores), "GPt/s");
+    joules.add("CPU " + std::to_string(cores), paper_j, xeon.joules(full, cores), "J");
+  }
+
+  // --- e150 rows ---
+  sim::GrayskullSpec spec;
+  energy::CardEnergyModel card(spec);
+  const struct {
+    int cores_y, cores_x;
+    double paper_gpts, paper_j;
+  } rows[] = {
+      {1, 1, 1.06, 2094},  {1, 2, 2.48, 893},   {1, 4, 2.92, 744},
+      {2, 4, 7.99, 276},   {8, 4, 9.20, 240},   {8, 8, 12.96, 170},
+      {8, 9, 17.26, 128},  {12, 9, 22.06, 110},
+  };
+  for (const auto& row : rows) {
+    core::DeviceRunConfig cfg;
+    cfg.strategy = core::DeviceStrategy::kRowChunk;
+    cfg.cores_y = row.cores_y;
+    cfg.cores_x = row.cores_x;
+    // Per-core slab placement across banks (the systolic decomposition's
+    // natural allocation — Section V's interleaving lesson at slab grain).
+    cfg.buffer_layout = ttmetal::BufferLayout::kStriped;
+    const auto r = core::run_jacobi_on_device(p, cfg, spec);
+    // Kernel-only rate: at the paper's 5000 iterations the PCIe transfers are
+    // ~0.2% of the runtime, so the steady-state kernel rate is the comparable
+    // figure for scaled runs.
+    const double g = r.gpts(p, /*kernel_only=*/true);
+    const int ncores = row.cores_y * row.cores_x;
+    const double scale = static_cast<double>(full.iterations) / p.iterations;
+    const double j = card.joules(static_cast<SimTime>(
+                                     static_cast<double>(r.kernel_time) * scale),
+                                 ncores);
+    t.add_row("e150", ncores, row.cores_y, row.cores_x, Table::fmt(g, 2),
+              Table::fmt(j, 0));
+    const std::string label = "e150 " + std::to_string(ncores);
+    perf.add(label, row.paper_gpts, g, "GPt/s");
+    joules.add(label, row.paper_j, j, "J");
+  }
+
+  // --- multi-card rows ---
+  const struct {
+    int cards;
+    double paper_gpts, paper_j;
+  } card_rows[] = {{2, 44.12, 102}, {4, 86.75, 108}};
+  for (const auto& row : card_rows) {
+    core::DeviceRunConfig cfg;
+    cfg.strategy = core::DeviceStrategy::kRowChunk;
+    cfg.cores_y = 12;
+    cfg.cores_x = 9;
+    cfg.buffer_layout = ttmetal::BufferLayout::kStriped;
+    const auto r = core::run_jacobi_multicard(p, row.cards, cfg, spec);
+    const double g = r.gpts(p, /*kernel_only=*/true);
+    const double scale = static_cast<double>(full.iterations) / p.iterations;
+    const double j = card.joules_multicard(
+        static_cast<SimTime>(static_cast<double>(r.kernel_time) * scale), 108,
+        row.cards);
+    t.add_row("e150 x " + std::to_string(row.cards), 108 * row.cards, "-", "-",
+              Table::fmt(g, 2), Table::fmt(j, 0));
+    const std::string label = "e150 x" + std::to_string(row.cards);
+    perf.add(label, row.paper_gpts, g, "GPt/s");
+    joules.add(label, row.paper_j, j, "J");
+  }
+
+  t.print(std::cout);
+  std::cout << '\n' << perf.to_string() << '\n' << joules.to_string() << '\n';
+
+  // The paper's headline claims, checked explicitly.
+  const double cpu24 = xeon.gpts(24);
+  const double e150_full = perf.rows()[perf.rows().size() - 3].measured;
+  const double e150_j = joules.rows()[joules.rows().size() - 3].measured;
+  const double cpu_j = xeon.joules(full, 24);
+  std::cout << "headline: full e150 vs 24-core CPU: " << Table::fmt(e150_full / cpu24, 2)
+            << "x performance at " << Table::fmt(cpu_j / e150_j, 1)
+            << "x less energy (paper: ~1.0x performance, ~5x less energy)\n";
+  return 0;
+}

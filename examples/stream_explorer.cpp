@@ -1,0 +1,107 @@
+/// \file stream_explorer.cpp
+/// Interactive-style exploration of DDR access strategies (the Section V
+/// methodology as a tool): sweep a chosen parameter of the streaming
+/// benchmark and print the resulting bandwidth curve, so users can apply the
+/// paper's tuning workflow to their own access patterns.
+///
+///   $ ./examples/stream_explorer batch        # read batch size sweep
+///   $ ./examples/stream_explorer sync         # sync granularity
+///   $ ./examples/stream_explorer interleave   # page size sweep
+///   $ ./examples/stream_explorer cores        # core scaling
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "ttsim/common/table.hpp"
+#include "ttsim/stream/stream_bench.hpp"
+
+using namespace ttsim;
+
+namespace {
+
+stream::StreamParams base_params() {
+  stream::StreamParams p;
+  p.rows = 256;  // 1/16 of the paper geometry; per-row behaviour identical
+  p.verify = false;
+  return p;
+}
+
+void sweep_batch() {
+  Table t{"read batch (B)", "runtime (ms)", "goodput (GB/s)"};
+  for (std::uint32_t batch = 16384; batch >= 32; batch /= 2) {
+    auto p = base_params();
+    p.read_batch = batch;
+    const auto r = stream::run_streaming_benchmark(p);
+    t.add_row(static_cast<unsigned>(batch), Table::fmt(r.seconds() * 1e3, 2),
+              Table::fmt(r.effective_gbs(), 2));
+  }
+  t.print(std::cout);
+  std::printf("\nlesson (paper Section V): fewer, larger DRAM accesses win;\n"
+              "below ~1 KiB per request the issue overheads dominate.\n");
+}
+
+void sweep_sync() {
+  Table t{"batch (B)", "per-row sync (ms)", "per-access sync (ms)", "penalty"};
+  for (std::uint32_t batch : {4096u, 1024u, 256u, 64u}) {
+    auto p = base_params();
+    p.read_batch = batch;
+    const auto relaxed = stream::run_streaming_benchmark(p);
+    p.read_sync_each = true;
+    const auto eager = stream::run_streaming_benchmark(p);
+    t.add_row(static_cast<unsigned>(batch), Table::fmt(relaxed.seconds() * 1e3, 2),
+              Table::fmt(eager.seconds() * 1e3, 2),
+              Table::fmt(eager.seconds() / relaxed.seconds(), 1) + "x");
+  }
+  t.print(std::cout);
+  std::printf("\nlesson: batch your noc_async_read_barrier calls — blocking per\n"
+              "access serialises the full round-trip latency every time.\n");
+}
+
+void sweep_interleave() {
+  Table t{"page size", "no load (ms)", "x16 replicated load (ms)"};
+  for (std::uint64_t page : {std::uint64_t{0}, 64 * KiB, 32 * KiB, 8 * KiB, 1 * KiB}) {
+    auto p = base_params();
+    p.interleave_page = page;
+    const auto idle = stream::run_streaming_benchmark(p);
+    p.replication = 16;
+    const auto loaded = stream::run_streaming_benchmark(p);
+    t.add_row(page == 0 ? "none" : std::to_string(page / 1024) + "K",
+              Table::fmt(idle.seconds() * 1e3, 2), Table::fmt(loaded.seconds() * 1e3, 2));
+  }
+  t.print(std::cout);
+  std::printf("\nlesson: interleaving costs little when idle and helps a lot\n"
+              "under DDR load — but keep pages at 16-32 KiB or larger.\n");
+}
+
+void sweep_cores() {
+  Table t{"cores", "single-bank (ms)", "interleaved 32K (ms)"};
+  for (int cores : {1, 2, 4, 8}) {
+    auto p = base_params();
+    p.num_cores = cores;
+    const auto single = stream::run_streaming_benchmark(p);
+    p.interleave_page = 32 * KiB;
+    const auto inter = stream::run_streaming_benchmark(p);
+    t.add_row(cores, Table::fmt(single.seconds() * 1e3, 2),
+              Table::fmt(inter.seconds() * 1e3, 2));
+  }
+  t.print(std::cout);
+  std::printf("\nlesson: a single DRAM bank is a bandwidth wall for streaming —\n"
+              "spread buffers across banks before adding cores.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "batch";
+  if (mode == "batch") sweep_batch();
+  else if (mode == "sync") sweep_sync();
+  else if (mode == "interleave") sweep_interleave();
+  else if (mode == "cores") sweep_cores();
+  else {
+    std::printf("usage: %s [batch|sync|interleave|cores]\n", argv[0]);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+/// \file until_converged.cpp
+/// Convergence-driven solving: instead of the paper's fixed iteration count,
+/// let the device track its own residual (max |unew - u| reduced on the
+/// FPU) and stop once the field is stationary to a tolerance. Shows the
+/// residual trajectory and the cost of checking.
+///
+///   $ ./examples/until_converged [tolerance]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "ttsim/core/jacobi_device.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ttsim;
+
+  const double tolerance = argc > 1 ? std::atof(argv[1]) : 2e-3;
+
+  core::JacobiProblem p;
+  p.width = 1024;  // device-side residuals need full FPU chunks
+  p.height = 128;
+  p.iterations = 20000;  // safety cap
+  p.bc_left = 1.0f;
+  p.bc_right = 0.0f;
+  p.bc_top = 0.5f;
+  p.bc_bottom = 0.5f;
+
+  core::DeviceRunConfig cfg;
+  cfg.cores_y = 4;
+
+  std::printf("solving %ux%u until max|unew-u| <= %g (checked on the device)\n\n",
+              p.width, p.height, tolerance);
+  std::printf("%12s %16s %14s\n", "check every", "iterations run", "residual");
+  for (int check_every : {25, 100, 400}) {
+    core::AdaptiveOptions opt;
+    opt.tolerance = tolerance;
+    opt.check_every = check_every;
+    const auto r = core::run_jacobi_adaptive(p, opt, cfg);
+    std::printf("%12d %16d %14.5f %s\n", check_every, r.iterations_run,
+                r.final_residual, r.converged ? "(converged)" : "(hit the cap!)");
+  }
+  std::printf(
+      "\nCoarser checking overshoots the stopping point but relaunches less;\n"
+      "the residual itself costs one extra FPU subtract/abs/reduce per chunk\n"
+      "on checking sweeps plus a 2-byte DRAM write per core.\n");
+  return 0;
+}

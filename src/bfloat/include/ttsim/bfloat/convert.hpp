@@ -1,0 +1,49 @@
+#pragma once
+/// \file convert.hpp
+/// Bulk float <-> bfloat16 conversion helpers, used when staging host data
+/// over PCIe to the device (the host works in FP32, the card in BF16).
+
+#include <span>
+#include <vector>
+
+#include "ttsim/bfloat/bfloat16.hpp"
+#include "ttsim/common/check.hpp"
+
+namespace ttsim {
+
+/// Round-convert a float span into a bf16 span. Sizes must match.
+inline void to_bf16(std::span<const float> src, std::span<bfloat16_t> dst) {
+  TTSIM_CHECK(src.size() == dst.size());
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = bfloat16_t{src[i]};
+}
+
+/// Widen a bf16 span into floats (exact). Sizes must match.
+inline void to_f32(std::span<const bfloat16_t> src, std::span<float> dst) {
+  TTSIM_CHECK(src.size() == dst.size());
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = static_cast<float>(src[i]);
+}
+
+inline std::vector<bfloat16_t> to_bf16(std::span<const float> src) {
+  std::vector<bfloat16_t> out(src.size());
+  to_bf16(src, out);
+  return out;
+}
+
+inline std::vector<float> to_f32(std::span<const bfloat16_t> src) {
+  std::vector<float> out(src.size());
+  to_f32(src, out);
+  return out;
+}
+
+/// Max absolute elementwise difference between a float reference and bf16 data.
+inline float max_abs_diff(std::span<const float> ref, std::span<const bfloat16_t> got) {
+  TTSIM_CHECK(ref.size() == got.size());
+  float m = 0.0f;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const float d = std::fabs(ref[i] - static_cast<float>(got[i]));
+    if (d > m) m = d;
+  }
+  return m;
+}
+
+}  // namespace ttsim

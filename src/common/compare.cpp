@@ -1,0 +1,63 @@
+#include "ttsim/common/compare.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "ttsim/common/check.hpp"
+
+namespace ttsim {
+
+double ComparisonReport::ratio(std::size_t i) const {
+  TTSIM_CHECK(i < rows_.size());
+  if (rows_[i].paper == 0.0) return rows_[i].measured == 0.0 ? 1.0 : 0.0;
+  return rows_[i].measured / rows_[i].paper;
+}
+
+double ComparisonReport::ordering_agreement() const {
+  if (rows_.size() < 2) return 1.0;
+  std::size_t pairs = 0, agree = 0;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    for (std::size_t j = i + 1; j < rows_.size(); ++j) {
+      ++pairs;
+      const double dp = rows_[i].paper - rows_[j].paper;
+      const double dm = rows_[i].measured - rows_[j].measured;
+      // Treat near-equal paper values (<3% apart) as ties that always agree:
+      // the paper's own run-to-run noise is of that order.
+      const double scale = std::max(std::fabs(rows_[i].paper), std::fabs(rows_[j].paper));
+      if (scale == 0.0 || std::fabs(dp) / scale < 0.03 || dp * dm > 0.0) ++agree;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(pairs);
+}
+
+double ComparisonReport::geomean_ratio() const {
+  if (rows_.empty()) return 1.0;
+  double log_sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const double r = ratio(i);
+    if (r > 0.0) {
+      log_sum += std::log(r);
+      ++n;
+    }
+  }
+  return n > 0 ? std::exp(log_sum / static_cast<double>(n)) : 1.0;
+}
+
+std::string ComparisonReport::to_string() const {
+  std::ostringstream os;
+  os << "== " << id_ << ": " << description_ << " ==\n";
+  Table t{"Configuration", "Paper", "Measured", "Unit", "Measured/Paper"};
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    t.add_row(rows_[i].label, Table::fmt(rows_[i].paper), Table::fmt(rows_[i].measured),
+              rows_[i].unit, Table::fmt(ratio(i), 2) + "x");
+  }
+  os << t.to_string();
+  os << "shape: ordering agreement " << Table::fmt(100.0 * ordering_agreement(), 1)
+     << "% over " << rows_.size() << " rows; geomean measured/paper "
+     << Table::fmt(geomean_ratio(), 2) << "x"
+     << (lower_is_better_ ? " (lower is better)" : "") << "\n";
+  return os.str();
+}
+
+}  // namespace ttsim

@@ -1,0 +1,67 @@
+#pragma once
+/// \file check.hpp
+/// Runtime invariant checking used throughout the library.
+///
+/// TTSIM_CHECK is always on (it guards simulator invariants whose violation
+/// would silently corrupt results); TTSIM_DCHECK compiles out in release
+/// builds and is used on hot paths.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ttsim {
+
+/// Error thrown when a TTSIM_CHECK fails. Carries the failing expression and
+/// source location so tests can assert on failure modes.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Error thrown for user-facing API misuse (bad arguments, protocol
+/// violations such as popping an empty circular buffer).
+class ApiError : public std::invalid_argument {
+ public:
+  explicit ApiError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "TTSIM_CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace ttsim
+
+#define TTSIM_CHECK(expr)                                                  \
+  do {                                                                     \
+    if (!(expr)) ::ttsim::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define TTSIM_CHECK_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream ttsim_os_;                                        \
+      ttsim_os_ << msg;                                                    \
+      ::ttsim::detail::check_failed(#expr, __FILE__, __LINE__,             \
+                                    ttsim_os_.str());                      \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define TTSIM_DCHECK(expr) ((void)0)
+#else
+#define TTSIM_DCHECK(expr) TTSIM_CHECK(expr)
+#endif
+
+#define TTSIM_THROW_API(msg)                   \
+  do {                                         \
+    std::ostringstream ttsim_os_;              \
+    ttsim_os_ << msg;                          \
+    throw ::ttsim::ApiError(ttsim_os_.str());  \
+  } while (0)

@@ -1,0 +1,61 @@
+#pragma once
+/// \file compare.hpp
+/// Paper-vs-measured comparison rows. Every bench binary records what the
+/// paper reported for a configuration alongside what this reproduction
+/// measured, and summarises how well the *shape* holds (ratios, orderings).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ttsim/common/table.hpp"
+
+namespace ttsim {
+
+/// One experimental point: paper value vs measured value (same unit).
+struct ComparisonRow {
+  std::string label;
+  double paper = 0.0;
+  double measured = 0.0;
+  std::string unit;
+};
+
+/// Collects comparison rows for one table/figure and renders a report.
+class ComparisonReport {
+ public:
+  ComparisonReport(std::string experiment_id, std::string description,
+                   bool lower_is_better = false)
+      : id_(std::move(experiment_id)),
+        description_(std::move(description)),
+        lower_is_better_(lower_is_better) {}
+
+  void add(const std::string& label, double paper, double measured,
+           const std::string& unit) {
+    rows_.push_back({label, paper, measured, unit});
+  }
+
+  const std::vector<ComparisonRow>& rows() const { return rows_; }
+  const std::string& id() const { return id_; }
+
+  /// measured/paper ratio per row; 1.0 means exact.
+  double ratio(std::size_t i) const;
+
+  /// Fraction of row *pairs* whose relative ordering (who is faster) matches
+  /// the paper. This is the "shape" metric: 1.0 means every win/loss the
+  /// paper reports is reproduced.
+  double ordering_agreement() const;
+
+  /// Geometric mean of measured/paper ratios (how far absolute values drift).
+  double geomean_ratio() const;
+
+  /// Renders the comparison table plus the shape summary.
+  std::string to_string() const;
+
+ private:
+  std::string id_;
+  std::string description_;
+  bool lower_is_better_;
+  std::vector<ComparisonRow> rows_;
+};
+
+}  // namespace ttsim

@@ -1,0 +1,43 @@
+#pragma once
+/// \file log.hpp
+/// Minimal leveled logger. The simulator's equivalent of tt-metal's "print
+/// server": device kernels may log, and (as the paper found on real
+/// hardware) enabling device logging costs simulated time, which Table I/II
+/// reproductions must avoid — so it is off by default.
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace ttsim {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global log configuration. Not thread-safe to mutate while sim threads run;
+/// set once at startup (tests and benches do).
+class Log {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel lvl);
+  /// Parse "trace|debug|info|warn|error|off"; unknown names leave level unchanged.
+  static void set_level(const std::string& name);
+  static void write(LogLevel lvl, const std::string& msg);
+};
+
+namespace detail {
+template <typename... Args>
+void log_impl(LogLevel lvl, Args&&... args) {
+  if (static_cast<int>(lvl) < static_cast<int>(Log::level())) return;
+  std::ostringstream os;
+  (os << ... << args);
+  Log::write(lvl, os.str());
+}
+}  // namespace detail
+
+}  // namespace ttsim
+
+#define TTSIM_LOG_TRACE(...) ::ttsim::detail::log_impl(::ttsim::LogLevel::kTrace, __VA_ARGS__)
+#define TTSIM_LOG_DEBUG(...) ::ttsim::detail::log_impl(::ttsim::LogLevel::kDebug, __VA_ARGS__)
+#define TTSIM_LOG_INFO(...) ::ttsim::detail::log_impl(::ttsim::LogLevel::kInfo, __VA_ARGS__)
+#define TTSIM_LOG_WARN(...) ::ttsim::detail::log_impl(::ttsim::LogLevel::kWarn, __VA_ARGS__)
+#define TTSIM_LOG_ERROR(...) ::ttsim::detail::log_impl(::ttsim::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,68 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic, seedable RNG (xoshiro256**) used by workload generators and
+/// property tests. std::mt19937 distributions are not cross-platform
+/// reproducible, so we ship our own uniform helpers.
+
+#include <cstdint>
+
+namespace ttsim {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference implementation,
+/// re-typed). Deterministic across platforms for the same seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0. Uses rejection to avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Uniform int in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  bool next_bool() { return (next_u64() & 1) != 0; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t s_[4];
+};
+
+}  // namespace ttsim

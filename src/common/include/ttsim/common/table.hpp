@@ -1,0 +1,59 @@
+#pragma once
+/// \file table.hpp
+/// ASCII table rendering for bench output. Bench binaries print rows in the
+/// same layout as the paper's tables so results can be compared side by side.
+
+#include <cstdio>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ttsim {
+
+/// A simple column-aligned text table.
+///
+///   Table t{"Version", "Performance (GPt/s)"};
+///   t.add_row("Initial", "0.0065");
+///   t.print(std::cout);
+class Table {
+ public:
+  Table() = default;
+  Table(std::initializer_list<std::string> headers) : headers_(headers) {}
+
+  void set_headers(std::vector<std::string> headers) { headers_ = std::move(headers); }
+
+  /// Adds one row; cells beyond the header count widen the table.
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  template <typename... Cells>
+  void add_row(Cells&&... cells) {
+    rows_.push_back({to_cell(std::forward<Cells>(cells))...});
+  }
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with a header rule; numeric-looking cells are right-aligned.
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  /// Renders as GitHub-flavoured markdown (used by EXPERIMENTS.md generation).
+  std::string to_markdown() const;
+
+  static std::string fmt(double v, int precision = 4);
+
+ private:
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(double v) { return fmt(v); }
+  static std::string to_cell(int v) { return std::to_string(v); }
+  static std::string to_cell(long v) { return std::to_string(v); }
+  static std::string to_cell(long long v) { return std::to_string(v); }
+  static std::string to_cell(unsigned v) { return std::to_string(v); }
+  static std::string to_cell(unsigned long v) { return std::to_string(v); }
+  static std::string to_cell(unsigned long long v) { return std::to_string(v); }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ttsim

@@ -1,0 +1,69 @@
+#pragma once
+/// \file units.hpp
+/// Simulated-time and size units. All simulator timing is integer picoseconds
+/// so that event ordering is exact and runs are bit-reproducible; helpers
+/// convert to/from cycles at a given clock and to human units.
+
+#include <cstdint>
+
+#include "ttsim/common/check.hpp"
+
+namespace ttsim {
+
+/// Simulated time in picoseconds. 2^63 ps ≈ 106 days of simulated time —
+/// far beyond any experiment here.
+using SimTime = std::int64_t;
+
+/// Device cycle count (at some clock frequency).
+using Cycles = std::int64_t;
+
+inline constexpr SimTime kPicosecond = 1;
+inline constexpr SimTime kNanosecond = 1000;
+inline constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+inline constexpr std::uint64_t KiB = 1024ULL;
+inline constexpr std::uint64_t MiB = 1024ULL * KiB;
+inline constexpr std::uint64_t GiB = 1024ULL * MiB;
+
+/// A clock domain: converts cycles <-> picoseconds.
+class Clock {
+ public:
+  constexpr explicit Clock(double ghz) : period_ps_(static_cast<SimTime>(1000.0 / ghz + 0.5)) {
+    // 1.2 GHz -> 833 ps period (rounded).
+  }
+
+  constexpr SimTime period_ps() const { return period_ps_; }
+  constexpr SimTime to_time(Cycles c) const { return c * period_ps_; }
+  constexpr Cycles to_cycles(SimTime t) const { return (t + period_ps_ - 1) / period_ps_; }
+  constexpr double ghz() const { return 1000.0 / static_cast<double>(period_ps_); }
+
+ private:
+  SimTime period_ps_;
+};
+
+/// Convert simulated picoseconds to seconds (for reporting).
+inline double to_seconds(SimTime t) { return static_cast<double>(t) / static_cast<double>(kSecond); }
+
+/// Time taken to move `bytes` at `gbytes_per_s` (GB/s, decimal), in ps.
+inline SimTime transfer_time(std::uint64_t bytes, double gbytes_per_s) {
+  TTSIM_CHECK(gbytes_per_s > 0.0);
+  // bytes / (GB/s) = ns per byte * bytes; 1 GB/s == 1 byte/ns.
+  const double ns = static_cast<double>(bytes) / gbytes_per_s;
+  return static_cast<SimTime>(ns * static_cast<double>(kNanosecond) + 0.5);
+}
+
+/// Round `value` up to the next multiple of `align` (align must be a power of two).
+constexpr std::uint64_t align_up(std::uint64_t value, std::uint64_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+/// Round `value` down to a multiple of `align` (align must be a power of two).
+constexpr std::uint64_t align_down(std::uint64_t value, std::uint64_t align) {
+  return value & ~(align - 1);
+}
+
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace ttsim

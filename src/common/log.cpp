@@ -1,0 +1,60 @@
+#include "ttsim/common/log.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+namespace ttsim {
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_write_mutex;
+
+LogLevel initial_level() {
+  if (const char* env = std::getenv("TTSIM_LOG")) {
+    std::string name{env};
+    if (name == "trace") return LogLevel::kTrace;
+    if (name == "debug") return LogLevel::kDebug;
+    if (name == "info") return LogLevel::kInfo;
+    if (name == "warn") return LogLevel::kWarn;
+    if (name == "error") return LogLevel::kError;
+    if (name == "off") return LogLevel::kOff;
+  }
+  return LogLevel::kWarn;
+}
+
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+struct LevelInit {
+  LevelInit() { g_level.store(static_cast<int>(initial_level())); }
+} g_level_init;
+}  // namespace
+
+LogLevel Log::level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void Log::set_level(LogLevel lvl) { g_level.store(static_cast<int>(lvl)); }
+
+void Log::set_level(const std::string& name) {
+  if (name == "trace") set_level(LogLevel::kTrace);
+  else if (name == "debug") set_level(LogLevel::kDebug);
+  else if (name == "info") set_level(LogLevel::kInfo);
+  else if (name == "warn") set_level(LogLevel::kWarn);
+  else if (name == "error") set_level(LogLevel::kError);
+  else if (name == "off") set_level(LogLevel::kOff);
+}
+
+void Log::write(LogLevel lvl, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fprintf(stderr, "[ttsim %s] %s\n", level_name(lvl), msg.c_str());
+}
+
+}  // namespace ttsim

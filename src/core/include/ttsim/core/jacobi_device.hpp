@@ -1,0 +1,147 @@
+#pragma once
+/// \file jacobi_device.hpp
+/// Device-side Jacobi solvers for the simulated Grayskull, implementing every
+/// version studied in the paper:
+///   * kInitial          — Section IV: 32x32 batches, 34 blocking aligned
+///                         reads per batch (Listing 4), data-mover memcpy
+///                         into four offset CBs, per-write synchronisation,
+///                         unpipelined single-page CBs.
+///   * kWriteOptimised   — batch-level write barrier, pipelined CBs.
+///   * kDoubleBuffered   — additionally double-buffers batch reads so reading
+///                         overlaps the (dominant) memcpy.
+///   * kRowChunk         — Section VI: one-dimensional 1024-element chunks
+///                         read contiguously, no memcpy: the compute kernel
+///                         aliases CB read pointers into the mover's local
+///                         buffer via the cb_set_rd_ptr SDK extension, with
+///                         reads issued two batches ahead.
+/// Component toggles reproduce the Table II breakdown. Multi-core runs
+/// decompose the domain in 2-D over the worker grid (Section VII).
+
+#include <memory>
+#include <string>
+
+#include "ttsim/core/problem.hpp"
+#include "ttsim/ttmetal/device.hpp"
+
+namespace ttsim::core {
+
+enum class DeviceStrategy {
+  kInitial,
+  kWriteOptimised,
+  kDoubleBuffered,
+  kRowChunk,
+  /// The paper's concluding proposal: keep the domain resident in the
+  /// cores' SRAM across iterations and exchange halo rows directly between
+  /// neighbouring cores over the NoC — DRAM is touched only for the initial
+  /// load and the final writeback. Requires a Y-only decomposition
+  /// (cores_x == 1), domains whose width is <= 1024 or a multiple of 1024,
+  /// and slabs that fit the 1 MB SRAM.
+  kSramResident,
+};
+
+std::string to_string(DeviceStrategy s);
+
+/// Table II switches: selectively disable pipeline stages while keeping the
+/// CB structure and synchronisation intact. Only honoured by the tiled
+/// (Section IV) strategies, matching the paper's methodology.
+struct ComponentToggles {
+  bool read = true;
+  bool memcpy_to_cbs = true;
+  bool compute = true;
+  bool write = true;
+  bool all_enabled() const { return read && memcpy_to_cbs && compute && write; }
+};
+
+struct DeviceRunConfig {
+  DeviceStrategy strategy = DeviceStrategy::kRowChunk;
+  int cores_x = 1;  ///< cores across the X (contiguous) dimension
+  int cores_y = 1;  ///< cores down the Y dimension
+  ComponentToggles toggles;
+  /// Grid buffer placement. kSingleBank puts u and unew in one (distinct)
+  /// bank each — fine for a few cores, a bandwidth wall beyond (Table VII).
+  /// kInterleaved uses tt-metal page interleaving (`interleave_page`).
+  /// kStriped spreads each grid over the banks in coarse row slabs — the
+  /// per-core slab placement a systolic decomposition gives naturally, and
+  /// what the full-card Table VIII runs need to reach the DDR-wide ceiling.
+  ttmetal::BufferLayout buffer_layout = ttmetal::BufferLayout::kSingleBank;
+  std::uint64_t interleave_page = 32 * KiB;
+  /// Row-chunk batch width in elements (the paper uses 1024; clamped to the
+  /// per-core strip width).
+  std::uint32_t chunk_elems = 1024;
+  /// Verify against the BF16-exact CPU reference after the run.
+  bool verify = false;
+};
+
+struct DeviceRunResult {
+  std::vector<float> solution;  ///< interior, row-major (exact widening of BF16)
+  SimTime kernel_time = 0;      ///< simulated kernel execution time
+  SimTime total_time = 0;       ///< including PCIe transfers + dispatch (paper default)
+  bool verified_ok = true;      ///< only meaningful when config.verify
+  int cores_used = 0;
+
+  /// Billion point-updates per second, the paper's metric; includes PCIe
+  /// unless `kernel_only`.
+  double gpts(const JacobiProblem& p, bool kernel_only = false) const {
+    const SimTime t = kernel_only ? kernel_time : total_time;
+    return t > 0 ? static_cast<double>(p.total_updates()) / 1e9 / to_seconds(t) : 0.0;
+  }
+};
+
+/// Run the solver on an open device. Throws ApiError on invalid
+/// decompositions (more cores than workers, strips thinner than the stencil).
+DeviceRunResult run_jacobi_on_device(ttmetal::Device& device, const JacobiProblem& p,
+                                     const DeviceRunConfig& config);
+
+/// Convenience overload opening a fresh simulated e150.
+DeviceRunResult run_jacobi_on_device(const JacobiProblem& p, const DeviceRunConfig& config,
+                                     sim::GrayskullSpec spec = {});
+
+/// Multi-card scaling (paper Section VII, e150 x2 / x4): the domain is split
+/// in Y across independent cards. Cards cannot exchange halos (the paper
+/// notes the answer is therefore not strictly correct); each card treats its
+/// cut edges as fixed boundaries. Returns per-card maximum runtime.
+struct MultiCardResult {
+  SimTime kernel_time = 0;  ///< max over cards
+  SimTime total_time = 0;
+  int cards = 0;
+  double gpts(const JacobiProblem& p, bool kernel_only = false) const {
+    const SimTime t = kernel_only ? kernel_time : total_time;
+    return t > 0 ? static_cast<double>(p.total_updates()) / 1e9 / to_seconds(t) : 0.0;
+  }
+};
+
+MultiCardResult run_jacobi_multicard(const JacobiProblem& p, int cards,
+                                     const DeviceRunConfig& config,
+                                     sim::GrayskullSpec spec = {});
+
+/// Convergence-driven solving (beyond the paper, which runs a fixed
+/// iteration count): the device itself tracks max |unew - u| on the FPU
+/// every `check_every` iterations (one extra subtract/abs/reduce per chunk
+/// on checking sweeps, one 2-byte DRAM write per core); the host reads the
+/// per-core residuals between launches and stops once the tolerance is met
+/// or `problem.iterations` sweeps have run. Requires the row-chunk strategy
+/// and per-core strips in full 1024-element chunks (width divisible by
+/// 1024 x cores_x).
+struct AdaptiveOptions {
+  double tolerance = 1e-3;
+  int check_every = 50;
+};
+
+struct AdaptiveRunResult {
+  std::vector<float> solution;
+  int iterations_run = 0;
+  double final_residual = 0.0;
+  bool converged = false;
+  SimTime kernel_time = 0;  ///< summed over launches
+  SimTime total_time = 0;
+};
+
+AdaptiveRunResult run_jacobi_adaptive(ttmetal::Device& device, const JacobiProblem& p,
+                                      const AdaptiveOptions& options,
+                                      const DeviceRunConfig& config);
+AdaptiveRunResult run_jacobi_adaptive(const JacobiProblem& p,
+                                      const AdaptiveOptions& options,
+                                      const DeviceRunConfig& config,
+                                      sim::GrayskullSpec spec = {});
+
+}  // namespace ttsim::core

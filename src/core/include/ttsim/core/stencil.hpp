@@ -1,0 +1,32 @@
+#pragma once
+/// \file stencil.hpp
+/// Generic weighted 5-point stencils on the simulated Grayskull — the
+/// paper's future-work direction ("we are now looking at more complex
+/// stencil algorithms, such as atmospheric advection, on the Grayskull").
+///
+/// A WeightedStencil computes, per interior point,
+///   out(r,c) = wc*u(r,c) + ww*u(r,c-1) + we*u(r,c+1)
+///            + wn*u(r-1,c) + ws*u(r+1,c)
+/// with all products and sums performed in BF16 in a fixed order (centre,
+/// then W, E, N, S for the non-zero taps), so device results are bit-exact
+/// replays of the CPU reference. Zero-weight taps cost nothing on the
+/// device (fewer FPU passes). The Jacobi solver's averaging stencil is the
+/// special case wc=0, others 0.25 — but note it is *not* arithmetically
+/// identical to the dedicated Jacobi kernel, which sums first and scales
+/// once (different BF16 rounding).
+
+#include "ttsim/core/jacobi_device.hpp"
+#include "ttsim/core/stencil_spec.hpp"
+
+namespace ttsim::core {
+
+/// Run a weighted stencil with the Section VI row-chunk machinery (aliased
+/// CB read pointers, two-batch read-ahead). Config fields `strategy` and
+/// `toggles` are ignored; decomposition/layout fields apply.
+DeviceRunResult run_stencil_on_device(ttmetal::Device& device, const StencilProblem& p,
+                                      const DeviceRunConfig& config);
+DeviceRunResult run_stencil_on_device(const StencilProblem& p,
+                                      const DeviceRunConfig& config,
+                                      sim::GrayskullSpec spec = {});
+
+}  // namespace ttsim::core

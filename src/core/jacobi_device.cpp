@@ -1,0 +1,276 @@
+#include "ttsim/core/jacobi_device.hpp"
+
+#include <cstring>
+#include <limits>
+
+#include "jacobi_internal.hpp"
+#include "ttsim/cpu/jacobi_cpu.hpp"
+
+namespace ttsim::core {
+
+namespace detail {
+
+std::vector<CoreRange> decompose(const JacobiProblem& p, int cores_x, int cores_y,
+                                 std::uint32_t col_align) {
+  if (cores_x < 1 || cores_y < 1) TTSIM_THROW_API("need at least a 1x1 core grid");
+  if (p.width % static_cast<std::uint32_t>(cores_x) != 0) {
+    TTSIM_THROW_API("domain width " << p.width << " does not divide across "
+                                    << cores_x << " cores in X");
+  }
+  const std::uint32_t strip = p.width / static_cast<std::uint32_t>(cores_x);
+  if (strip % col_align != 0) {
+    TTSIM_THROW_API("per-core strip width " << strip << " must be a multiple of "
+                                            << col_align);
+  }
+  if (static_cast<std::uint32_t>(cores_y) > p.height) {
+    TTSIM_THROW_API("more Y cores than rows");
+  }
+  std::vector<CoreRange> ranges;
+  const std::uint32_t base = p.height / static_cast<std::uint32_t>(cores_y);
+  const std::uint32_t extra = p.height % static_cast<std::uint32_t>(cores_y);
+  std::uint32_t row = 0;
+  for (int cy = 0; cy < cores_y; ++cy) {
+    const std::uint32_t rows =
+        base + (static_cast<std::uint32_t>(cy) < extra ? 1 : 0);
+    for (int cx = 0; cx < cores_x; ++cx) {
+      ranges.push_back(CoreRange{row, row + rows,
+                                 static_cast<std::uint32_t>(cx) * strip,
+                                 (static_cast<std::uint32_t>(cx) + 1) * strip});
+    }
+    row += rows;
+  }
+  return ranges;
+}
+
+}  // namespace detail
+
+namespace {
+
+void validate_config(const ttmetal::Device& device, const JacobiProblem& p,
+                     const DeviceRunConfig& cfg) {
+  const int ncores = cfg.cores_x * cfg.cores_y;
+  if (ncores > device.num_workers()) {
+    TTSIM_THROW_API("decomposition needs " << ncores << " cores but the e150 has "
+                                           << device.num_workers() << " workers");
+  }
+  if (p.iterations < 1) TTSIM_THROW_API("need at least one iteration");
+  if (cfg.strategy == DeviceStrategy::kSramResident) {
+    if (cfg.cores_x != 1) {
+      TTSIM_THROW_API("the SRAM-resident solver decomposes in Y only (cores_x == 1)");
+    }
+    if (p.width > 1024 && p.width % 1024 != 0) {
+      TTSIM_THROW_API("SRAM-resident domains must be <= 1024 wide or a multiple of "
+                      "1024 (FPU tile packs write straight into the slab)");
+    }
+    if (!cfg.toggles.all_enabled()) {
+      TTSIM_THROW_API("component toggles are a Table II instrument of the tiled "
+                      "(Section IV) designs");
+    }
+    return;
+  }
+  const bool tiled = cfg.strategy != DeviceStrategy::kRowChunk;
+  if (tiled) {
+    if (p.width % detail::kTile != 0 || p.height % detail::kTile != 0) {
+      TTSIM_THROW_API("tiled strategies need 32x32-divisible domains");
+    }
+    if (p.height / static_cast<std::uint32_t>(cfg.cores_y) % detail::kTile != 0 ||
+        p.height % static_cast<std::uint32_t>(cfg.cores_y) != 0) {
+      TTSIM_THROW_API("tiled strategies need 32-divisible rows per core");
+    }
+  }
+  if (!cfg.toggles.all_enabled() && !tiled) {
+    TTSIM_THROW_API("component toggles are a Table II instrument of the tiled "
+                    "(Section IV) designs");
+  }
+}
+
+}  // namespace
+
+DeviceRunResult run_jacobi_on_device(ttmetal::Device& device, const JacobiProblem& p,
+                                     const DeviceRunConfig& cfg) {
+  validate_config(device, p, cfg);
+  const PaddedLayout layout(p.width, p.height);
+  const bool tiled = cfg.strategy != DeviceStrategy::kRowChunk &&
+                     cfg.strategy != DeviceStrategy::kSramResident;
+
+  ttmetal::BufferConfig bc{.size = layout.bytes()};
+  bc.layout = cfg.buffer_layout;
+  if (cfg.buffer_layout == ttmetal::BufferLayout::kInterleaved) {
+    bc.page_size = cfg.interleave_page;
+  } else if (cfg.buffer_layout == ttmetal::BufferLayout::kStriped) {
+    // Sixteen row slabs per grid: every Y sub-range of cores still spreads
+    // its traffic over all eight banks.
+    bc.page_size = align_up(layout.bytes() / 16 + 1, 32);
+  }
+  auto d1 = device.create_buffer(bc);
+  auto d2 = device.create_buffer(bc);
+
+  const SimTime t_start = device.now();
+  const auto image = layout.initial_image(p);
+  device.write_buffer(*d1, std::as_bytes(std::span{image}));
+  device.write_buffer(*d2, std::as_bytes(std::span{image}));
+
+  auto shared = std::make_shared<detail::KernelShared>(layout);
+  shared->d1 = d1->address();
+  shared->d2 = d2->address();
+  shared->iterations = p.iterations;
+  shared->strategy = cfg.strategy;
+  shared->toggles = cfg.toggles;
+  shared->chunk_elems = cfg.chunk_elems;
+  shared->ranges = detail::decompose(p, cfg.cores_x, cfg.cores_y,
+                                     tiled ? detail::kTile : 16);
+
+  ttmetal::Program prog;
+  if (tiled) {
+    detail::build_tiled_program(prog, shared);
+  } else if (cfg.strategy == DeviceStrategy::kRowChunk) {
+    detail::build_rowchunk_program(prog, shared);
+  } else {
+    detail::build_sram_resident_program(prog, shared);
+  }
+  device.run_program(prog);
+
+  // After `iterations` sweeps the freshest grid is d2 for odd counts.
+  auto& final_buf = (p.iterations % 2 == 1) ? *d2 : *d1;
+  std::vector<bfloat16_t> out(layout.elems());
+  device.read_buffer(final_buf, std::as_writable_bytes(std::span{out}));
+
+  DeviceRunResult result;
+  result.kernel_time = device.last_kernel_duration();
+  result.total_time = device.now() - t_start;
+  result.cores_used = cfg.cores_x * cfg.cores_y;
+  result.solution = layout.extract_interior(out);
+
+  if (cfg.verify && cfg.toggles.all_enabled()) {
+    const auto ref = cpu::jacobi_reference_bf16(p);
+    result.verified_ok = ref.size() == result.solution.size();
+    for (std::size_t i = 0; result.verified_ok && i < ref.size(); ++i) {
+      if (static_cast<float>(ref[i]) != result.solution[i]) result.verified_ok = false;
+    }
+  }
+  return result;
+}
+
+DeviceRunResult run_jacobi_on_device(const JacobiProblem& p, const DeviceRunConfig& cfg,
+                                     sim::GrayskullSpec spec) {
+  auto device = ttmetal::Device::open(spec);
+  return run_jacobi_on_device(*device, p, cfg);
+}
+
+AdaptiveRunResult run_jacobi_adaptive(ttmetal::Device& device, const JacobiProblem& p,
+                                      const AdaptiveOptions& options,
+                                      const DeviceRunConfig& cfg) {
+  if (cfg.strategy != DeviceStrategy::kRowChunk) {
+    TTSIM_THROW_API("adaptive solving is built on the row-chunk strategy");
+  }
+  if (options.check_every < 1 || options.tolerance <= 0.0) {
+    TTSIM_THROW_API("adaptive solving needs check_every >= 1 and tolerance > 0");
+  }
+  const std::uint32_t strip = p.width / static_cast<std::uint32_t>(cfg.cores_x);
+  if (p.width % static_cast<std::uint32_t>(cfg.cores_x) != 0 || strip % 1024 != 0) {
+    TTSIM_THROW_API("device-side residuals need full 1024-element chunks "
+                    "(strip width " << strip << ")");
+  }
+  validate_config(device, p, cfg);
+
+  const PaddedLayout layout(p.width, p.height);
+  ttmetal::BufferConfig bc{.size = layout.bytes()};
+  bc.layout = cfg.buffer_layout;
+  if (cfg.buffer_layout == ttmetal::BufferLayout::kInterleaved) {
+    bc.page_size = cfg.interleave_page;
+  } else if (cfg.buffer_layout == ttmetal::BufferLayout::kStriped) {
+    bc.page_size = align_up(layout.bytes() / 16 + 1, 32);
+  }
+  auto d1 = device.create_buffer(bc);
+  auto d2 = device.create_buffer(bc);
+  const int ncores = cfg.cores_x * cfg.cores_y;
+  auto residuals =
+      device.create_buffer({.size = static_cast<std::uint64_t>(ncores) * 32});
+
+  const SimTime t_start = device.now();
+  const auto image = layout.initial_image(p);
+  device.write_buffer(*d1, std::as_bytes(std::span{image}));
+  device.write_buffer(*d2, std::as_bytes(std::span{image}));
+
+  AdaptiveRunResult result;
+  result.final_residual = std::numeric_limits<double>::infinity();
+  bool swapped = false;
+  int remaining = p.iterations;
+  while (remaining > 0) {
+    const int chunk = std::min(options.check_every, remaining);
+    auto shared = std::make_shared<detail::KernelShared>(layout);
+    shared->d1 = swapped ? d2->address() : d1->address();
+    shared->d2 = swapped ? d1->address() : d2->address();
+    shared->iterations = chunk;
+    shared->strategy = cfg.strategy;
+    shared->chunk_elems = cfg.chunk_elems;
+    shared->residual_addr = residuals->address();
+    shared->ranges = detail::decompose(p, cfg.cores_x, cfg.cores_y, 16);
+
+    ttmetal::Program prog;
+    detail::build_rowchunk_program(prog, shared);
+    device.run_program(prog);
+    result.kernel_time += device.last_kernel_duration();
+    result.iterations_run += chunk;
+    remaining -= chunk;
+    if (chunk % 2 == 1) swapped = !swapped;
+
+    std::vector<std::byte> raw(static_cast<std::size_t>(ncores) * 32);
+    device.read_buffer(*residuals, raw);
+    double worst = 0.0;
+    for (int c = 0; c < ncores; ++c) {
+      bfloat16_t r{};
+      std::memcpy(&r, raw.data() + static_cast<std::size_t>(c) * 32, 2);
+      worst = std::max(worst, static_cast<double>(static_cast<float>(r)));
+    }
+    result.final_residual = worst;
+    if (worst <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // After `iterations_run` sweeps the freshest grid is the current "d2".
+  auto& final_buf = swapped ? *d2 : *d1;
+  std::vector<bfloat16_t> out(layout.elems());
+  device.read_buffer(final_buf, std::as_writable_bytes(std::span{out}));
+  result.solution = layout.extract_interior(out);
+  result.total_time = device.now() - t_start;
+  return result;
+}
+
+AdaptiveRunResult run_jacobi_adaptive(const JacobiProblem& p,
+                                      const AdaptiveOptions& options,
+                                      const DeviceRunConfig& cfg,
+                                      sim::GrayskullSpec spec) {
+  auto device = ttmetal::Device::open(spec);
+  return run_jacobi_adaptive(*device, p, options, cfg);
+}
+
+MultiCardResult run_jacobi_multicard(const JacobiProblem& p, int cards,
+                                     const DeviceRunConfig& cfg,
+                                     sim::GrayskullSpec spec) {
+  TTSIM_CHECK(cards >= 1);
+  if (static_cast<std::uint32_t>(cards) > p.height) {
+    TTSIM_THROW_API("more cards than rows");
+  }
+  MultiCardResult result;
+  result.cards = cards;
+  const std::uint32_t base = p.height / static_cast<std::uint32_t>(cards);
+  const std::uint32_t extra = p.height % static_cast<std::uint32_t>(cards);
+  for (int card = 0; card < cards; ++card) {
+    JacobiProblem slab = p;
+    slab.height = base + (static_cast<std::uint32_t>(card) < extra ? 1 : 0);
+    // Cards cannot exchange halos (paper Section VII): interior cut edges
+    // see the frozen initial guess as their boundary condition.
+    if (card > 0) slab.bc_top = p.initial;
+    if (card < cards - 1) slab.bc_bottom = p.initial;
+    auto device = ttmetal::Device::open(spec);
+    const auto r = run_jacobi_on_device(*device, slab, cfg);
+    result.kernel_time = std::max(result.kernel_time, r.kernel_time);
+    result.total_time = std::max(result.total_time, r.total_time);
+  }
+  return result;
+}
+
+}  // namespace ttsim::core

@@ -1,0 +1,74 @@
+#pragma once
+/// \file jacobi_internal.hpp
+/// Shared internals of the device Jacobi solvers: the per-core domain
+/// decomposition and the program-builder entry points used by the driver.
+
+#include <memory>
+#include <vector>
+
+#include "ttsim/core/jacobi_device.hpp"
+#include "ttsim/ttmetal/program.hpp"
+
+namespace ttsim::core::detail {
+
+/// Circular-buffer ids shared by all strategies (tt-metal convention:
+/// inputs 0..7, intermediates 8..15, outputs 16..23).
+inline constexpr int kCbIn0 = 0;   // x-1 tile
+inline constexpr int kCbIn1 = 1;   // x+1 tile
+inline constexpr int kCbIn2 = 2;   // y-1 tile
+inline constexpr int kCbIn3 = 3;   // y+1 tile
+inline constexpr int kCbScalar = 4;
+inline constexpr int kCbInter = 5;
+inline constexpr int kCbRes = 7;
+inline constexpr int kCbOut = 16;
+inline constexpr int kIterationBarrier = 0;
+
+inline constexpr std::uint32_t kTile = 32;          // 32x32 BF16 batches
+inline constexpr std::uint32_t kTileBytes = 2048;   // 1024 elems
+
+/// One core's share of the interior: rows [row_lo, row_hi), cols
+/// [col_lo, col_hi).
+struct CoreRange {
+  std::uint32_t row_lo, row_hi, col_lo, col_hi;
+};
+
+/// Balanced 2-D decomposition. Columns split evenly (width must divide by
+/// cores_x into multiples of `col_align`); rows split as evenly as possible.
+std::vector<CoreRange> decompose(const JacobiProblem& p, int cores_x, int cores_y,
+                                 std::uint32_t col_align);
+
+/// Everything the kernels need, shared by reference across the lambdas.
+struct KernelShared {
+  std::uint64_t d1 = 0;  ///< device address of grid buffer 1
+  std::uint64_t d2 = 0;  ///< device address of grid buffer 2
+  PaddedLayout layout;
+  int iterations = 0;
+  DeviceStrategy strategy = DeviceStrategy::kRowChunk;
+  ComponentToggles toggles;
+  std::uint32_t chunk_elems = 1024;
+  /// When non-zero: on the final iteration the compute kernel tracks the
+  /// per-core max |unew - u| on the FPU and the writing mover stores it (one
+  /// BF16 value per core, 32-byte slots) at this DRAM address. Requires
+  /// full 1024-element chunks so no out-of-interior lanes pollute the
+  /// reduction.
+  std::uint64_t residual_addr = 0;
+  std::vector<CoreRange> ranges;
+
+  KernelShared(const PaddedLayout& l) : layout(l) {}
+};
+
+/// Section IV program (kInitial / kWriteOptimised / kDoubleBuffered).
+void build_tiled_program(ttmetal::Program& prog, std::shared_ptr<KernelShared> sh);
+
+/// Section VI program (kRowChunk).
+void build_rowchunk_program(ttmetal::Program& prog, std::shared_ptr<KernelShared> sh);
+
+/// Future-work program (kSramResident): domain resident in core SRAM with
+/// direct neighbour-to-neighbour halo exchange.
+void build_sram_resident_program(ttmetal::Program& prog,
+                                 std::shared_ptr<KernelShared> sh);
+
+/// Fill a reserved CB page with 1024 copies of `value` (the cb_scalar trick).
+void fill_scalar_page(ttmetal::KernelCtxBase& ctx, int cb_id, float value);
+
+}  // namespace ttsim::core::detail

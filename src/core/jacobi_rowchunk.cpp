@@ -1,0 +1,259 @@
+/// \file jacobi_rowchunk.cpp
+/// The Section VI optimised Jacobi design. Batches are one-dimensional
+/// chunks of (up to) 1024 elements along X (Fig. 6); each batch needs one
+/// contiguous read of chunk+2 elements (the chunk plus one halo element per
+/// side). The reading data mover keeps five row slots in local SRAM, reads
+/// two batches ahead with a single barrier per batch, and never copies
+/// memory: the compute kernel redirects the input CBs' read pointers into
+/// the mover's slots with the cb_set_rd_ptr SDK extension —
+///   x-1 tile = slot(j)   + off        (chunk shifted left by one element)
+///   x+1 tile = slot(j)   + off + 4 B  (shifted right)
+///   y-1 tile = slot(j-1) + off + 2 B  (row above, centred)
+///   y+1 tile = slot(j+1) + off + 2 B  (row below, centred)
+/// where `off` is the Listing-4 alignment offset of the strip's left halo.
+
+#include "jacobi_internal.hpp"
+
+namespace ttsim::core::detail {
+namespace {
+
+constexpr std::uint32_t kSlots = 5;
+
+std::uint32_t slot_bytes(std::uint32_t chunk) {
+  // chunk + 2 halo elements, plus up to 32 alignment-prefix bytes.
+  return static_cast<std::uint32_t>(align_up((chunk + 2) * 2 + 32, 64));
+}
+
+struct ChunkGrid {
+  CoreRange rg;
+  std::uint32_t chunk;   ///< elements per batch
+  std::uint32_t ncols;   ///< column strips of `chunk` elements
+  std::uint32_t nrows;
+
+  ChunkGrid(const CoreRange& r, std::uint32_t chunk_elems) : rg(r) {
+    const std::uint32_t strip = rg.col_hi - rg.col_lo;
+    // Largest chunk that tiles the strip exactly and keeps writes aligned
+    // (multiple of 16 elements). X-decompositions whose strips don't divide
+    // by 1024 thus run with narrower chunks — wasting FPU lanes, which is
+    // the cost the paper's Table VIII shows for cores-in-X scaling.
+    chunk = std::min(chunk_elems, strip);
+    while (chunk > 16 && (strip % chunk != 0 || chunk % 16 != 0)) --chunk;
+    TTSIM_CHECK_MSG(strip % chunk == 0 && chunk % 16 == 0,
+                    "no valid chunk width for strip " << strip);
+    ncols = strip / chunk;
+    nrows = rg.row_hi - rg.row_lo;
+  }
+  /// Slot index for input row y within this core's rotation.
+  std::uint32_t slot_of(std::int64_t y) const {
+    return static_cast<std::uint32_t>(
+        (y - (static_cast<std::int64_t>(rg.row_lo) - 1)) % kSlots);
+  }
+};
+
+}  // namespace
+
+void build_rowchunk_program(ttmetal::Program& prog, std::shared_ptr<KernelShared> sh) {
+  const int ncores = static_cast<int>(sh->ranges.size());
+  std::vector<int> cores;
+  for (int c = 0; c < ncores; ++c) cores.push_back(c);
+
+  // Input CBs carry no data (read pointers are aliased); two pages give the
+  // reader exactly the flow control that keeps a slot alive until the
+  // compute kernel is done with the batches that read it.
+  for (int cb = kCbIn0; cb <= kCbIn3; ++cb) prog.create_cb(cb, cores, kTileBytes, 2);
+  prog.create_cb(kCbScalar, cores, kTileBytes, 1);
+  prog.create_cb(kCbInter, cores, kTileBytes, 2);
+  prog.create_cb(kCbOut, cores, kTileBytes, 4);
+  if (sh->residual_addr != 0) prog.create_cb(kCbRes, cores, 32, 1);
+
+  // Five-slot local row buffer, sized for the widest chunk any core uses.
+  std::uint32_t max_chunk = 16;
+  for (const auto& rg : sh->ranges) {
+    max_chunk = std::max(max_chunk, std::min(sh->chunk_elems, rg.col_hi - rg.col_lo));
+  }
+  const std::uint32_t sbytes = slot_bytes(max_chunk);
+  const auto slots = prog.create_l1_buffer(cores, kSlots * sbytes);
+  const std::uint32_t slots_addr = prog.l1_buffer_address(slots);
+  prog.create_global_barrier(kIterationBarrier, 2 * ncores);
+
+  // ---------------- reading data mover ----------------
+  prog.create_kernel(
+      ttmetal::KernelKind::kDataMover0, cores,
+      [sh, slots_addr, sbytes](ttmetal::DataMoverCtx& ctx) {
+        const ChunkGrid grid(sh->ranges[static_cast<std::size_t>(ctx.position())],
+                             sh->chunk_elems);
+        const PaddedLayout& L = sh->layout;
+
+        fill_scalar_page(ctx, kCbScalar, 0.25f);
+
+        for (int it = 0; it < sh->iterations; ++it) {
+          const std::uint64_t src = (it % 2 == 0) ? sh->d1 : sh->d2;
+          for (std::uint32_t col = 0; col < grid.ncols; ++col) {
+            const std::int64_t c0 = grid.rg.col_lo + static_cast<std::int64_t>(col) *
+                                                         grid.chunk;
+            const std::uint32_t off =
+                static_cast<std::uint32_t>(L.byte_offset(0, c0 - 1) % 32);
+            const std::uint32_t read_bytes = (grid.chunk + 2) * 2 + off;
+            auto issue_row = [&](std::int64_t y) {
+              const std::uint64_t addr = src + L.byte_offset(y, c0 - 1) - off;
+              ctx.noc_async_read(ctx.get_noc_addr(addr),
+                                 slots_addr + grid.slot_of(y) * sbytes, read_bytes);
+            };
+
+            const std::int64_t r0 = grid.rg.row_lo;
+            const std::int64_t r1 = grid.rg.row_hi;
+            // Prologue: rows r0-1, r0, r0+1 (clamped to the strip's halo).
+            for (std::int64_t y = r0 - 1; y <= std::min<std::int64_t>(r0 + 1, r1); ++y) {
+              issue_row(y);
+            }
+            for (std::int64_t j = r0; j < r1; ++j) {
+              // Flow control: a free page means the compute kernel has
+              // popped batch j-2, so slot(j+2) (= slot(j-3)) is reusable.
+              for (int cb = kCbIn0; cb <= kCbIn3; ++cb) ctx.cb_reserve_back(cb, 1);
+              // "Synchronise memory reads immediately" (rows <= j+1 land)...
+              ctx.noc_async_read_barrier();
+              // ..."and issue a non-blocking read for two batches ahead".
+              if (j + 2 <= r1) issue_row(j + 2);
+              for (int cb = kCbIn0; cb <= kCbIn3; ++cb) ctx.cb_push_back(cb, 1);
+              ctx.loop_tick();
+            }
+          }
+          ctx.global_barrier(kIterationBarrier);
+        }
+      },
+      "jacobi_rowchunk_reader");
+
+  // ---------------- compute cores ----------------
+  prog.create_kernel(
+      cores,
+      [sh, slots_addr, sbytes](ttmetal::ComputeCtx& ctx) {
+        const ChunkGrid grid(sh->ranges[static_cast<std::size_t>(ctx.position())],
+                             sh->chunk_elems);
+        const PaddedLayout& L = sh->layout;
+        constexpr int dst0 = 0;
+        constexpr int dst1 = 1;
+        ctx.binary_op_init_common(kCbIn0, kCbIn1);
+        ctx.add_tiles_init(kCbIn0, kCbIn1);
+        bfloat16_t residual{0.0f};
+        for (int it = 0; it < sh->iterations; ++it) {
+          const bool track = sh->residual_addr != 0 && it == sh->iterations - 1;
+          for (std::uint32_t col = 0; col < grid.ncols; ++col) {
+            const std::int64_t c0 = grid.rg.col_lo + static_cast<std::int64_t>(col) *
+                                                         grid.chunk;
+            const std::uint32_t off =
+                static_cast<std::uint32_t>(L.byte_offset(0, c0 - 1) % 32);
+            for (std::int64_t j = grid.rg.row_lo; j < grid.rg.row_hi; ++j) {
+              const std::uint32_t sj = slots_addr + grid.slot_of(j) * sbytes + off;
+              const std::uint32_t sup = slots_addr + grid.slot_of(j - 1) * sbytes + off;
+              const std::uint32_t sdn = slots_addr + grid.slot_of(j + 1) * sbytes + off;
+
+              ctx.cb_wait_front(kCbIn0, 1);
+              ctx.cb_wait_front(kCbIn1, 1);
+              ctx.cb_set_rd_ptr(kCbIn0, sj);      // x-1
+              ctx.cb_set_rd_ptr(kCbIn1, sj + 4);  // x+1
+              ctx.add_tiles(kCbIn0, kCbIn1, 0, 0, dst0);
+              ctx.cb_pop_front(kCbIn1, 1);
+              ctx.cb_pop_front(kCbIn0, 1);
+
+              ctx.cb_reserve_back(kCbInter, 1);
+              ctx.pack_tile(dst0, kCbInter);
+              ctx.cb_push_back(kCbInter, 1);
+
+              ctx.cb_wait_front(kCbIn2, 1);
+              ctx.cb_wait_front(kCbInter, 1);
+              ctx.cb_set_rd_ptr(kCbIn2, sup + 2);  // y-1
+              ctx.add_tiles(kCbIn2, kCbInter, 0, 0, dst0);
+              ctx.cb_pop_front(kCbInter, 1);
+              ctx.cb_pop_front(kCbIn2, 1);
+
+              ctx.cb_reserve_back(kCbInter, 1);
+              ctx.pack_tile(dst0, kCbInter);
+              ctx.cb_push_back(kCbInter, 1);
+
+              ctx.cb_wait_front(kCbIn3, 1);
+              ctx.cb_wait_front(kCbInter, 1);
+              ctx.cb_set_rd_ptr(kCbIn3, sdn + 2);  // y+1
+              ctx.add_tiles(kCbIn3, kCbInter, 0, 0, dst0);
+              ctx.cb_pop_front(kCbInter, 1);
+              ctx.cb_pop_front(kCbIn3, 1);
+
+              ctx.cb_reserve_back(kCbInter, 1);
+              ctx.pack_tile(dst0, kCbInter);
+              ctx.cb_push_back(kCbInter, 1);
+
+              ctx.cb_wait_front(kCbScalar, 1);
+              ctx.cb_wait_front(kCbInter, 1);
+              ctx.mul_tiles(kCbScalar, kCbInter, 0, 0, dst0);
+              ctx.cb_pop_front(kCbInter, 1);
+
+              ctx.cb_reserve_back(kCbOut, 1);
+              ctx.pack_tile(dst0, kCbOut);
+              if (track) {
+                // Device-side residual: |unew - u| over this chunk, reduced
+                // on the FPU. Alias the freshly packed page as an input and
+                // the source slot's centre row as the old value.
+                ctx.cb_set_rd_ptr(kCbOut, ctx.get_write_ptr(kCbOut));
+                ctx.cb_set_rd_ptr(kCbInter, sj + 2);
+                ctx.sub_tiles(kCbOut, kCbInter, 0, 0, dst1);
+                ctx.cb_clear_rd_ptr(kCbOut);
+                ctx.cb_clear_rd_ptr(kCbInter);
+                ctx.abs_tile(dst1);
+                const bfloat16_t m = ctx.reduce_max(dst1);
+                if (static_cast<float>(m) > static_cast<float>(residual)) residual = m;
+              }
+              ctx.cb_push_back(kCbOut, 1);
+              ctx.loop_tick();
+            }
+            (void)L;
+          }
+        }
+        if (sh->residual_addr != 0) {
+          ctx.cb_reserve_back(kCbRes, 1);
+          auto* page = reinterpret_cast<bfloat16_t*>(
+              ctx.l1_ptr(ctx.get_write_ptr(kCbRes)));
+          page[0] = residual;
+          ctx.cb_push_back(kCbRes, 1);
+        }
+      },
+      "jacobi_rowchunk_compute");
+
+  // ---------------- writing data mover ----------------
+  prog.create_kernel(
+      ttmetal::KernelKind::kDataMover1, cores,
+      [sh](ttmetal::DataMoverCtx& ctx) {
+        const ChunkGrid grid(sh->ranges[static_cast<std::size_t>(ctx.position())],
+                             sh->chunk_elems);
+        const PaddedLayout& L = sh->layout;
+        for (int it = 0; it < sh->iterations; ++it) {
+          const std::uint64_t dst = (it % 2 == 0) ? sh->d2 : sh->d1;
+          for (std::uint32_t col = 0; col < grid.ncols; ++col) {
+            const std::int64_t c0 = grid.rg.col_lo + static_cast<std::int64_t>(col) *
+                                                         grid.chunk;
+            for (std::int64_t j = grid.rg.row_lo; j < grid.rg.row_hi; ++j) {
+              ctx.cb_wait_front(kCbOut, 1);
+              ctx.noc_async_write(ctx.get_read_ptr(kCbOut),
+                                  ctx.get_noc_addr(dst + L.byte_offset(j, c0)),
+                                  grid.chunk * 2);
+              ctx.noc_async_write_barrier();
+              ctx.cb_pop_front(kCbOut, 1);
+              ctx.loop_tick();
+            }
+          }
+          ctx.global_barrier(kIterationBarrier);
+        }
+        if (sh->residual_addr != 0) {
+          // One BF16 residual per core, each in its own aligned 32-byte slot.
+          ctx.cb_wait_front(kCbRes, 1);
+          ctx.noc_async_write(
+              ctx.get_read_ptr(kCbRes),
+              ctx.get_noc_addr(sh->residual_addr +
+                               static_cast<std::uint64_t>(ctx.position()) * 32),
+              2);
+          ctx.noc_async_write_barrier();
+          ctx.cb_pop_front(kCbRes, 1);
+        }
+      },
+      "jacobi_rowchunk_writer");
+}
+
+}  // namespace ttsim::core::detail

@@ -1,0 +1,59 @@
+#include "ttsim/core/problem.hpp"
+
+#include "ttsim/core/jacobi_device.hpp"
+
+namespace ttsim::core {
+
+std::vector<bfloat16_t> PaddedLayout::initial_image(const JacobiProblem& p) const {
+  TTSIM_CHECK(p.width == width_ && p.height == height_);
+  std::vector<bfloat16_t> image(elems(), bfloat16_t{0.0f});
+
+  const bfloat16_t init{p.initial};
+  const bfloat16_t left{p.bc_left};
+  const bfloat16_t right{p.bc_right};
+  const bfloat16_t top{p.bc_top};
+  const bfloat16_t bottom{p.bc_bottom};
+
+  // Interior at the initial guess; adjacent pad cells carry the left/right
+  // boundary values (Fig. 5).
+  for (std::int64_t r = 0; r < static_cast<std::int64_t>(height_); ++r) {
+    image[index(r, -1)] = left;
+    for (std::int64_t c = 0; c < static_cast<std::int64_t>(width_); ++c) {
+      image[index(r, c)] = init;
+    }
+    image[index(r, width_)] = right;
+  }
+  // Top and bottom boundary rows (including their corner pad cells is
+  // harmless: corners are never read by a 5-point stencil).
+  for (std::int64_t c = 0; c < static_cast<std::int64_t>(width_); ++c) {
+    image[index(-1, c)] = top;
+    image[index(height_, c)] = bottom;
+  }
+  return image;
+}
+
+std::vector<float> PaddedLayout::extract_interior(
+    std::span<const bfloat16_t> image) const {
+  TTSIM_CHECK(image.size() == elems());
+  std::vector<float> out(static_cast<std::size_t>(width_) * height_);
+  for (std::int64_t r = 0; r < static_cast<std::int64_t>(height_); ++r) {
+    for (std::int64_t c = 0; c < static_cast<std::int64_t>(width_); ++c) {
+      out[static_cast<std::size_t>(r) * width_ + static_cast<std::size_t>(c)] =
+          static_cast<float>(image[index(r, c)]);
+    }
+  }
+  return out;
+}
+
+std::string to_string(DeviceStrategy s) {
+  switch (s) {
+    case DeviceStrategy::kInitial: return "initial";
+    case DeviceStrategy::kWriteOptimised: return "write-optimised";
+    case DeviceStrategy::kDoubleBuffered: return "double-buffered";
+    case DeviceStrategy::kRowChunk: return "row-chunk (optimised)";
+    case DeviceStrategy::kSramResident: return "SRAM-resident (future work)";
+  }
+  return "?";
+}
+
+}  // namespace ttsim::core

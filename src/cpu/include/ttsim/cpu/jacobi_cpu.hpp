@@ -1,0 +1,43 @@
+#pragma once
+/// \file jacobi_cpu.hpp
+/// CPU reference implementations of the Jacobi solver:
+///   * FP32 scalar / OpenMP — the paper's CPU baseline (Listing 1);
+///   * BF16-exact — replays the device's arithmetic (operation order and
+///     rounding) for bit-exact verification of device results;
+///   * a host wall-clock measurement harness for live baselines.
+
+#include <vector>
+
+#include "ttsim/bfloat/bfloat16.hpp"
+#include "ttsim/core/problem.hpp"
+
+namespace ttsim::cpu {
+
+/// FP32 reference (Listing 1). `threads` > 1 uses OpenMP when available.
+/// Returns the interior, row-major width x height.
+std::vector<float> jacobi_reference_f32(const core::JacobiProblem& p, int threads = 1);
+
+/// BF16 reference replaying the device operation order:
+/// bf16(bf16(bf16(bf16(xm + xp) + ym) + yp) * 0.25) per point. Device runs
+/// must match this bit for bit.
+std::vector<bfloat16_t> jacobi_reference_bf16(const core::JacobiProblem& p);
+
+/// BF16 reference for a multi-card split: the domain is cut into `cards`
+/// horizontal slabs whose cut edges are frozen at the initial guess (cards
+/// cannot exchange halos — paper Section VII).
+std::vector<bfloat16_t> jacobi_reference_bf16_cards(const core::JacobiProblem& p,
+                                                    int cards);
+
+/// Live host measurement of the FP32 solver (this machine, not the paper's
+/// Xeon — see XeonModel for paper-comparable numbers).
+struct HostMeasurement {
+  double seconds = 0.0;
+  double gpts = 0.0;
+  int threads = 1;
+};
+HostMeasurement measure_host_jacobi(const core::JacobiProblem& p, int threads = 1);
+
+/// Number of OpenMP threads available (1 when built without OpenMP).
+int max_host_threads();
+
+}  // namespace ttsim::cpu

@@ -1,0 +1,42 @@
+#pragma once
+/// \file energy.hpp
+/// Energy models for the performance/energy comparison (paper Section VII).
+///
+/// e150 (TT-SMI): the paper observes a roughly constant 50-55 W card draw
+/// regardless of active Tensix cores; back-solving Table VIII's joules
+/// against its runtimes gives ≈46.5 W base + ≈0.045 W per active core.
+/// Multi-card runs multiply the card power (Table VIII's x2/x4 rows show
+/// total power scaling with card count while energy-to-solution holds).
+
+#include "ttsim/common/units.hpp"
+#include "ttsim/sim/spec.hpp"
+
+namespace ttsim::energy {
+
+/// TT-SMI-style card energy model.
+struct CardEnergyModel {
+  double base_w = 46.5;
+  double per_core_w = 0.045;
+
+  explicit CardEnergyModel(const sim::GrayskullSpec& spec)
+      : base_w(spec.card_power_base_w), per_core_w(spec.card_power_per_core_w) {}
+  CardEnergyModel() = default;
+
+  double power_w(int active_cores) const {
+    return base_w + per_core_w * static_cast<double>(active_cores);
+  }
+
+  /// Energy for one card over a simulated duration.
+  double joules(SimTime duration, int active_cores) const {
+    return to_seconds(duration) * power_w(active_cores);
+  }
+
+  /// Energy for `cards` cards running the same duration (the whole card
+  /// draws power while any of it works).
+  double joules_multicard(SimTime duration, int active_cores_per_card,
+                          int cards) const {
+    return joules(duration, active_cores_per_card) * static_cast<double>(cards);
+  }
+};
+
+}  // namespace ttsim::energy

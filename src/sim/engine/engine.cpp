@@ -1,0 +1,118 @@
+#include "ttsim/sim/engine.hpp"
+
+#include <sstream>
+
+namespace ttsim::sim {
+
+Process::Process(Engine& engine, std::string name, std::function<void()> fn,
+                 std::size_t stack_bytes)
+    : engine_(engine), name_(std::move(name)), fiber_(std::move(fn), stack_bytes) {}
+
+Engine::~Engine() = default;
+
+Process* Engine::spawn(std::string name, std::function<void()> fn,
+                       std::size_t stack_bytes) {
+  auto proc = std::unique_ptr<Process>(
+      new Process(*this, std::move(name), std::move(fn), stack_bytes));
+  Process* raw = proc.get();
+  processes_.push_back(std::move(proc));
+  push_wakeup(raw, now_);
+  return raw;
+}
+
+void Engine::schedule_at(SimTime t, std::function<void()> cb) {
+  TTSIM_CHECK_MSG(t >= now_, "cannot schedule an event in the simulated past");
+  queue_.push(Event{t, next_seq_++, nullptr, std::move(cb)});
+}
+
+void Engine::push_wakeup(Process* p, SimTime t) {
+  queue_.push(Event{t, next_seq_++, p, nullptr});
+}
+
+Process& Engine::current() {
+  TTSIM_CHECK_MSG(current_ != nullptr, "not running inside a simulated process");
+  return *current_;
+}
+
+void Engine::delay(SimTime dt) {
+  TTSIM_CHECK(dt >= 0);
+  Process& p = current();
+  push_wakeup(&p, now_ + dt);
+  block_current();
+}
+
+void Engine::block_current() {
+  Process& p = current();
+  p.state_ = Process::State::kBlocked;
+  current_ = nullptr;
+  p.fiber_.yield();
+  // Woken: dispatch() restored current_ and state before resuming us.
+}
+
+void Engine::dispatch(Event& ev) {
+  now_ = ev.time;
+  ++events_processed_;
+  if (ev.process != nullptr) {
+    Process* p = ev.process;
+    if (p->finished()) return;  // stale wakeup after completion
+    p->state_ = Process::State::kRunning;
+    current_ = p;
+    p->fiber_.resume();
+    current_ = nullptr;
+    if (p->fiber_.finished()) {
+      p->state_ = Process::State::kFinished;
+      p->fiber_.rethrow_if_failed();
+    } else if (p->state_ == Process::State::kRunning) {
+      // The fiber yielded without blocking (e.g. via WaitQueue it was already
+      // re-queued); a process that yields must have arranged its own wakeup.
+      p->state_ = Process::State::kBlocked;
+    }
+  } else {
+    ev.callback();
+  }
+}
+
+void Engine::run() {
+  TTSIM_CHECK_MSG(current_ == nullptr, "Engine::run() called from inside a process");
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    dispatch(ev);
+  }
+  if (unfinished_process_count() > 0) {
+    std::ostringstream os;
+    os << "simulation deadlock: " << unfinished_process_count()
+       << " process(es) blocked forever:";
+    for (const auto& name : blocked_process_names()) os << ' ' << name;
+    throw CheckError(os.str());
+  }
+}
+
+bool Engine::run_until(SimTime deadline) {
+  TTSIM_CHECK_MSG(current_ == nullptr, "Engine::run_until() called from inside a process");
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    dispatch(ev);
+  }
+  if (now_ < deadline) now_ = deadline;
+  return unfinished_process_count() == 0;
+}
+
+std::size_t Engine::unfinished_process_count() const {
+  std::size_t n = 0;
+  for (const auto& p : processes_) {
+    if (!p->finished()) ++n;
+  }
+  return n;
+}
+
+std::vector<std::string> Engine::blocked_process_names() const {
+  std::vector<std::string> names;
+  for (const auto& p : processes_) {
+    if (!p->finished()) names.push_back(p->name());
+  }
+  return names;
+}
+
+}  // namespace ttsim::sim

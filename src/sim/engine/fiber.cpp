@@ -1,0 +1,77 @@
+#include "ttsim/sim/fiber.hpp"
+
+#include <cstdint>
+
+namespace ttsim::sim {
+namespace {
+thread_local Fiber* t_current_fiber = nullptr;
+}
+
+Fiber::Fiber(std::function<void()> entry, std::size_t stack_bytes)
+    : entry_(std::move(entry)),
+      stack_(new char[stack_bytes]),
+      stack_bytes_(stack_bytes) {
+  TTSIM_CHECK(entry_ != nullptr);
+  TTSIM_CHECK(stack_bytes_ >= 16 * 1024);
+}
+
+Fiber::~Fiber() {
+  // A fiber destroyed mid-flight would leak whatever is on its stack; the
+  // engine only destroys fibers after completion or during teardown where the
+  // stack objects are engine-owned. Nothing to do here beyond freeing memory.
+}
+
+Fiber* Fiber::current() { return t_current_fiber; }
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  auto* self = reinterpret_cast<Fiber*>(
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo));
+  self->run();
+  // Returning from a makecontext entry with uc_link set resumes return_ctx_.
+}
+
+void Fiber::run() {
+  try {
+    entry_();
+  } catch (...) {
+    error_ = std::current_exception();
+  }
+  finished_ = true;
+}
+
+void Fiber::resume() {
+  TTSIM_CHECK_MSG(!running_, "fiber resumed re-entrantly");
+  TTSIM_CHECK_MSG(!finished_, "resume() on a finished fiber");
+  if (!started_) {
+    TTSIM_CHECK(getcontext(&ctx_) == 0);
+    ctx_.uc_stack.ss_sp = stack_.get();
+    ctx_.uc_stack.ss_size = stack_bytes_;
+    ctx_.uc_link = &return_ctx_;
+    const auto ptr = reinterpret_cast<std::uintptr_t>(this);
+    makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+                static_cast<unsigned>(ptr >> 32),
+                static_cast<unsigned>(ptr & 0xFFFFFFFFu));
+    started_ = true;
+  }
+  Fiber* prev = t_current_fiber;
+  t_current_fiber = this;
+  running_ = true;
+  TTSIM_CHECK(swapcontext(&return_ctx_, &ctx_) == 0);
+  running_ = false;
+  t_current_fiber = prev;
+}
+
+void Fiber::yield() {
+  TTSIM_CHECK_MSG(t_current_fiber == this, "yield() called from outside the fiber");
+  TTSIM_CHECK(swapcontext(&ctx_, &return_ctx_) == 0);
+}
+
+void Fiber::rethrow_if_failed() {
+  if (error_) {
+    auto err = error_;
+    error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace ttsim::sim

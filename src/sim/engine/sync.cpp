@@ -1,0 +1,24 @@
+#include "ttsim/sim/sync.hpp"
+
+#include <algorithm>
+
+namespace ttsim::sim {
+
+void WaitQueue::wait() {
+  Process& p = engine_.current();
+  waiters_.push_back(&p);
+  engine_.block_current();
+}
+
+void WaitQueue::notify_one() {
+  if (waiters_.empty()) return;
+  Process* p = waiters_.front();
+  waiters_.pop_front();
+  engine_.push_wakeup(p, engine_.now());
+}
+
+void WaitQueue::notify_all() {
+  while (!waiters_.empty()) notify_one();
+}
+
+}  // namespace ttsim::sim

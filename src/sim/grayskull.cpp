@@ -1,0 +1,58 @@
+#include "ttsim/sim/tensix_core.hpp"
+
+namespace ttsim::sim {
+
+Grayskull::Grayskull(GrayskullSpec spec)
+    : spec_(spec),
+      dram_(engine_, spec_),
+      noc0_(spec_, 0),
+      noc1_(spec_, 1) {
+  workers_.reserve(static_cast<std::size_t>(spec_.worker_cores));
+  for (int i = 0; i < spec_.worker_cores; ++i) {
+    workers_.push_back(
+        std::make_unique<TensixCore>(engine_, spec_, i, worker_coord(i)));
+  }
+}
+
+Noc& Grayskull::noc(int id) {
+  TTSIM_CHECK(id == 0 || id == 1);
+  return id == 0 ? noc0_ : noc1_;
+}
+
+TensixCore& Grayskull::worker(int idx) {
+  TTSIM_CHECK_MSG(idx >= 0 && idx < worker_count(),
+                  "worker index " << idx << " out of range (e150 has "
+                                  << worker_count() << " workers)");
+  return *workers_[static_cast<std::size_t>(idx)];
+}
+
+NocCoord Grayskull::worker_coord(int idx) const {
+  // Workers occupy columns 1..grid_cols (column 0 and grid_cols+1 carry the
+  // DRAM nodes); the grid's top row holds the 12 storage-only cores.
+  const int x = 1 + idx % spec_.grid_cols;
+  const int y = idx / spec_.grid_cols;
+  return NocCoord{x, y};
+}
+
+NocCoord Grayskull::bank_coord(int bank) const {
+  TTSIM_CHECK(bank >= 0 && bank < spec_.dram_banks);
+  const int column = (bank % 2 == 0) ? 0 : spec_.grid_cols + 1;
+  const int row = (bank / 2) * (spec_.grid_rows / (spec_.dram_banks / 2)) + 1;
+  return NocCoord{column, row};
+}
+
+int Grayskull::hops_to_dram(const TensixCore& core, std::uint64_t addr, int noc_id) {
+  const DramRegion& region = dram_.region_of(addr, 1);
+  Noc& n = noc(noc_id);
+  if (region.page_size == 0) {
+    return n.hops(core.coord(), bank_coord(region.bank));
+  }
+  // Interleaved region: pages round-robin all banks; use the mean distance.
+  int total = 0;
+  for (int b = 0; b < spec_.dram_banks; ++b) {
+    total += n.hops(core.coord(), bank_coord(b));
+  }
+  return total / spec_.dram_banks;
+}
+
+}  // namespace ttsim::sim

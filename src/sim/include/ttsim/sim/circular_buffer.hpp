@@ -1,0 +1,136 @@
+#pragma once
+/// \file circular_buffer.hpp
+/// Circular buffers (CBs): the FIFO pipes between baby cores inside a Tensix
+/// core (paper Section II-A). A CB is a ring of fixed-size pages in local
+/// SRAM following a producer-consumer protocol:
+///   producer: cb_reserve_back -> fill write_ptr() -> cb_push_back
+///   consumer: cb_wait_front  -> read read_ptr()   -> cb_pop_front
+///
+/// Includes the paper's Section VI SDK extension: set_read_ptr() redirects
+/// the consumer-side read pointer at arbitrary local memory so FPU ops can
+/// consume data in place without the data mover copying it into the CB.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ttsim/sim/sync.hpp"
+
+namespace ttsim::sim {
+
+class CircularBuffer {
+ public:
+  /// \param storage backing pages in the owning core's SRAM
+  ///        (page_size * num_pages bytes).
+  CircularBuffer(Engine& engine, std::byte* storage, std::uint32_t page_size,
+                 std::uint32_t num_pages)
+      : storage_(storage),
+        page_size_(page_size),
+        num_pages_(num_pages),
+        space_(engine),
+        data_(engine) {
+    TTSIM_CHECK(page_size_ > 0);
+    TTSIM_CHECK(num_pages_ > 0);
+    TTSIM_CHECK(storage_ != nullptr);
+  }
+
+  std::uint32_t page_size() const { return page_size_; }
+  std::uint32_t num_pages() const { return num_pages_; }
+
+  /// Pages currently committed and not yet popped.
+  std::uint32_t pages_available() const { return committed_; }
+  /// Pages free for the producer.
+  std::uint32_t pages_free() const { return num_pages_ - committed_ - pending_; }
+
+  // --- producer side ---
+
+  /// Block until `pages` pages are free for writing.
+  void reserve_back(std::uint32_t pages) {
+    check_pages(pages);
+    while (pages_free() < pages) space_.wait();
+  }
+
+  /// Commit `pages` previously reserved/filled pages to the consumer.
+  void push_back(std::uint32_t pages) {
+    check_pages(pages);
+    TTSIM_CHECK_MSG(pages_free() >= pages,
+                    "cb_push_back without a matching cb_reserve_back");
+    wr_page_ = (wr_page_ + pages) % num_pages_;
+    committed_ += pages;
+    override_wr_ptr_ = nullptr;  // an override is only valid for one page
+    data_.notify_all();
+  }
+
+  /// Pointer to the current producer page (k pages ahead with `page_offset`,
+  /// or the override if set).
+  std::byte* write_ptr(std::uint32_t page_offset = 0) {
+    if (override_wr_ptr_ != nullptr && page_offset == 0) return override_wr_ptr_;
+    return storage_ + static_cast<std::size_t>((wr_page_ + page_offset) % num_pages_) *
+                          page_size_;
+  }
+
+  // --- consumer side ---
+
+  /// Block until `pages` pages have been committed by the producer.
+  void wait_front(std::uint32_t pages) {
+    check_pages(pages);
+    while (committed_ < pages) data_.wait();
+  }
+
+  /// Free `pages` consumed pages back to the producer.
+  void pop_front(std::uint32_t pages) {
+    check_pages(pages);
+    TTSIM_CHECK_MSG(committed_ >= pages, "cb_pop_front past the committed pages");
+    committed_ -= pages;
+    rd_page_ = (rd_page_ + pages) % num_pages_;
+    override_rd_ptr_ = nullptr;  // an override is only valid for the front page
+    space_.notify_all();
+  }
+
+  /// Pointer to the current consumer page (or the override, if set).
+  const std::byte* read_ptr(std::uint32_t page_offset = 0) const {
+    if (override_rd_ptr_ != nullptr && page_offset == 0) return override_rd_ptr_;
+    return storage_ + static_cast<std::size_t>((rd_page_ + page_offset) % num_pages_) *
+                          page_size_;
+  }
+
+  /// The paper's cb_set_rd_ptr / llk_set_read_ptr extension: alias the front
+  /// page at arbitrary local memory. Cleared by the next pop_front.
+  void set_read_ptr(const std::byte* p) {
+    TTSIM_CHECK(p != nullptr);
+    override_rd_ptr_ = p;
+  }
+  void clear_read_ptr() { override_rd_ptr_ = nullptr; }
+  bool has_read_ptr_override() const { return override_rd_ptr_ != nullptr; }
+
+  /// Producer-side counterpart (the paper's API recommendation: "enabling
+  /// CBs to alias local memory"): alias the producer page at arbitrary local
+  /// memory so pack_tile lands directly in, e.g., an SRAM-resident domain
+  /// slab. Cleared by the next push_back.
+  void set_write_ptr(std::byte* p) {
+    TTSIM_CHECK(p != nullptr);
+    override_wr_ptr_ = p;
+  }
+  bool has_write_ptr_override() const { return override_wr_ptr_ != nullptr; }
+
+ private:
+  void check_pages(std::uint32_t pages) const {
+    TTSIM_CHECK(pages > 0);
+    TTSIM_CHECK_MSG(pages <= num_pages_,
+                    "CB operation on more pages than the CB holds");
+  }
+
+  std::byte* storage_;
+  std::uint32_t page_size_;
+  std::uint32_t num_pages_;
+  std::uint32_t wr_page_ = 0;
+  std::uint32_t rd_page_ = 0;
+  std::uint32_t committed_ = 0;
+  std::uint32_t pending_ = 0;  // reserved-not-yet-pushed (kept 0: tt-metal
+                               // tracks reservation implicitly via wr ptr)
+  const std::byte* override_rd_ptr_ = nullptr;
+  std::byte* override_wr_ptr_ = nullptr;
+  WaitQueue space_;
+  WaitQueue data_;
+};
+
+}  // namespace ttsim::sim

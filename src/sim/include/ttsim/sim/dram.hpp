@@ -1,0 +1,169 @@
+#pragma once
+/// \file dram.hpp
+/// DRAM controller + bank timing/functional model for the simulated e150.
+///
+/// Timing model (constants in GrayskullSpec, calibrated in DESIGN.md):
+///  * each bank is a serialised FIFO resource: a request occupies it for
+///    per-request processing + transfer at the bank's bandwidth, plus a
+///    row re-activation penalty when the request does not continue the
+///    previous access;
+///  * a global aggregate-bandwidth resource models the DDR/NoC ceiling the
+///    paper hits at two streaming cores (Table VII);
+///  * interleaved buffers are split at page boundaries; every page
+///    sub-request additionally occupies the *requesting* DMA engine
+///    (Table VI's small-page penalty);
+///  * round-trip latency is added once per request.
+///
+/// Functional model: buffers are host-backed byte arrays registered as
+/// regions. Reads copy DRAM->destination at the simulated completion time;
+/// writes snapshot the source at issue and commit at completion. The
+/// 256-bit alignment rule is emulated per GrayskullSpec::alignment_policy,
+/// including the controller write-merging the paper inferred (contiguous
+/// unaligned writes that continue the previous write land correctly;
+/// non-contiguous ones corrupt).
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "ttsim/sim/engine.hpp"
+#include "ttsim/sim/interleave.hpp"
+#include "ttsim/sim/spec.hpp"
+
+namespace ttsim::sim {
+
+/// A serialised resource in virtual time (bank, DMA engine, aggregate bus).
+class ResourceTimeline {
+ public:
+  /// Claim the resource for `busy` starting no earlier than `earliest`.
+  /// Returns the actual start time.
+  SimTime acquire(SimTime earliest, SimTime busy) {
+    const SimTime start = std::max(earliest, free_at_);
+    free_at_ = start + busy;
+    return start;
+  }
+  SimTime free_at() const { return free_at_; }
+
+ private:
+  SimTime free_at_ = 0;
+};
+
+/// One registered DRAM allocation.
+struct DramRegion {
+  std::uint64_t base = 0;       ///< device address of first byte
+  std::uint64_t size = 0;       ///< bytes
+  int bank = 0;                 ///< serving bank; -1 when interleaved/striped
+  std::uint64_t page_size = 0;  ///< interleave page / stripe; 0 for single-bank
+  /// Coarse striping (per-core slab placement across banks): splits at
+  /// arbitrary stripe boundaries but does not pay tt-metal's per-page DMA
+  /// sub-request overhead (a request virtually never crosses a stripe).
+  bool coarse = false;
+  std::byte* storage = nullptr; ///< host-backed functional data
+};
+
+/// Per-model counters exposed for tests and bench diagnostics.
+struct DramStats {
+  std::uint64_t read_requests = 0;
+  std::uint64_t write_requests = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t row_misses = 0;
+  std::uint64_t unaligned_reads = 0;
+  std::uint64_t unaligned_writes_merged = 0;
+  std::uint64_t unaligned_writes_corrupted = 0;
+  std::uint64_t interleave_segments = 0;
+  // Accumulated resource occupancy (diagnostics for bench calibration).
+  SimTime read_bank_busy = 0;
+  SimTime write_bank_busy = 0;
+  SimTime dma_busy = 0;
+  SimTime aggregate_busy = 0;
+};
+
+class DramModel {
+ public:
+  DramModel(Engine& engine, const GrayskullSpec& spec);
+
+  /// Register an allocation. Regions must not overlap. Storage must outlive
+  /// the model.
+  void add_region(const DramRegion& region);
+  void remove_region(std::uint64_t base);
+
+  /// Find the region containing [addr, addr+size); throws ApiError if the
+  /// range is unmapped or spans regions.
+  const DramRegion& region_of(std::uint64_t addr, std::uint64_t size) const;
+
+  /// Async device-side read of `size` bytes at device address `addr` into
+  /// `dst`. `dma` is the requesting data mover's DMA-engine timeline (used
+  /// for interleave sub-request serialisation); `hops` the NoC distance.
+  /// The functional copy happens at the simulated completion time, then
+  /// `on_complete` runs (scheduler context).
+  void read(std::uint64_t addr, std::byte* dst, std::uint32_t size,
+            ResourceTimeline& dma, int hops, std::function<void()> on_complete);
+
+  /// Async device-side write; `src` is snapshotted at issue.
+  void write(std::uint64_t addr, const std::byte* src, std::uint32_t size,
+             ResourceTimeline& dma, int hops, std::function<void()> on_complete);
+
+  /// Functional-only host access (PCIe timing handled by the caller).
+  void host_write(std::uint64_t addr, const std::byte* src, std::uint64_t size);
+  void host_read(std::uint64_t addr, std::byte* dst, std::uint64_t size) const;
+
+  const DramStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = DramStats{}; }
+  const GrayskullSpec& spec() const { return spec_; }
+
+ private:
+  struct Placement {
+    const DramRegion* region;
+    std::uint64_t offset;  ///< offset of addr within the region
+  };
+  Placement place(std::uint64_t addr, std::uint64_t size) const;
+
+  /// Computes the simulated completion time of an access (shared by
+  /// read/write), charging bank/aggregate/DMA resources.
+  SimTime schedule_access(const Placement& p, std::uint64_t addr, std::uint32_t size,
+                          bool is_write, ResourceTimeline& dma, int hops);
+
+  Engine& engine_;
+  GrayskullSpec spec_;
+  std::map<std::uint64_t, DramRegion> regions_;  // keyed by base
+  /// Per-bank table of recently-open sequential streams (row-buffer /
+  /// controller-prefetch model): a request continuing any tracked stream is
+  /// a row hit; otherwise it pays the re-activation penalty and evicts the
+  /// oldest entry. Sized so a handful of concurrent per-core streams per
+  /// bank coexist (the Table VIII full-card case) while the 33 interleaved
+  /// streams of the x32-replication probe still thrash (Table V).
+  struct StreamTable {
+    static constexpr int kEntries = 16;
+    std::uint64_t end[kEntries];
+    int next = 0;
+    StreamTable() { std::fill(std::begin(end), std::end(end), ~0ULL); }
+    /// Returns true on a hit; records the stream's new end either way.
+    bool access(std::uint64_t addr, std::uint64_t new_end) {
+      for (auto& e : end) {
+        if (e == addr) {
+          e = new_end;
+          return true;
+        }
+      }
+      end[next] = new_end;
+      next = (next + 1) % kEntries;
+      return false;
+    }
+  };
+
+  std::vector<ResourceTimeline> banks_;
+  std::vector<StreamTable> bank_read_streams_;      // row-miss tracking
+  std::vector<StreamTable> bank_write_streams_;     // (separate write queues)
+  std::vector<std::uint64_t> bank_last_write_end_;  // write-merge tracking
+  std::map<const ResourceTimeline*, std::uint64_t> dma_last_write_end_;
+  ResourceTimeline aggregate_;
+  DramStats stats_;
+  std::vector<InterleaveMap::Segment> scratch_segments_;
+};
+
+}  // namespace ttsim::sim

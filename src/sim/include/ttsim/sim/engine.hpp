@@ -1,0 +1,123 @@
+#pragma once
+/// \file engine.hpp
+/// Deterministic discrete-event engine with fiber-backed processes.
+///
+/// Every simulated baby core (data movers, compute) is a Process. Processes
+/// advance virtual time by calling Engine::delay() and block on the sync
+/// primitives in sync.hpp; hardware resources (DRAM banks, NoC links)
+/// schedule plain callbacks. The scheduler is single-threaded and orders
+/// events by (time, insertion sequence), so identical inputs always produce
+/// identical simulated timelines.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "ttsim/common/units.hpp"
+#include "ttsim/sim/fiber.hpp"
+
+namespace ttsim::sim {
+
+class Engine;
+
+/// A simulated sequential execution context (one baby-core kernel).
+class Process {
+ public:
+  enum class State { kReady, kRunning, kBlocked, kFinished };
+
+  const std::string& name() const { return name_; }
+  State state() const { return state_; }
+  bool finished() const { return state_ == State::kFinished; }
+
+ private:
+  friend class Engine;
+  friend class WaitQueue;
+
+  Process(Engine& engine, std::string name, std::function<void()> fn,
+          std::size_t stack_bytes);
+
+  Engine& engine_;
+  std::string name_;
+  Fiber fiber_;
+  State state_ = State::kReady;
+};
+
+/// The discrete-event scheduler.
+class Engine {
+ public:
+  Engine() = default;
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Create a process; it becomes runnable at the current simulated time.
+  /// The returned pointer stays valid for the engine's lifetime.
+  Process* spawn(std::string name, std::function<void()> fn,
+                 std::size_t stack_bytes = 128 * 1024);
+
+  /// Schedule a callback at absolute simulated time `t` (>= now). Callbacks
+  /// execute in scheduler context and must not block.
+  void schedule_at(SimTime t, std::function<void()> cb);
+  void schedule_after(SimTime dt, std::function<void()> cb) {
+    schedule_at(now_ + dt, std::move(cb));
+  }
+
+  /// Run until every spawned process has finished and no callbacks remain.
+  /// Throws CheckError on deadlock (blocked processes with an empty queue)
+  /// and rethrows the first exception escaping any process.
+  void run();
+
+  /// Run until simulated time reaches `deadline` (or everything finishes).
+  /// Returns true if all processes finished.
+  bool run_until(SimTime deadline);
+
+  SimTime now() const { return now_; }
+
+  /// The process currently executing; CHECK-fails outside process context.
+  Process& current();
+  bool in_process() const { return current_ != nullptr; }
+
+  /// --- callable only from inside a process ---
+  /// Advance this process's local time by `dt` (other events interleave).
+  void delay(SimTime dt);
+
+  /// Statistics for tests/diagnostics.
+  std::uint64_t events_processed() const { return events_processed_; }
+  std::size_t process_count() const { return processes_.size(); }
+  std::size_t unfinished_process_count() const;
+  std::vector<std::string> blocked_process_names() const;
+
+ private:
+  friend class WaitQueue;
+
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Process* process;                 // wakeup if non-null ...
+    std::function<void()> callback;   // ... else callback
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;  // min-heap: earlier (time, seq) first
+    }
+  };
+
+  void push_wakeup(Process* p, SimTime t);
+  void dispatch(Event& ev);
+  /// Block the current process; returns when another event wakes it.
+  void block_current();
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  Process* current_ = nullptr;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+};
+
+}  // namespace ttsim::sim

@@ -1,0 +1,62 @@
+#pragma once
+/// \file fiber.hpp
+/// Cooperative fibers (ucontext-based) underpinning the simulator. Each
+/// simulated baby-core kernel runs on its own fiber; the scheduler switches
+/// between fibers only at simulation API calls, making runs fully
+/// deterministic and independent of host thread timing.
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <ucontext.h>
+
+#include "ttsim/common/check.hpp"
+
+namespace ttsim::sim {
+
+/// A single cooperative fiber. Not movable once started (the context captures
+/// the stack address).
+class Fiber {
+ public:
+  /// \param entry    Function executed on the fiber's stack.
+  /// \param stack_bytes Stack size; kernels using deep recursion should raise it.
+  explicit Fiber(std::function<void()> entry, std::size_t stack_bytes = 128 * 1024);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Switch from the caller (scheduler) into the fiber. Returns when the
+  /// fiber yields or finishes. Must not be called re-entrantly.
+  void resume();
+
+  /// Switch from inside the fiber back to its resumer. Only callable on the
+  /// fiber itself.
+  void yield();
+
+  bool finished() const { return finished_; }
+
+  /// Rethrows any exception that escaped the fiber entry function.
+  void rethrow_if_failed();
+
+  /// The fiber currently executing on this thread, or nullptr when in the
+  /// scheduler.
+  static Fiber* current();
+
+ private:
+  static void trampoline(unsigned hi, unsigned lo);
+  void run();
+
+  std::function<void()> entry_;
+  std::unique_ptr<char[]> stack_;
+  std::size_t stack_bytes_;
+  ucontext_t ctx_{};
+  ucontext_t return_ctx_{};
+  bool started_ = false;
+  bool finished_ = false;
+  bool running_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace ttsim::sim

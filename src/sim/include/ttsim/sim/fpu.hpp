@@ -1,0 +1,119 @@
+#pragma once
+/// \file fpu.hpp
+/// The Tensix matrix/vector FPU: a 16384-bit SIMD engine operating on tiles
+/// of 1024 BF16 elements (32x32 when square). Compute kernels unpack CB
+/// pages into destination tile registers, run element-wise math, and pack
+/// results back into CBs (paper Section II-A and Listing 2). All arithmetic
+/// here is genuine BF16, so simulated results carry hardware rounding.
+
+#include <array>
+#include <cstdint>
+
+#include "ttsim/bfloat/bfloat16.hpp"
+#include "ttsim/sim/circular_buffer.hpp"
+#include "ttsim/sim/spec.hpp"
+
+namespace ttsim::sim {
+
+class Fpu {
+ public:
+  static constexpr std::uint32_t kTileElems = 1024;  ///< 16384 bits of BF16
+  static constexpr std::uint32_t kTileBytes = kTileElems * sizeof(bfloat16_t);
+
+  Fpu(Engine& engine, const GrayskullSpec& spec) : engine_(engine), spec_(spec) {
+    regs_.resize(static_cast<std::size_t>(spec.dst_registers));
+  }
+
+  /// dst[i] = a[tile ia][i] + b[tile ib][i]
+  void add_tiles(const CircularBuffer& a, const CircularBuffer& b,
+                 std::uint32_t ia, std::uint32_t ib, int dst) {
+    binary_op(a, b, ia, ib, dst, [](bfloat16_t x, bfloat16_t y) { return x + y; });
+  }
+
+  /// dst[i] = a[tile ia][i] - b[tile ib][i]
+  void sub_tiles(const CircularBuffer& a, const CircularBuffer& b,
+                 std::uint32_t ia, std::uint32_t ib, int dst) {
+    binary_op(a, b, ia, ib, dst, [](bfloat16_t x, bfloat16_t y) { return x - y; });
+  }
+
+  /// dst[i] = a[tile ia][i] * b[tile ib][i]
+  void mul_tiles(const CircularBuffer& a, const CircularBuffer& b,
+                 std::uint32_t ia, std::uint32_t ib, int dst) {
+    binary_op(a, b, ia, ib, dst, [](bfloat16_t x, bfloat16_t y) { return x * y; });
+  }
+
+  /// Unpack one tile from a CB straight into a dst register.
+  void copy_tile(const CircularBuffer& src, std::uint32_t idx, int dst) {
+    charge(spec_.tile_math_cost);
+    const auto* in = tile_data(src, idx);
+    for (std::uint32_t i = 0; i < kTileElems; ++i) reg(dst)[i] = in[i];
+  }
+
+  /// Pack a dst register into the producer page of `out` (`page_offset`
+  /// pages past the reserve point). The caller must have reserved the page.
+  /// With a write-pointer override (aliased local memory) the full tile is
+  /// stored at the override address — the caller guarantees room, exactly
+  /// as on hardware.
+  void pack_tile(int dst, CircularBuffer& out, std::uint32_t page_offset = 0) {
+    charge(spec_.tile_pack_cost);
+    auto* raw = out.write_ptr(page_offset);
+    TTSIM_CHECK_MSG(out.has_write_ptr_override() || out.page_size() >= kTileBytes,
+                    "pack_tile into a CB with pages smaller than a tile");
+    std::memcpy(raw, reg(dst), kTileBytes);
+  }
+
+  /// Elementwise |x| on a destination register (SFPU unary op).
+  void abs_tile(int dst) {
+    charge(spec_.tile_math_cost);
+    auto* r = reg(dst);
+    for (std::uint32_t i = 0; i < kTileElems; ++i) {
+      r[i] = bfloat16_t::from_bits(static_cast<std::uint16_t>(r[i].bits() & 0x7FFF));
+    }
+  }
+
+  /// Reduce a destination register to the maximum lane value (the FPU's
+  /// reduction capability; NaN lanes propagate to the result).
+  bfloat16_t reduce_max(int dst) {
+    charge(spec_.tile_math_cost);
+    const auto* r = reg(dst);
+    bfloat16_t m = r[0];
+    for (std::uint32_t i = 1; i < kTileElems; ++i) {
+      if (r[i].is_nan() || (!m.is_nan() && static_cast<float>(r[i]) > static_cast<float>(m))) {
+        m = r[i];
+      }
+    }
+    return m;
+  }
+
+  /// Direct access to a destination register (tests and reductions).
+  bfloat16_t* reg(int dst) {
+    TTSIM_CHECK_MSG(dst >= 0 && dst < spec_.dst_registers, "dst register out of range");
+    return regs_[static_cast<std::size_t>(dst)].data();
+  }
+
+ private:
+  template <typename Op>
+  void binary_op(const CircularBuffer& a, const CircularBuffer& b,
+                 std::uint32_t ia, std::uint32_t ib, int dst, Op op) {
+    charge(spec_.tile_math_cost);
+    const auto* pa = tile_data(a, ia);
+    const auto* pb = tile_data(b, ib);
+    auto* out = reg(dst);
+    for (std::uint32_t i = 0; i < kTileElems; ++i) out[i] = op(pa[i], pb[i]);
+  }
+
+  const bfloat16_t* tile_data(const CircularBuffer& cb, std::uint32_t idx) const {
+    // `idx` selects a tile within the committed front page(s): tile t starts
+    // at byte t * kTileBytes from the consumer read pointer.
+    const std::byte* base = cb.read_ptr();
+    return reinterpret_cast<const bfloat16_t*>(base + idx * kTileBytes);
+  }
+
+  void charge(SimTime cost) { engine_.delay(cost); }
+
+  Engine& engine_;
+  const GrayskullSpec& spec_;
+  std::vector<std::array<bfloat16_t, kTileElems>> regs_;
+};
+
+}  // namespace ttsim::sim

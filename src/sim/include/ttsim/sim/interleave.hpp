@@ -1,0 +1,66 @@
+#pragma once
+/// \file interleave.hpp
+/// Page-interleaved address mapping across DRAM banks. tt-metal cycles
+/// fixed-size pages round-robin over the e150's eight banks (Section V,
+/// Table VI); this class splits a logical access into per-bank segments.
+
+#include <cstdint>
+#include <vector>
+
+#include "ttsim/common/check.hpp"
+#include "ttsim/common/units.hpp"
+
+namespace ttsim::sim {
+
+class InterleaveMap {
+ public:
+  /// \param num_banks number of DRAM banks to cycle pages over.
+  /// \param page_size bytes per page. tt-metal interleaving uses power-of-two
+  ///        pages up to 64 KiB (validated by DramModel); coarse striping
+  ///        (per-core slab placement) uses arbitrary stripe sizes.
+  InterleaveMap(int num_banks, std::uint64_t page_size)
+      : num_banks_(num_banks), page_size_(page_size) {
+    TTSIM_CHECK(num_banks_ > 0);
+    TTSIM_CHECK_MSG(page_size_ > 0, "page size must be positive");
+  }
+
+  struct Segment {
+    int bank;                    ///< bank serving this piece
+    std::uint64_t offset;        ///< offset within the logical buffer
+    std::uint32_t length;        ///< bytes in this piece
+  };
+
+  int num_banks() const { return num_banks_; }
+  std::uint64_t page_size() const { return page_size_; }
+
+  int bank_of(std::uint64_t offset) const {
+    return static_cast<int>((offset / page_size_) % static_cast<std::uint64_t>(num_banks_));
+  }
+
+  /// Split [offset, offset+length) at page boundaries, appending to `out`.
+  /// Each resulting segment lies within one page (hence one bank).
+  void split(std::uint64_t offset, std::uint64_t length,
+             std::vector<Segment>& out) const {
+    while (length > 0) {
+      const std::uint64_t in_page = offset % page_size_;
+      const std::uint64_t take = std::min<std::uint64_t>(length, page_size_ - in_page);
+      out.push_back(Segment{bank_of(offset), offset, static_cast<std::uint32_t>(take)});
+      offset += take;
+      length -= take;
+    }
+  }
+
+  /// Number of page segments the access [offset, offset+length) spans.
+  std::uint64_t segment_count(std::uint64_t offset, std::uint64_t length) const {
+    if (length == 0) return 0;
+    const std::uint64_t first = offset / page_size_;
+    const std::uint64_t last = (offset + length - 1) / page_size_;
+    return last - first + 1;
+  }
+
+ private:
+  int num_banks_;
+  std::uint64_t page_size_;
+};
+
+}  // namespace ttsim::sim

@@ -1,0 +1,62 @@
+#pragma once
+/// \file noc.hpp
+/// Network-on-chip model. The Grayskull has two independent NoCs laid out as
+/// 2-D tori over the core grid; data movers conventionally use NoC0 for
+/// reads (data in) and NoC1 for writes (data out). Routing is
+/// dimension-ordered; we model per-hop latency and a per-NoC bandwidth
+/// timeline (the binding bandwidth ceiling in practice is the DRAM
+/// aggregate cap — see GrayskullSpec::aggregate_gbs).
+
+#include <cstdlib>
+
+#include "ttsim/sim/dram.hpp"
+#include "ttsim/sim/spec.hpp"
+
+namespace ttsim::sim {
+
+struct NocCoord {
+  int x = 0;
+  int y = 0;
+  friend bool operator==(const NocCoord&, const NocCoord&) = default;
+};
+
+class Noc {
+ public:
+  /// \param id 0 (read NoC) or 1 (write NoC); the two tori route in opposite
+  ///        directions on real silicon, which we reflect only in id.
+  Noc(const GrayskullSpec& spec, int id)
+      : spec_(spec), id_(id),
+        torus_x_(spec.grid_cols + 2),  // +2: DRAM columns flank the workers
+        torus_y_(spec.grid_rows) {}
+
+  int id() const { return id_; }
+
+  /// Dimension-ordered torus hop count between two nodes.
+  int hops(NocCoord a, NocCoord b) const {
+    return torus_distance(a.x, b.x, torus_x_) + torus_distance(a.y, b.y, torus_y_);
+  }
+
+  SimTime hop_latency(NocCoord a, NocCoord b) const {
+    return static_cast<SimTime>(hops(a, b)) * spec_.noc_hop_latency;
+  }
+
+  /// Claim NoC bandwidth for a payload; returns when the tail flit clears.
+  SimTime occupy(SimTime earliest, std::uint64_t bytes) {
+    const SimTime start = bandwidth_.acquire(earliest, transfer_time(bytes, spec_.noc_link_gbs));
+    return start + transfer_time(bytes, spec_.noc_link_gbs);
+  }
+
+ private:
+  static int torus_distance(int a, int b, int extent) {
+    const int d = std::abs(a - b);
+    return std::min(d, extent - d);
+  }
+
+  const GrayskullSpec& spec_;
+  int id_;
+  int torus_x_;
+  int torus_y_;
+  ResourceTimeline bandwidth_;
+};
+
+}  // namespace ttsim::sim

@@ -1,0 +1,63 @@
+#pragma once
+/// \file sram.hpp
+/// The 1 MB local SRAM inside each Tensix core. Circular buffers and
+/// kernel-local scratch buffers are carved out of it with a bump allocator
+/// (mirroring tt-metal's L1 allocation): the paper's optimised kernel
+/// allocates a four-batch local buffer here (Section VI).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ttsim/common/check.hpp"
+#include "ttsim/common/units.hpp"
+
+namespace ttsim::sim {
+
+class Sram {
+ public:
+  explicit Sram(std::uint64_t bytes) : capacity_(bytes) {}
+
+  /// Allocate `size` bytes aligned to `align`; throws ApiError when the
+  /// core's SRAM is exhausted (a real failure mode when sizing CBs).
+  std::uint32_t allocate(std::uint64_t size, std::uint64_t align = 32) {
+    TTSIM_CHECK(size > 0);
+    TTSIM_CHECK(is_pow2(align));
+    const std::uint64_t base = align_up(top_, align);
+    if (base + size > capacity_) {
+      TTSIM_THROW_API("Tensix SRAM exhausted: requested " << size << " bytes with "
+                      << (capacity_ - top_) << " of " << capacity_ << " free");
+    }
+    top_ = base + size;
+    high_water_ = std::max(high_water_, top_);
+    ensure_backing();
+    return static_cast<std::uint32_t>(base);
+  }
+
+  /// Reset the allocator (between program launches); storage is retained.
+  void reset() { top_ = 0; }
+
+  std::byte* data(std::uint32_t offset = 0) {
+    ensure_backing();
+    TTSIM_CHECK(offset < capacity_);
+    return storage_.data() + offset;
+  }
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t used() const { return top_; }
+  std::uint64_t high_water() const { return high_water_; }
+
+ private:
+  void ensure_backing() {
+    // Lazily allocate host memory: a 4-card simulation has 432 cores and we
+    // only pay for those actually used.
+    if (storage_.empty()) storage_.resize(capacity_);
+  }
+
+  std::uint64_t capacity_;
+  std::uint64_t top_ = 0;
+  std::uint64_t high_water_ = 0;
+  std::vector<std::byte> storage_;
+};
+
+}  // namespace ttsim::sim

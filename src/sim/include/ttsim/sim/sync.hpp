@@ -1,0 +1,108 @@
+#pragma once
+/// \file sync.hpp
+/// Blocking synchronisation primitives for simulated processes: wait queues,
+/// counting semaphores (the Tensix inter-core semaphores of the paper's
+/// Fig. 3 are built on these) and completion counters used by the
+/// `noc_async_*_barrier` calls.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "ttsim/common/check.hpp"
+#include "ttsim/sim/engine.hpp"
+
+namespace ttsim::sim {
+
+/// FIFO wait queue. Processes block with wait(); wakers run in either
+/// process or callback context.
+class WaitQueue {
+ public:
+  explicit WaitQueue(Engine& engine) : engine_(engine) {}
+
+  WaitQueue(const WaitQueue&) = delete;
+  WaitQueue& operator=(const WaitQueue&) = delete;
+
+  /// Block the calling process until notified. Spurious wakeups do not occur,
+  /// but callers guarding a predicate should still loop (`while (!pred) wait()`)
+  /// because another waiter may consume the state first.
+  void wait();
+
+  void notify_one();
+  void notify_all();
+
+  std::size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  Engine& engine_;
+  std::deque<Process*> waiters_;
+};
+
+/// Counting semaphore in simulated time.
+class SimSemaphore {
+ public:
+  SimSemaphore(Engine& engine, std::int64_t initial = 0)
+      : queue_(engine), count_(initial) {
+    TTSIM_CHECK(initial >= 0);
+  }
+
+  /// Acquire `n` units, blocking until available.
+  void wait(std::int64_t n = 1) {
+    TTSIM_CHECK(n > 0);
+    while (count_ < n) queue_.wait();
+    count_ -= n;
+  }
+
+  /// Release `n` units.
+  void post(std::int64_t n = 1) {
+    TTSIM_CHECK(n > 0);
+    count_ += n;
+    queue_.notify_all();
+  }
+
+  /// Non-blocking acquire; returns false if insufficient units.
+  bool try_wait(std::int64_t n = 1) {
+    if (count_ < n) return false;
+    count_ -= n;
+    return true;
+  }
+
+  std::int64_t value() const { return count_; }
+
+ private:
+  WaitQueue queue_;
+  std::int64_t count_;
+};
+
+/// Tracks outstanding async operations; barrier() blocks until all complete.
+/// This is the mechanism behind noc_async_read_barrier /
+/// noc_async_write_barrier.
+class CompletionTracker {
+ public:
+  explicit CompletionTracker(Engine& engine) : queue_(engine) {}
+
+  /// Record that an operation was issued.
+  void issue() { ++outstanding_; ++issued_total_; }
+
+  /// Record that an operation completed (typically from a timed callback).
+  void complete() {
+    TTSIM_CHECK_MSG(outstanding_ > 0, "completion without a matching issue");
+    --outstanding_;
+    if (outstanding_ == 0) queue_.notify_all();
+  }
+
+  /// Block until every issued operation has completed.
+  void barrier() {
+    while (outstanding_ > 0) queue_.wait();
+  }
+
+  std::uint64_t outstanding() const { return outstanding_; }
+  std::uint64_t issued_total() const { return issued_total_; }
+
+ private:
+  WaitQueue queue_;
+  std::uint64_t outstanding_ = 0;
+  std::uint64_t issued_total_ = 0;
+};
+
+}  // namespace ttsim::sim

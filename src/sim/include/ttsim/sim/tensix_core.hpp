@@ -1,0 +1,93 @@
+#pragma once
+/// \file tensix_core.hpp
+/// One Tensix core: five RISC-V baby cores (two data movers + three compute
+/// cores presented to the programmer as one), 1 MB SRAM, the FPU, circular
+/// buffers, and inter-core semaphores (paper Fig. 1 / Fig. 3). Kernel
+/// processes are attached by the ttmetal layer; this class owns the
+/// per-core hardware state.
+
+#include <map>
+#include <memory>
+
+#include "ttsim/sim/circular_buffer.hpp"
+#include "ttsim/sim/dram.hpp"
+#include "ttsim/sim/fpu.hpp"
+#include "ttsim/sim/noc.hpp"
+#include "ttsim/sim/sram.hpp"
+
+namespace ttsim::sim {
+
+class TensixCore {
+ public:
+  TensixCore(Engine& engine, const GrayskullSpec& spec, int core_id, NocCoord coord);
+
+  int id() const { return id_; }
+  NocCoord coord() const { return coord_; }
+
+  Sram& sram() { return sram_; }
+  Fpu& fpu() { return fpu_; }
+
+  /// Create circular buffer `cb_id` backed by core SRAM. tt-metal indexes
+  /// CBs 0..31; page geometry is fixed by the host code (paper Section II-A).
+  CircularBuffer& create_cb(int cb_id, std::uint32_t page_size, std::uint32_t num_pages);
+  CircularBuffer& cb(int cb_id);
+  bool has_cb(int cb_id) const { return cbs_.count(cb_id) != 0; }
+
+  /// Create/fetch an inter-baby-core semaphore (paper Fig. 3's green line).
+  SimSemaphore& create_semaphore(int sem_id, std::int64_t initial);
+  SimSemaphore& semaphore(int sem_id);
+
+  /// DMA engine timeline for one NoC direction (0 = read NoC, 1 = write NoC).
+  ResourceTimeline& dma(int noc_id);
+
+  /// Clear CBs/semaphores and the SRAM allocator between program launches.
+  void reset();
+
+ private:
+  Engine& engine_;
+  const GrayskullSpec& spec_;
+  int id_;
+  NocCoord coord_;
+  Sram sram_;
+  Fpu fpu_;
+  std::map<int, std::unique_ptr<CircularBuffer>> cbs_;
+  std::map<int, std::unique_ptr<SimSemaphore>> semaphores_;
+  ResourceTimeline dma_[2];
+};
+
+/// The whole accelerator: engine + DRAM + NoCs + Tensix grid. One Grayskull
+/// object is one simulated e150 card.
+class Grayskull {
+ public:
+  explicit Grayskull(GrayskullSpec spec = {});
+
+  Engine& engine() { return engine_; }
+  const GrayskullSpec& spec() const { return spec_; }
+  DramModel& dram() { return dram_; }
+  Noc& noc(int id);
+
+  int worker_count() const { return spec_.worker_cores; }
+  /// Worker Tensix core by dense index [0, worker_count()).
+  TensixCore& worker(int idx);
+
+  /// NoC coordinate of worker `idx`: workers fill rows bottom-up, leaving the
+  /// final row's 12 cores as storage-only (120 cores, 108 workers).
+  NocCoord worker_coord(int idx) const;
+  /// NoC coordinate of a DRAM bank: banks flank the worker grid on the west
+  /// (even banks) and east (odd banks) columns.
+  NocCoord bank_coord(int bank) const;
+
+  /// NoC hop count from a core to the bank serving `addr` (a representative
+  /// mid-grid distance for interleaved regions).
+  int hops_to_dram(const TensixCore& core, std::uint64_t addr, int noc_id);
+
+ private:
+  GrayskullSpec spec_;
+  Engine engine_;
+  DramModel dram_;
+  Noc noc0_;
+  Noc noc1_;
+  std::vector<std::unique_ptr<TensixCore>> workers_;
+};
+
+}  // namespace ttsim::sim

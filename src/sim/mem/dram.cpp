@@ -1,0 +1,264 @@
+#include "ttsim/sim/dram.hpp"
+
+#include <cstring>
+
+#include "ttsim/common/log.hpp"
+
+namespace ttsim::sim {
+
+DramModel::DramModel(Engine& engine, const GrayskullSpec& spec)
+    : engine_(engine),
+      spec_(spec),
+      banks_(static_cast<std::size_t>(spec.dram_banks)),
+      bank_read_streams_(static_cast<std::size_t>(spec.dram_banks)),
+      bank_write_streams_(static_cast<std::size_t>(spec.dram_banks)),
+      bank_last_write_end_(static_cast<std::size_t>(spec.dram_banks), ~0ULL) {}
+
+void DramModel::add_region(const DramRegion& region) {
+  TTSIM_CHECK(region.size > 0);
+  TTSIM_CHECK(region.storage != nullptr);
+  if (region.page_size == 0) {
+    TTSIM_CHECK_MSG(region.bank >= 0 && region.bank < spec_.dram_banks,
+                    "single-bank region must name a valid bank");
+  } else {
+    TTSIM_CHECK_MSG(region.bank == -1, "interleaved region must use bank = -1");
+    if (!region.coarse) {
+      TTSIM_CHECK_MSG(is_pow2(region.page_size), "page size must be a power of two");
+      TTSIM_CHECK_MSG(region.page_size <= spec_.max_interleave_page,
+                      "tt-metal supports interleave pages up to 64KB");
+    }
+  }
+  // Reject overlap with neighbours in the base-sorted map.
+  auto next = regions_.lower_bound(region.base);
+  if (next != regions_.end()) {
+    TTSIM_CHECK_MSG(region.base + region.size <= next->second.base,
+                    "DRAM regions overlap");
+  }
+  if (next != regions_.begin()) {
+    auto prev = std::prev(next);
+    TTSIM_CHECK_MSG(prev->second.base + prev->second.size <= region.base,
+                    "DRAM regions overlap");
+  }
+  regions_.emplace(region.base, region);
+}
+
+void DramModel::remove_region(std::uint64_t base) {
+  const auto it = regions_.find(base);
+  TTSIM_CHECK_MSG(it != regions_.end(), "remove_region: unknown base");
+  regions_.erase(it);
+}
+
+const DramRegion& DramModel::region_of(std::uint64_t addr, std::uint64_t size) const {
+  return *place(addr, size).region;
+}
+
+DramModel::Placement DramModel::place(std::uint64_t addr, std::uint64_t size) const {
+  auto it = regions_.upper_bound(addr);
+  if (it == regions_.begin()) TTSIM_THROW_API("DRAM access to unmapped address " << addr);
+  --it;
+  const DramRegion& r = it->second;
+  if (addr + size > r.base + r.size) {
+    TTSIM_THROW_API("DRAM access [" << addr << ", " << addr + size
+                                    << ") runs past the region ending at "
+                                    << r.base + r.size);
+  }
+  return Placement{&r, addr - r.base};
+}
+
+SimTime DramModel::schedule_access(const Placement& p, std::uint64_t addr,
+                                   std::uint32_t size, bool is_write,
+                                   ResourceTimeline& dma, int hops) {
+  const SimTime now = engine_.now();
+  const SimTime hop_lat = static_cast<SimTime>(hops) * spec_.noc_hop_latency;
+  const SimTime proc = is_write ? spec_.bank_write_proc : spec_.bank_read_proc;
+  const double bank_gbs = is_write ? spec_.bank_write_gbs : spec_.bank_read_gbs;
+  const double dma_gbs = is_write ? spec_.dma_write_gbs : spec_.dma_read_gbs;
+  const SimTime rt_latency = is_write ? spec_.write_latency : spec_.read_latency;
+
+  scratch_segments_.clear();
+  if (p.region->page_size != 0) {
+    InterleaveMap map(spec_.dram_banks, p.region->page_size);
+    map.split(p.offset, size, scratch_segments_);
+    if (p.region->coarse) {
+      // Coarse stripes model per-core slab allocation: slabs land on banks
+      // effectively at random (allocator order), so scramble the
+      // stripe->bank mapping to avoid artificial bank camping by cores
+      // working through the same logical row range.
+      for (auto& seg : scratch_segments_) {
+        const std::uint64_t stripe = seg.offset / p.region->page_size;
+        seg.bank = static_cast<int>((stripe * 2654435761ULL >> 16) %
+                                    static_cast<std::uint64_t>(spec_.dram_banks));
+      }
+    }
+  } else {
+    scratch_segments_.push_back(
+        InterleaveMap::Segment{p.region->bank, p.offset, size});
+  }
+  stats_.interleave_segments += scratch_segments_.size() > 1
+                                    ? scratch_segments_.size()
+                                    : 0;
+
+  // Scattered posted writes flush the mover's write combiner (once per
+  // request, charged on the first segment's drain).
+  SimTime scatter_penalty = 0;
+  if (is_write) {
+    auto [it, fresh] = dma_last_write_end_.try_emplace(&dma, ~0ULL);
+    if (fresh || it->second != addr) scatter_penalty = spec_.write_scatter_penalty;
+    it->second = addr + size;
+  }
+
+  SimTime complete = now;
+  SimTime dma_ready = now;
+  bool first_segment = true;
+  for (const auto& seg : scratch_segments_) {
+    // The requesting DMA engine streams the payload; interleaved accesses
+    // additionally pay serialised per-page dispatch work (Table VI's
+    // small-page penalty), folded as max(dispatch, transfer).
+    SimTime dma_busy = transfer_time(seg.length, dma_gbs);
+    if (p.region->page_size != 0 && !p.region->coarse) {
+      dma_busy = std::max(dma_busy, spec_.interleave_sub_overhead);
+    }
+    if (first_segment) {
+      dma_busy += scatter_penalty;
+      first_segment = false;
+    }
+    dma_ready = dma.acquire(dma_ready, dma_busy) + dma_busy;
+
+    // Bank occupancy: per-request processing + transfer at bank bandwidth,
+    // plus a row re-activation penalty when not continuing the last access.
+    auto& bank = banks_[static_cast<std::size_t>(seg.bank)];
+    auto& streams = (is_write ? bank_write_streams_
+                              : bank_read_streams_)[static_cast<std::size_t>(seg.bank)];
+    const std::uint64_t seg_addr = p.region->base + seg.offset;
+    SimTime bank_busy = proc + transfer_time(seg.length, bank_gbs);
+    // Coarse (slab-placed) regions: each core streams contiguously through
+    // its own slab, so rows open once and stay hot; the global-image
+    // addresses the simulator uses would misreport those as strided.
+    if (!p.region->coarse && !streams.access(seg_addr, seg_addr + seg.length)) {
+      bank_busy += spec_.bank_row_miss;
+      ++stats_.row_misses;
+    }
+    const SimTime bank_start = bank.acquire(now + hop_lat, bank_busy);
+    const SimTime bank_end = bank_start + bank_busy;
+    (is_write ? stats_.write_bank_busy : stats_.read_bank_busy) += bank_busy;
+    stats_.dma_busy += dma_busy;
+
+    // Aggregate DDR/NoC ceiling shared by every core (Table VII plateau).
+    const SimTime agg_busy = transfer_time(seg.length, spec_.aggregate_gbs);
+    stats_.aggregate_busy += agg_busy;
+    const SimTime agg_end = aggregate_.acquire(now, agg_busy) + agg_busy;
+
+    // Reads deliver when the slowest stage clears. Writes are posted: the
+    // barrier sees the local drain (DMA) and acknowledgement; the bank
+    // commits in the background (its timeline still holds reads off).
+    const SimTime seg_end = is_write ? std::max(dma_ready, agg_end)
+                                     : std::max({dma_ready, bank_end, agg_end});
+    complete = std::max(complete, seg_end);
+  }
+  // Large read responses additionally transit store-and-forward buffering
+  // on the return path (latency, not bank occupancy).
+  if (!is_write) complete += transfer_time(size, spec_.read_store_forward_gbs);
+  return complete + rt_latency + hop_lat;
+}
+
+void DramModel::read(std::uint64_t addr, std::byte* dst, std::uint32_t size,
+                     ResourceTimeline& dma, int hops,
+                     std::function<void()> on_complete) {
+  TTSIM_CHECK(size > 0);
+  std::uint64_t effective_addr = addr;
+  if (addr % spec_.dram_alignment != 0) {
+    ++stats_.unaligned_reads;
+    switch (spec_.alignment_policy) {
+      case AlignmentPolicy::kTrap:
+        TTSIM_THROW_API("unaligned DRAM read at address "
+                        << addr << " (alignment " << spec_.dram_alignment << ")");
+      case AlignmentPolicy::kFaithful:
+        // The controller drops the low address bits: data comes back from
+        // the aligned-down address — silently wrong, as the paper observed
+        // from the second row of Y downwards (Section IV-B).
+        effective_addr = align_down(addr, spec_.dram_alignment);
+        break;
+      case AlignmentPolicy::kPermissive:
+        break;
+    }
+  }
+  const Placement p = place(effective_addr, size);
+  const SimTime complete = schedule_access(place(addr, size), addr, size, /*is_write=*/false,
+                                           dma, hops);
+  ++stats_.read_requests;
+  stats_.bytes_read += size;
+  std::byte* src = p.region->storage + p.offset;
+  engine_.schedule_at(complete, [src, dst, size, cb = std::move(on_complete)] {
+    std::memcpy(dst, src, size);
+    if (cb) cb();
+  });
+}
+
+void DramModel::write(std::uint64_t addr, const std::byte* src, std::uint32_t size,
+                      ResourceTimeline& dma, int hops,
+                      std::function<void()> on_complete) {
+  TTSIM_CHECK(size > 0);
+  std::uint64_t effective_addr = addr;
+  if (addr % spec_.dram_alignment != 0) {
+    switch (spec_.alignment_policy) {
+      case AlignmentPolicy::kTrap:
+        TTSIM_THROW_API("unaligned DRAM write at address "
+                        << addr << " (alignment " << spec_.dram_alignment << ")");
+      case AlignmentPolicy::kFaithful: {
+        // The paper found contiguous unaligned writes that *continue* the
+        // previous write are merged correctly by the controller, while
+        // non-contiguous unaligned writes corrupt memory. Reproduce both.
+        const Placement probe = place(align_down(addr, spec_.dram_alignment), 1);
+        const int bank = probe.region->page_size != 0
+                             ? InterleaveMap(spec_.dram_banks, probe.region->page_size)
+                                   .bank_of(probe.offset)
+                             : probe.region->bank;
+        if (bank_last_write_end_[static_cast<std::size_t>(bank)] == addr) {
+          ++stats_.unaligned_writes_merged;  // merged: lands where intended
+        } else {
+          ++stats_.unaligned_writes_corrupted;
+          effective_addr = align_down(addr, spec_.dram_alignment);
+        }
+        break;
+      }
+      case AlignmentPolicy::kPermissive:
+        break;
+    }
+  }
+  {
+    // Track write continuation on the *intended* stream so that a later
+    // unaligned continuation of this write merges.
+    const Placement probe = place(align_down(addr, spec_.dram_alignment), 1);
+    const int bank = probe.region->page_size != 0
+                         ? InterleaveMap(spec_.dram_banks, probe.region->page_size)
+                               .bank_of(probe.offset)
+                         : probe.region->bank;
+    bank_last_write_end_[static_cast<std::size_t>(bank)] = addr + size;
+  }
+  const Placement p = place(effective_addr, size);
+  const SimTime complete = schedule_access(place(addr, size), addr, size, /*is_write=*/true,
+                                           dma, hops);
+  ++stats_.write_requests;
+  stats_.bytes_written += size;
+  // Snapshot the source now: on real hardware the data leaves the core when
+  // the NoC accepts it, and the paper's kernels recycle source buffers.
+  std::vector<std::byte> snapshot(src, src + size);
+  std::byte* dst = p.region->storage + p.offset;
+  engine_.schedule_at(complete,
+                      [dst, data = std::move(snapshot), cb = std::move(on_complete)] {
+                        std::memcpy(dst, data.data(), data.size());
+                        if (cb) cb();
+                      });
+}
+
+void DramModel::host_write(std::uint64_t addr, const std::byte* src, std::uint64_t size) {
+  const Placement p = place(addr, size);
+  std::memcpy(p.region->storage + p.offset, src, size);
+}
+
+void DramModel::host_read(std::uint64_t addr, std::byte* dst, std::uint64_t size) const {
+  const Placement p = place(addr, size);
+  std::memcpy(dst, p.region->storage + p.offset, size);
+}
+
+}  // namespace ttsim::sim

@@ -1,0 +1,64 @@
+#include "ttsim/sim/tensix_core.hpp"
+
+namespace ttsim::sim {
+
+TensixCore::TensixCore(Engine& engine, const GrayskullSpec& spec, int core_id,
+                       NocCoord coord)
+    : engine_(engine),
+      spec_(spec),
+      id_(core_id),
+      coord_(coord),
+      sram_(spec.sram_bytes),
+      fpu_(engine, spec) {}
+
+CircularBuffer& TensixCore::create_cb(int cb_id, std::uint32_t page_size,
+                                      std::uint32_t num_pages) {
+  TTSIM_CHECK_MSG(cb_id >= 0 && cb_id < 32, "tt-metal CB ids are 0..31");
+  TTSIM_CHECK_MSG(cbs_.count(cb_id) == 0,
+                  "CB " << cb_id << " already exists on core " << id_);
+  const std::uint32_t offset =
+      sram_.allocate(static_cast<std::uint64_t>(page_size) * num_pages);
+  auto cb = std::make_unique<CircularBuffer>(engine_, sram_.data(offset), page_size,
+                                             num_pages);
+  auto& ref = *cb;
+  cbs_.emplace(cb_id, std::move(cb));
+  return ref;
+}
+
+CircularBuffer& TensixCore::cb(int cb_id) {
+  const auto it = cbs_.find(cb_id);
+  if (it == cbs_.end()) {
+    TTSIM_THROW_API("CB " << cb_id << " was not configured on core " << id_);
+  }
+  return *it->second;
+}
+
+SimSemaphore& TensixCore::create_semaphore(int sem_id, std::int64_t initial) {
+  TTSIM_CHECK_MSG(semaphores_.count(sem_id) == 0,
+                  "semaphore " << sem_id << " already exists on core " << id_);
+  auto sem = std::make_unique<SimSemaphore>(engine_, initial);
+  auto& ref = *sem;
+  semaphores_.emplace(sem_id, std::move(sem));
+  return ref;
+}
+
+SimSemaphore& TensixCore::semaphore(int sem_id) {
+  const auto it = semaphores_.find(sem_id);
+  if (it == semaphores_.end()) {
+    TTSIM_THROW_API("semaphore " << sem_id << " was not configured on core " << id_);
+  }
+  return *it->second;
+}
+
+ResourceTimeline& TensixCore::dma(int noc_id) {
+  TTSIM_CHECK(noc_id == 0 || noc_id == 1);
+  return dma_[noc_id];
+}
+
+void TensixCore::reset() {
+  cbs_.clear();
+  semaphores_.clear();
+  sram_.reset();
+}
+
+}  // namespace ttsim::sim

@@ -1,0 +1,81 @@
+#pragma once
+/// \file stream_bench.hpp
+/// The Section V streaming benchmark: one data mover loads 32-bit integers
+/// from DRAM as fast as possible, hands them to the other data mover through
+/// a circular buffer, and that mover writes them back to DRAM. Parameters
+/// sweep everything the paper sweeps — access batch size, per-access vs
+/// per-row synchronisation, contiguous vs non-contiguous order, read
+/// replication, DRAM interleaving page size, and core count (Tables III–VII,
+/// plus the read-into-local-buffer-then-memcpy finding).
+
+#include <cstdint>
+
+#include "ttsim/ttmetal/device.hpp"
+
+namespace ttsim::stream {
+
+struct StreamParams {
+  /// Problem geometry: rows x (row_bytes/4) 32-bit integers. The paper uses
+  /// 4096 x 4096 ints (rows = 4096, row_bytes = 16384); benches may simulate
+  /// fewer rows and scale, since per-row work is identical.
+  std::uint32_t rows = 4096;
+  std::uint32_t row_bytes = 16384;
+
+  std::uint32_t read_batch = 16384;   ///< bytes per DRAM read request
+  std::uint32_t write_batch = 16384;  ///< bytes per DRAM write request
+  bool read_sync_each = false;        ///< barrier after every read (Table III "sync")
+  bool write_sync_each = false;       ///< barrier after every write
+
+  /// Contiguous: requests walk each row left to right (row-major).
+  /// Non-contiguous: the logical matrix is traversed down columns of batches
+  /// so that successive requests stride by a full row (Table IV).
+  bool contiguous = true;
+
+  /// Total reads per access (Table V/VI): factor f issues f-1 extra reads of
+  /// the same-size batch in the f-1 previous rows. 0 and 1 both mean one read.
+  int replication = 1;
+
+  /// Section V inline experiment: read into a local L1 buffer, then memcpy
+  /// into the CB, instead of receiving into the CB directly.
+  bool via_local_buffer = false;
+
+  /// 0 = both buffers in single (distinct) DRAM banks; >0 = both buffers
+  /// interleaved across all 8 banks with this page size (Table VI/VII).
+  std::uint64_t interleave_page = 0;
+
+  /// Cores decomposed vertically in the Y dimension (Table VII).
+  int num_cores = 1;
+
+  /// Pages in the conveyor CB between the two movers (pipelining depth;
+  /// 1 removes producer/consumer overlap entirely — ablation knob).
+  std::uint32_t cb_pages = 4;
+
+  /// Verify output contents against the expected permutation after the run.
+  bool verify = true;
+};
+
+struct StreamOutcome {
+  SimTime kernel_time = 0;   ///< simulated kernel-only runtime
+  bool verified_ok = true;   ///< data integrity check result
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+
+  double seconds() const { return to_seconds(kernel_time); }
+  /// Read+write goodput (excluding replicated reads).
+  double effective_gbs() const {
+    return kernel_time > 0
+               ? static_cast<double>(bytes_read + bytes_written) / 1e9 /
+                     to_seconds(kernel_time)
+               : 0.0;
+  }
+};
+
+/// Run one streaming configuration on a fresh pair of DRAM buffers.
+/// Throws ApiError on inconsistent parameters (batch not dividing a row, ...).
+StreamOutcome run_streaming_benchmark(ttmetal::Device& device, const StreamParams& params);
+
+/// Convenience: open a fresh device with `spec`, run, and return the outcome.
+StreamOutcome run_streaming_benchmark(const StreamParams& params,
+                                      sim::GrayskullSpec spec = {});
+
+}  // namespace ttsim::stream

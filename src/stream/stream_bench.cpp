@@ -1,0 +1,211 @@
+#include "ttsim/stream/stream_bench.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "ttsim/common/log.hpp"
+
+namespace ttsim::stream {
+namespace {
+
+constexpr int kCbConveyor = 0;
+
+/// Byte offset of the k-th batch in the traversal order for a row slice
+/// [row_lo, row_lo + slice_rows). Contiguous: row-major. Non-contiguous:
+/// down columns of batches, so successive accesses stride by a whole row.
+std::uint64_t batch_offset(bool contiguous, std::uint64_t k, std::uint32_t row_bytes,
+                           std::uint32_t batch, std::uint32_t row_lo,
+                           std::uint32_t slice_rows) {
+  const std::uint64_t per_row = row_bytes / batch;
+  std::uint64_t row, col;
+  if (contiguous) {
+    row = k / per_row;
+    col = k % per_row;
+  } else {
+    col = k / slice_rows;
+    row = k % slice_rows;
+  }
+  return (static_cast<std::uint64_t>(row_lo) + row) * row_bytes + col * batch;
+}
+
+/// Offset of the same-size batch `k_prev` rows above `off`, wrapping at the
+/// top so that replicated traffic volume is row-independent.
+std::uint64_t previous_row_offset(std::uint64_t off, int k_prev, std::uint32_t row_bytes,
+                                  std::uint32_t total_rows) {
+  const std::uint64_t stride = static_cast<std::uint64_t>(k_prev) * row_bytes;
+  if (off >= stride) return off - stride;
+  return off + static_cast<std::uint64_t>(total_rows) * row_bytes - stride;
+}
+
+void validate(const StreamParams& p) {
+  auto check = [](bool ok, const char* what) {
+    if (!ok) TTSIM_THROW_API("streaming benchmark: " << what);
+  };
+  check(p.rows > 0 && p.row_bytes > 0, "empty problem");
+  check(is_pow2(p.read_batch) && is_pow2(p.write_batch), "batch sizes must be powers of two");
+  check(p.read_batch >= 4 && p.read_batch <= p.row_bytes, "read batch out of range");
+  check(p.write_batch >= 4 && p.write_batch <= p.row_bytes, "write batch out of range");
+  check(p.row_bytes % p.read_batch == 0, "read batch must divide the row");
+  check(p.row_bytes % p.write_batch == 0, "write batch must divide the row");
+  check(p.replication >= 0 && p.replication <= 64, "replication factor out of range");
+  check(p.num_cores >= 1, "need at least one core");
+  check(p.rows % static_cast<std::uint32_t>(p.num_cores) == 0,
+        "rows must divide evenly across cores");
+}
+
+}  // namespace
+
+StreamOutcome run_streaming_benchmark(ttmetal::Device& device,
+                                      const StreamParams& params) {
+  validate(params);
+  const StreamParams p = params;
+  const std::uint64_t total_bytes =
+      static_cast<std::uint64_t>(p.rows) * p.row_bytes;
+  const int repl = std::max(1, p.replication);
+
+  ttmetal::BufferConfig buf_cfg{.size = total_bytes};
+  if (p.interleave_page != 0) {
+    buf_cfg.layout = ttmetal::BufferLayout::kInterleaved;
+    buf_cfg.page_size = p.interleave_page;
+  }
+  auto in_buf = device.create_buffer(buf_cfg);
+  auto out_buf = device.create_buffer(buf_cfg);
+
+  // Seed the input with a deterministic integer pattern.
+  std::vector<std::uint32_t> host_in(total_bytes / 4);
+  for (std::size_t i = 0; i < host_in.size(); ++i)
+    host_in[i] = static_cast<std::uint32_t>(i * 2654435761u + 12345u);
+  device.write_buffer(*in_buf, std::as_bytes(std::span{host_in}));
+
+  ttmetal::Program prog;
+  std::vector<int> cores;
+  for (int c = 0; c < p.num_cores; ++c) cores.push_back(c);
+  const std::uint32_t slice_rows = p.rows / static_cast<std::uint32_t>(p.num_cores);
+
+  TTSIM_CHECK_MSG(p.cb_pages >= 1, "need at least one conveyor page");
+  prog.create_cb(kCbConveyor, cores, p.row_bytes, p.cb_pages);
+  const auto scratch = prog.create_l1_buffer(cores, p.read_batch);
+  const auto local_row =
+      p.via_local_buffer ? prog.create_l1_buffer(cores, p.row_bytes) : -1;
+  const std::uint32_t scratch_addr = prog.l1_buffer_address(scratch);
+  const std::uint32_t local_addr =
+      p.via_local_buffer ? prog.l1_buffer_address(local_row) : 0;
+
+  const std::uint64_t in_base = in_buf->address();
+  const std::uint64_t out_base = out_buf->address();
+
+  prog.create_kernel(
+      ttmetal::KernelKind::kDataMover0, cores,
+      [p, repl, slice_rows, in_base, scratch_addr, local_addr](
+          ttmetal::DataMoverCtx& ctx) {
+        const std::uint32_t row_lo =
+            static_cast<std::uint32_t>(ctx.position()) * slice_rows;
+        const std::uint32_t reads_per_page = p.row_bytes / p.read_batch;
+        std::uint64_t k = 0;
+        for (std::uint32_t page = 0; page < slice_rows; ++page) {
+          ctx.cb_reserve_back(kCbConveyor, 1);
+          const std::uint32_t target =
+              p.via_local_buffer ? local_addr : ctx.get_write_ptr(kCbConveyor);
+          for (std::uint32_t i = 0; i < reads_per_page; ++i, ++k) {
+            const std::uint64_t off = batch_offset(p.contiguous, k, p.row_bytes,
+                                                   p.read_batch, row_lo, slice_rows);
+            for (int r = 1; r < repl; ++r) {
+              ctx.noc_async_read(
+                  ctx.get_noc_addr(in_base +
+                                   previous_row_offset(off, r, p.row_bytes, p.rows)),
+                  scratch_addr, p.read_batch);
+              if (p.read_sync_each) ctx.noc_async_read_barrier();
+            }
+            ctx.noc_async_read(ctx.get_noc_addr(in_base + off),
+                               target + i * p.read_batch, p.read_batch);
+            if (p.read_sync_each) ctx.noc_async_read_barrier();
+          }
+          ctx.noc_async_read_barrier();
+          if (p.via_local_buffer) {
+            ctx.l1_memcpy(ctx.get_write_ptr(kCbConveyor), local_addr, p.row_bytes);
+          }
+          ctx.cb_push_back(kCbConveyor, 1);
+          ctx.loop_tick();
+        }
+      },
+      "stream_reader");
+
+  prog.create_kernel(
+      ttmetal::KernelKind::kDataMover1, cores,
+      [p, slice_rows, out_base](ttmetal::DataMoverCtx& ctx) {
+        const std::uint32_t row_lo =
+            static_cast<std::uint32_t>(ctx.position()) * slice_rows;
+        const std::uint32_t writes_per_page = p.row_bytes / p.write_batch;
+        std::uint64_t k = 0;
+        for (std::uint32_t page = 0; page < slice_rows; ++page) {
+          ctx.cb_wait_front(kCbConveyor, 1);
+          const std::uint32_t src = ctx.get_read_ptr(kCbConveyor);
+          for (std::uint32_t i = 0; i < writes_per_page; ++i, ++k) {
+            const std::uint64_t off = batch_offset(p.contiguous, k, p.row_bytes,
+                                                   p.write_batch, row_lo, slice_rows);
+            ctx.noc_async_write(src + i * p.write_batch,
+                                ctx.get_noc_addr(out_base + off), p.write_batch);
+            if (p.write_sync_each) ctx.noc_async_write_barrier();
+          }
+          ctx.noc_async_write_barrier();
+          ctx.cb_pop_front(kCbConveyor, 1);
+          ctx.loop_tick();
+        }
+      },
+      "stream_writer");
+
+  device.run_program(prog);
+
+  StreamOutcome out;
+  out.kernel_time = device.last_kernel_duration();
+  out.bytes_read = total_bytes;
+  out.bytes_written = total_bytes;
+
+  if (p.verify) {
+    std::vector<std::uint32_t> host_out(total_bytes / 4);
+    device.read_buffer(*out_buf, std::as_writable_bytes(std::span{host_out}));
+    // Expected output: per core, the reader's byte stream lands at the
+    // writer's traversal addresses in order.
+    std::vector<std::uint32_t> expected(total_bytes / 4);
+    const std::uint8_t* in_bytes = reinterpret_cast<const std::uint8_t*>(host_in.data());
+    std::uint8_t* exp_bytes = reinterpret_cast<std::uint8_t*>(expected.data());
+    for (int c = 0; c < p.num_cores; ++c) {
+      const std::uint32_t row_lo = static_cast<std::uint32_t>(c) * slice_rows;
+      const std::uint64_t slice_bytes =
+          static_cast<std::uint64_t>(slice_rows) * p.row_bytes;
+      const std::uint64_t n_read = slice_bytes / p.read_batch;
+      const std::uint64_t n_write = slice_bytes / p.write_batch;
+      std::vector<std::uint64_t> rseq(n_read), wseq(n_write);
+      for (std::uint64_t k = 0; k < n_read; ++k)
+        rseq[k] = batch_offset(p.contiguous, k, p.row_bytes, p.read_batch, row_lo,
+                               slice_rows);
+      for (std::uint64_t k = 0; k < n_write; ++k)
+        wseq[k] = batch_offset(p.contiguous, k, p.row_bytes, p.write_batch, row_lo,
+                               slice_rows);
+      // Walk both sequences byte-for-byte.
+      const std::uint32_t g = std::min(p.read_batch, p.write_batch);
+      const std::uint32_t rg = p.read_batch / g, wg = p.write_batch / g;
+      const std::uint64_t chunks = slice_bytes / g;
+      for (std::uint64_t k = 0; k < chunks; ++k) {
+        const std::uint64_t src = rseq[k / rg] + (k % rg) * g;
+        const std::uint64_t dst = wseq[k / wg] + (k % wg) * g;
+        std::memcpy(exp_bytes + dst, in_bytes + src, g);
+      }
+    }
+    out.verified_ok =
+        std::memcmp(expected.data(), host_out.data(), total_bytes) == 0;
+  }
+  return out;
+}
+
+StreamOutcome run_streaming_benchmark(const StreamParams& params,
+                                      sim::GrayskullSpec spec) {
+  // The streaming probe measures timing down to 4-byte requests; run it on a
+  // permissive controller so sub-32-byte accesses stay functionally intact
+  // (the alignment fault study lives in the DRAM tests and Jacobi path).
+  spec.alignment_policy = sim::AlignmentPolicy::kPermissive;
+  auto device = ttmetal::Device::open(spec);
+  return run_streaming_benchmark(*device, params);
+}
+
+}  // namespace ttsim::stream

@@ -1,0 +1,210 @@
+#include "ttsim/ttmetal/device.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "ttsim/common/log.hpp"
+
+namespace ttsim::ttmetal {
+
+Buffer::Buffer(Device& device, const BufferConfig& config, std::uint64_t address,
+               int bank)
+    : device_(device), config_(config), address_(address), bank_(bank) {
+  storage_.resize(config.size);
+}
+
+Buffer::~Buffer() { device_.release_buffer(*this); }
+
+Device::Device(sim::GrayskullSpec spec)
+    : hw_(spec),
+      bank_top_(static_cast<std::size_t>(spec.dram_banks), 0),
+      interleaved_top_(0) {}
+
+Device::~Device() = default;
+
+std::unique_ptr<Device> Device::open(sim::GrayskullSpec spec) {
+  return std::unique_ptr<Device>(new Device(spec));
+}
+
+std::shared_ptr<Buffer> Device::create_buffer(const BufferConfig& config) {
+  TTSIM_CHECK(config.size > 0);
+  const auto& spec = hw_.spec();
+  std::uint64_t addr = 0;
+  int bank = -1;
+  sim::DramRegion region;
+  if (config.layout == BufferLayout::kSingleBank) {
+    bank = config.bank >= 0 ? config.bank : (next_bank_++ % spec.dram_banks);
+    TTSIM_CHECK_MSG(bank < spec.dram_banks, "bank index out of range");
+    auto& top = bank_top_[static_cast<std::size_t>(bank)];
+    const std::uint64_t offset = align_up(top, spec.dram_alignment);
+    if (offset + config.size > spec.dram_bank_bytes) {
+      TTSIM_THROW_API("DRAM bank " << bank << " exhausted: requested " << config.size
+                                   << " bytes with "
+                                   << (spec.dram_bank_bytes - offset) << " free");
+    }
+    top = offset + config.size;
+    addr = static_cast<std::uint64_t>(bank) * spec.dram_bank_bytes + offset;
+    region = sim::DramRegion{addr, config.size, bank, 0, false, nullptr};
+  } else {
+    std::uint64_t page = config.page_size;
+    const bool coarse = config.layout == BufferLayout::kStriped;
+    if (coarse) {
+      if (page == 0) {
+        page = align_up(config.size / static_cast<std::uint64_t>(spec.dram_banks) + 1,
+                        spec.dram_alignment);
+      }
+    } else if (page == 0 || page > spec.max_interleave_page) {
+      TTSIM_THROW_API("interleave page size must be in (0, 64KiB], got " << page);
+    }
+    const std::uint64_t base = spec.dram_total_bytes();  // virtual region above banks
+    const std::uint64_t offset = align_up(interleaved_top_, spec.dram_alignment);
+    interleaved_top_ = offset + config.size;
+    addr = base + offset;
+    region = sim::DramRegion{addr, config.size, -1, page, coarse, nullptr};
+  }
+  auto buffer = std::shared_ptr<Buffer>(new Buffer(*this, config, addr, bank));
+  region.storage = buffer->storage_.data();
+  hw_.dram().add_region(region);
+  return buffer;
+}
+
+void Device::release_buffer(const Buffer& buffer) {
+  hw_.dram().remove_region(buffer.address());
+}
+
+void Device::write_buffer(Buffer& buffer, std::span<const std::byte> data,
+                          std::uint64_t offset) {
+  TTSIM_CHECK(offset + data.size() <= buffer.size());
+  const auto& spec = hw_.spec();
+  const SimTime t = spec.pcie_latency + transfer_time(data.size(), spec.pcie_gbs);
+  hw_.engine().run_until(hw_.engine().now() + t);
+  pcie_time_ += t;
+  hw_.dram().host_write(buffer.address() + offset, data.data(), data.size());
+}
+
+void Device::read_buffer(Buffer& buffer, std::span<std::byte> out,
+                         std::uint64_t offset) {
+  TTSIM_CHECK(offset + out.size() <= buffer.size());
+  const auto& spec = hw_.spec();
+  const SimTime t = spec.pcie_latency + transfer_time(out.size(), spec.pcie_gbs);
+  hw_.engine().run_until(hw_.engine().now() + t);
+  pcie_time_ += t;
+  hw_.dram().host_read(buffer.address() + offset, out.data(), out.size());
+}
+
+void Device::run_program(Program& program) {
+  auto& engine = hw_.engine();
+  engine.run_until(engine.now() + hw_.spec().program_dispatch);
+
+  // Reset every core the program touches, then instantiate CBs, semaphores
+  // and L1 buffers in creation order so real L1 addresses match the plan.
+  std::set<int> used;
+  for (const auto& cb : program.cbs_) used.insert(cb.cores.begin(), cb.cores.end());
+  for (const auto& sem : program.semaphores_) used.insert(sem.cores.begin(), sem.cores.end());
+  for (const auto& l1 : program.l1_buffers_) used.insert(l1.cores.begin(), l1.cores.end());
+  for (const auto& k : program.kernels_) used.insert(k.cores.begin(), k.cores.end());
+  for (int core : used) hw_.worker(core).reset();
+
+  // Allocation replay. Program planned addresses assuming every allocation
+  // happens on each core; heterogeneous per-core layouts would diverge, so
+  // verify as we go.
+  struct Alloc {
+    std::size_t order;
+    const Program::CbConfig* cb;
+    const Program::L1Config* l1;
+  };
+  std::vector<Alloc> allocs;
+  for (std::size_t i = 0; i < program.cbs_.size(); ++i)
+    allocs.push_back({i, &program.cbs_[i], nullptr});
+  for (std::size_t i = 0; i < program.l1_buffers_.size(); ++i)
+    allocs.push_back({program.cbs_.size() + i, nullptr, &program.l1_buffers_[i]});
+  // CBs and L1 buffers were planned in interleaved creation order; recover
+  // that order from the planned addresses, which increase monotonically.
+  std::sort(allocs.begin(), allocs.end(), [](const Alloc& a, const Alloc& b) {
+    auto planned = [](const Alloc& x) -> std::uint64_t {
+      return x.l1 != nullptr ? x.l1->planned_address : x.cb->planned_address;
+    };
+    return planned(a) < planned(b);
+  });
+
+  for (const auto& a : allocs) {
+    if (a.cb != nullptr) {
+      for (int core : a.cb->cores) {
+        auto& created =
+            hw_.worker(core).create_cb(a.cb->cb_id, a.cb->page_size, a.cb->num_pages);
+        (void)created;
+      }
+    } else {
+      for (int core : a.l1->cores) {
+        const std::uint32_t real =
+            hw_.worker(core).sram().allocate(a.l1->size, a.l1->align);
+        TTSIM_CHECK_MSG(real == a.l1->planned_address,
+                        "heterogeneous per-core L1 layouts are not supported: "
+                        "planned address " << a.l1->planned_address
+                                           << " but core " << core << " allocated "
+                                           << real);
+      }
+    }
+  }
+  for (const auto& sem : program.semaphores_) {
+    for (int core : sem.cores) hw_.worker(core).create_semaphore(sem.sem_id, sem.initial);
+  }
+  barriers_.clear();
+  for (const auto& b : program.barriers_) {
+    barriers_.emplace(b.barrier_id,
+                      std::make_unique<DeviceBarrier>(engine, b.participants));
+  }
+
+  // Spawn kernel processes: dm0 / dm1 / compute per core, in creation order.
+  profile_.clear();
+  std::size_t total_kernels = 0;
+  for (const auto& k : program.kernels_) total_kernels += k.cores.size();
+  profile_.reserve(total_kernels);  // spawn lambdas hold stable pointers
+  const SimTime start = engine.now();
+  for (auto& k : program.kernels_) {
+    for (std::size_t i = 0; i < k.cores.size(); ++i) {
+      const int core_idx = k.cores[i];
+      auto it = k.args.find(core_idx);
+      std::vector<std::uint32_t> args =
+          it != k.args.end() ? it->second : k.common_args;
+      sim::TensixCore& core = hw_.worker(core_idx);
+      const std::string name = k.name + "@" + std::to_string(core_idx);
+      const int position = static_cast<int>(i);
+      const int group = static_cast<int>(k.cores.size());
+      profile_.push_back(KernelProfile{k.name, core_idx, 0, 0});
+      auto* prof = &profile_.back();
+      if (k.kind == KernelKind::kCompute) {
+        auto fn = k.compute_fn;
+        engine.spawn(name, [this, &core, fn, args, position, group, prof, start] {
+          ComputeCtx ctx(*this, core, args, position, group);
+          fn(ctx);
+          prof->lifetime = hw_.engine().now() - start;
+          prof->active = ctx.active_time();
+        });
+      } else {
+        const int noc_id = k.kind == KernelKind::kDataMover0 ? 0 : 1;
+        auto fn = k.mover_fn;
+        engine.spawn(name,
+                     [this, &core, fn, args, position, group, noc_id, prof, start] {
+                       DataMoverCtx ctx(*this, core, noc_id, args, position, group);
+                       fn(ctx);
+                       prof->lifetime = hw_.engine().now() - start;
+                       prof->active = ctx.active_time();
+                     });
+      }
+    }
+  }
+  engine.run();
+  last_kernel_duration_ = engine.now() - start;
+}
+
+Device::DeviceBarrier& Device::barrier(int barrier_id) {
+  const auto it = barriers_.find(barrier_id);
+  if (it == barriers_.end()) {
+    TTSIM_THROW_API("global barrier " << barrier_id
+                                      << " was not configured on this program");
+  }
+  return *it->second;
+}
+
+}  // namespace ttsim::ttmetal

@@ -1,0 +1,57 @@
+#pragma once
+/// \file buffer.hpp
+/// Device DRAM buffers. A buffer is either placed wholly in one DRAM bank
+/// (the paper's default: "we have allocated DRAM all in a single bank") or
+/// page-interleaved across the eight banks (Section V, Table VI).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ttsim/common/units.hpp"
+
+namespace ttsim::ttmetal {
+
+class Device;
+
+enum class BufferLayout {
+  kSingleBank,   ///< contiguous in one bank
+  kInterleaved,  ///< tt-metal pages (<= 64 KiB) cycled round-robin over banks
+  kStriped,      ///< coarse stripes over banks (per-core slab placement):
+                 ///< spreads bandwidth without per-page DMA dispatch overhead
+};
+
+struct BufferConfig {
+  std::uint64_t size = 0;       ///< bytes
+  BufferLayout layout = BufferLayout::kSingleBank;
+  int bank = -1;                ///< single-bank: fixed bank, or -1 = allocator picks
+  std::uint64_t page_size = 4 * KiB;  ///< interleaved page / stripe size;
+                                      ///< kStriped with 0 = size/num_banks
+};
+
+/// A DRAM allocation on one device. Host access goes through the command
+/// queue (PCIe); device kernels address it by `address()` via the NoC.
+class Buffer {
+ public:
+  ~Buffer();
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  std::uint64_t address() const { return address_; }
+  std::uint64_t size() const { return config_.size; }
+  const BufferConfig& config() const { return config_; }
+  /// Bank holding the buffer (single-bank layout only).
+  int bank() const { return bank_; }
+
+ private:
+  friend class Device;
+  Buffer(Device& device, const BufferConfig& config, std::uint64_t address, int bank);
+
+  Device& device_;
+  BufferConfig config_;
+  std::uint64_t address_;
+  int bank_;
+  std::vector<std::byte> storage_;
+};
+
+}  // namespace ttsim::ttmetal

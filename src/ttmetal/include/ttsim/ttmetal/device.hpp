@@ -1,0 +1,93 @@
+#pragma once
+/// \file device.hpp
+/// Host-side SDK entry point: open a (simulated) Grayskull e150, allocate
+/// DRAM buffers, and launch programs. Mirrors tt-metal's Device +
+/// CommandQueue in structure; all timing is simulated.
+
+#include <map>
+#include <memory>
+#include <span>
+
+#include "ttsim/sim/tensix_core.hpp"
+#include "ttsim/ttmetal/buffer.hpp"
+#include "ttsim/ttmetal/program.hpp"
+
+namespace ttsim::ttmetal {
+
+class Device {
+ public:
+  /// Open a simulated card. Each Device is an independent e150 (multi-card
+  /// setups open several; Grayskulls cannot access each other's memory —
+  /// paper Section VII).
+  static std::unique_ptr<Device> open(sim::GrayskullSpec spec = {});
+  ~Device();
+
+  sim::Grayskull& hw() { return hw_; }
+  const sim::GrayskullSpec& spec() const { return hw_.spec(); }
+  int num_workers() const { return hw_.worker_count(); }
+
+  /// Allocate a DRAM buffer. Single-bank buffers with bank = -1 round-robin
+  /// across banks (so distinct buffers land in distinct banks, as the
+  /// paper's input/output streaming buffers do).
+  std::shared_ptr<Buffer> create_buffer(const BufferConfig& config);
+
+  // --- command queue (blocking; simulated PCIe cost applied) ---
+  void write_buffer(Buffer& buffer, std::span<const std::byte> data,
+                    std::uint64_t offset = 0);
+  void read_buffer(Buffer& buffer, std::span<std::byte> out, std::uint64_t offset = 0);
+
+  /// Launch `program` and run it to completion in simulated time.
+  void run_program(Program& program);
+
+  /// Simulated duration of the last run_program, excluding dispatch overhead
+  /// (the paper's streaming results are "kernel execution time only").
+  SimTime last_kernel_duration() const { return last_kernel_duration_; }
+  /// Simulated time on this device's clock right now.
+  SimTime now() { return hw_.engine().now(); }
+
+  /// Total simulated wall time spent in host<->device transfers so far.
+  SimTime pcie_time() const { return pcie_time_; }
+
+  /// Per-kernel execution profile of the last run_program: how much of each
+  /// kernel's lifetime was active (charged work) vs stalled (waiting on
+  /// CBs, semaphores, barriers, NoC/DRAM completions).
+  struct KernelProfile {
+    std::string name;
+    int core = 0;
+    SimTime lifetime = 0;
+    SimTime active = 0;
+    double utilisation() const {
+      return lifetime > 0 ? static_cast<double>(active) / static_cast<double>(lifetime)
+                          : 0.0;
+    }
+  };
+  const std::vector<KernelProfile>& last_profile() const { return profile_; }
+
+ private:
+  explicit Device(sim::GrayskullSpec spec);
+  void release_buffer(const Buffer& buffer);
+  friend class Buffer;
+  friend class KernelCtxBase;
+
+  /// Device-wide rendezvous used by KernelCtxBase::global_barrier.
+  struct DeviceBarrier {
+    DeviceBarrier(sim::Engine& engine, int expected_participants)
+        : expected(expected_participants), queue(engine) {}
+    int expected;
+    int arrived = 0;
+    std::uint64_t generation = 0;
+    sim::WaitQueue queue;
+  };
+  DeviceBarrier& barrier(int barrier_id);
+  std::map<int, std::unique_ptr<DeviceBarrier>> barriers_;
+
+  sim::Grayskull hw_;
+  std::vector<std::uint64_t> bank_top_;  // single-bank bump allocators
+  std::uint64_t interleaved_top_;        // virtual region above the banks
+  int next_bank_ = 0;
+  SimTime last_kernel_duration_ = 0;
+  SimTime pcie_time_ = 0;
+  std::vector<KernelProfile> profile_;
+};
+
+}  // namespace ttsim::ttmetal

@@ -1,0 +1,196 @@
+#pragma once
+/// \file kernel_ctx.hpp
+/// Device-kernel APIs in tt-metal style. Data mover kernels receive a
+/// DataMoverCtx (NoC reads/writes, CB producer/consumer ops, L1 memcpy,
+/// semaphores — paper Listings 3 & 4); compute kernels receive a ComputeCtx
+/// (CB ops plus FPU tile operations — paper Listing 2 — and the paper's
+/// Section VI cb_set_rd_ptr extension).
+///
+/// Local memory is addressed with 32-bit L1 addresses exactly as on the
+/// hardware; get_write_ptr/get_read_ptr return L1 addresses into CB pages.
+
+#include <cstdint>
+#include <vector>
+
+#include "ttsim/sim/tensix_core.hpp"
+
+namespace ttsim::ttmetal {
+
+class Device;
+
+/// State shared by both kernel contexts on one core.
+class KernelCtxBase {
+ public:
+  KernelCtxBase(Device& device, sim::TensixCore& core,
+                std::vector<std::uint32_t> args, int position, int group_size);
+
+  // --- runtime arguments (uint32 slots, as in tt-metal) ---
+  std::uint32_t arg(std::size_t i) const;
+  /// 64-bit argument occupying slots i (low) and i+1 (high).
+  std::uint64_t arg64(std::size_t i) const;
+  std::size_t arg_count() const { return args_.size(); }
+
+  /// This kernel's index within its launch group, and the group size
+  /// (host-side decomposition helpers).
+  int position() const { return position_; }
+  int group_size() const { return group_size_; }
+  /// Physical worker id of the core this kernel runs on.
+  int core_id() const { return core_.id(); }
+
+  // --- circular buffers (both movers and compute use these) ---
+  void cb_reserve_back(int cb_id, std::uint32_t pages);
+  void cb_push_back(int cb_id, std::uint32_t pages);
+  void cb_wait_front(int cb_id, std::uint32_t pages);
+  void cb_pop_front(int cb_id, std::uint32_t pages);
+  /// L1 address of the producer page `page_offset` pages past the write point.
+  std::uint32_t get_write_ptr(int cb_id, std::uint32_t page_offset = 0);
+  /// L1 address of the consumer front page.
+  std::uint32_t get_read_ptr(int cb_id);
+
+  // --- local SRAM ---
+  std::byte* l1_ptr(std::uint32_t l1_addr);
+  const std::byte* l1_ptr(std::uint32_t l1_addr) const;
+  std::uint32_t l1_address_of(const std::byte* p) const;
+
+  // --- semaphores (paper Fig. 3) ---
+  void semaphore_post(int sem_id, std::int64_t n = 1);
+  void semaphore_wait(int sem_id, std::int64_t n = 1);
+
+  /// Rendezvous with every other participant of a device-wide barrier
+  /// configured via Program::create_global_barrier (multi-core iteration
+  /// synchronisation for the Section VII scaling runs).
+  void global_barrier(int barrier_id);
+
+  /// Charge per-iteration scalar bookkeeping (address arithmetic, loop
+  /// control) — the simulator's stand-in for baby-core instruction time.
+  void loop_tick();
+  /// Explicit delay (diagnostics / failure-injection tests).
+  void spin(SimTime dt);
+
+  sim::TensixCore& core() { return core_; }
+  Device& device() { return device_; }
+  SimTime now() const;
+
+  /// Simulated time this kernel actively spent executing charged operations
+  /// (issue overheads, FPU ops, memcpys, loop ticks) — the remainder of its
+  /// lifetime was stalling on CBs, semaphores, barriers or NoC completions.
+  SimTime active_time() const { return active_; }
+
+ protected:
+  void charge(SimTime cost);
+  SimTime active_ = 0;
+
+  Device& device_;
+  sim::TensixCore& core_;
+  std::vector<std::uint32_t> args_;
+  int position_;
+  int group_size_;
+};
+
+/// API surface for the two data mover baby cores.
+class DataMoverCtx : public KernelCtxBase {
+ public:
+  DataMoverCtx(Device& device, sim::TensixCore& core, int noc_id,
+               std::vector<std::uint32_t> args, int position, int group_size);
+
+  /// tt-metal's get_noc_addr: on real hardware combines the bank's NoC
+  /// coordinates with the in-bank address. Our device addresses already
+  /// identify the bank, so the coordinates are accepted for source
+  /// compatibility and validated lazily.
+  std::uint64_t get_noc_addr(std::uint64_t dram_addr) const { return dram_addr; }
+  std::uint64_t get_noc_addr(std::uint32_t noc_x, std::uint32_t noc_y,
+                             std::uint64_t dram_addr) const {
+    (void)noc_x;
+    (void)noc_y;
+    return dram_addr;
+  }
+
+  /// Non-blocking DRAM -> L1 read (issue cost charged; completion counted
+  /// towards noc_async_read_barrier).
+  void noc_async_read(std::uint64_t noc_addr, std::uint32_t l1_dst, std::uint32_t size);
+  /// Non-blocking L1 -> DRAM write (source data captured at issue).
+  void noc_async_write(std::uint32_t l1_src, std::uint64_t noc_addr, std::uint32_t size);
+  /// Block until every issued read has landed in L1.
+  void noc_async_read_barrier();
+  /// Block until every issued write has drained to DRAM.
+  void noc_async_write_barrier();
+
+  /// Baby-core software copy between L1 locations (the expensive operation
+  /// the paper's Section V quantifies and Section VI eliminates).
+  void l1_memcpy(std::uint32_t l1_dst, std::uint32_t l1_src, std::uint32_t size);
+
+  /// Single scalar store into L1 (one baby-core instruction).
+  void l1_store_u16(std::uint32_t l1_addr, std::uint16_t value);
+
+  // --- direct core-to-core transfers (the paper's "direct neighbour to
+  // neighbour communications" for SRAM-resident domains) ---
+
+  /// Non-blocking unicast write from this core's L1 into another worker
+  /// core's L1 over this mover's NoC; counted towards
+  /// noc_async_write_barrier. Data is captured at issue.
+  void noc_async_write_core(int dst_core, std::uint32_t dst_l1, std::uint32_t src_l1,
+                            std::uint32_t size);
+
+  /// Increment a semaphore on another core once this mover's earlier writes
+  /// have been ordered onto the NoC (tt-metal's noc_semaphore_inc).
+  void noc_semaphore_inc(int dst_core, int sem_id, std::int64_t n = 1);
+
+  /// Aligned-read helper from the paper's Listing 4: reads [address,
+  /// address+size) rounded down to the 256-bit boundary, storing at
+  /// l1_buffer; returns the byte offset at which the wanted data starts.
+  std::uint32_t read_data_aligned(std::uint64_t address, std::uint64_t starting_address,
+                                  std::uint32_t size, std::uint32_t l1_buffer);
+
+  std::uint64_t reads_issued() const { return reads_->issued_total(); }
+  std::uint64_t writes_issued() const { return writes_->issued_total(); }
+
+ private:
+  int noc_id_;
+  // Shared so in-flight completion callbacks outlive a kernel that returns
+  // without a final barrier (the events still drain in the engine).
+  std::shared_ptr<sim::CompletionTracker> reads_;
+  std::shared_ptr<sim::CompletionTracker> writes_;
+};
+
+/// API surface for the (logically single) compute core driving the FPU.
+class ComputeCtx : public KernelCtxBase {
+ public:
+  using KernelCtxBase::KernelCtxBase;
+
+  // Initialisation stubs kept for tt-metal source compatibility.
+  void binary_op_init_common(int, int) {}
+  void add_tiles_init(int, int) {}
+  void mul_tiles_init(int, int) {}
+  void tile_regs_acquire() {}
+  void tile_regs_commit() {}
+  void tile_regs_wait() {}
+  void tile_regs_release() {}
+
+  /// dst = cb_a[tile ia] + cb_b[tile ib], elementwise over 1024 BF16 lanes.
+  void add_tiles(int cb_a, int cb_b, std::uint32_t ia, std::uint32_t ib, int dst);
+  void sub_tiles(int cb_a, int cb_b, std::uint32_t ia, std::uint32_t ib, int dst);
+  void mul_tiles(int cb_a, int cb_b, std::uint32_t ia, std::uint32_t ib, int dst);
+  void copy_tile(int cb, std::uint32_t idx, int dst);
+  /// Pack dst register into the reserved producer page of `cb`.
+  void pack_tile(int dst, int cb, std::uint32_t page_offset = 0);
+  /// Elementwise |x| on a dst register (SFPU unary op).
+  void abs_tile(int dst);
+  /// Reduce a dst register to its maximum lane (device-side residuals).
+  bfloat16_t reduce_max(int dst);
+
+  /// The paper's Section VI extension (added to tt-metal's cb_api.h /
+  /// llk_set_read_ptr): repoint the consumer read pointer of `cb_id` at an
+  /// arbitrary L1 address so FPU ops consume data in place.
+  void cb_set_rd_ptr(int cb_id, std::uint32_t l1_addr);
+
+  /// Producer-side counterpart (the paper's API recommendation: CBs that
+  /// alias local memory): pack_tile lands directly at `l1_addr` — used by
+  /// the SRAM-resident solver to write results into the domain slab.
+  void cb_set_wr_ptr(int cb_id, std::uint32_t l1_addr);
+
+  /// Drop a read-pointer override before its page is handed to another
+  /// consumer (pop also clears it).
+  void cb_clear_rd_ptr(int cb_id);
+};
+
+}  // namespace ttsim::ttmetal

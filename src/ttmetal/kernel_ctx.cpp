@@ -1,0 +1,260 @@
+#include "ttsim/ttmetal/kernel_ctx.hpp"
+
+#include <cstring>
+
+#include "ttsim/ttmetal/device.hpp"
+
+namespace ttsim::ttmetal {
+
+KernelCtxBase::KernelCtxBase(Device& device, sim::TensixCore& core,
+                             std::vector<std::uint32_t> args, int position,
+                             int group_size)
+    : device_(device),
+      core_(core),
+      args_(std::move(args)),
+      position_(position),
+      group_size_(group_size) {}
+
+std::uint32_t KernelCtxBase::arg(std::size_t i) const {
+  if (i >= args_.size()) {
+    TTSIM_THROW_API("runtime arg " << i << " requested but only " << args_.size()
+                                   << " were set");
+  }
+  return args_[i];
+}
+
+std::uint64_t KernelCtxBase::arg64(std::size_t i) const {
+  return static_cast<std::uint64_t>(arg(i)) |
+         (static_cast<std::uint64_t>(arg(i + 1)) << 32);
+}
+
+SimTime KernelCtxBase::now() const { return device_.hw().engine().now(); }
+
+void KernelCtxBase::charge(SimTime cost) {
+  if (cost > 0) {
+    active_ += cost;
+    device_.hw().engine().delay(cost);
+  }
+}
+
+void KernelCtxBase::cb_reserve_back(int cb_id, std::uint32_t pages) {
+  charge(device_.spec().cb_op_cost);
+  core_.cb(cb_id).reserve_back(pages);
+}
+
+void KernelCtxBase::cb_push_back(int cb_id, std::uint32_t pages) {
+  charge(device_.spec().cb_op_cost);
+  core_.cb(cb_id).push_back(pages);
+}
+
+void KernelCtxBase::cb_wait_front(int cb_id, std::uint32_t pages) {
+  charge(device_.spec().cb_op_cost);
+  core_.cb(cb_id).wait_front(pages);
+}
+
+void KernelCtxBase::cb_pop_front(int cb_id, std::uint32_t pages) {
+  charge(device_.spec().cb_op_cost);
+  core_.cb(cb_id).pop_front(pages);
+}
+
+std::uint32_t KernelCtxBase::get_write_ptr(int cb_id, std::uint32_t page_offset) {
+  return l1_address_of(core_.cb(cb_id).write_ptr(page_offset));
+}
+
+std::uint32_t KernelCtxBase::get_read_ptr(int cb_id) {
+  return l1_address_of(core_.cb(cb_id).read_ptr());
+}
+
+std::byte* KernelCtxBase::l1_ptr(std::uint32_t l1_addr) {
+  TTSIM_CHECK_MSG(l1_addr < core_.sram().capacity(), "L1 address out of range");
+  return core_.sram().data(l1_addr);
+}
+
+const std::byte* KernelCtxBase::l1_ptr(std::uint32_t l1_addr) const {
+  TTSIM_CHECK_MSG(l1_addr < core_.sram().capacity(), "L1 address out of range");
+  return core_.sram().data(l1_addr);
+}
+
+std::uint32_t KernelCtxBase::l1_address_of(const std::byte* p) const {
+  const std::byte* base = core_.sram().data(0);
+  TTSIM_CHECK_MSG(p >= base && p < base + core_.sram().capacity(),
+                  "pointer does not point into this core's SRAM");
+  return static_cast<std::uint32_t>(p - base);
+}
+
+void KernelCtxBase::semaphore_post(int sem_id, std::int64_t n) {
+  charge(device_.spec().cb_op_cost);
+  core_.semaphore(sem_id).post(n);
+}
+
+void KernelCtxBase::semaphore_wait(int sem_id, std::int64_t n) {
+  charge(device_.spec().cb_op_cost);
+  core_.semaphore(sem_id).wait(n);
+}
+
+void KernelCtxBase::global_barrier(int barrier_id) {
+  // One NoC round trip to signal arrival at the rendezvous core.
+  charge(device_.spec().read_latency);
+  auto& b = device_.barrier(barrier_id);
+  const std::uint64_t gen = b.generation;
+  if (++b.arrived == b.expected) {
+    b.arrived = 0;
+    ++b.generation;
+    b.queue.notify_all();
+  } else {
+    while (b.generation == gen) b.queue.wait();
+  }
+}
+
+void KernelCtxBase::loop_tick() { charge(device_.spec().loop_overhead); }
+
+void KernelCtxBase::spin(SimTime dt) { charge(dt); }
+
+// ---------------------------------------------------------------------------
+// DataMoverCtx
+
+DataMoverCtx::DataMoverCtx(Device& device, sim::TensixCore& core, int noc_id,
+                           std::vector<std::uint32_t> args, int position,
+                           int group_size)
+    : KernelCtxBase(device, core, std::move(args), position, group_size),
+      noc_id_(noc_id),
+      reads_(std::make_shared<sim::CompletionTracker>(device.hw().engine())),
+      writes_(std::make_shared<sim::CompletionTracker>(device.hw().engine())) {}
+
+void DataMoverCtx::noc_async_read(std::uint64_t noc_addr, std::uint32_t l1_dst,
+                                  std::uint32_t size) {
+  charge(device_.spec().read_issue_overhead);
+  const int hops = device_.hw().hops_to_dram(core_, noc_addr, noc_id_);
+  reads_->issue();
+  device_.hw().dram().read(noc_addr, l1_ptr(l1_dst), size, core_.dma(noc_id_), hops,
+                           [t = reads_] { t->complete(); });
+}
+
+void DataMoverCtx::noc_async_write(std::uint32_t l1_src, std::uint64_t noc_addr,
+                                   std::uint32_t size) {
+  charge(device_.spec().write_issue_overhead);
+  const int hops = device_.hw().hops_to_dram(core_, noc_addr, noc_id_);
+  writes_->issue();
+  device_.hw().dram().write(noc_addr, l1_ptr(l1_src), size, core_.dma(noc_id_), hops,
+                            [t = writes_] { t->complete(); });
+}
+
+void DataMoverCtx::noc_async_read_barrier() { reads_->barrier(); }
+
+void DataMoverCtx::noc_async_write_barrier() { writes_->barrier(); }
+
+void DataMoverCtx::l1_memcpy(std::uint32_t l1_dst, std::uint32_t l1_src,
+                             std::uint32_t size) {
+  const auto& spec = device_.spec();
+  charge(spec.memcpy_call_overhead +
+         static_cast<SimTime>(spec.memcpy_ns_per_byte * static_cast<double>(size) *
+                              static_cast<double>(kNanosecond)));
+  std::memmove(l1_ptr(l1_dst), l1_ptr(l1_src), size);
+}
+
+void DataMoverCtx::l1_store_u16(std::uint32_t l1_addr, std::uint16_t value) {
+  charge(2 * kNanosecond);  // a couple of baby-core store cycles
+  std::memcpy(l1_ptr(l1_addr), &value, sizeof(value));
+}
+
+void DataMoverCtx::noc_async_write_core(int dst_core, std::uint32_t dst_l1,
+                                        std::uint32_t src_l1, std::uint32_t size) {
+  charge(device_.spec().write_issue_overhead);
+  auto& hw = device_.hw();
+  sim::TensixCore& dst = hw.worker(dst_core);
+  TTSIM_CHECK_MSG(dst_l1 + size <= dst.sram().capacity(),
+                  "core-to-core write past the target core's SRAM");
+  auto& noc = hw.noc(noc_id_);
+  const auto& spec = device_.spec();
+  auto& engine = hw.engine();
+  // Drain through this mover's DMA engine, transit the NoC path, land in
+  // the destination core's L1 at the simulated completion time.
+  const SimTime drain = transfer_time(size, spec.dma_write_gbs);
+  const SimTime dma_end =
+      core_.dma(noc_id_).acquire(engine.now(), drain) + drain;
+  const SimTime complete =
+      dma_end + noc.hop_latency(core_.coord(), dst.coord()) + spec.write_latency;
+  writes_->issue();
+  std::vector<std::byte> snapshot(l1_ptr(src_l1), l1_ptr(src_l1) + size);
+  engine.schedule_at(complete, [&dst, dst_l1, data = std::move(snapshot),
+                                t = writes_]() mutable {
+    std::memcpy(dst.sram().data(dst_l1), data.data(), data.size());
+    t->complete();
+  });
+}
+
+void DataMoverCtx::noc_semaphore_inc(int dst_core, int sem_id, std::int64_t n) {
+  charge(device_.spec().cb_op_cost);
+  auto& hw = device_.hw();
+  sim::TensixCore& dst = hw.worker(dst_core);
+  auto& noc = hw.noc(noc_id_);
+  // The increment is ordered behind this mover's in-flight writes on the
+  // same NoC (tt-metal semantics): it fires after the DMA engine drains.
+  const SimTime at = std::max(hw.engine().now(), core_.dma(noc_id_).free_at()) +
+                     noc.hop_latency(core_.coord(), dst.coord()) +
+                     device_.spec().write_latency;
+  hw.engine().schedule_at(at, [&dst, sem_id, n] { dst.semaphore(sem_id).post(n); });
+}
+
+std::uint32_t DataMoverCtx::read_data_aligned(std::uint64_t address,
+                                              std::uint64_t starting_address,
+                                              std::uint32_t size,
+                                              std::uint32_t l1_buffer) {
+  // Paper Listing 4: round the read down to the previous 256-bit boundary,
+  // read the extra prefix, and tell the caller where its data starts.
+  const auto alignment = device_.spec().dram_alignment;
+  const std::uint32_t offset =
+      static_cast<std::uint32_t>((address - starting_address) % alignment);
+  const std::uint64_t offset_start = address - offset;
+  const std::uint32_t read_size = size + offset;
+  noc_async_read(get_noc_addr(offset_start), l1_buffer, read_size);
+  noc_async_read_barrier();
+  return offset;
+}
+
+// ---------------------------------------------------------------------------
+// ComputeCtx
+
+void ComputeCtx::add_tiles(int cb_a, int cb_b, std::uint32_t ia, std::uint32_t ib,
+                           int dst) {
+  core_.fpu().add_tiles(core_.cb(cb_a), core_.cb(cb_b), ia, ib, dst);
+}
+
+void ComputeCtx::sub_tiles(int cb_a, int cb_b, std::uint32_t ia, std::uint32_t ib,
+                           int dst) {
+  core_.fpu().sub_tiles(core_.cb(cb_a), core_.cb(cb_b), ia, ib, dst);
+}
+
+void ComputeCtx::mul_tiles(int cb_a, int cb_b, std::uint32_t ia, std::uint32_t ib,
+                           int dst) {
+  core_.fpu().mul_tiles(core_.cb(cb_a), core_.cb(cb_b), ia, ib, dst);
+}
+
+void ComputeCtx::copy_tile(int cb, std::uint32_t idx, int dst) {
+  core_.fpu().copy_tile(core_.cb(cb), idx, dst);
+}
+
+void ComputeCtx::pack_tile(int dst, int cb, std::uint32_t page_offset) {
+  core_.fpu().pack_tile(dst, core_.cb(cb), page_offset);
+}
+
+void ComputeCtx::cb_set_rd_ptr(int cb_id, std::uint32_t l1_addr) {
+  charge(device_.spec().cb_op_cost);
+  core_.cb(cb_id).set_read_ptr(l1_ptr(l1_addr));
+}
+
+void ComputeCtx::cb_set_wr_ptr(int cb_id, std::uint32_t l1_addr) {
+  charge(device_.spec().cb_op_cost);
+  core_.cb(cb_id).set_write_ptr(l1_ptr(l1_addr));
+}
+
+void ComputeCtx::cb_clear_rd_ptr(int cb_id) {
+  charge(device_.spec().cb_op_cost);
+  core_.cb(cb_id).clear_read_ptr();
+}
+
+void ComputeCtx::abs_tile(int dst) { core_.fpu().abs_tile(dst); }
+
+bfloat16_t ComputeCtx::reduce_max(int dst) { return core_.fpu().reduce_max(dst); }
+
+}  // namespace ttsim::ttmetal

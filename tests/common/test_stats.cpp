@@ -1,0 +1,45 @@
+#include "ttsim/common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ttsim {
+namespace {
+
+TEST(Stats, EmptyIsZero) {
+  Stats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, SingleValue) {
+  Stats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Stats, KnownSequence) {
+  Stats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  // Sample variance of this classic sequence is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Stats, WelfordMatchesNaiveOnShiftedData) {
+  // Large offset stresses numerical stability.
+  Stats s;
+  const double base = 1e9;
+  for (int i = 0; i < 100; ++i) s.add(base + i);
+  EXPECT_NEAR(s.mean(), base + 49.5, 1e-3);
+  EXPECT_NEAR(s.variance(), 841.666, 0.01);
+}
+
+}  // namespace
+}  // namespace ttsim

@@ -1,0 +1,65 @@
+#include "ttsim/common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ttsim {
+namespace {
+
+TEST(Units, ClockPeriodAt1p2GHz) {
+  Clock clk{1.2};
+  EXPECT_EQ(clk.period_ps(), 833);  // 1/1.2 GHz = 833.3 ps, rounded
+  EXPECT_NEAR(clk.ghz(), 1.2, 0.01);
+}
+
+TEST(Units, CycleTimeConversionRoundTrip) {
+  Clock clk{1.2};
+  EXPECT_EQ(clk.to_time(1000), 833000);
+  EXPECT_EQ(clk.to_cycles(clk.to_time(1000)), 1000);
+}
+
+TEST(Units, ToCyclesRoundsUp) {
+  Clock clk{1.0};  // 1000 ps period
+  EXPECT_EQ(clk.to_cycles(1), 1);
+  EXPECT_EQ(clk.to_cycles(1000), 1);
+  EXPECT_EQ(clk.to_cycles(1001), 2);
+}
+
+TEST(Units, TransferTimeMatchesBandwidth) {
+  // 1 GB/s == 1 byte per ns.
+  EXPECT_EQ(transfer_time(1000, 1.0), 1000 * kNanosecond);
+  // 64 MiB at 12 GB/s ≈ 5.59 ms.
+  const SimTime t = transfer_time(64 * MiB, 12.0);
+  EXPECT_NEAR(to_seconds(t), 0.00559, 0.0001);
+}
+
+TEST(Units, TransferTimeRejectsNonPositiveBandwidth) {
+  EXPECT_THROW(transfer_time(10, 0.0), CheckError);
+  EXPECT_THROW(transfer_time(10, -3.0), CheckError);
+}
+
+TEST(Units, AlignHelpers) {
+  EXPECT_EQ(align_up(0, 32), 0u);
+  EXPECT_EQ(align_up(1, 32), 32u);
+  EXPECT_EQ(align_up(32, 32), 32u);
+  EXPECT_EQ(align_up(33, 32), 64u);
+  EXPECT_EQ(align_down(31, 32), 0u);
+  EXPECT_EQ(align_down(33, 32), 32u);
+}
+
+TEST(Units, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(1023));
+}
+
+TEST(Units, ToSeconds) {
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_seconds(kMillisecond), 1e-3);
+  EXPECT_DOUBLE_EQ(to_seconds(kMicrosecond), 1e-6);
+  EXPECT_DOUBLE_EQ(to_seconds(kNanosecond), 1e-9);
+}
+
+}  // namespace
+}  // namespace ttsim

@@ -1,0 +1,174 @@
+/// \file test_jacobi_property.cpp
+/// Parameterised property tests of the device solvers: for every strategy,
+/// decomposition and problem shape in the sweep, the device result must be
+/// a bit-exact replay of the BF16 CPU reference, and the solution must obey
+/// the mathematical invariants of the Jacobi/Laplace iteration (maximum
+/// principle, symmetry, monotone relaxation).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "ttsim/core/jacobi_device.hpp"
+#include "ttsim/cpu/jacobi_cpu.hpp"
+
+namespace ttsim::core {
+namespace {
+
+struct Case {
+  std::uint32_t width, height;
+  int iterations;
+  DeviceStrategy strategy;
+  int cores_x, cores_y;
+  friend std::ostream& operator<<(std::ostream& os, const Case& c) {
+    return os << c.width << "x" << c.height << "/it" << c.iterations << "/"
+              << to_string(c.strategy) << "/" << c.cores_x << "x" << c.cores_y;
+  }
+};
+
+class JacobiSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(JacobiSweep, DeviceMatchesBf16ReferenceBitExact) {
+  const Case& c = GetParam();
+  JacobiProblem p;
+  p.width = c.width;
+  p.height = c.height;
+  p.iterations = c.iterations;
+  p.bc_left = 1.0f;
+  p.bc_right = 0.25f;
+  p.bc_top = 0.75f;
+  p.bc_bottom = 0.5f;
+
+  DeviceRunConfig cfg;
+  cfg.strategy = c.strategy;
+  cfg.cores_x = c.cores_x;
+  cfg.cores_y = c.cores_y;
+  const auto r = run_jacobi_on_device(p, cfg);
+  const auto ref = cpu::jacobi_reference_bf16(p);
+
+  ASSERT_EQ(r.solution.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(r.solution[i], static_cast<float>(ref[i]))
+        << "first mismatch at index " << i;
+  }
+
+  // Maximum principle: harmonic iterates stay inside the boundary range.
+  for (float v : r.solution) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, JacobiSweep,
+    ::testing::Values(
+        // Strategy sweep on a fixed shape.
+        Case{64, 64, 5, DeviceStrategy::kInitial, 1, 1},
+        Case{64, 64, 5, DeviceStrategy::kWriteOptimised, 1, 1},
+        Case{64, 64, 5, DeviceStrategy::kDoubleBuffered, 1, 1},
+        Case{64, 64, 5, DeviceStrategy::kRowChunk, 1, 1},
+        // Non-square domains, both orientations.
+        Case{128, 32, 4, DeviceStrategy::kRowChunk, 1, 1},
+        Case{32, 128, 4, DeviceStrategy::kRowChunk, 1, 1},
+        Case{128, 32, 4, DeviceStrategy::kDoubleBuffered, 1, 1},
+        // Odd iteration counts exercise the buffer-parity logic.
+        Case{64, 64, 1, DeviceStrategy::kRowChunk, 1, 1},
+        Case{64, 64, 2, DeviceStrategy::kRowChunk, 1, 1},
+        Case{64, 64, 7, DeviceStrategy::kRowChunk, 1, 1},
+        // Core-grid sweep, including uneven row splits.
+        Case{64, 64, 4, DeviceStrategy::kRowChunk, 1, 2},
+        Case{64, 64, 4, DeviceStrategy::kRowChunk, 2, 1},
+        Case{64, 64, 4, DeviceStrategy::kRowChunk, 2, 2},
+        Case{64, 64, 4, DeviceStrategy::kRowChunk, 4, 4},
+        Case{64, 96, 4, DeviceStrategy::kRowChunk, 1, 5},
+        Case{64, 64, 4, DeviceStrategy::kRowChunk, 1, 64},
+        Case{64, 64, 4, DeviceStrategy::kDoubleBuffered, 2, 2},
+        // Minimum-size strips: one row per core.
+        Case{32, 8, 3, DeviceStrategy::kRowChunk, 1, 8},
+        // Wide domain with several chunks per core.
+        Case{4096, 16, 3, DeviceStrategy::kRowChunk, 2, 2},
+        // SRAM-resident (future work): single core, multi-core, uneven
+        // splits, odd iteration parity, single-row strips, wide domains.
+        Case{64, 64, 5, DeviceStrategy::kSramResident, 1, 1},
+        Case{64, 64, 4, DeviceStrategy::kSramResident, 1, 4},
+        Case{64, 64, 6, DeviceStrategy::kSramResident, 1, 7},
+        Case{64, 64, 1, DeviceStrategy::kSramResident, 1, 2},
+        Case{64, 16, 3, DeviceStrategy::kSramResident, 1, 16},
+        Case{2048, 24, 4, DeviceStrategy::kSramResident, 1, 3},
+        Case{512, 32, 5, DeviceStrategy::kSramResident, 1, 4}));
+
+/// Relaxation property: with hot boundaries and a cold start, every point's
+/// value is non-decreasing across iterations (monotone diffusion inward).
+TEST(JacobiInvariants, MonotoneDiffusionFromColdStart) {
+  JacobiProblem p;
+  p.width = 32;
+  p.height = 32;
+  p.bc_left = p.bc_right = p.bc_top = p.bc_bottom = 1.0f;
+  p.initial = 0.0f;
+  std::vector<float> prev(32 * 32, 0.0f);
+  for (int iters : {2, 4, 8, 16, 32}) {
+    p.iterations = iters;
+    DeviceRunConfig cfg;
+    const auto r = run_jacobi_on_device(p, cfg);
+    for (std::size_t i = 0; i < prev.size(); ++i) {
+      EXPECT_GE(r.solution[i], prev[i] - 1e-6f) << "regression at " << i;
+    }
+    prev = r.solution;
+  }
+}
+
+/// Mirror symmetry: flipping the left/right boundary conditions must flip
+/// the solution left-right (up to exact BF16 arithmetic symmetry).
+TEST(JacobiInvariants, LeftRightMirror) {
+  JacobiProblem p;
+  p.width = 64;
+  p.height = 32;
+  p.iterations = 30;
+  p.bc_left = 1.0f;
+  p.bc_right = 0.0f;
+  p.bc_top = p.bc_bottom = 0.5f;
+  const auto a = run_jacobi_on_device(p, DeviceRunConfig{});
+  std::swap(p.bc_left, p.bc_right);
+  const auto b = run_jacobi_on_device(p, DeviceRunConfig{});
+  for (std::uint32_t r = 0; r < p.height; ++r) {
+    for (std::uint32_t c = 0; c < p.width; ++c) {
+      // The BF16 sum order breaks exact symmetry only in the last bit;
+      // allow one ULP at this magnitude.
+      EXPECT_NEAR(a.solution[r * p.width + c],
+                  b.solution[r * p.width + (p.width - 1 - c)], 0.004f);
+    }
+  }
+}
+
+/// Determinism: the simulated device gives identical results and identical
+/// simulated timings on repeated runs.
+TEST(JacobiInvariants, RunsAreDeterministic) {
+  JacobiProblem p;
+  p.width = 64;
+  p.height = 64;
+  p.iterations = 5;
+  DeviceRunConfig cfg;
+  cfg.cores_y = 4;
+  const auto a = run_jacobi_on_device(p, cfg);
+  const auto b = run_jacobi_on_device(p, cfg);
+  EXPECT_EQ(a.kernel_time, b.kernel_time);
+  EXPECT_EQ(a.solution, b.solution);
+}
+
+/// All strategies converge to the same fixed point (they implement the same
+/// arithmetic, so long runs must agree bit-exactly too).
+TEST(JacobiInvariants, StrategiesAgreeOnLongRuns) {
+  JacobiProblem p;
+  p.width = 64;
+  p.height = 64;
+  p.iterations = 50;
+  DeviceRunConfig a;
+  a.strategy = DeviceStrategy::kDoubleBuffered;
+  DeviceRunConfig b;
+  b.strategy = DeviceStrategy::kRowChunk;
+  EXPECT_EQ(run_jacobi_on_device(p, a).solution, run_jacobi_on_device(p, b).solution);
+}
+
+}  // namespace
+}  // namespace ttsim::core

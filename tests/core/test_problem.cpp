@@ -1,0 +1,89 @@
+#include "ttsim/core/problem.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ttsim::core {
+namespace {
+
+TEST(PaddedLayout, GeometryMatchesFig5) {
+  PaddedLayout l(512, 512);
+  EXPECT_EQ(l.row_elems(), 512u + 32u);
+  EXPECT_EQ(l.row_bytes(), 1088u);
+  EXPECT_EQ(l.stored_rows(), 514u);
+  EXPECT_EQ(l.bytes(), 1088ull * 514);
+  // Row stride is 256-bit aligned, the point of the padding.
+  EXPECT_EQ(l.row_bytes() % 32, 0u);
+}
+
+TEST(PaddedLayout, InteriorWritesAreAligned) {
+  PaddedLayout l(512, 512);
+  for (std::int64_t r = 0; r < 512; r += 97) {
+    for (std::int64_t c = 0; c < 512; c += 32) {
+      EXPECT_EQ(l.byte_offset(r, c) % 32, 0u) << r << "," << c;
+    }
+  }
+}
+
+TEST(PaddedLayout, HaloReadsAreUnalignedWithoutListing4) {
+  // The crux of Section IV-B: reading from col-1 is off-alignment.
+  PaddedLayout l(512, 512);
+  EXPECT_NE(l.byte_offset(0, -1) % 32, 0u);
+  EXPECT_EQ(l.byte_offset(0, -1) % 32, 30u);
+}
+
+TEST(PaddedLayout, IndexAddressesBoundaries) {
+  PaddedLayout l(64, 32);
+  EXPECT_EQ(l.index(-1, 0), 0u * l.row_elems() + 16);
+  EXPECT_EQ(l.index(0, -1), 1u * l.row_elems() + 15);
+  EXPECT_EQ(l.index(0, 64), 1u * l.row_elems() + 16 + 64);
+  EXPECT_EQ(l.index(32, 0), 33u * l.row_elems() + 16);
+}
+
+TEST(PaddedLayout, RejectsUnalignedWidth) {
+  EXPECT_THROW(PaddedLayout(100, 32), CheckError);
+  EXPECT_THROW(PaddedLayout(0, 32), CheckError);
+}
+
+TEST(PaddedLayout, InitialImageCarriesBoundaries) {
+  JacobiProblem p;
+  p.width = 64;
+  p.height = 32;
+  p.bc_left = 2.0f;
+  p.bc_right = 3.0f;
+  p.bc_top = 4.0f;
+  p.bc_bottom = 5.0f;
+  p.initial = 1.0f;
+  PaddedLayout l(p.width, p.height);
+  const auto img = l.initial_image(p);
+  EXPECT_EQ(static_cast<float>(img[l.index(0, -1)]), 2.0f);
+  EXPECT_EQ(static_cast<float>(img[l.index(5, 64)]), 3.0f);
+  EXPECT_EQ(static_cast<float>(img[l.index(-1, 10)]), 4.0f);
+  EXPECT_EQ(static_cast<float>(img[l.index(32, 10)]), 5.0f);
+  EXPECT_EQ(static_cast<float>(img[l.index(7, 7)]), 1.0f);
+  // Dead padding stays zero.
+  EXPECT_EQ(static_cast<float>(img[l.index(0, -1) - 5]), 0.0f);
+}
+
+TEST(PaddedLayout, ExtractInteriorRoundTrip) {
+  JacobiProblem p;
+  p.width = 32;
+  p.height = 16;
+  p.initial = 0.75f;
+  PaddedLayout l(p.width, p.height);
+  const auto img = l.initial_image(p);
+  const auto interior = l.extract_interior(img);
+  ASSERT_EQ(interior.size(), 32u * 16);
+  for (float v : interior) EXPECT_EQ(v, 0.75f);
+}
+
+TEST(JacobiProblem, PointCounts) {
+  JacobiProblem p;
+  p.width = 512;
+  p.height = 512;
+  p.iterations = 10000;
+  EXPECT_EQ(p.points(), 262144u);
+  EXPECT_EQ(p.total_updates(), 2621440000ull);
+}
+
+}  // namespace
+}  // namespace ttsim::core

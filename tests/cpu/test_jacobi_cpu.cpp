@@ -1,0 +1,153 @@
+#include "ttsim/cpu/jacobi_cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ttsim/cpu/xeon_model.hpp"
+
+namespace ttsim::cpu {
+namespace {
+
+core::JacobiProblem small_problem(int iters = 50) {
+  core::JacobiProblem p;
+  p.width = 32;
+  p.height = 32;
+  p.iterations = iters;
+  p.bc_left = 1.0f;
+  p.bc_right = 0.0f;
+  p.bc_top = 0.5f;
+  p.bc_bottom = 0.5f;
+  return p;
+}
+
+TEST(JacobiCpu, SingleIterationIsNeighbourAverage) {
+  auto p = small_problem(1);
+  const auto out = jacobi_reference_f32(p);
+  // Interior point far from boundaries: all four neighbours were 0.
+  EXPECT_EQ(out[15 * 32 + 15], 0.0f);
+  // Top-left corner: ym = bc_top, xm = bc_left, others initial(0).
+  EXPECT_EQ(out[0], 0.25f * (1.0f + 0.5f));
+  // Point adjacent only to the left boundary.
+  EXPECT_EQ(out[15 * 32 + 0], 0.25f * 1.0f);
+}
+
+TEST(JacobiCpu, ValuesDiffuseInward) {
+  auto p = small_problem(200);
+  const auto out = jacobi_reference_f32(p);
+  // After many iterations the interior has picked up boundary heat.
+  EXPECT_GT(out[16 * 32 + 16], 0.1f);
+  // The column next to the hot left boundary is warmer than next to the
+  // cold right boundary.
+  EXPECT_GT(out[16 * 32 + 0], out[16 * 32 + 31]);
+}
+
+TEST(JacobiCpu, ConvergesTowardsHarmonicSolution) {
+  // With all boundaries equal, the converged solution is that constant.
+  core::JacobiProblem p;
+  p.width = 16;
+  p.height = 16;
+  p.iterations = 3000;
+  p.bc_left = p.bc_right = p.bc_top = p.bc_bottom = 1.0f;
+  p.initial = 0.0f;
+  const auto out = jacobi_reference_f32(p);
+  for (float v : out) EXPECT_NEAR(v, 1.0f, 1e-3f);
+}
+
+TEST(JacobiCpu, SymmetricProblemGivesSymmetricSolution) {
+  core::JacobiProblem p = small_problem(100);
+  p.bc_top = p.bc_bottom = 0.25f;  // symmetric about the horizontal midline
+  const auto out = jacobi_reference_f32(p);
+  for (std::uint32_t r = 0; r < 16; ++r) {
+    for (std::uint32_t c = 0; c < 32; ++c) {
+      EXPECT_FLOAT_EQ(out[r * 32 + c], out[(31 - r) * 32 + c]) << r << "," << c;
+    }
+  }
+}
+
+TEST(JacobiCpu, MaxPrincipleHolds) {
+  // Harmonic iterates stay within the boundary value range.
+  auto p = small_problem(500);
+  const auto out = jacobi_reference_f32(p);
+  for (float v : out) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(JacobiCpu, MultithreadedMatchesScalar) {
+  auto p = small_problem(100);
+  const auto a = jacobi_reference_f32(p, 1);
+  const auto b = jacobi_reference_f32(p, 4);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]) << i;
+}
+
+TEST(JacobiCpu, Bf16TracksF32WithinRounding) {
+  auto p = small_problem(100);
+  const auto f = jacobi_reference_f32(p);
+  const auto b = jacobi_reference_bf16(p);
+  double max_diff = 0;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    max_diff = std::max(max_diff,
+                        std::abs(static_cast<double>(f[i]) -
+                                 static_cast<double>(static_cast<float>(b[i]))));
+  }
+  // BF16 has ~2-3 decimal digits; accumulated drift stays small on [0,1].
+  EXPECT_LT(max_diff, 0.02);
+  EXPECT_GT(max_diff, 0.0);  // BF16 genuinely rounds
+}
+
+TEST(JacobiCpu, Bf16IsDeterministic) {
+  auto p = small_problem(25);
+  const auto a = jacobi_reference_bf16(p);
+  const auto b = jacobi_reference_bf16(p);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].bits(), b[i].bits());
+}
+
+TEST(JacobiCpu, CardSplitReferenceFreezesCutHalos) {
+  auto p = small_problem(100);
+  const auto whole = jacobi_reference_bf16_cards(p, 1);
+  const auto split = jacobi_reference_bf16_cards(p, 2);
+  // The split solution differs near the cut (paper: "will not provide the
+  // correct answer") but matches away from it less and less... verify they
+  // differ somewhere and the cut rows see frozen halos.
+  bool differs = false;
+  for (std::size_t i = 0; i < whole.size(); ++i) {
+    if (whole[i].bits() != split[i].bits()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(JacobiCpu, HostMeasurementProducesRate) {
+  auto p = small_problem(20);
+  const auto m = measure_host_jacobi(p, 1);
+  EXPECT_GT(m.seconds, 0.0);
+  EXPECT_GT(m.gpts, 0.0);
+}
+
+TEST(XeonModel, CalibratedToPaperRows) {
+  XeonModel xeon;
+  EXPECT_NEAR(xeon.gpts(1), 1.41, 1e-9);
+  EXPECT_NEAR(xeon.gpts(24), 21.61, 0.15);
+  core::JacobiProblem p;
+  p.width = 1024;
+  p.height = 9216;
+  p.iterations = 5000;
+  // Paper Table VIII: 1657 J on one core, 588 J on 24.
+  EXPECT_NEAR(xeon.joules(p, 1), 1657.0, 30.0);
+  EXPECT_NEAR(xeon.joules(p, 24), 588.0, 15.0);
+}
+
+TEST(XeonModel, MoreCoresFasterButLessEfficient) {
+  XeonModel xeon;
+  double prev = 0;
+  for (int c : {1, 2, 4, 8, 16, 24}) {
+    EXPECT_GT(xeon.gpts(c), prev);
+    prev = xeon.gpts(c);
+  }
+  EXPECT_LT(xeon.gpts(24), 24 * xeon.gpts(1));
+}
+
+}  // namespace
+}  // namespace ttsim::cpu

@@ -1,0 +1,55 @@
+#include "ttsim/energy/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ttsim::energy {
+namespace {
+
+TEST(CardEnergyModel, NearConstantPowerDraw) {
+  // Section VII: "the power draw of the e150 is roughly constant, between
+  // 50 and 55 Watts, regardless of the number of Tensix cores in use."
+  CardEnergyModel m;
+  EXPECT_NEAR(m.power_w(1), m.power_w(108), 6.0);
+  EXPECT_GT(m.power_w(1), 44.0);
+  EXPECT_LT(m.power_w(108), 56.0);
+}
+
+TEST(CardEnergyModel, EnergyIsPowerTimesTime) {
+  CardEnergyModel m;
+  const double j = m.joules(2 * kSecond, 108);
+  EXPECT_NEAR(j, 2.0 * m.power_w(108), 1e-9);
+}
+
+TEST(CardEnergyModel, MultiCardMultipliesPower) {
+  CardEnergyModel m;
+  EXPECT_NEAR(m.joules_multicard(1 * kSecond, 108, 4), 4.0 * m.power_w(108), 1e-9);
+}
+
+TEST(CardEnergyModel, PaperTableVIIIAnchors) {
+  // e150, 108 cores, 22.06 GPt/s on 47.2e9 updates -> 2.14 s, paper 110 J.
+  CardEnergyModel m;
+  const double t108 = 47.2e9 / 22.06e9;
+  EXPECT_NEAR(m.joules(static_cast<SimTime>(t108 * kSecond), 108), 110.0, 8.0);
+  // 1 core, 1.06 GPt/s -> 44.5 s, paper 2094 J.
+  const double t1 = 47.2e9 / 1.06e9;
+  EXPECT_NEAR(m.joules(static_cast<SimTime>(t1 * kSecond), 1), 2094.0, 60.0);
+}
+
+TEST(CardEnergyModel, SpecConstructorUsesSpecValues) {
+  sim::GrayskullSpec spec;
+  spec.card_power_base_w = 100.0;
+  spec.card_power_per_core_w = 1.0;
+  CardEnergyModel m(spec);
+  EXPECT_DOUBLE_EQ(m.power_w(8), 108.0);
+}
+
+TEST(CardEnergyModel, EnergyEfficiencyHeadline) {
+  // The headline: at comparable time-to-solution the card's ~51 W beats the
+  // modelled 270 W 24-core CPU by ~5x.
+  CardEnergyModel card;
+  const double cpu_power = 39.9 + 9.6 * 24;
+  EXPECT_GT(cpu_power / card.power_w(108), 4.5);
+}
+
+}  // namespace
+}  // namespace ttsim::energy

@@ -1,0 +1,155 @@
+/// \file test_failure_injection.cpp
+/// Failure-injection tests: the simulator must turn kernel bugs into crisp,
+/// attributable diagnostics instead of silent corruption or hangs — the
+/// development experience the paper describes (alignment faults, deadlocks,
+/// SRAM exhaustion) should be reproducible and debuggable here.
+
+#include <gtest/gtest.h>
+
+#include "ttsim/ttmetal/device.hpp"
+
+namespace ttsim::ttmetal {
+namespace {
+
+TEST(FailureInjection, KernelExceptionSurfacesWithContext) {
+  auto dev = Device::open();
+  Program prog;
+  prog.create_kernel(
+      KernelKind::kDataMover0, {3},
+      [](DataMoverCtx&) { throw std::runtime_error("simulated kernel fault"); },
+      "faulty");
+  EXPECT_THROW(dev->run_program(prog), std::runtime_error);
+}
+
+TEST(FailureInjection, MismatchedCbProtocolDetected) {
+  // Popping more pages than were committed is a protocol bug.
+  auto dev = Device::open();
+  Program prog;
+  prog.create_cb(0, {0}, 64, 4);
+  prog.create_kernel(
+      KernelKind::kDataMover0, {0},
+      [](DataMoverCtx& ctx) {
+        ctx.cb_reserve_back(0, 1);
+        ctx.cb_push_back(0, 1);
+        ctx.cb_pop_front(0, 1);
+        ctx.cb_pop_front(0, 1);  // nothing left
+      },
+      "protocol_bug");
+  EXPECT_THROW(dev->run_program(prog), CheckError);
+}
+
+TEST(FailureInjection, CrossCoreDeadlockNamesAllStuckKernels) {
+  // Two cores each waiting on a semaphore the other never posts.
+  auto dev = Device::open();
+  Program prog;
+  prog.create_semaphore(0, {0, 1}, 0);
+  prog.create_kernel(
+      KernelKind::kDataMover0, {0, 1},
+      [](DataMoverCtx& ctx) { ctx.semaphore_wait(0); }, "stuck_pair");
+  try {
+    dev->run_program(prog);
+    FAIL() << "expected deadlock";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("stuck_pair@0"), std::string::npos);
+    EXPECT_NE(what.find("stuck_pair@1"), std::string::npos);
+  }
+}
+
+TEST(FailureInjection, PartialBarrierArrivalDeadlocks) {
+  // A barrier sized for 4 participants with only 2 arriving must deadlock,
+  // not silently release.
+  auto dev = Device::open();
+  Program prog;
+  prog.create_global_barrier(0, 4);
+  prog.create_kernel(
+      KernelKind::kDataMover0, {0, 1},
+      [](DataMoverCtx& ctx) { ctx.global_barrier(0); }, "under_subscribed");
+  EXPECT_THROW(dev->run_program(prog), CheckError);
+}
+
+TEST(FailureInjection, SramExhaustionReportsBudget) {
+  auto dev = Device::open();
+  Program prog;
+  // Ask for more than the 1 MB SRAM in CBs.
+  prog.create_cb(0, {0}, 64 * 1024, 20);
+  prog.create_kernel(
+      KernelKind::kDataMover0, {0}, [](DataMoverCtx&) {}, "oversized");
+  try {
+    dev->run_program(prog);
+    FAIL() << "expected SRAM exhaustion";
+  } catch (const ApiError& e) {
+    EXPECT_NE(std::string(e.what()).find("SRAM exhausted"), std::string::npos);
+  }
+}
+
+TEST(FailureInjection, ReadPastBufferEndDetected) {
+  auto dev = Device::open();
+  auto buf = dev->create_buffer({.size = 1024});
+  Program prog;
+  auto l1 = prog.create_l1_buffer({0}, 4096);
+  prog.create_kernel(
+      KernelKind::kDataMover0, {0},
+      [addr = buf->address(), l1](DataMoverCtx& ctx) {
+        (void)l1;
+        ctx.noc_async_read(ctx.get_noc_addr(addr + 1000), ctx.arg(0), 512);
+        ctx.noc_async_read_barrier();
+      },
+      "overread");
+  prog.set_runtime_args(0, 0, {prog.l1_buffer_address(l1)});
+  EXPECT_THROW(dev->run_program(prog), ApiError);
+}
+
+TEST(FailureInjection, UseOfUnconfiguredCbDetected) {
+  auto dev = Device::open();
+  Program prog;
+  prog.create_kernel(
+      KernelKind::kDataMover0, {0},
+      [](DataMoverCtx& ctx) { ctx.cb_reserve_back(7, 1); }, "no_such_cb");
+  EXPECT_THROW(dev->run_program(prog), ApiError);
+}
+
+TEST(FailureInjection, UnalignedWriteCorruptionIsObservable) {
+  // The Section IV-B bug as a regression test: a kernel writing result
+  // tiles to unaligned addresses produces observably wrong DRAM contents
+  // (not an error — exactly the silent corruption the paper hit).
+  auto dev = Device::open();
+  auto buf = dev->create_buffer({.size = 4096});
+  std::vector<std::byte> zero(4096, std::byte{0});
+  dev->write_buffer(*buf, zero);
+
+  Program prog;
+  auto l1 = prog.create_l1_buffer({0}, 256);
+  prog.create_kernel(
+      KernelKind::kDataMover0, {0},
+      [addr = buf->address()](DataMoverCtx& ctx) {
+        auto* p = ctx.l1_ptr(ctx.arg(0));
+        for (int i = 0; i < 64; ++i) p[i] = std::byte{0xCD};
+        // Unaligned, non-contiguous: lands at the aligned-down address.
+        ctx.noc_async_write(ctx.arg(0), ctx.get_noc_addr(addr + 50), 64);
+        ctx.noc_async_write_barrier();
+      },
+      "unaligned_writer");
+  prog.set_runtime_args(0, 0, {prog.l1_buffer_address(l1)});
+  dev->run_program(prog);
+
+  std::vector<std::byte> out(4096);
+  dev->read_buffer(*buf, out);
+  EXPECT_EQ(out[32], std::byte{0xCD});  // misplaced to align_down(50) = 32
+  EXPECT_EQ(out[50 + 63], std::byte{0});  // intended tail never written
+  EXPECT_EQ(dev->hw().dram().stats().unaligned_writes_corrupted, 1u);
+}
+
+TEST(FailureInjection, RunUntilBoundsHungSimulations) {
+  // A watchdog pattern: bound a potentially-hung program in simulated time.
+  auto dev = Device::open();
+  auto& engine = dev->hw().engine();
+  engine.spawn("spinner", [&engine] {
+    for (;;) engine.delay(1 * kMillisecond);
+  });
+  EXPECT_FALSE(engine.run_until(engine.now() + 50 * kMillisecond));
+  EXPECT_EQ(engine.unfinished_process_count(), 1u);
+}
+
+}  // namespace
+}  // namespace ttsim::ttmetal

@@ -1,0 +1,164 @@
+/// \file test_paper_claims.cpp
+/// Integration tests pinning the paper's qualitative claims at reduced
+/// scale, so regressions in the model or kernels that would break the
+/// reproduction fail CI rather than only showing up in bench output.
+
+#include <gtest/gtest.h>
+
+#include "ttsim/core/jacobi_device.hpp"
+#include "ttsim/cpu/xeon_model.hpp"
+#include "ttsim/energy/energy.hpp"
+#include "ttsim/stream/stream_bench.hpp"
+
+namespace ttsim {
+namespace {
+
+/// Table I's ladder: initial <= write-optimised < double-buffered, all far
+/// below the CPU core, at the paper's 512x512 shape.
+TEST(PaperClaims, TableOneLadder) {
+  core::JacobiProblem p;
+  p.width = 512;
+  p.height = 512;
+  p.iterations = 6;
+  auto gpts = [&](core::DeviceStrategy s) {
+    core::DeviceRunConfig cfg;
+    cfg.strategy = s;
+    return core::run_jacobi_on_device(p, cfg).gpts(p, true);
+  };
+  const double initial = gpts(core::DeviceStrategy::kInitial);
+  const double write_opt = gpts(core::DeviceStrategy::kWriteOptimised);
+  const double db = gpts(core::DeviceStrategy::kDoubleBuffered);
+  EXPECT_LE(initial, write_opt * 1.001);
+  EXPECT_LT(write_opt, db);
+  // ~100x slower than a CPU core (paper: 0.014 vs 1.41).
+  cpu::XeonModel xeon;
+  EXPECT_GT(xeon.gpts(1), db * 50);
+  // Paper band: initial 0.0065, double-buffered 0.0140 GPt/s.
+  EXPECT_GT(initial, 0.003);
+  EXPECT_LT(initial, 0.03);
+  EXPECT_GT(db, 0.007);
+  EXPECT_LT(db, 0.03);
+}
+
+/// Table II's ordering: none > compute > write > read >> memcpy ~ r+m.
+TEST(PaperClaims, TableTwoComponentOrdering) {
+  core::JacobiProblem p;
+  p.width = 512;
+  p.height = 512;
+  p.iterations = 4;
+  auto gpts = [&](bool rd, bool mc, bool co, bool wr) {
+    core::DeviceRunConfig cfg;
+    cfg.strategy = core::DeviceStrategy::kDoubleBuffered;
+    cfg.toggles = core::ComponentToggles{rd, mc, co, wr};
+    return core::run_jacobi_on_device(p, cfg).gpts(p, true);
+  };
+  const double none = gpts(false, false, false, false);
+  const double compute = gpts(false, false, true, false);
+  const double write = gpts(false, false, false, true);
+  const double read = gpts(true, false, false, false);
+  const double memcpy_only = gpts(false, true, false, false);
+  const double read_memcpy = gpts(true, true, false, false);
+  EXPECT_GT(none, compute);
+  EXPECT_GT(compute, write);
+  EXPECT_GT(write, read);
+  EXPECT_GT(read, memcpy_only * 5);  // memcpy is the standout bottleneck
+  EXPECT_GE(memcpy_only, read_memcpy);
+  // The compute ceiling is in the paper's band (1.387 GPt/s).
+  EXPECT_GT(compute, 1.0);
+  EXPECT_LT(compute, 1.8);
+}
+
+/// Section VI's claim: the optimised kernel approaches the compute ceiling
+/// (paper: 1.06 of 1.387 GPt/s on 1024-wide chunks).
+TEST(PaperClaims, OptimisedKernelNearComputeCeiling) {
+  core::JacobiProblem p;
+  p.width = 1024;
+  p.height = 512;
+  p.iterations = 6;
+  core::DeviceRunConfig cfg;
+  cfg.strategy = core::DeviceStrategy::kRowChunk;
+  const double g = core::run_jacobi_on_device(p, cfg).gpts(p, true);
+  EXPECT_GT(g, 0.75);
+  EXPECT_LT(g, 1.387);
+}
+
+/// Section VII headline at reduced scale: many Tensix cores beat one and the
+/// card's near-constant power makes them far more energy-efficient than the
+/// modelled CPU.
+TEST(PaperClaims, ScalingAndEnergyHeadline) {
+  core::JacobiProblem p;
+  p.width = 2304;
+  p.height = 256;
+  p.iterations = 5;
+  auto run = [&](int cy, int cx) {
+    core::DeviceRunConfig cfg;
+    cfg.strategy = core::DeviceStrategy::kRowChunk;
+    cfg.cores_y = cy;
+    cfg.cores_x = cx;
+    cfg.buffer_layout = ttmetal::BufferLayout::kStriped;
+    return core::run_jacobi_on_device(p, cfg);
+  };
+  const auto one = run(1, 1);
+  const auto many = run(8, 3);
+  EXPECT_GT(many.gpts(p, true), one.gpts(p, true) * 6);
+
+  // Energy: device joules for this problem vs the modelled Xeon on 24 cores.
+  energy::CardEnergyModel card;
+  cpu::XeonModel xeon;
+  const double device_j = card.joules(many.kernel_time, 24);
+  const double cpu_j = xeon.joules(p, 24);
+  EXPECT_GT(cpu_j, device_j * 2.0);
+}
+
+/// Multi-card scaling is near-linear (paper: 2x and ~3.9x).
+TEST(PaperClaims, MultiCardNearLinear) {
+  core::JacobiProblem p;
+  p.width = 1024;
+  p.height = 256;
+  p.iterations = 5;
+  core::DeviceRunConfig cfg;
+  cfg.strategy = core::DeviceStrategy::kRowChunk;
+  cfg.cores_y = 8;
+  cfg.buffer_layout = ttmetal::BufferLayout::kStriped;
+  const auto one = core::run_jacobi_multicard(p, 1, cfg);
+  const auto two = core::run_jacobi_multicard(p, 2, cfg);
+  const auto four = core::run_jacobi_multicard(p, 4, cfg);
+  const double s2 = one.gpts(p, true) > 0 ? two.gpts(p, true) / one.gpts(p, true) : 0;
+  const double s4 = one.gpts(p, true) > 0 ? four.gpts(p, true) / one.gpts(p, true) : 0;
+  EXPECT_GT(s2, 1.6);
+  EXPECT_LT(s2, 2.2);
+  EXPECT_GT(s4, 3.0);
+  EXPECT_LT(s4, 4.4);
+}
+
+/// Section V's lessons, pinned end to end on the streaming probe.
+TEST(PaperClaims, StreamingLessons) {
+  stream::StreamParams p;
+  p.rows = 128;
+  p.verify = false;
+  const auto baseline = stream::run_streaming_benchmark(p);
+
+  // Lesson 1: many small accesses are slow.
+  auto small = p;
+  small.read_batch = 64;
+  EXPECT_GT(stream::run_streaming_benchmark(small).kernel_time,
+            baseline.kernel_time * 5);
+
+  // Lesson 3: memory copies between local buffers and CBs are expensive.
+  auto copied = p;
+  copied.via_local_buffer = true;
+  EXPECT_GT(stream::run_streaming_benchmark(copied).kernel_time,
+            baseline.kernel_time * 5);
+
+  // Lesson 4: replication hurts, interleaving ameliorates it.
+  auto repl = p;
+  repl.replication = 16;
+  const auto repl_single = stream::run_streaming_benchmark(repl);
+  repl.interleave_page = 32 * KiB;
+  const auto repl_inter = stream::run_streaming_benchmark(repl);
+  EXPECT_GT(repl_single.kernel_time, baseline.kernel_time * 4);
+  EXPECT_LT(repl_inter.kernel_time, repl_single.kernel_time);
+}
+
+}  // namespace
+}  // namespace ttsim

@@ -1,0 +1,276 @@
+#include "ttsim/sim/fpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ttsim/sim/tensix_core.hpp"
+
+namespace ttsim::sim {
+namespace {
+
+/// Fills one committed CB page with a constant BF16 value.
+void fill_page(CircularBuffer& cb, float value) {
+  auto* p = reinterpret_cast<bfloat16_t*>(cb.write_ptr());
+  for (std::uint32_t i = 0; i < Fpu::kTileElems; ++i) p[i] = bfloat16_t{value};
+}
+
+class FpuTest : public ::testing::Test {
+ protected:
+  FpuTest()
+      : core_(engine_, spec_, 0, NocCoord{1, 1}),
+        cb_a_(core_.create_cb(0, Fpu::kTileBytes, 2)),
+        cb_b_(core_.create_cb(1, Fpu::kTileBytes, 2)),
+        cb_out_(core_.create_cb(16, Fpu::kTileBytes, 2)) {}
+
+  /// Run `body` as the compute process.
+  void run_compute(std::function<void()> body) {
+    engine_.spawn("compute", std::move(body));
+    engine_.run();
+  }
+
+  GrayskullSpec spec_;
+  Engine engine_;
+  TensixCore core_;
+  CircularBuffer& cb_a_;
+  CircularBuffer& cb_b_;
+  CircularBuffer& cb_out_;
+};
+
+TEST_F(FpuTest, AddTilesElementwise) {
+  run_compute([&] {
+    cb_a_.reserve_back(1);
+    fill_page(cb_a_, 1.5f);
+    cb_a_.push_back(1);
+    cb_b_.reserve_back(1);
+    fill_page(cb_b_, 2.25f);
+    cb_b_.push_back(1);
+    core_.fpu().add_tiles(cb_a_, cb_b_, 0, 0, 0);
+    cb_out_.reserve_back(1);
+    core_.fpu().pack_tile(0, cb_out_);
+    cb_out_.push_back(1);
+  });
+  const auto* out = reinterpret_cast<const bfloat16_t*>(cb_out_.read_ptr());
+  for (std::uint32_t i = 0; i < Fpu::kTileElems; ++i) {
+    EXPECT_EQ(static_cast<float>(out[i]), 3.75f);
+  }
+}
+
+TEST_F(FpuTest, SubAndMulTiles) {
+  run_compute([&] {
+    cb_a_.reserve_back(1);
+    fill_page(cb_a_, 8.0f);
+    cb_a_.push_back(1);
+    cb_b_.reserve_back(1);
+    fill_page(cb_b_, 2.0f);
+    cb_b_.push_back(1);
+    core_.fpu().sub_tiles(cb_a_, cb_b_, 0, 0, 0);
+    core_.fpu().mul_tiles(cb_a_, cb_b_, 0, 0, 1);
+  });
+  EXPECT_EQ(static_cast<float>(core_.fpu().reg(0)[0]), 6.0f);
+  EXPECT_EQ(static_cast<float>(core_.fpu().reg(1)[512]), 16.0f);
+}
+
+TEST_F(FpuTest, ScalarMultiplyViaConstantCb) {
+  // The paper's trick: maths ops only take CBs, so multiplying by 0.25 uses
+  // a CB whose 1024 entries are all 0.25 (Listing 2, cb_scalar).
+  run_compute([&] {
+    cb_a_.reserve_back(1);
+    fill_page(cb_a_, 0.25f);  // cb_scalar
+    cb_a_.push_back(1);
+    cb_b_.reserve_back(1);
+    fill_page(cb_b_, 10.0f);
+    cb_b_.push_back(1);
+    core_.fpu().mul_tiles(cb_a_, cb_b_, 0, 0, 0);
+  });
+  EXPECT_EQ(static_cast<float>(core_.fpu().reg(0)[77]), 2.5f);
+}
+
+TEST_F(FpuTest, CopyTile) {
+  run_compute([&] {
+    cb_a_.reserve_back(1);
+    fill_page(cb_a_, -3.0f);
+    cb_a_.push_back(1);
+    core_.fpu().copy_tile(cb_a_, 0, 2);
+  });
+  EXPECT_EQ(static_cast<float>(core_.fpu().reg(2)[0]), -3.0f);
+}
+
+TEST_F(FpuTest, OpsChargeSimulatedTime) {
+  SimTime elapsed = 0;
+  run_compute([&] {
+    cb_a_.reserve_back(1);
+    fill_page(cb_a_, 1.0f);
+    cb_a_.push_back(1);
+    cb_b_.reserve_back(1);
+    fill_page(cb_b_, 1.0f);
+    cb_b_.push_back(1);
+    const SimTime t0 = engine_.now();
+    core_.fpu().add_tiles(cb_a_, cb_b_, 0, 0, 0);
+    elapsed = engine_.now() - t0;
+  });
+  EXPECT_EQ(elapsed, spec_.tile_math_cost);
+}
+
+TEST_F(FpuTest, ResultsAreBf16Rounded) {
+  run_compute([&] {
+    cb_a_.reserve_back(1);
+    fill_page(cb_a_, 256.0f);
+    cb_a_.push_back(1);
+    cb_b_.reserve_back(1);
+    fill_page(cb_b_, 1.0f);
+    cb_b_.push_back(1);
+    core_.fpu().add_tiles(cb_a_, cb_b_, 0, 0, 0);
+  });
+  // 257 is not representable in BF16; ties-to-even rounds to 256.
+  EXPECT_EQ(static_cast<float>(core_.fpu().reg(0)[0]), 256.0f);
+}
+
+TEST_F(FpuTest, RespectsReadPtrOverride) {
+  // cb_set_rd_ptr path: math ops must consume the aliased memory.
+  std::vector<bfloat16_t> local(Fpu::kTileElems, bfloat16_t{5.0f});
+  run_compute([&] {
+    cb_a_.reserve_back(1);
+    fill_page(cb_a_, 1.0f);
+    cb_a_.push_back(1);
+    cb_b_.reserve_back(1);
+    fill_page(cb_b_, 2.0f);
+    cb_b_.push_back(1);
+    cb_a_.set_read_ptr(reinterpret_cast<const std::byte*>(local.data()));
+    core_.fpu().add_tiles(cb_a_, cb_b_, 0, 0, 0);
+  });
+  EXPECT_EQ(static_cast<float>(core_.fpu().reg(0)[0]), 7.0f);
+}
+
+TEST_F(FpuTest, AbsTile) {
+  run_compute([&] {
+    cb_a_.reserve_back(1);
+    auto* p = reinterpret_cast<bfloat16_t*>(cb_a_.write_ptr());
+    for (std::uint32_t i = 0; i < Fpu::kTileElems; ++i) {
+      p[i] = bfloat16_t{(i % 2 == 0) ? -3.5f : 2.0f};
+    }
+    cb_a_.push_back(1);
+    core_.fpu().copy_tile(cb_a_, 0, 0);
+    core_.fpu().abs_tile(0);
+  });
+  EXPECT_EQ(static_cast<float>(core_.fpu().reg(0)[0]), 3.5f);
+  EXPECT_EQ(static_cast<float>(core_.fpu().reg(0)[1]), 2.0f);
+}
+
+TEST_F(FpuTest, ReduceMaxFindsTheMaximumLane) {
+  bfloat16_t result{};
+  run_compute([&] {
+    cb_a_.reserve_back(1);
+    auto* p = reinterpret_cast<bfloat16_t*>(cb_a_.write_ptr());
+    for (std::uint32_t i = 0; i < Fpu::kTileElems; ++i) {
+      p[i] = bfloat16_t{static_cast<float>(i % 97)};
+    }
+    p[777] = bfloat16_t{1000.0f};
+    cb_a_.push_back(1);
+    core_.fpu().copy_tile(cb_a_, 0, 0);
+    result = core_.fpu().reduce_max(0);
+  });
+  EXPECT_EQ(static_cast<float>(result), 1000.0f);
+}
+
+TEST_F(FpuTest, ReduceMaxPropagatesNan) {
+  bfloat16_t result{};
+  run_compute([&] {
+    cb_a_.reserve_back(1);
+    fill_page(cb_a_, 1.0f);
+    auto* p = reinterpret_cast<bfloat16_t*>(cb_a_.write_ptr());
+    p[500] = std::numeric_limits<bfloat16_t>::quiet_NaN();
+    cb_a_.push_back(1);
+    core_.fpu().copy_tile(cb_a_, 0, 0);
+    result = core_.fpu().reduce_max(0);
+  });
+  EXPECT_TRUE(result.is_nan());
+}
+
+TEST_F(FpuTest, AbsOfNegativeZeroIsPositiveZero) {
+  run_compute([&] {
+    cb_a_.reserve_back(1);
+    fill_page(cb_a_, -0.0f);
+    cb_a_.push_back(1);
+    core_.fpu().copy_tile(cb_a_, 0, 0);
+    core_.fpu().abs_tile(0);
+  });
+  EXPECT_EQ(core_.fpu().reg(0)[0].bits(), 0x0000);
+}
+
+TEST_F(FpuTest, DstRegisterOutOfRangeThrows) {
+  run_compute([&] {
+    cb_a_.reserve_back(1);
+    cb_a_.push_back(1);
+    cb_b_.reserve_back(1);
+    cb_b_.push_back(1);
+  });
+  EXPECT_THROW(core_.fpu().reg(spec_.dst_registers), CheckError);
+  EXPECT_THROW(core_.fpu().reg(-1), CheckError);
+}
+
+TEST_F(FpuTest, PackIntoTooSmallCbThrows) {
+  Engine e2;
+  TensixCore core2(e2, spec_, 1, NocCoord{1, 2});
+  auto& tiny = core2.create_cb(3, 128, 2);  // page smaller than a tile
+  e2.spawn("c", [&] {
+    tiny.reserve_back(1);
+    core2.fpu().pack_tile(0, tiny);
+  });
+  EXPECT_THROW(e2.run(), CheckError);
+}
+
+TEST(TensixCore, CbAndSemaphoreRegistry) {
+  GrayskullSpec spec;
+  Engine e;
+  TensixCore core(e, spec, 0, NocCoord{1, 1});
+  core.create_cb(0, 64, 2);
+  EXPECT_TRUE(core.has_cb(0));
+  EXPECT_FALSE(core.has_cb(1));
+  EXPECT_THROW(core.cb(1), ApiError);
+  EXPECT_THROW(core.create_cb(0, 64, 2), CheckError);  // duplicate
+  core.create_semaphore(0, 1);
+  EXPECT_EQ(core.semaphore(0).value(), 1);
+  EXPECT_THROW(core.semaphore(9), ApiError);
+  core.reset();
+  EXPECT_FALSE(core.has_cb(0));
+}
+
+TEST(TensixCore, CbIdRangeEnforced) {
+  GrayskullSpec spec;
+  Engine e;
+  TensixCore core(e, spec, 0, NocCoord{1, 1});
+  EXPECT_THROW(core.create_cb(32, 64, 2), CheckError);
+  EXPECT_THROW(core.create_cb(-1, 64, 2), CheckError);
+}
+
+TEST(Grayskull, WorkerGridGeometry) {
+  Grayskull gs;
+  EXPECT_EQ(gs.worker_count(), 108);
+  // Workers span columns 1..12, rows 0..8.
+  EXPECT_EQ(gs.worker_coord(0).x, 1);
+  EXPECT_EQ(gs.worker_coord(0).y, 0);
+  EXPECT_EQ(gs.worker_coord(11).x, 12);
+  EXPECT_EQ(gs.worker_coord(12).y, 1);
+  EXPECT_EQ(gs.worker_coord(107).y, 8);
+  EXPECT_THROW(gs.worker(108), CheckError);
+}
+
+TEST(Grayskull, BankCoordsFlankTheGrid) {
+  Grayskull gs;
+  for (int b = 0; b < 8; ++b) {
+    const auto c = gs.bank_coord(b);
+    EXPECT_TRUE(c.x == 0 || c.x == 13) << "bank " << b;
+  }
+}
+
+TEST(Grayskull, HopsArePositiveAndSymmetricEnough) {
+  Grayskull gs;
+  auto& noc = gs.noc(0);
+  const int h = noc.hops(gs.worker_coord(0), gs.bank_coord(0));
+  EXPECT_GT(h, 0);
+  EXPECT_EQ(noc.hops(gs.bank_coord(0), gs.worker_coord(0)), h);
+}
+
+}  // namespace
+}  // namespace ttsim::sim

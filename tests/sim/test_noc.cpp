@@ -1,0 +1,59 @@
+#include "ttsim/sim/noc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ttsim::sim {
+namespace {
+
+class NocTest : public ::testing::Test {
+ protected:
+  GrayskullSpec spec_;
+  Noc noc_{spec_, 0};
+};
+
+TEST_F(NocTest, SelfDistanceIsZero) {
+  EXPECT_EQ(noc_.hops({3, 4}, {3, 4}), 0);
+}
+
+TEST_F(NocTest, ManhattanOnShortPaths) {
+  EXPECT_EQ(noc_.hops({1, 1}, {4, 3}), 5);
+  EXPECT_EQ(noc_.hops({0, 0}, {1, 0}), 1);
+}
+
+TEST_F(NocTest, TorusWrapsAround) {
+  // Torus X extent is grid_cols + 2 = 14: going 13 right equals 1 left.
+  EXPECT_EQ(noc_.hops({0, 0}, {13, 0}), 1);
+  // Y extent 10: distance 9 wraps to 1.
+  EXPECT_EQ(noc_.hops({0, 0}, {0, 9}), 1);
+  EXPECT_EQ(noc_.hops({0, 0}, {0, 5}), 5);
+}
+
+TEST_F(NocTest, Symmetric) {
+  const NocCoord a{2, 7}, b{11, 1};
+  EXPECT_EQ(noc_.hops(a, b), noc_.hops(b, a));
+}
+
+TEST_F(NocTest, HopLatencyScalesWithDistance) {
+  EXPECT_EQ(noc_.hop_latency({0, 0}, {0, 0}), 0);
+  EXPECT_EQ(noc_.hop_latency({0, 0}, {3, 0}), 3 * spec_.noc_hop_latency);
+}
+
+TEST_F(NocTest, OccupySerialisesBandwidth) {
+  const SimTime end1 = noc_.occupy(0, 96'000);  // 1 us at 96 GB/s
+  const SimTime end2 = noc_.occupy(0, 96'000);  // queued behind the first
+  EXPECT_EQ(end1, 1 * kMicrosecond);
+  EXPECT_EQ(end2, 2 * kMicrosecond);
+}
+
+TEST(NocIds, TwoIndependentNocs) {
+  GrayskullSpec spec;
+  Noc read_noc(spec, 0), write_noc(spec, 1);
+  EXPECT_EQ(read_noc.id(), 0);
+  EXPECT_EQ(write_noc.id(), 1);
+  // Occupancy on one does not affect the other.
+  read_noc.occupy(0, 1'000'000);
+  EXPECT_EQ(write_noc.occupy(0, 96'000), 1 * kMicrosecond);
+}
+
+}  // namespace
+}  // namespace ttsim::sim

@@ -1,0 +1,164 @@
+#include "ttsim/sim/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ttsim::sim {
+namespace {
+
+TEST(WaitQueue, NotifyWakesInFifoOrder) {
+  Engine e;
+  WaitQueue q(e);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    e.spawn("w" + std::to_string(i), [&, i] {
+      q.wait();
+      order.push_back(i);
+    });
+  }
+  e.spawn("waker", [&] {
+    e.delay(10);
+    q.notify_one();
+    e.delay(10);
+    q.notify_all();
+  });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(WaitQueue, DeadlockDetected) {
+  Engine e;
+  WaitQueue q(e);
+  e.spawn("stuck", [&] { q.wait(); });
+  EXPECT_THROW(e.run(), CheckError);
+}
+
+TEST(WaitQueue, DeadlockMessageNamesProcess) {
+  Engine e;
+  WaitQueue q(e);
+  e.spawn("jacobi_dm0", [&] { q.wait(); });
+  try {
+    e.run();
+    FAIL() << "expected deadlock";
+  } catch (const CheckError& err) {
+    EXPECT_NE(std::string(err.what()).find("jacobi_dm0"), std::string::npos);
+  }
+}
+
+TEST(SimSemaphore, ProducerConsumerHandshake) {
+  Engine e;
+  SimSemaphore sem(e, 0);
+  std::vector<SimTime> consumed;
+  e.spawn("producer", [&] {
+    for (int i = 0; i < 3; ++i) {
+      e.delay(100);
+      sem.post();
+    }
+  });
+  e.spawn("consumer", [&] {
+    for (int i = 0; i < 3; ++i) {
+      sem.wait();
+      consumed.push_back(e.now());
+    }
+  });
+  e.run();
+  EXPECT_EQ(consumed, (std::vector<SimTime>{100, 200, 300}));
+}
+
+TEST(SimSemaphore, InitialValueConsumable) {
+  Engine e;
+  SimSemaphore sem(e, 2);
+  int got = 0;
+  e.spawn("c", [&] {
+    sem.wait(2);
+    got = 1;
+  });
+  e.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(sem.value(), 0);
+}
+
+TEST(SimSemaphore, TryWait) {
+  Engine e;
+  SimSemaphore sem(e, 1);
+  EXPECT_TRUE(sem.try_wait());
+  EXPECT_FALSE(sem.try_wait());
+  sem.post(3);
+  EXPECT_TRUE(sem.try_wait(3));
+}
+
+TEST(SimSemaphore, MultiUnitWaitBlocksUntilEnough) {
+  Engine e;
+  SimSemaphore sem(e, 0);
+  SimTime woke = -1;
+  e.spawn("c", [&] {
+    sem.wait(3);
+    woke = e.now();
+  });
+  e.spawn("p", [&] {
+    e.delay(10);
+    sem.post(1);
+    e.delay(10);
+    sem.post(1);
+    e.delay(10);
+    sem.post(1);
+  });
+  e.run();
+  EXPECT_EQ(woke, 30);
+}
+
+TEST(CompletionTracker, BarrierWaitsForAllCompletions) {
+  Engine e;
+  CompletionTracker t(e);
+  SimTime done = -1;
+  e.spawn("issuer", [&] {
+    for (SimTime d : {50, 10, 30}) {
+      t.issue();
+      e.schedule_after(d, [&t] { t.complete(); });
+    }
+    t.barrier();
+    done = e.now();
+  });
+  e.run();
+  EXPECT_EQ(done, 50);
+  EXPECT_EQ(t.outstanding(), 0u);
+  EXPECT_EQ(t.issued_total(), 3u);
+}
+
+TEST(CompletionTracker, BarrierWithNothingOutstandingReturnsImmediately) {
+  Engine e;
+  CompletionTracker t(e);
+  SimTime done = -1;
+  e.spawn("p", [&] {
+    t.barrier();
+    done = e.now();
+  });
+  e.run();
+  EXPECT_EQ(done, 0);
+}
+
+TEST(CompletionTracker, CompleteWithoutIssueThrows) {
+  Engine e;
+  CompletionTracker t(e);
+  EXPECT_THROW(t.complete(), CheckError);
+}
+
+TEST(CompletionTracker, ReusableAcrossBatches) {
+  Engine e;
+  CompletionTracker t(e);
+  std::vector<SimTime> barriers;
+  e.spawn("p", [&] {
+    for (int batch = 0; batch < 3; ++batch) {
+      t.issue();
+      e.schedule_after(25, [&t] { t.complete(); });
+      t.barrier();
+      barriers.push_back(e.now());
+    }
+  });
+  e.run();
+  EXPECT_EQ(barriers, (std::vector<SimTime>{25, 50, 75}));
+}
+
+}  // namespace
+}  // namespace ttsim::sim

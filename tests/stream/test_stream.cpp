@@ -1,0 +1,168 @@
+#include "ttsim/stream/stream_bench.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ttsim::stream {
+namespace {
+
+/// Small geometry keeps test runtime low; per-row behaviour matches the
+/// full 4096-row problem.
+StreamParams small() {
+  StreamParams p;
+  p.rows = 64;
+  p.row_bytes = 16384;
+  return p;
+}
+
+TEST(StreamBench, DataIntegrityContiguous) {
+  auto p = small();
+  const auto r = run_streaming_benchmark(p);
+  EXPECT_TRUE(r.verified_ok);
+  EXPECT_GT(r.kernel_time, 0);
+}
+
+TEST(StreamBench, DataIntegrityNonContiguous) {
+  auto p = small();
+  p.contiguous = false;
+  p.read_batch = 256;
+  p.write_batch = 512;
+  EXPECT_TRUE(run_streaming_benchmark(p).verified_ok);
+}
+
+TEST(StreamBench, DataIntegrityMismatchedBatches) {
+  auto p = small();
+  p.read_batch = 4096;
+  p.write_batch = 64;
+  EXPECT_TRUE(run_streaming_benchmark(p).verified_ok);
+}
+
+TEST(StreamBench, DataIntegrityViaLocalBuffer) {
+  auto p = small();
+  p.via_local_buffer = true;
+  EXPECT_TRUE(run_streaming_benchmark(p).verified_ok);
+}
+
+TEST(StreamBench, DataIntegrityInterleaved) {
+  auto p = small();
+  p.interleave_page = 4 * KiB;
+  EXPECT_TRUE(run_streaming_benchmark(p).verified_ok);
+}
+
+TEST(StreamBench, DataIntegrityMultiCore) {
+  auto p = small();
+  p.num_cores = 4;
+  p.read_batch = 1024;
+  EXPECT_TRUE(run_streaming_benchmark(p).verified_ok);
+}
+
+TEST(StreamBench, SmallerReadBatchesAreSlower) {
+  auto p = small();
+  p.verify = false;
+  p.read_batch = 16384;
+  const auto big = run_streaming_benchmark(p);
+  p.read_batch = 64;
+  const auto tiny = run_streaming_benchmark(p);
+  EXPECT_GT(tiny.kernel_time, big.kernel_time * 4);
+}
+
+TEST(StreamBench, PerAccessSyncSlowerThanPerRow) {
+  auto p = small();
+  p.verify = false;
+  p.read_batch = 256;
+  const auto nosync = run_streaming_benchmark(p);
+  p.read_sync_each = true;
+  const auto sync = run_streaming_benchmark(p);
+  EXPECT_GT(sync.kernel_time, nosync.kernel_time * 2);
+}
+
+TEST(StreamBench, NonContiguousSlowerThanContiguous) {
+  auto p = small();
+  p.verify = false;
+  p.read_batch = 64;
+  p.write_batch = 64;
+  const auto contig = run_streaming_benchmark(p);
+  p.contiguous = false;
+  const auto scattered = run_streaming_benchmark(p);
+  EXPECT_GT(scattered.kernel_time, contig.kernel_time);
+}
+
+TEST(StreamBench, ReplicationAddsOverhead) {
+  auto p = small();
+  p.verify = false;
+  const auto base = run_streaming_benchmark(p);
+  p.replication = 8;
+  const auto repl = run_streaming_benchmark(p);
+  EXPECT_GT(repl.kernel_time, base.kernel_time * 2);
+}
+
+TEST(StreamBench, InterleavingHelpsUnderReplication) {
+  // Table VI's key result: at replication 32, 32K pages roughly double the
+  // throughput of a single bank.
+  auto p = small();
+  p.verify = false;
+  p.replication = 32;
+  const auto single = run_streaming_benchmark(p);
+  p.interleave_page = 32 * KiB;
+  const auto inter = run_streaming_benchmark(p);
+  EXPECT_LT(inter.kernel_time, single.kernel_time);
+}
+
+TEST(StreamBench, TinyInterleavePagesHurt) {
+  auto p = small();
+  p.verify = false;
+  p.interleave_page = 32 * KiB;
+  const auto big_pages = run_streaming_benchmark(p);
+  p.interleave_page = 1 * KiB;
+  const auto small_pages = run_streaming_benchmark(p);
+  EXPECT_GT(small_pages.kernel_time, big_pages.kernel_time * 2);
+}
+
+TEST(StreamBench, ViaLocalBufferMuchSlower) {
+  // Section V inline: reading into a local buffer and memcpy'ing into the CB
+  // is ~10x slower than receiving into the CB directly.
+  auto p = small();
+  p.verify = false;
+  const auto direct = run_streaming_benchmark(p);
+  p.via_local_buffer = true;
+  const auto copied = run_streaming_benchmark(p);
+  EXPECT_GT(copied.kernel_time, direct.kernel_time * 5);
+}
+
+TEST(StreamBench, TwoCoresScaleOneDoesNotScaleToEight) {
+  // Table VII: streaming saturates the DDR/NoC at two cores.
+  auto p = small();
+  p.rows = 128;
+  p.verify = false;
+  const auto c1 = run_streaming_benchmark(p);
+  p.num_cores = 2;
+  const auto c2 = run_streaming_benchmark(p);
+  p.num_cores = 8;
+  const auto c8 = run_streaming_benchmark(p);
+  EXPECT_LT(c2.kernel_time, c1.kernel_time * 0.7);
+  // Eight cores give little beyond two (bandwidth wall).
+  EXPECT_GT(c8.kernel_time, c2.kernel_time * 0.45);
+}
+
+TEST(StreamBench, InvalidParamsRejected) {
+  auto p = small();
+  p.read_batch = 100;  // not a power of two
+  EXPECT_THROW(run_streaming_benchmark(p), ApiError);
+  p = small();
+  p.read_batch = 32768;  // larger than a row
+  EXPECT_THROW(run_streaming_benchmark(p), ApiError);
+  p = small();
+  p.num_cores = 7;  // does not divide 64 rows
+  EXPECT_THROW(run_streaming_benchmark(p), ApiError);
+}
+
+TEST(StreamBench, ReportsGoodput) {
+  auto p = small();
+  p.verify = false;
+  const auto r = run_streaming_benchmark(p);
+  EXPECT_GT(r.effective_gbs(), 0.5);
+  EXPECT_LT(r.effective_gbs(), 30.0);  // can't beat the aggregate cap
+  EXPECT_EQ(r.bytes_read, 64ull * 16384);
+}
+
+}  // namespace
+}  // namespace ttsim::stream

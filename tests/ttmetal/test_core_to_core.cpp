@@ -1,0 +1,198 @@
+/// \file test_core_to_core.cpp
+/// Tests for the SDK extensions backing the SRAM-resident solver: direct
+/// core-to-core L1 writes, remote semaphore increments, CB write-pointer
+/// aliasing, and scalar L1 stores.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "ttsim/ttmetal/device.hpp"
+
+namespace ttsim::ttmetal {
+namespace {
+
+TEST(CoreToCore, WriteLandsInTargetCoreSram) {
+  auto dev = Device::open();
+  Program prog;
+  const std::vector<int> cores{0, 1};
+  auto l1 = prog.create_l1_buffer(cores, 256);
+  prog.create_kernel(
+      KernelKind::kDataMover0, cores,
+      [](DataMoverCtx& ctx) {
+        const std::uint32_t buf = ctx.arg(0);
+        if (ctx.position() == 0) {
+          for (int i = 0; i < 64; ++i) ctx.l1_ptr(buf)[i] = std::byte{0xA5};
+          ctx.noc_async_write_core(1, buf, buf, 64);
+          ctx.noc_async_write_barrier();
+        }
+      },
+      "sender");
+  prog.set_common_runtime_args(0, {prog.l1_buffer_address(l1)});
+  dev->run_program(prog);
+  const auto* dst = dev->hw().worker(1).sram().data(prog.l1_buffer_address(l1));
+  EXPECT_EQ(dst[0], std::byte{0xA5});
+  EXPECT_EQ(dst[63], std::byte{0xA5});
+}
+
+TEST(CoreToCore, WriteSnapshotsSource) {
+  auto dev = Device::open();
+  Program prog;
+  const std::vector<int> cores{0, 1};
+  auto l1 = prog.create_l1_buffer(cores, 64);
+  prog.create_kernel(
+      KernelKind::kDataMover0, cores,
+      [](DataMoverCtx& ctx) {
+        const std::uint32_t buf = ctx.arg(0);
+        if (ctx.position() == 0) {
+          ctx.l1_ptr(buf)[0] = std::byte{0x11};
+          ctx.noc_async_write_core(1, buf, buf, 1);
+          ctx.l1_ptr(buf)[0] = std::byte{0xFF};  // after issue: must not leak
+          ctx.noc_async_write_barrier();
+        }
+      },
+      "sender");
+  prog.set_common_runtime_args(0, {prog.l1_buffer_address(l1)});
+  dev->run_program(prog);
+  EXPECT_EQ(dev->hw().worker(1).sram().data(prog.l1_buffer_address(l1))[0],
+            std::byte{0x11});
+}
+
+TEST(CoreToCore, WritePastTargetSramRejected) {
+  auto dev = Device::open();
+  Program prog;
+  auto l1 = prog.create_l1_buffer({0}, 64);
+  prog.create_kernel(
+      KernelKind::kDataMover0, {0},
+      [](DataMoverCtx& ctx) {
+        ctx.noc_async_write_core(1, 1024 * 1024 - 16, ctx.arg(0), 64);
+      },
+      "overwrite");
+  prog.set_runtime_args(0, 0, {prog.l1_buffer_address(l1)});
+  EXPECT_THROW(dev->run_program(prog), CheckError);
+}
+
+TEST(CoreToCore, RemoteSemaphoreUnblocksNeighbour) {
+  auto dev = Device::open();
+  Program prog;
+  prog.create_semaphore(0, {0, 1}, 0);
+  std::vector<SimTime> when(2, -1);
+  prog.create_kernel(
+      KernelKind::kDataMover0, {0, 1},
+      [&when](DataMoverCtx& ctx) {
+        if (ctx.position() == 0) {
+          ctx.spin(3 * kMicrosecond);
+          when[0] = ctx.now();
+          ctx.noc_semaphore_inc(1, 0);
+        } else {
+          ctx.semaphore_wait(0);
+          when[1] = ctx.now();
+        }
+      },
+      "pair");
+  dev->run_program(prog);
+  // The waiter wakes after the poster's increment plus NoC latency.
+  EXPECT_GT(when[1], when[0]);
+}
+
+TEST(CoreToCore, SemaphoreIncOrderedBehindWrites) {
+  // tt-metal semantics: the increment must not overtake an earlier write on
+  // the same NoC — the receiver observing the semaphore sees the data.
+  auto dev = Device::open();
+  Program prog;
+  const std::vector<int> cores{0, 1};
+  prog.create_semaphore(0, cores, 0);
+  auto l1 = prog.create_l1_buffer(cores, 64 * 1024);
+  std::byte observed{};
+  prog.create_kernel(
+      KernelKind::kDataMover0, cores,
+      [&observed](DataMoverCtx& ctx) {
+        const std::uint32_t buf = ctx.arg(0);
+        if (ctx.position() == 0) {
+          std::memset(ctx.l1_ptr(buf), 0x42, 64 * 1024);
+          ctx.noc_async_write_core(1, buf, buf, 64 * 1024);  // slow transfer
+          ctx.noc_semaphore_inc(1, 0);                       // no barrier!
+        } else {
+          ctx.semaphore_wait(0);
+          observed = ctx.l1_ptr(buf + 64 * 1024 - 1)[0];  // last byte
+        }
+      },
+      "ordered");
+  prog.set_common_runtime_args(0, {prog.l1_buffer_address(l1)});
+  dev->run_program(prog);
+  EXPECT_EQ(observed, std::byte{0x42});
+}
+
+TEST(CbWritePtr, PackLandsAtOverride) {
+  auto dev = Device::open();
+  Program prog;
+  prog.create_cb(0, {0}, 2048, 2);   // source tile
+  prog.create_cb(16, {0}, 2048, 1);  // pack vehicle
+  auto l1 = prog.create_l1_buffer({0}, 4096);
+  prog.create_kernel(
+      {0},
+      [](ComputeCtx& ctx) {
+        ctx.cb_wait_front(0, 1);
+        ctx.copy_tile(0, 0, 0);
+        ctx.cb_pop_front(0, 1);
+        ctx.cb_set_wr_ptr(16, ctx.arg(0) + 128);
+        ctx.pack_tile(0, 16);
+      },
+      "packer");
+  prog.create_kernel(
+      KernelKind::kDataMover0, {0},
+      [](DataMoverCtx& ctx) {
+        ctx.cb_reserve_back(0, 1);
+        auto* p = reinterpret_cast<bfloat16_t*>(ctx.l1_ptr(ctx.get_write_ptr(0)));
+        for (int i = 0; i < 1024; ++i) p[i] = bfloat16_t{7.0f};
+        ctx.cb_push_back(0, 1);
+      },
+      "feeder");
+  prog.set_runtime_args(0, 0, {prog.l1_buffer_address(l1)});
+  dev->run_program(prog);
+  const auto* out = reinterpret_cast<const bfloat16_t*>(
+      dev->hw().worker(0).sram().data(prog.l1_buffer_address(l1) + 128));
+  EXPECT_EQ(static_cast<float>(out[0]), 7.0f);
+  EXPECT_EQ(static_cast<float>(out[1023]), 7.0f);
+}
+
+TEST(CbWritePtr, OverrideClearedByPush) {
+  auto dev = Device::open();
+  auto& core = dev->hw().worker(0);
+  auto& cb = core.create_cb(0, 64, 2);
+  std::vector<std::byte> elsewhere(64);
+  cb.set_write_ptr(elsewhere.data());
+  EXPECT_TRUE(cb.has_write_ptr_override());
+  EXPECT_EQ(cb.write_ptr(), elsewhere.data());
+  dev->hw().engine().spawn("p", [&] {
+    cb.reserve_back(1);
+    cb.push_back(1);
+  });
+  dev->hw().engine().run();
+  EXPECT_FALSE(cb.has_write_ptr_override());
+}
+
+TEST(L1Store, SingleScalarStore) {
+  auto dev = Device::open();
+  Program prog;
+  auto l1 = prog.create_l1_buffer({0}, 64);
+  SimTime cost = -1;
+  prog.create_kernel(
+      KernelKind::kDataMover0, {0},
+      [&cost](DataMoverCtx& ctx) {
+        const SimTime t0 = ctx.now();
+        ctx.l1_store_u16(ctx.arg(0) + 10, 0xBEEF);
+        cost = ctx.now() - t0;
+      },
+      "store");
+  prog.set_runtime_args(0, 0, {prog.l1_buffer_address(l1)});
+  dev->run_program(prog);
+  std::uint16_t v = 0;
+  std::memcpy(&v, dev->hw().worker(0).sram().data(prog.l1_buffer_address(l1) + 10), 2);
+  EXPECT_EQ(v, 0xBEEF);
+  // A couple of core cycles, not a memcpy-call cost.
+  EXPECT_LT(cost, 10 * kNanosecond);
+}
+
+}  // namespace
+}  // namespace ttsim::ttmetal

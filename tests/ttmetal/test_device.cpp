@@ -1,0 +1,125 @@
+#include "ttsim/ttmetal/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+namespace ttsim::ttmetal {
+namespace {
+
+std::vector<std::byte> pattern(std::size_t n, unsigned seed = 1) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = static_cast<std::byte>((i * 131 + seed) & 0xFF);
+  return v;
+}
+
+TEST(Device, OpensWith108Workers) {
+  auto dev = Device::open();
+  EXPECT_EQ(dev->num_workers(), 108);
+}
+
+TEST(Device, BufferRoundTripThroughPcie) {
+  auto dev = Device::open();
+  auto buf = dev->create_buffer({.size = 64 * KiB});
+  const auto in = pattern(64 * KiB);
+  dev->write_buffer(*buf, in);
+  std::vector<std::byte> out(64 * KiB);
+  dev->read_buffer(*buf, out);
+  EXPECT_EQ(std::memcmp(in.data(), out.data(), in.size()), 0);
+}
+
+TEST(Device, PcieTransfersAdvanceSimulatedTime) {
+  auto dev = Device::open();
+  auto buf = dev->create_buffer({.size = 100 * MiB});
+  const SimTime t0 = dev->now();
+  std::vector<std::byte> data(100 * MiB);
+  dev->write_buffer(*buf, data);
+  const SimTime dt = dev->now() - t0;
+  // 100 MiB at 20 GB/s ≈ 5.24 ms plus latency.
+  EXPECT_NEAR(to_seconds(dt), 0.00525, 0.0005);
+  EXPECT_EQ(dev->pcie_time(), dt);
+}
+
+TEST(Device, DistinctBuffersLandInDistinctBanks) {
+  auto dev = Device::open();
+  auto a = dev->create_buffer({.size = 1024});
+  auto b = dev->create_buffer({.size = 1024});
+  EXPECT_NE(a->bank(), b->bank());
+  EXPECT_NE(a->address(), b->address());
+}
+
+TEST(Device, ExplicitBankHonoured) {
+  auto dev = Device::open();
+  auto a = dev->create_buffer({.size = 1024, .bank = 5});
+  EXPECT_EQ(a->bank(), 5);
+  EXPECT_EQ(a->address() / dev->spec().dram_bank_bytes, 5u);
+}
+
+TEST(Device, BankExhaustionThrows) {
+  auto dev = Device::open();
+  auto big = dev->create_buffer({.size = 1000 * MiB, .bank = 0});
+  EXPECT_THROW(dev->create_buffer({.size = 100 * MiB, .bank = 0}), ApiError);
+}
+
+TEST(Device, InterleavedBufferRoundTrip) {
+  auto dev = Device::open();
+  auto buf = dev->create_buffer({.size = 1 * MiB,
+                                 .layout = BufferLayout::kInterleaved,
+                                 .page_size = 4 * KiB});
+  const auto in = pattern(1 * MiB, 7);
+  dev->write_buffer(*buf, in);
+  std::vector<std::byte> out(1 * MiB);
+  dev->read_buffer(*buf, out);
+  EXPECT_EQ(std::memcmp(in.data(), out.data(), in.size()), 0);
+}
+
+TEST(Device, InterleavedPageSizeValidated) {
+  auto dev = Device::open();
+  EXPECT_THROW(dev->create_buffer({.size = 1024,
+                                   .layout = BufferLayout::kInterleaved,
+                                   .page_size = 128 * KiB}),
+               ApiError);
+}
+
+TEST(Device, PartialBufferOffsetAccess) {
+  auto dev = Device::open();
+  auto buf = dev->create_buffer({.size = 4096});
+  const auto in = pattern(256, 3);
+  dev->write_buffer(*buf, in, /*offset=*/1024);
+  std::vector<std::byte> out(256);
+  dev->read_buffer(*buf, out, 1024);
+  EXPECT_EQ(std::memcmp(in.data(), out.data(), 256), 0);
+}
+
+TEST(Device, OutOfRangeAccessThrows) {
+  auto dev = Device::open();
+  auto buf = dev->create_buffer({.size = 1024});
+  std::vector<std::byte> data(512);
+  EXPECT_THROW(dev->write_buffer(*buf, data, 600), CheckError);
+}
+
+TEST(Device, BufferReleaseUnmapsRegion) {
+  auto dev = Device::open();
+  std::uint64_t addr = 0;
+  {
+    auto buf = dev->create_buffer({.size = 1024, .bank = 2});
+    addr = buf->address();
+  }
+  std::byte b{};
+  EXPECT_THROW(dev->hw().dram().host_read(addr, &b, 1), ApiError);
+}
+
+TEST(Device, IndependentDevicesHaveIndependentClocks) {
+  auto a = Device::open();
+  auto b = Device::open();
+  auto buf = a->create_buffer({.size = 10 * MiB});
+  std::vector<std::byte> data(10 * MiB);
+  a->write_buffer(*buf, data);
+  EXPECT_GT(a->now(), 0);
+  EXPECT_EQ(b->now(), 0);
+}
+
+}  // namespace
+}  // namespace ttsim::ttmetal

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "ttsim/ttmetal/device.hpp"
+
+namespace ttsim::ttmetal {
+namespace {
+
+TEST(Profile, ActiveVsStallSplitsLifetime) {
+  auto dev = Device::open();
+  Program prog;
+  prog.create_semaphore(0, {0}, 0);
+  prog.create_kernel(
+      KernelKind::kDataMover0, {0},
+      [](DataMoverCtx& ctx) {
+        ctx.spin(3 * kMicrosecond);  // active
+        ctx.semaphore_wait(0);       // stalled until dm1 posts
+        ctx.spin(1 * kMicrosecond);  // active
+      },
+      "worker");
+  prog.create_kernel(
+      KernelKind::kDataMover1, {0},
+      [](DataMoverCtx& ctx) {
+        ctx.spin(10 * kMicrosecond);
+        ctx.semaphore_post(0);
+      },
+      "poster");
+  dev->run_program(prog);
+  const auto& prof = dev->last_profile();
+  ASSERT_EQ(prof.size(), 2u);
+  EXPECT_EQ(prof[0].name, "worker");
+  // Worker: ~4 us active of ~11 us lifetime.
+  EXPECT_NEAR(to_seconds(prof[0].active), 4e-6, 1e-7);
+  EXPECT_GT(prof[0].lifetime, prof[0].active * 2);
+  EXPECT_LT(prof[0].utilisation(), 0.5);
+  // Poster: fully active until its post.
+  EXPECT_GT(prof[1].utilisation(), 0.9);
+}
+
+TEST(Profile, OneEntryPerKernelInstance) {
+  auto dev = Device::open();
+  Program prog;
+  prog.create_kernel(
+      KernelKind::kDataMover0, {0, 1, 2},
+      [](DataMoverCtx& ctx) { ctx.spin(1 * kMicrosecond); }, "spin");
+  prog.create_kernel(
+      {4, 5}, [](ComputeCtx& ctx) { ctx.spin(1 * kMicrosecond); }, "cspin");
+  dev->run_program(prog);
+  ASSERT_EQ(dev->last_profile().size(), 5u);
+  EXPECT_EQ(dev->last_profile()[3].name, "cspin");
+  EXPECT_EQ(dev->last_profile()[3].core, 4);
+}
+
+TEST(Profile, ClearedBetweenRuns) {
+  auto dev = Device::open();
+  Program a;
+  a.create_kernel(
+      KernelKind::kDataMover0, {0, 1}, [](DataMoverCtx&) {}, "a");
+  dev->run_program(a);
+  EXPECT_EQ(dev->last_profile().size(), 2u);
+  Program b;
+  b.create_kernel(
+      KernelKind::kDataMover0, {0}, [](DataMoverCtx&) {}, "b");
+  dev->run_program(b);
+  ASSERT_EQ(dev->last_profile().size(), 1u);
+  EXPECT_EQ(dev->last_profile()[0].name, "b");
+}
+
+}  // namespace
+}  // namespace ttsim::ttmetal
