@@ -13,10 +13,27 @@
 namespace ttsim {
 
 /// Error thrown when a TTSIM_CHECK fails. Carries the failing expression and
-/// source location so tests can assert on failure modes.
+/// source location so tests can assert on failure modes structurally instead
+/// of string-matching what(). Errors raised outside a check site (e.g. the
+/// engine's deadlock report) carry only the message: expr() is empty and
+/// line() is 0.
 class CheckError : public std::logic_error {
  public:
   explicit CheckError(const std::string& what) : std::logic_error(what) {}
+  CheckError(const char* expr, const char* file, int line, const std::string& what)
+      : std::logic_error(what), expr_(expr), file_(file), line_(line) {}
+
+  /// The stringified failing expression ("" when not from a check site).
+  const std::string& expr() const { return expr_; }
+  /// Source file of the failing check ("" when not from a check site).
+  const std::string& file() const { return file_; }
+  /// Source line of the failing check (0 when not from a check site).
+  int line() const { return line_; }
+
+ private:
+  std::string expr_;
+  std::string file_;
+  int line_ = 0;
 };
 
 /// Error thrown for user-facing API misuse (bad arguments, protocol
@@ -32,7 +49,7 @@ namespace detail {
   std::ostringstream os;
   os << "TTSIM_CHECK failed: " << expr << " at " << file << ':' << line;
   if (!msg.empty()) os << " — " << msg;
-  throw CheckError(os.str());
+  throw CheckError(expr, file, line, os.str());
 }
 }  // namespace detail
 

@@ -77,7 +77,10 @@ struct DeviceRunResult {
   SimTime kernel_time = 0;      ///< simulated kernel execution time
   SimTime total_time = 0;       ///< including PCIe transfers + dispatch (paper default)
   bool verified_ok = true;      ///< only meaningful when config.verify
-  int cores_used = 0;
+  int cores_used = 0;           ///< after any graceful degradation
+  /// Checksummed-transfer retries this run took (0 unless the device was
+  /// opened with DeviceConfig::checksum_transfers and faults hit the bus).
+  int transfer_retries = 0;
 
   /// Billion point-updates per second, the paper's metric; includes PCIe
   /// unless `kernel_only`.

@@ -42,6 +42,44 @@ std::vector<CoreRange> decompose(const JacobiProblem& p, int cores_x, int cores_
   return ranges;
 }
 
+CoreSelection select_cores(ttmetal::Device& device, const JacobiProblem& p,
+                           const DeviceRunConfig& cfg) {
+  CoreSelection sel;
+  sel.cores_x = cfg.cores_x;
+  sel.cores_y = cfg.cores_y;
+  const auto usable = device.usable_workers();
+  while (sel.ncores() > static_cast<int>(usable.size())) {
+    if (sel.cores_y > 1) {
+      --sel.cores_y;
+    } else if (sel.cores_x > 1) {
+      do {
+        --sel.cores_x;
+      } while (sel.cores_x > 1 &&
+               p.width % static_cast<std::uint32_t>(sel.cores_x) != 0);
+    } else {
+      TTSIM_THROW_API("no usable workers remain ("
+                      << device.num_workers() - static_cast<int>(usable.size())
+                      << " failed cores)");
+    }
+  }
+  sel.core_ids.assign(usable.begin(), usable.begin() + sel.ncores());
+  return sel;
+}
+
+ttmetal::BufferConfig grid_buffer_config(const DeviceRunConfig& cfg,
+                                         const PaddedLayout& layout) {
+  ttmetal::BufferConfig bc{.size = layout.bytes()};
+  bc.layout = cfg.buffer_layout;
+  if (cfg.buffer_layout == ttmetal::BufferLayout::kInterleaved) {
+    bc.page_size = cfg.interleave_page;
+  } else if (cfg.buffer_layout == ttmetal::BufferLayout::kStriped) {
+    // Sixteen row slabs per grid: every Y sub-range of cores still spreads
+    // its traffic over all eight banks.
+    bc.page_size = align_up(layout.bytes() / 16 + 1, 32);
+  }
+  return bc;
+}
+
 }  // namespace detail
 
 namespace {
@@ -89,19 +127,13 @@ void validate_config(const ttmetal::Device& device, const JacobiProblem& p,
 DeviceRunResult run_jacobi_on_device(ttmetal::Device& device, const JacobiProblem& p,
                                      const DeviceRunConfig& cfg) {
   validate_config(device, p, cfg);
+  const detail::CoreSelection sel = detail::select_cores(device, p, cfg);
+  const std::uint64_t retries_before = device.transfer_retries();
   const PaddedLayout layout(p.width, p.height);
   const bool tiled = cfg.strategy != DeviceStrategy::kRowChunk &&
                      cfg.strategy != DeviceStrategy::kSramResident;
 
-  ttmetal::BufferConfig bc{.size = layout.bytes()};
-  bc.layout = cfg.buffer_layout;
-  if (cfg.buffer_layout == ttmetal::BufferLayout::kInterleaved) {
-    bc.page_size = cfg.interleave_page;
-  } else if (cfg.buffer_layout == ttmetal::BufferLayout::kStriped) {
-    // Sixteen row slabs per grid: every Y sub-range of cores still spreads
-    // its traffic over all eight banks.
-    bc.page_size = align_up(layout.bytes() / 16 + 1, 32);
-  }
+  const ttmetal::BufferConfig bc = detail::grid_buffer_config(cfg, layout);
   auto d1 = device.create_buffer(bc);
   auto d2 = device.create_buffer(bc);
 
@@ -117,8 +149,9 @@ DeviceRunResult run_jacobi_on_device(ttmetal::Device& device, const JacobiProble
   shared->strategy = cfg.strategy;
   shared->toggles = cfg.toggles;
   shared->chunk_elems = cfg.chunk_elems;
-  shared->ranges = detail::decompose(p, cfg.cores_x, cfg.cores_y,
+  shared->ranges = detail::decompose(p, sel.cores_x, sel.cores_y,
                                      tiled ? detail::kTile : 16);
+  shared->core_ids = sel.core_ids;
 
   ttmetal::Program prog;
   if (tiled) {
@@ -138,7 +171,9 @@ DeviceRunResult run_jacobi_on_device(ttmetal::Device& device, const JacobiProble
   DeviceRunResult result;
   result.kernel_time = device.last_kernel_duration();
   result.total_time = device.now() - t_start;
-  result.cores_used = cfg.cores_x * cfg.cores_y;
+  result.cores_used = sel.ncores();
+  result.transfer_retries =
+      static_cast<int>(device.transfer_retries() - retries_before);
   result.solution = layout.extract_interior(out);
 
   if (cfg.verify && cfg.toggles.all_enabled()) {
@@ -172,18 +207,13 @@ AdaptiveRunResult run_jacobi_adaptive(ttmetal::Device& device, const JacobiProbl
                     "(strip width " << strip << ")");
   }
   validate_config(device, p, cfg);
+  const detail::CoreSelection sel = detail::select_cores(device, p, cfg);
 
   const PaddedLayout layout(p.width, p.height);
-  ttmetal::BufferConfig bc{.size = layout.bytes()};
-  bc.layout = cfg.buffer_layout;
-  if (cfg.buffer_layout == ttmetal::BufferLayout::kInterleaved) {
-    bc.page_size = cfg.interleave_page;
-  } else if (cfg.buffer_layout == ttmetal::BufferLayout::kStriped) {
-    bc.page_size = align_up(layout.bytes() / 16 + 1, 32);
-  }
+  const ttmetal::BufferConfig bc = detail::grid_buffer_config(cfg, layout);
   auto d1 = device.create_buffer(bc);
   auto d2 = device.create_buffer(bc);
-  const int ncores = cfg.cores_x * cfg.cores_y;
+  const int ncores = sel.ncores();
   auto residuals =
       device.create_buffer({.size = static_cast<std::uint64_t>(ncores) * 32});
 
@@ -205,7 +235,8 @@ AdaptiveRunResult run_jacobi_adaptive(ttmetal::Device& device, const JacobiProbl
     shared->strategy = cfg.strategy;
     shared->chunk_elems = cfg.chunk_elems;
     shared->residual_addr = residuals->address();
-    shared->ranges = detail::decompose(p, cfg.cores_x, cfg.cores_y, 16);
+    shared->ranges = detail::decompose(p, sel.cores_x, sel.cores_y, 16);
+    shared->core_ids = sel.core_ids;
 
     ttmetal::Program prog;
     detail::build_rowchunk_program(prog, shared);

@@ -37,6 +37,25 @@ struct CoreRange {
 std::vector<CoreRange> decompose(const JacobiProblem& p, int cores_x, int cores_y,
                                  std::uint32_t col_align);
 
+/// Resolved launch grid after graceful degradation: when the fault plan has
+/// killed workers, the requested decomposition shrinks onto the survivors
+/// (Y first — row splits carry no alignment constraints — then X, keeping
+/// the width divisible) and logical positions map onto surviving worker ids.
+struct CoreSelection {
+  int cores_x = 1;
+  int cores_y = 1;
+  std::vector<int> core_ids;
+  int ncores() const { return cores_x * cores_y; }
+};
+
+CoreSelection select_cores(ttmetal::Device& device, const JacobiProblem& p,
+                           const DeviceRunConfig& cfg);
+
+/// Grid BufferConfig for the run's buffer-layout choice (shared by the
+/// plain, adaptive and resilient drivers).
+ttmetal::BufferConfig grid_buffer_config(const DeviceRunConfig& cfg,
+                                         const PaddedLayout& layout);
+
 /// Everything the kernels need, shared by reference across the lambdas.
 struct KernelShared {
   std::uint64_t d1 = 0;  ///< device address of grid buffer 1
@@ -53,8 +72,22 @@ struct KernelShared {
   /// reduction.
   std::uint64_t residual_addr = 0;
   std::vector<CoreRange> ranges;
+  /// Physical worker ids: logical position i (= index into `ranges`) runs on
+  /// worker core_ids[i]. Empty means the identity mapping. Graceful
+  /// degradation routes around failed cores by listing survivors here —
+  /// kernels keep addressing neighbours by *position* and the builders
+  /// translate to physical ids.
+  std::vector<int> core_ids;
 
   KernelShared(const PaddedLayout& l) : layout(l) {}
+
+  /// Resolved physical worker list (identity fallback).
+  std::vector<int> workers() const {
+    if (!core_ids.empty()) return core_ids;
+    std::vector<int> ids(ranges.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int>(i);
+    return ids;
+  }
 };
 
 /// Section IV program (kInitial / kWriteOptimised / kDoubleBuffered).

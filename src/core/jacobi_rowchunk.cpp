@@ -54,8 +54,8 @@ struct ChunkGrid {
 
 void build_rowchunk_program(ttmetal::Program& prog, std::shared_ptr<KernelShared> sh) {
   const int ncores = static_cast<int>(sh->ranges.size());
-  std::vector<int> cores;
-  for (int c = 0; c < ncores; ++c) cores.push_back(c);
+  const std::vector<int> cores = sh->workers();
+  TTSIM_CHECK(static_cast<int>(cores.size()) == ncores);
 
   // Input CBs carry no data (read pointers are aliased); two pages give the
   // reader exactly the flow control that keeps a slot alive until the

@@ -44,8 +44,13 @@ struct SramShared {
   std::uint32_t off = 0;              // data offset inside a row (alignment)
   std::uint32_t slab_a = 0, slab_b = 0;  // L1 addresses
   std::vector<CoreRange> ranges;      // cores_x == 1: one strip per core
+  std::vector<int> core_ids;          // logical position -> physical worker
 
   explicit SramShared(const PaddedLayout& l) : layout(l) {}
+
+  /// Physical worker running logical position `pos` (halo exchange targets
+  /// its *positional* neighbours; the mapping survives core remapping).
+  int worker_of(int pos) const { return core_ids[static_cast<std::size_t>(pos)]; }
 
   std::uint32_t rows_pc(int pos) const {
     return ranges[static_cast<std::size_t>(pos)].row_hi -
@@ -78,8 +83,9 @@ void build_sram_resident_program(ttmetal::Program& prog,
   sh->off = static_cast<std::uint32_t>(base->layout.byte_offset(0, -1) % 32);
 
   const int ncores = static_cast<int>(sh->ranges.size());
-  std::vector<int> cores;
-  for (int c = 0; c < ncores; ++c) cores.push_back(c);
+  const std::vector<int> cores = base->workers();
+  TTSIM_CHECK(static_cast<int>(cores.size()) == ncores);
+  sh->core_ids = cores;
 
   std::uint32_t max_rows = 0;
   for (int c = 0; c < ncores; ++c) max_rows = std::max(max_rows, sh->rows_pc(c));
@@ -134,11 +140,11 @@ void build_sram_resident_program(ttmetal::Program& prog,
             const std::uint32_t src_slab = sh->slab(k % 2);
             const std::uint32_t upper_rows = sh->rows_pc(pos - 1);
             ctx.noc_async_write_core(
-                pos - 1,
+                sh->worker_of(pos - 1),
                 sh->row_data(src_slab, upper_rows + 1) - sh->off,
                 sh->row_data(src_slab, 1) - sh->off,
                 sh->row_data_elems * 2 + sh->off);
-            ctx.noc_semaphore_inc(pos - 1, kSemBottomHalo);
+            ctx.noc_semaphore_inc(sh->worker_of(pos - 1), kSemBottomHalo);
           }
           ctx.loop_tick();
         }
@@ -250,10 +256,10 @@ void build_sram_resident_program(ttmetal::Program& prog,
           ctx.semaphore_post(kSemRestored);
           if (has_lower) {
             ctx.noc_async_write_core(
-                pos + 1, sh->row_data(src_slab, 0) - sh->off,
+                sh->worker_of(pos + 1), sh->row_data(src_slab, 0) - sh->off,
                 sh->row_data(src_slab, rows) - sh->off,
                 sh->row_data_elems * 2 + sh->off);
-            ctx.noc_semaphore_inc(pos + 1, kSemTopHalo);
+            ctx.noc_semaphore_inc(sh->worker_of(pos + 1), kSemTopHalo);
           }
           ctx.loop_tick();
         }

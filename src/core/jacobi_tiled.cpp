@@ -59,8 +59,8 @@ void fill_scalar_page(ttmetal::KernelCtxBase& ctx, int cb_id, float value) {
 
 void build_tiled_program(ttmetal::Program& prog, std::shared_ptr<KernelShared> sh) {
   const int ncores = static_cast<int>(sh->ranges.size());
-  std::vector<int> cores;
-  for (int c = 0; c < ncores; ++c) cores.push_back(c);
+  const std::vector<int> cores = sh->workers();
+  TTSIM_CHECK(static_cast<int>(cores.size()) == ncores);
 
   const bool pipelined = sh->strategy != DeviceStrategy::kInitial;
   const std::uint32_t io_pages = pipelined ? 4 : 1;

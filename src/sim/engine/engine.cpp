@@ -8,7 +8,18 @@ Process::Process(Engine& engine, std::string name, std::function<void()> fn,
                  std::size_t stack_bytes)
     : engine_(engine), name_(std::move(name)), fiber_(std::move(fn), stack_bytes) {}
 
-Engine::~Engine() = default;
+Engine::~Engine() {
+  // Unwind any parked fibers so resources held on their stacks destruct — a
+  // wedged device leaves kernels blocked forever, and destroying their
+  // fibers mid-flight would leak everything their frames own.
+  for (auto& p : processes_) {
+    if (p->finished()) continue;
+    current_ = p.get();
+    p->fiber_.cancel();
+    current_ = nullptr;
+    p->state_ = Process::State::kFinished;
+  }
+}
 
 Process* Engine::spawn(std::string name, std::function<void()> fn,
                        std::size_t stack_bytes) {
@@ -96,6 +107,17 @@ bool Engine::run_until(SimTime deadline) {
     dispatch(ev);
   }
   if (now_ < deadline) now_ = deadline;
+  return unfinished_process_count() == 0;
+}
+
+bool Engine::run_until_done(SimTime deadline) {
+  TTSIM_CHECK_MSG(current_ == nullptr,
+                  "Engine::run_until_done() called from inside a process");
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    dispatch(ev);
+  }
   return unfinished_process_count() == 0;
 }
 

@@ -2,6 +2,30 @@
 
 #include <cstdint>
 
+// ASan tracks one stack per thread; without annotations, a context switch
+// onto a fiber stack (or an exception thrown on one — __asan_handle_no_return
+// unpoisons what it believes is "the" stack) produces false positives and
+// crashes. The start/finish pair below tells ASan about every switch. The
+// declarations are spelled out instead of including
+// <sanitizer/common_interface_defs.h> so non-sanitized builds never look for
+// the header.
+#if defined(__SANITIZE_ADDRESS__)
+#define TTSIM_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define TTSIM_ASAN_FIBERS 1
+#endif
+#endif
+
+#ifdef TTSIM_ASAN_FIBERS
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save, const void* bottom,
+                                    size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** bottom_old, size_t* size_old);
+}
+#endif
+
 namespace ttsim::sim {
 namespace {
 thread_local Fiber* t_current_fiber = nullptr;
@@ -17,8 +41,8 @@ Fiber::Fiber(std::function<void()> entry, std::size_t stack_bytes)
 
 Fiber::~Fiber() {
   // A fiber destroyed mid-flight would leak whatever is on its stack; the
-  // engine only destroys fibers after completion or during teardown where the
-  // stack objects are engine-owned. Nothing to do here beyond freeing memory.
+  // engine destroys fibers only after completion — at teardown it first
+  // unwinds parked fibers via cancel(). Nothing to do beyond freeing memory.
 }
 
 Fiber* Fiber::current() { return t_current_fiber; }
@@ -31,12 +55,26 @@ void Fiber::trampoline(unsigned hi, unsigned lo) {
 }
 
 void Fiber::run() {
+#ifdef TTSIM_ASAN_FIBERS
+  // First activation: complete the resumer's start_switch and remember its
+  // stack bounds for the switches back.
+  __sanitizer_finish_switch_fiber(nullptr, &asan_caller_bottom_,
+                                  &asan_caller_size_);
+#endif
   try {
     entry_();
+  } catch (const FiberCancelled&) {
+    // Teardown unwind requested by cancel(); not an error.
   } catch (...) {
     error_ = std::current_exception();
   }
   finished_ = true;
+#ifdef TTSIM_ASAN_FIBERS
+  // Final exit (via uc_link): null fake_stack_save destroys the fiber's fake
+  // stack.
+  __sanitizer_start_switch_fiber(nullptr, asan_caller_bottom_,
+                                 asan_caller_size_);
+#endif
 }
 
 void Fiber::resume() {
@@ -56,14 +94,41 @@ void Fiber::resume() {
   Fiber* prev = t_current_fiber;
   t_current_fiber = this;
   running_ = true;
+#ifdef TTSIM_ASAN_FIBERS
+  void* resumer_fake_stack = nullptr;
+  __sanitizer_start_switch_fiber(&resumer_fake_stack, stack_.get(),
+                                 stack_bytes_);
+#endif
   TTSIM_CHECK(swapcontext(&return_ctx_, &ctx_) == 0);
+#ifdef TTSIM_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(resumer_fake_stack, nullptr, nullptr);
+#endif
   running_ = false;
   t_current_fiber = prev;
 }
 
 void Fiber::yield() {
   TTSIM_CHECK_MSG(t_current_fiber == this, "yield() called from outside the fiber");
+#ifdef TTSIM_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(&asan_fake_stack_, asan_caller_bottom_,
+                                 asan_caller_size_);
+#endif
   TTSIM_CHECK(swapcontext(&ctx_, &return_ctx_) == 0);
+#ifdef TTSIM_ASAN_FIBERS
+  // Re-entered: refresh the resumer's bounds (the next yield switches back
+  // to wherever resume() is running now).
+  __sanitizer_finish_switch_fiber(asan_fake_stack_, &asan_caller_bottom_,
+                                  &asan_caller_size_);
+#endif
+  if (cancel_requested_) throw FiberCancelled{};
+}
+
+void Fiber::cancel() {
+  TTSIM_CHECK_MSG(!running_, "cancel() called from inside the fiber");
+  if (!started_ || finished_) return;
+  cancel_requested_ = true;
+  resume();
+  TTSIM_CHECK_MSG(finished_, "cancelled fiber blocked again while unwinding");
 }
 
 void Fiber::rethrow_if_failed() {

@@ -1,0 +1,163 @@
+#include "ttsim/sim/fault.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ttsim/common/check.hpp"
+
+namespace ttsim::sim {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDramReadBitFlip: return "dram-read-bitflip";
+    case FaultKind::kDramBankStuck: return "dram-bank-stuck";
+    case FaultKind::kNocDrop: return "noc-drop";
+    case FaultKind::kNocDuplicate: return "noc-duplicate";
+    case FaultKind::kNocDelay: return "noc-delay";
+    case FaultKind::kMoverStall: return "mover-stall";
+    case FaultKind::kCoreFailure: return "core-failure";
+    case FaultKind::kPcieCorrupt: return "pcie-corrupt";
+  }
+  return "unknown";
+}
+
+std::string to_string(const FaultEvent& event) {
+  std::ostringstream os;
+  os << "fault #" << event.id << ' ' << to_string(event.kind) << " at t="
+     << event.time << "ns";
+  if (event.core >= 0) os << " core=" << event.core;
+  os << " addr=" << event.addr << " size=" << event.size;
+  return os.str();
+}
+
+FaultPlan::FaultPlan(FaultConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  for (const auto& kill : config_.core_kills) TTSIM_CHECK(kill.core >= 0);
+  for (int bank : config_.stuck_banks) TTSIM_CHECK(bank >= 0);
+}
+
+bool FaultPlan::roll(double prob) {
+  if (prob <= 0.0) return false;
+  if (prob >= 1.0) return true;
+  return rng_.next_double() < prob;
+}
+
+std::uint64_t FaultPlan::record(FaultKind kind, SimTime now, int core,
+                                std::uint64_t addr, std::uint32_t size) {
+  FaultEvent event;
+  event.id = trace_.size();
+  event.kind = kind;
+  event.time = now;
+  event.core = core;
+  event.addr = addr;
+  event.size = size;
+  trace_.push_back(event);
+  return event.id;
+}
+
+bool FaultPlan::flip_dram_read(SimTime now, std::uint64_t addr, std::uint32_t size,
+                               std::uint32_t* bit_index) {
+  if (!roll(config_.dram_read_bitflip_prob)) return false;
+  TTSIM_CHECK(size > 0);
+  const std::uint32_t bit =
+      static_cast<std::uint32_t>(rng_.next_below(static_cast<std::uint64_t>(size) * 8));
+  if (bit_index != nullptr) *bit_index = bit;
+  record(FaultKind::kDramReadBitFlip, now, -1, addr, size);
+  return true;
+}
+
+bool FaultPlan::bank_stuck(SimTime now, int bank, std::uint64_t addr,
+                           std::uint32_t size, bool is_write) {
+  if (std::find(config_.stuck_banks.begin(), config_.stuck_banks.end(), bank) ==
+      config_.stuck_banks.end()) {
+    return false;
+  }
+  record(FaultKind::kDramBankStuck, now, -1,
+         static_cast<std::uint64_t>(bank), is_write ? size : 0);
+  (void)addr;
+  return true;
+}
+
+NocFaultDecision FaultPlan::noc_transaction(SimTime now, int core, int noc_id,
+                                            std::uint64_t addr, std::uint32_t size,
+                                            bool is_write) {
+  (void)noc_id;
+  NocFaultDecision d;
+  if (is_write && roll(config_.noc_drop_prob)) {
+    d.drop = true;
+    record(FaultKind::kNocDrop, now, core, addr, size);
+    return d;  // a dropped transaction cannot also duplicate or delay
+  }
+  if (is_write && roll(config_.noc_dup_prob)) {
+    d.duplicate = true;
+    record(FaultKind::kNocDuplicate, now, core, addr, size);
+  }
+  if (roll(config_.noc_delay_prob)) {
+    d.extra_delay = config_.noc_delay;
+    record(FaultKind::kNocDelay, now, core, addr, size);
+  }
+  return d;
+}
+
+SimTime FaultPlan::mover_stall(SimTime now, int core) {
+  if (!roll(config_.mover_stall_prob)) return 0;
+  record(FaultKind::kMoverStall, now, core, 0, 0);
+  return config_.mover_stall;
+}
+
+bool FaultPlan::core_dead(int core, SimTime now) const {
+  if (std::find(failed_cores_.begin(), failed_cores_.end(), core) !=
+      failed_cores_.end()) {
+    return true;
+  }
+  for (const auto& kill : config_.core_kills) {
+    if (kill.core == core && now >= kill.at) return true;
+  }
+  return false;
+}
+
+void FaultPlan::record_core_failure(SimTime now, int core) {
+  if (std::find(failed_cores_.begin(), failed_cores_.end(), core) !=
+      failed_cores_.end()) {
+    return;  // already observed in this or an earlier device generation
+  }
+  failed_cores_.push_back(core);
+  record(FaultKind::kCoreFailure, now, core, 0, 0);
+}
+
+void FaultPlan::commit_elapsed_kills(SimTime now) {
+  for (const auto& kill : config_.core_kills) {
+    if (now >= kill.at) record_core_failure(now, kill.core);
+  }
+}
+
+std::vector<int> FaultPlan::dead_cores(SimTime now) const {
+  std::vector<int> dead = failed_cores_;
+  for (const auto& kill : config_.core_kills) {
+    if (now >= kill.at &&
+        std::find(dead.begin(), dead.end(), kill.core) == dead.end()) {
+      dead.push_back(kill.core);
+    }
+  }
+  std::sort(dead.begin(), dead.end());
+  return dead;
+}
+
+bool FaultPlan::pcie_corrupt(SimTime now, std::uint64_t size,
+                             std::uint64_t* byte_offset) {
+  if (!roll(config_.pcie_corrupt_prob)) return false;
+  TTSIM_CHECK(size > 0);
+  const std::uint64_t offset = rng_.next_below(size);
+  if (byte_offset != nullptr) *byte_offset = offset;
+  record(FaultKind::kPcieCorrupt, now, -1, offset,
+         static_cast<std::uint32_t>(std::min<std::uint64_t>(size, 0xFFFFFFFFu)));
+  return true;
+}
+
+std::string FaultPlan::trace_string() const {
+  std::ostringstream os;
+  for (const auto& event : trace_) os << to_string(event) << '\n';
+  return os.str();
+}
+
+}  // namespace ttsim::sim

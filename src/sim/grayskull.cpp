@@ -14,6 +14,11 @@ Grayskull::Grayskull(GrayskullSpec spec)
   }
 }
 
+void Grayskull::install_fault_plan(std::shared_ptr<FaultPlan> plan) {
+  fault_plan_ = std::move(plan);
+  dram_.set_fault_plan(fault_plan_.get());
+}
+
 Noc& Grayskull::noc(int id) {
   TTSIM_CHECK(id == 0 || id == 1);
   return id == 0 ? noc0_ : noc1_;

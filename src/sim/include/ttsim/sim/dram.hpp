@@ -36,6 +36,8 @@
 
 namespace ttsim::sim {
 
+class FaultPlan;
+
 /// A serialised resource in virtual time (bank, DMA engine, aggregate bus).
 class ResourceTimeline {
  public:
@@ -116,6 +118,15 @@ class DramModel {
   void reset_stats() { stats_ = DramStats{}; }
   const GrayskullSpec& spec() const { return spec_; }
 
+  /// Install a fault plan consulted on every device-side access (read
+  /// bit-flips, stuck banks). Pass nullptr to disable. The plan must outlive
+  /// the model (Grayskull owns both).
+  void set_fault_plan(FaultPlan* plan) { fault_ = plan; }
+
+  /// The bank serving `addr` (first page's bank for interleaved regions) —
+  /// used for fault attribution and stuck-bank decisions.
+  int serving_bank(const DramRegion& region, std::uint64_t offset) const;
+
  private:
   struct Placement {
     const DramRegion* region;
@@ -163,6 +174,7 @@ class DramModel {
   std::map<const ResourceTimeline*, std::uint64_t> dma_last_write_end_;
   ResourceTimeline aggregate_;
   DramStats stats_;
+  FaultPlan* fault_ = nullptr;
   std::vector<InterleaveMap::Segment> scratch_segments_;
 };
 

@@ -75,6 +75,12 @@ class Engine {
   /// Returns true if all processes finished.
   bool run_until(SimTime deadline);
 
+  /// Like run_until, but does not advance now() to `deadline` when the
+  /// simulation finishes early — now() stays at the last processed event, as
+  /// with run(). Used by the Device watchdog so a bounded program that
+  /// completes keeps an accurate finish time.
+  bool run_until_done(SimTime deadline);
+
   SimTime now() const { return now_; }
 
   /// The process currently executing; CHECK-fails outside process context.

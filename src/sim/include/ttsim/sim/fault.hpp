@@ -1,0 +1,181 @@
+#pragma once
+/// \file fault.hpp
+/// Deterministic, seed-driven fault injection for the simulated e150.
+///
+/// The paper's Section IV-B story is that the Grayskull fails *silently*
+/// (unaligned accesses corrupt DRAM without an error) and that the e150
+/// itself ships degraded (120 Tensix cores of which only 108 are usable
+/// workers). A FaultPlan makes that class of failure reproducible: models
+/// consult it at well-defined decision points (one DRAM read, one NoC
+/// transaction, one PCIe transfer, ...) and it decides — from a seeded
+/// ttsim::Rng in deterministic engine order — whether that operation is
+/// faulted. Every injection is logged with the simulated time, the core /
+/// bank / address involved and a monotonically increasing fault id, so a
+/// failing run is exactly reproducible from its seed and the trace of two
+/// runs with the same seed is byte-identical.
+///
+/// Fault taxonomy (see DESIGN.md, "Fault model & resilience"):
+///  * kDramReadBitFlip — a device-side DRAM read delivers one flipped bit.
+///  * kDramBankStuck   — reads from a stuck bank return a 0xFF pattern and
+///                       device-side writes to it are silently dropped.
+///  * kNocDrop         — a NoC write transaction is acknowledged but never
+///                       lands (silent data loss, detectable by checksum).
+///  * kNocDuplicate    — a NoC write is delivered twice (pays time twice).
+///  * kNocDelay        — a NoC transaction completes late by `noc_delay`.
+///  * kMoverStall      — a data mover stalls for `mover_stall` at issue.
+///  * kCoreFailure     — a whole Tensix core halts at a configured sim time
+///                       and stays unusable across device reopens (the
+///                       108-of-120 harvesting story, mid-run).
+///  * kPcieCorrupt     — a host<->device transfer delivers one corrupted
+///                       byte.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ttsim/common/rng.hpp"
+#include "ttsim/common/units.hpp"
+
+namespace ttsim::sim {
+
+enum class FaultKind {
+  kDramReadBitFlip,
+  kDramBankStuck,
+  kNocDrop,
+  kNocDuplicate,
+  kNocDelay,
+  kMoverStall,
+  kCoreFailure,
+  kPcieCorrupt,
+};
+
+const char* to_string(FaultKind kind);
+
+/// One logged injection. `core` is a worker id (-1 when not core-attached);
+/// `addr` is the device/DRAM address or bank index the fault hit.
+struct FaultEvent {
+  std::uint64_t id = 0;
+  FaultKind kind = FaultKind::kDramReadBitFlip;
+  SimTime time = 0;
+  int core = -1;
+  std::uint64_t addr = 0;
+  std::uint32_t size = 0;
+};
+
+std::string to_string(const FaultEvent& event);
+
+/// A whole-core failure: `core` stops executing at sim time `at` and remains
+/// unusable for the rest of the plan's lifetime (including after a device
+/// reopen — a failed core does not come back on reboot).
+struct CoreKill {
+  int core = 0;
+  SimTime at = 0;
+};
+
+struct FaultConfig {
+  std::uint64_t seed = 1;
+
+  // Per-request probabilities, evaluated at each decision point.
+  double dram_read_bitflip_prob = 0.0;  ///< per device-side DRAM read
+  double noc_drop_prob = 0.0;           ///< per NoC write transaction
+  double noc_dup_prob = 0.0;            ///< per NoC write transaction
+  double noc_delay_prob = 0.0;          ///< per NoC transaction (read or write)
+  double mover_stall_prob = 0.0;        ///< per data-mover NoC issue
+  double pcie_corrupt_prob = 0.0;       ///< per host<->device transfer
+
+  SimTime noc_delay = 5 * kMicrosecond;
+  SimTime mover_stall = 20 * kMicrosecond;
+
+  /// Banks whose reads return a stuck 0xFF pattern and whose device-side
+  /// writes are dropped.
+  std::vector<int> stuck_banks;
+
+  /// Deterministic whole-core failures.
+  std::vector<CoreKill> core_kills;
+
+  bool any_probabilistic() const {
+    return dram_read_bitflip_prob > 0 || noc_drop_prob > 0 || noc_dup_prob > 0 ||
+           noc_delay_prob > 0 || mover_stall_prob > 0 || pcie_corrupt_prob > 0;
+  }
+};
+
+/// Decision outcome for one NoC transaction.
+struct NocFaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  SimTime extra_delay = 0;
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultConfig config);
+
+  const FaultConfig& config() const { return config_; }
+
+  // ---- decision points (each logs a FaultEvent when it fires) ----
+
+  /// Device-side DRAM read: should one bit of the delivered data flip?
+  /// On true, `*bit_index` is the flipped bit in [0, size * 8).
+  bool flip_dram_read(SimTime now, std::uint64_t addr, std::uint32_t size,
+                      std::uint32_t* bit_index);
+
+  /// Is `bank` stuck? Logs (rate-limited to once per bank per call site
+  /// would spam; logs every hit so the trace shows the access pattern).
+  bool bank_stuck(SimTime now, int bank, std::uint64_t addr, std::uint32_t size,
+                  bool is_write);
+
+  /// One NoC transaction issued by worker `core` on NoC `noc_id`.
+  /// Drops/duplicates apply to writes only (a dropped read would hang the
+  /// issuing kernel forever; the watchdog story covers that via core kills).
+  NocFaultDecision noc_transaction(SimTime now, int core, int noc_id,
+                                   std::uint64_t addr, std::uint32_t size,
+                                   bool is_write);
+
+  /// Extra stall charged to a data mover at NoC issue time (0 = none).
+  SimTime mover_stall(SimTime now, int core);
+
+  /// Is `core` unusable at sim time `now`? True once its kill time has
+  /// passed *or* its failure was already observed in an earlier device
+  /// generation (failed silicon stays failed across reopen, where the
+  /// engine clock restarts at zero).
+  bool core_dead(int core, SimTime now) const;
+
+  /// Record that `core` halted (called by the kernel layer the first time a
+  /// kernel on the core stops executing). Marks the core permanently dead.
+  void record_core_failure(SimTime now, int core);
+
+  /// Permanently record every configured kill whose time has passed. The
+  /// host calls this when a program times out, so a core whose kill fired
+  /// while it sat blocked (never charging, hence never observing its own
+  /// death) is still excluded from the next device generation.
+  void commit_elapsed_kills(SimTime now);
+
+  /// Cores unusable at `now` (sorted ascending).
+  std::vector<int> dead_cores(SimTime now) const;
+
+  /// One host<->device PCIe transfer of `size` bytes: corrupt one byte?
+  /// On true, `*byte_offset` is the corrupted byte's offset in the payload.
+  bool pcie_corrupt(SimTime now, std::uint64_t size, std::uint64_t* byte_offset);
+
+  // ---- trace ----
+  const std::vector<FaultEvent>& trace() const { return trace_; }
+  /// Canonical one-line-per-event rendering; byte-identical across runs
+  /// with the same seed, config and workload (the determinism property).
+  std::string trace_string() const;
+  /// Last recorded event, or nullptr when the trace is empty.
+  const FaultEvent* last_event() const {
+    return trace_.empty() ? nullptr : &trace_.back();
+  }
+
+ private:
+  std::uint64_t record(FaultKind kind, SimTime now, int core, std::uint64_t addr,
+                       std::uint32_t size);
+  bool roll(double prob);
+
+  FaultConfig config_;
+  Rng rng_;
+  std::vector<FaultEvent> trace_;
+  std::vector<int> failed_cores_;  // permanently failed (observed) cores
+};
+
+}  // namespace ttsim::sim

@@ -15,6 +15,11 @@
 
 namespace ttsim::sim {
 
+/// Thrown through a parked fiber's yield point by Fiber::cancel() so the
+/// fiber's stack unwinds (destructors run) at teardown. Caught and discarded
+/// by the fiber trampoline; never escapes to the scheduler.
+struct FiberCancelled {};
+
 /// A single cooperative fiber. Not movable once started (the context captures
 /// the stack address).
 class Fiber {
@@ -40,6 +45,13 @@ class Fiber {
   /// Rethrows any exception that escaped the fiber entry function.
   void rethrow_if_failed();
 
+  /// Unwind a started-but-unfinished fiber: resume it one last time with
+  /// FiberCancelled thrown from its yield point, so every object on its
+  /// stack destructs. Used at engine teardown for processes parked forever
+  /// (deadlocked or halted kernels on a wedged device). No-op when the fiber
+  /// never started or already finished; must not be called from inside.
+  void cancel();
+
   /// The fiber currently executing on this thread, or nullptr when in the
   /// scheduler.
   static Fiber* current();
@@ -56,7 +68,12 @@ class Fiber {
   bool started_ = false;
   bool finished_ = false;
   bool running_ = false;
+  bool cancel_requested_ = false;
   std::exception_ptr error_;
+  // ASan fiber-switch bookkeeping (see fiber.cpp; unused without ASan).
+  void* asan_fake_stack_ = nullptr;
+  const void* asan_caller_bottom_ = nullptr;
+  std::size_t asan_caller_size_ = 0;
 };
 
 }  // namespace ttsim::sim

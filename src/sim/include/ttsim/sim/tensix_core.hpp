@@ -11,9 +11,11 @@
 
 #include "ttsim/sim/circular_buffer.hpp"
 #include "ttsim/sim/dram.hpp"
+#include "ttsim/sim/fault.hpp"
 #include "ttsim/sim/fpu.hpp"
 #include "ttsim/sim/noc.hpp"
 #include "ttsim/sim/sram.hpp"
+#include "ttsim/sim/sync.hpp"
 
 namespace ttsim::sim {
 
@@ -43,6 +45,13 @@ class TensixCore {
   /// Clear CBs/semaphores and the SRAM allocator between program launches.
   void reset();
 
+  /// Park the calling process forever — the behaviour of a kernel whose core
+  /// has failed (FaultPlan core kill): it simply stops executing. The wait
+  /// queue is never notified, so the process stays blocked; Engine::run()
+  /// reports it in the deadlock diagnostic and Device watchdogs convert it
+  /// into a DeviceTimeoutError.
+  [[noreturn]] void halt_current_process();
+
  private:
   Engine& engine_;
   const GrayskullSpec& spec_;
@@ -53,6 +62,7 @@ class TensixCore {
   std::map<int, std::unique_ptr<CircularBuffer>> cbs_;
   std::map<int, std::unique_ptr<SimSemaphore>> semaphores_;
   ResourceTimeline dma_[2];
+  std::unique_ptr<WaitQueue> halt_queue_;  // created on first halt
 };
 
 /// The whole accelerator: engine + DRAM + NoCs + Tensix grid. One Grayskull
@@ -81,6 +91,13 @@ class Grayskull {
   /// mid-grid distance for interleaved regions).
   int hops_to_dram(const TensixCore& core, std::uint64_t addr, int noc_id);
 
+  /// Install a deterministic fault plan consulted by the DRAM model and by
+  /// the ttmetal kernel layer. Shared ownership: the same plan can span
+  /// several device generations (a failed core stays failed across reopen).
+  void install_fault_plan(std::shared_ptr<FaultPlan> plan);
+  FaultPlan* fault_plan() { return fault_plan_.get(); }
+  const std::shared_ptr<FaultPlan>& fault_plan_ptr() const { return fault_plan_; }
+
  private:
   GrayskullSpec spec_;
   Engine engine_;
@@ -88,6 +105,7 @@ class Grayskull {
   Noc noc0_;
   Noc noc1_;
   std::vector<std::unique_ptr<TensixCore>> workers_;
+  std::shared_ptr<FaultPlan> fault_plan_;
 };
 
 }  // namespace ttsim::sim

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "ttsim/common/log.hpp"
+#include "ttsim/sim/fault.hpp"
 
 namespace ttsim::sim {
 
@@ -50,6 +51,16 @@ void DramModel::remove_region(std::uint64_t base) {
 
 const DramRegion& DramModel::region_of(std::uint64_t addr, std::uint64_t size) const {
   return *place(addr, size).region;
+}
+
+int DramModel::serving_bank(const DramRegion& region, std::uint64_t offset) const {
+  if (region.page_size == 0) return region.bank;
+  if (region.coarse) {
+    const std::uint64_t stripe = offset / region.page_size;
+    return static_cast<int>((stripe * 2654435761ULL >> 16) %
+                            static_cast<std::uint64_t>(spec_.dram_banks));
+  }
+  return InterleaveMap(spec_.dram_banks, region.page_size).bank_of(offset);
 }
 
 DramModel::Placement DramModel::place(std::uint64_t addr, std::uint64_t size) const {
@@ -187,11 +198,30 @@ void DramModel::read(std::uint64_t addr, std::byte* dst, std::uint32_t size,
                                            dma, hops);
   ++stats_.read_requests;
   stats_.bytes_read += size;
+  // Fault injection: decided at issue time (deterministic engine order),
+  // applied at the simulated completion time.
+  bool stuck = false;
+  bool flip = false;
+  std::uint32_t flip_bit = 0;
+  if (fault_ != nullptr) {
+    stuck = fault_->bank_stuck(engine_.now(), serving_bank(*p.region, p.offset),
+                               addr, size, /*is_write=*/false);
+    if (!stuck) flip = fault_->flip_dram_read(engine_.now(), addr, size, &flip_bit);
+  }
   std::byte* src = p.region->storage + p.offset;
-  engine_.schedule_at(complete, [src, dst, size, cb = std::move(on_complete)] {
-    std::memcpy(dst, src, size);
-    if (cb) cb();
-  });
+  engine_.schedule_at(
+      complete, [src, dst, size, stuck, flip, flip_bit, cb = std::move(on_complete)] {
+        if (stuck) {
+          std::memset(dst, 0xFF, size);
+        } else {
+          std::memcpy(dst, src, size);
+          if (flip) {
+            dst[flip_bit / 8] ^=
+                std::byte{static_cast<unsigned char>(1u << (flip_bit % 8))};
+          }
+        }
+        if (cb) cb();
+      });
 }
 
 void DramModel::write(std::uint64_t addr, const std::byte* src, std::uint32_t size,
@@ -240,15 +270,21 @@ void DramModel::write(std::uint64_t addr, const std::byte* src, std::uint32_t si
                                            dma, hops);
   ++stats_.write_requests;
   stats_.bytes_written += size;
+  // A stuck bank silently drops device-side writes (the timing above is
+  // still charged: the transaction happened, the commit did not).
+  const bool dropped =
+      fault_ != nullptr &&
+      fault_->bank_stuck(engine_.now(), serving_bank(*p.region, p.offset), addr,
+                         size, /*is_write=*/true);
   // Snapshot the source now: on real hardware the data leaves the core when
   // the NoC accepts it, and the paper's kernels recycle source buffers.
   std::vector<std::byte> snapshot(src, src + size);
   std::byte* dst = p.region->storage + p.offset;
-  engine_.schedule_at(complete,
-                      [dst, data = std::move(snapshot), cb = std::move(on_complete)] {
-                        std::memcpy(dst, data.data(), data.size());
-                        if (cb) cb();
-                      });
+  engine_.schedule_at(complete, [dst, dropped, data = std::move(snapshot),
+                                 cb = std::move(on_complete)] {
+    if (!dropped) std::memcpy(dst, data.data(), data.size());
+    if (cb) cb();
+  });
 }
 
 void DramModel::host_write(std::uint64_t addr, const std::byte* src, std::uint64_t size) {

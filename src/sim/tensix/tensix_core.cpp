@@ -61,4 +61,9 @@ void TensixCore::reset() {
   sram_.reset();
 }
 
+void TensixCore::halt_current_process() {
+  if (halt_queue_ == nullptr) halt_queue_ = std::make_unique<WaitQueue>(engine_);
+  for (;;) halt_queue_->wait();  // never notified: the core is dead
+}
+
 }  // namespace ttsim::sim

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <set>
+#include <sstream>
 
+#include "ttsim/common/crc32.hpp"
 #include "ttsim/common/log.hpp"
 
 namespace ttsim::ttmetal {
@@ -15,15 +17,31 @@ Buffer::Buffer(Device& device, const BufferConfig& config, std::uint64_t address
 
 Buffer::~Buffer() { device_.release_buffer(*this); }
 
-Device::Device(sim::GrayskullSpec spec)
+Device::Device(sim::GrayskullSpec spec, DeviceConfig config)
     : hw_(spec),
+      config_(std::move(config)),
       bank_top_(static_cast<std::size_t>(spec.dram_banks), 0),
-      interleaved_top_(0) {}
+      interleaved_top_(0) {
+  TTSIM_CHECK(config_.transfer_max_retries >= 0);
+  if (config_.fault_plan != nullptr) hw_.install_fault_plan(config_.fault_plan);
+}
 
 Device::~Device() = default;
 
-std::unique_ptr<Device> Device::open(sim::GrayskullSpec spec) {
-  return std::unique_ptr<Device>(new Device(spec));
+std::unique_ptr<Device> Device::open(sim::GrayskullSpec spec, DeviceConfig config) {
+  return std::unique_ptr<Device>(new Device(spec, std::move(config)));
+}
+
+std::vector<int> Device::usable_workers() {
+  std::vector<int> usable;
+  sim::FaultPlan* plan = hw_.fault_plan();
+  const SimTime t = hw_.engine().now();
+  usable.reserve(static_cast<std::size_t>(hw_.worker_count()));
+  for (int w = 0; w < hw_.worker_count(); ++w) {
+    if (plan != nullptr && plan->core_dead(w, t)) continue;
+    usable.push_back(w);
+  }
+  return usable;
 }
 
 std::shared_ptr<Buffer> Device::create_buffer(const BufferConfig& config) {
@@ -76,23 +94,91 @@ void Device::write_buffer(Buffer& buffer, std::span<const std::byte> data,
                           std::uint64_t offset) {
   TTSIM_CHECK(offset + data.size() <= buffer.size());
   const auto& spec = hw_.spec();
+  auto& engine = hw_.engine();
+  sim::FaultPlan* plan = hw_.fault_plan();
   const SimTime t = spec.pcie_latency + transfer_time(data.size(), spec.pcie_gbs);
-  hw_.engine().run_until(hw_.engine().now() + t);
-  pcie_time_ += t;
-  hw_.dram().host_write(buffer.address() + offset, data.data(), data.size());
+  const std::uint32_t sent_crc = crc32(data);
+  std::vector<std::byte> landed(data.begin(), data.end());
+  std::string first_fault;
+  for (int attempt = 0;; ++attempt) {
+    engine.run_until(engine.now() + t);
+    pcie_time_ += t;
+    std::copy(data.begin(), data.end(), landed.begin());
+    std::uint64_t corrupt_at = 0;
+    if (plan != nullptr &&
+        plan->pcie_corrupt(engine.now(), data.size(), &corrupt_at)) {
+      landed[corrupt_at] ^= std::byte{0x40};
+      if (first_fault.empty()) first_fault = sim::to_string(*plan->last_event());
+    }
+    hw_.dram().host_write(buffer.address() + offset, landed.data(), landed.size());
+    if (!config_.checksum_transfers) return;
+    // The device checksums the payload in-line as it lands; the host pays one
+    // extra round-trip latency for the acknowledgement.
+    engine.run_until(engine.now() + spec.pcie_latency);
+    pcie_time_ += spec.pcie_latency;
+    if (crc32(landed) == sent_crc) return;
+    if (attempt >= config_.transfer_max_retries) {
+      throw TransferError("write_buffer checksum mismatch persisted after " +
+                          std::to_string(attempt) + " retries; first fault: " +
+                          (first_fault.empty() ? "<none recorded>" : first_fault));
+    }
+    ++transfer_retries_;
+    const SimTime backoff = config_.transfer_retry_backoff << attempt;
+    engine.run_until(engine.now() + backoff);
+    pcie_time_ += backoff;
+  }
 }
 
 void Device::read_buffer(Buffer& buffer, std::span<std::byte> out,
                          std::uint64_t offset) {
   TTSIM_CHECK(offset + out.size() <= buffer.size());
   const auto& spec = hw_.spec();
+  auto& engine = hw_.engine();
+  sim::FaultPlan* plan = hw_.fault_plan();
   const SimTime t = spec.pcie_latency + transfer_time(out.size(), spec.pcie_gbs);
-  hw_.engine().run_until(hw_.engine().now() + t);
-  pcie_time_ += t;
-  hw_.dram().host_read(buffer.address() + offset, out.data(), out.size());
+  std::vector<std::byte> sent(out.size());
+  std::uint32_t sent_crc = 0;
+  std::string first_fault;
+  for (int attempt = 0;; ++attempt) {
+    engine.run_until(engine.now() + t);
+    pcie_time_ += t;
+    if (attempt == 0) {
+      // True device-side contents, captured once the transfer's simulated
+      // time has elapsed (kernels are never concurrent with a blocking read).
+      hw_.dram().host_read(buffer.address() + offset, sent.data(), sent.size());
+      sent_crc = crc32(sent);
+    }
+    std::copy(sent.begin(), sent.end(), out.begin());
+    std::uint64_t corrupt_at = 0;
+    if (plan != nullptr && plan->pcie_corrupt(engine.now(), out.size(), &corrupt_at)) {
+      out[corrupt_at] ^= std::byte{0x40};
+      if (first_fault.empty()) first_fault = sim::to_string(*plan->last_event());
+    }
+    if (!config_.checksum_transfers) return;
+    // Device-computed CRC of what it sent rides back with the payload; one
+    // extra round-trip latency covers the compare/ack exchange.
+    engine.run_until(engine.now() + spec.pcie_latency);
+    pcie_time_ += spec.pcie_latency;
+    if (crc32(out) == sent_crc) return;
+    if (attempt >= config_.transfer_max_retries) {
+      throw TransferError("read_buffer checksum mismatch persisted after " +
+                          std::to_string(attempt) + " retries; first fault: " +
+                          (first_fault.empty() ? "<none recorded>" : first_fault));
+    }
+    ++transfer_retries_;
+    const SimTime backoff = config_.transfer_retry_backoff << attempt;
+    engine.run_until(engine.now() + backoff);
+    pcie_time_ += backoff;
+  }
 }
 
 void Device::run_program(Program& program) {
+  if (wedged_) {
+    TTSIM_THROW_API(
+        "run_program on a wedged device: an earlier program timed out and its "
+        "kernels still hold cores; open a fresh Device (cores recorded as "
+        "failed in the FaultPlan stay failed across the reopen)");
+  }
   auto& engine = hw_.engine();
   engine.run_until(engine.now() + hw_.spec().program_dispatch);
 
@@ -171,15 +257,17 @@ void Device::run_program(Program& program) {
       const std::string name = k.name + "@" + std::to_string(core_idx);
       const int position = static_cast<int>(i);
       const int group = static_cast<int>(k.cores.size());
-      profile_.push_back(KernelProfile{k.name, core_idx, 0, 0});
+      profile_.push_back(KernelProfile{k.name, core_idx, 0, 0, false});
       auto* prof = &profile_.back();
       if (k.kind == KernelKind::kCompute) {
         auto fn = k.compute_fn;
         engine.spawn(name, [this, &core, fn, args, position, group, prof, start] {
           ComputeCtx ctx(*this, core, args, position, group);
+          ctx.set_profile(prof);
           fn(ctx);
           prof->lifetime = hw_.engine().now() - start;
           prof->active = ctx.active_time();
+          prof->finished = true;
         });
       } else {
         const int noc_id = k.kind == KernelKind::kDataMover0 ? 0 : 1;
@@ -187,15 +275,48 @@ void Device::run_program(Program& program) {
         engine.spawn(name,
                      [this, &core, fn, args, position, group, noc_id, prof, start] {
                        DataMoverCtx ctx(*this, core, noc_id, args, position, group);
+                       ctx.set_profile(prof);
                        fn(ctx);
                        prof->lifetime = hw_.engine().now() - start;
                        prof->active = ctx.active_time();
+                       prof->finished = true;
                      });
       }
     }
   }
-  engine.run();
+  if (config_.sim_time_limit > 0) {
+    // Watchdog: bound the program in simulated time; a hang becomes a typed
+    // error naming the stuck kernels instead of an engine-drain deadlock.
+    if (!engine.run_until_done(start + config_.sim_time_limit)) {
+      finalise_profile(start);
+      wedged_ = true;
+      if (auto* plan = hw_.fault_plan()) plan->commit_elapsed_kills(engine.now());
+      std::ostringstream os;
+      os << "program exceeded sim_time_limit (" << config_.sim_time_limit
+         << " ns); stuck kernels:";
+      for (const auto& stuck : engine.blocked_process_names()) os << ' ' << stuck;
+      throw DeviceTimeoutError(os.str());
+    }
+  } else {
+    try {
+      engine.run();
+    } catch (...) {
+      finalise_profile(start);
+      if (auto* plan = hw_.fault_plan()) plan->commit_elapsed_kills(engine.now());
+      throw;
+    }
+  }
   last_kernel_duration_ = engine.now() - start;
+}
+
+void Device::finalise_profile(SimTime start) {
+  // Partial-profile contract: kernels that never finished keep the activity
+  // charged so far (written through live) and a lifetime clamped at the
+  // failure time.
+  const SimTime at_failure = hw_.engine().now() - start;
+  for (auto& p : profile_) {
+    if (!p.finished) p.lifetime = at_failure;
+  }
 }
 
 Device::DeviceBarrier& Device::barrier(int barrier_id) {

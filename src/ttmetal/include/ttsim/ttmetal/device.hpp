@@ -3,28 +3,97 @@
 /// Host-side SDK entry point: open a (simulated) Grayskull e150, allocate
 /// DRAM buffers, and launch programs. Mirrors tt-metal's Device +
 /// CommandQueue in structure; all timing is simulated.
+///
+/// Resilience (DeviceConfig): the device can bound program execution with a
+/// simulated-time watchdog (hangs become DeviceTimeoutError naming the stuck
+/// kernels), verify every host<->device transfer with a CRC-32 exchange and
+/// retry transient corruption with exponential backoff (exhaustion becomes
+/// TransferError naming the original fault), and carry a deterministic
+/// sim::FaultPlan that the simulator consults for fault injection.
 
 #include <map>
 #include <memory>
 #include <span>
+#include <stdexcept>
 
+#include "ttsim/sim/fault.hpp"
 #include "ttsim/sim/tensix_core.hpp"
 #include "ttsim/ttmetal/buffer.hpp"
 #include "ttsim/ttmetal/program.hpp"
 
 namespace ttsim::ttmetal {
 
+/// Thrown by Device::run_program when the program exceeds
+/// DeviceConfig::sim_time_limit; the message names every stuck kernel. The
+/// device is wedged afterwards (the hung kernels still hold its cores): open
+/// a fresh Device to continue — a failed core recorded in the FaultPlan
+/// stays failed across the reopen.
+class DeviceTimeoutError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a checksummed transfer still mismatches after
+/// DeviceConfig::transfer_max_retries retries; the message carries the first
+/// injected fault that hit the transfer so post-mortems see the root cause.
+class TransferError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Host-side robustness knobs, fixed at Device::open time.
+struct DeviceConfig {
+  /// Watchdog: bound each run_program invocation in simulated time, measured
+  /// from kernel start (dispatch excluded). 0 = unbounded (hangs surface as
+  /// the engine's deadlock CheckError only when the event queue drains).
+  SimTime sim_time_limit = 0;
+  /// Verify every write_buffer/read_buffer with a CRC-32 exchange (one extra
+  /// pcie_latency per transfer) and retry corrupted transfers.
+  bool checksum_transfers = false;
+  /// Bounded retry with exponential backoff: attempt k waits
+  /// transfer_retry_backoff << k before re-transferring.
+  int transfer_max_retries = 3;
+  SimTime transfer_retry_backoff = 50 * kMicrosecond;
+  /// Deterministic fault plan consulted by the DRAM model, the kernel layer
+  /// and the PCIe path. Shared so a plan can span device generations.
+  std::shared_ptr<sim::FaultPlan> fault_plan;
+};
+
+/// Per-kernel execution profile: how much of the kernel's lifetime was
+/// active (charged work) vs stalled (waiting on CBs, semaphores, barriers,
+/// NoC/DRAM completions). `active` is written through live by the kernel
+/// context, so a program that fails mid-run still leaves a usable partial
+/// profile (see Device::last_profile for the contract).
+struct KernelProfile {
+  std::string name;
+  int core = 0;
+  SimTime lifetime = 0;
+  SimTime active = 0;
+  bool finished = false;
+  double utilisation() const {
+    return lifetime > 0 ? static_cast<double>(active) / static_cast<double>(lifetime)
+                        : 0.0;
+  }
+};
+
 class Device {
  public:
   /// Open a simulated card. Each Device is an independent e150 (multi-card
   /// setups open several; Grayskulls cannot access each other's memory —
   /// paper Section VII).
-  static std::unique_ptr<Device> open(sim::GrayskullSpec spec = {});
+  static std::unique_ptr<Device> open(sim::GrayskullSpec spec = {},
+                                      DeviceConfig config = {});
   ~Device();
 
   sim::Grayskull& hw() { return hw_; }
   const sim::GrayskullSpec& spec() const { return hw_.spec(); }
+  const DeviceConfig& config() const { return config_; }
+  sim::FaultPlan* fault_plan() { return hw_.fault_plan(); }
   int num_workers() const { return hw_.worker_count(); }
+
+  /// Worker ids usable right now: all workers minus the ones the fault plan
+  /// has killed (the e150's own 108-of-120 harvesting, generalised).
+  std::vector<int> usable_workers();
 
   /// Allocate a DRAM buffer. Single-bank buffers with bank = -1 round-robin
   /// across banks (so distinct buffers land in distinct banks, as the
@@ -32,11 +101,16 @@ class Device {
   std::shared_ptr<Buffer> create_buffer(const BufferConfig& config);
 
   // --- command queue (blocking; simulated PCIe cost applied) ---
+  /// With DeviceConfig::checksum_transfers, each transfer is CRC-verified
+  /// and retried with exponential backoff; throws TransferError when retries
+  /// are exhausted.
   void write_buffer(Buffer& buffer, std::span<const std::byte> data,
                     std::uint64_t offset = 0);
   void read_buffer(Buffer& buffer, std::span<std::byte> out, std::uint64_t offset = 0);
 
-  /// Launch `program` and run it to completion in simulated time.
+  /// Launch `program` and run it to completion in simulated time. With
+  /// DeviceConfig::sim_time_limit set, throws DeviceTimeoutError (naming the
+  /// stuck kernels) when the program does not finish within the limit.
   void run_program(Program& program);
 
   /// Simulated duration of the last run_program, excluding dispatch overhead
@@ -48,24 +122,27 @@ class Device {
   /// Total simulated wall time spent in host<->device transfers so far.
   SimTime pcie_time() const { return pcie_time_; }
 
-  /// Per-kernel execution profile of the last run_program: how much of each
-  /// kernel's lifetime was active (charged work) vs stalled (waiting on
-  /// CBs, semaphores, barriers, NoC/DRAM completions).
-  struct KernelProfile {
-    std::string name;
-    int core = 0;
-    SimTime lifetime = 0;
-    SimTime active = 0;
-    double utilisation() const {
-      return lifetime > 0 ? static_cast<double>(active) / static_cast<double>(lifetime)
-                          : 0.0;
-    }
-  };
+  /// Checksummed-transfer retries taken so far (cumulative over the
+  /// device's lifetime; callers diff around a region of interest).
+  std::uint64_t transfer_retries() const { return transfer_retries_; }
+
+  /// Per-kernel execution profile of the last run_program.
+  ///
+  /// Contract: cleared on entry to run_program (after argument validation);
+  /// on success every entry is `finished` with final lifetime/active; when
+  /// run_program throws mid-run (kernel exception, watchdog timeout,
+  /// deadlock) the partial profile is retained — finished kernels keep their
+  /// final numbers, unfinished ones carry `finished == false`, the activity
+  /// charged so far, and a lifetime clamped at the failure time — so faulted
+  /// runs can be profiled post-mortem.
   const std::vector<KernelProfile>& last_profile() const { return profile_; }
 
  private:
-  explicit Device(sim::GrayskullSpec spec);
+  Device(sim::GrayskullSpec spec, DeviceConfig config);
   void release_buffer(const Buffer& buffer);
+  /// Set lifetime/duration for entries whose kernel never finished (partial
+  /// profile on a failed run).
+  void finalise_profile(SimTime start);
   friend class Buffer;
   friend class KernelCtxBase;
 
@@ -82,11 +159,14 @@ class Device {
   std::map<int, std::unique_ptr<DeviceBarrier>> barriers_;
 
   sim::Grayskull hw_;
+  DeviceConfig config_;
   std::vector<std::uint64_t> bank_top_;  // single-bank bump allocators
   std::uint64_t interleaved_top_;        // virtual region above the banks
   int next_bank_ = 0;
   SimTime last_kernel_duration_ = 0;
   SimTime pcie_time_ = 0;
+  std::uint64_t transfer_retries_ = 0;
+  bool wedged_ = false;  // a watchdog timeout left kernels stuck on cores
   std::vector<KernelProfile> profile_;
 };
 

@@ -17,6 +17,7 @@
 namespace ttsim::ttmetal {
 
 class Device;
+struct KernelProfile;  // device.hpp
 
 /// State shared by both kernel contexts on one core.
 class KernelCtxBase {
@@ -76,8 +77,16 @@ class KernelCtxBase {
   /// lifetime was stalling on CBs, semaphores, barriers or NoC completions.
   SimTime active_time() const { return active_; }
 
+  /// Attach the Device-owned profile entry for live write-through, so a
+  /// program that fails mid-run still has per-kernel activity recorded.
+  void set_profile(KernelProfile* profile) { profile_ = profile; }
+
  protected:
   void charge(SimTime cost);
+  /// If the fault plan killed this kernel's core, record the failure and
+  /// park the kernel forever (it shows up as a stuck process to the
+  /// watchdog / deadlock detector). Called from every charged operation.
+  void maybe_halt();
   SimTime active_ = 0;
 
   Device& device_;
@@ -85,6 +94,7 @@ class KernelCtxBase {
   std::vector<std::uint32_t> args_;
   int position_;
   int group_size_;
+  KernelProfile* profile_ = nullptr;
 };
 
 /// API surface for the two data mover baby cores.

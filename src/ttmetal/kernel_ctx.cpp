@@ -31,10 +31,21 @@ std::uint64_t KernelCtxBase::arg64(std::size_t i) const {
 SimTime KernelCtxBase::now() const { return device_.hw().engine().now(); }
 
 void KernelCtxBase::charge(SimTime cost) {
+  maybe_halt();
   if (cost > 0) {
     active_ += cost;
+    if (profile_ != nullptr) profile_->active = active_;
     device_.hw().engine().delay(cost);
   }
+}
+
+void KernelCtxBase::maybe_halt() {
+  sim::FaultPlan* plan = device_.hw().fault_plan();
+  if (plan == nullptr) return;
+  const SimTime t = device_.hw().engine().now();
+  if (!plan->core_dead(core_.id(), t)) return;
+  plan->record_core_failure(t, core_.id());
+  core_.halt_current_process();
 }
 
 void KernelCtxBase::cb_reserve_back(int cb_id, std::uint32_t pages) {
@@ -124,19 +135,62 @@ DataMoverCtx::DataMoverCtx(Device& device, sim::TensixCore& core, int noc_id,
 void DataMoverCtx::noc_async_read(std::uint64_t noc_addr, std::uint32_t l1_dst,
                                   std::uint32_t size) {
   charge(device_.spec().read_issue_overhead);
-  const int hops = device_.hw().hops_to_dram(core_, noc_addr, noc_id_);
+  auto& hw = device_.hw();
+  sim::FaultPlan* plan = hw.fault_plan();
+  if (plan != nullptr) charge(plan->mover_stall(now(), core_.id()));
+  const int hops = hw.hops_to_dram(core_, noc_addr, noc_id_);
+  SimTime extra = 0;
+  if (plan != nullptr) {
+    extra = plan->noc_transaction(now(), core_.id(), noc_id_, noc_addr, size,
+                                  /*is_write=*/false)
+                .extra_delay;
+  }
   reads_->issue();
-  device_.hw().dram().read(noc_addr, l1_ptr(l1_dst), size, core_.dma(noc_id_), hops,
-                           [t = reads_] { t->complete(); });
+  auto& engine = hw.engine();
+  hw.dram().read(noc_addr, l1_ptr(l1_dst), size, core_.dma(noc_id_), hops,
+                 [t = reads_, &engine, extra] {
+                   if (extra > 0) {
+                     engine.schedule_after(extra, [t] { t->complete(); });
+                   } else {
+                     t->complete();
+                   }
+                 });
 }
 
 void DataMoverCtx::noc_async_write(std::uint32_t l1_src, std::uint64_t noc_addr,
                                    std::uint32_t size) {
   charge(device_.spec().write_issue_overhead);
-  const int hops = device_.hw().hops_to_dram(core_, noc_addr, noc_id_);
-  writes_->issue();
-  device_.hw().dram().write(noc_addr, l1_ptr(l1_src), size, core_.dma(noc_id_), hops,
-                            [t = writes_] { t->complete(); });
+  auto& hw = device_.hw();
+  sim::FaultPlan* plan = hw.fault_plan();
+  if (plan != nullptr) charge(plan->mover_stall(now(), core_.id()));
+  const int hops = hw.hops_to_dram(core_, noc_addr, noc_id_);
+  sim::NocFaultDecision fd;
+  if (plan != nullptr) {
+    fd = plan->noc_transaction(now(), core_.id(), noc_id_, noc_addr, size,
+                               /*is_write=*/true);
+  }
+  auto& engine = hw.engine();
+  if (fd.drop) {
+    // Acknowledged but never lands: the mover pays the usual latency and the
+    // barrier completes, but DRAM keeps its old contents — silent data loss,
+    // detectable only by downstream checksums / verification.
+    writes_->issue();
+    engine.schedule_after(device_.spec().write_latency + fd.extra_delay,
+                          [t = writes_] { t->complete(); });
+    return;
+  }
+  const int copies = fd.duplicate ? 2 : 1;
+  for (int c = 0; c < copies; ++c) {
+    writes_->issue();
+    hw.dram().write(noc_addr, l1_ptr(l1_src), size, core_.dma(noc_id_), hops,
+                    [t = writes_, &engine, extra = fd.extra_delay] {
+                      if (extra > 0) {
+                        engine.schedule_after(extra, [t] { t->complete(); });
+                      } else {
+                        t->complete();
+                      }
+                    });
+  }
 }
 
 void DataMoverCtx::noc_async_read_barrier() { reads_->barrier(); }
@@ -161,20 +215,32 @@ void DataMoverCtx::noc_async_write_core(int dst_core, std::uint32_t dst_l1,
                                         std::uint32_t src_l1, std::uint32_t size) {
   charge(device_.spec().write_issue_overhead);
   auto& hw = device_.hw();
+  sim::FaultPlan* plan = hw.fault_plan();
+  if (plan != nullptr) charge(plan->mover_stall(now(), core_.id()));
   sim::TensixCore& dst = hw.worker(dst_core);
   TTSIM_CHECK_MSG(dst_l1 + size <= dst.sram().capacity(),
                   "core-to-core write past the target core's SRAM");
   auto& noc = hw.noc(noc_id_);
   const auto& spec = device_.spec();
   auto& engine = hw.engine();
+  sim::NocFaultDecision fd;
+  if (plan != nullptr) {
+    fd = plan->noc_transaction(engine.now(), core_.id(), noc_id_, dst_l1, size,
+                               /*is_write=*/true);
+  }
   // Drain through this mover's DMA engine, transit the NoC path, land in
   // the destination core's L1 at the simulated completion time.
   const SimTime drain = transfer_time(size, spec.dma_write_gbs);
   const SimTime dma_end =
       core_.dma(noc_id_).acquire(engine.now(), drain) + drain;
-  const SimTime complete =
-      dma_end + noc.hop_latency(core_.coord(), dst.coord()) + spec.write_latency;
+  const SimTime complete = dma_end + noc.hop_latency(core_.coord(), dst.coord()) +
+                           spec.write_latency + fd.extra_delay;
   writes_->issue();
+  if (fd.drop) {
+    // Dropped core-to-core write: latency is paid but nothing lands.
+    engine.schedule_at(complete, [t = writes_] { t->complete(); });
+    return;
+  }
   std::vector<std::byte> snapshot(l1_ptr(src_l1), l1_ptr(src_l1) + size);
   engine.schedule_at(complete, [&dst, dst_l1, data = std::move(snapshot),
                                 t = writes_]() mutable {

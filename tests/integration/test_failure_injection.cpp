@@ -35,12 +35,24 @@ TEST(FailureInjection, MismatchedCbProtocolDetected) {
         ctx.cb_pop_front(0, 1);  // nothing left
       },
       "protocol_bug");
-  EXPECT_THROW(dev->run_program(prog), CheckError);
+  try {
+    dev->run_program(prog);
+    FAIL() << "expected CB protocol violation";
+  } catch (const CheckError& e) {
+    // The structured accessors pin the failure to its check site — no
+    // string-matching what() needed.
+    EXPECT_FALSE(e.expr().empty());
+    EXPECT_NE(e.file().find("circular_buffer"), std::string::npos);
+    EXPECT_GT(e.line(), 0);
+    EXPECT_NE(std::string(e.what()).find(e.expr()), std::string::npos);
+  }
 }
 
 TEST(FailureInjection, CrossCoreDeadlockNamesAllStuckKernels) {
-  // Two cores each waiting on a semaphore the other never posts.
-  auto dev = Device::open();
+  // Two cores each waiting on a semaphore the other never posts; the
+  // DeviceConfig watchdog turns the hang into a typed timeout naming every
+  // stuck kernel.
+  auto dev = Device::open({}, {.sim_time_limit = 50 * kMillisecond});
   Program prog;
   prog.create_semaphore(0, {0, 1}, 0);
   prog.create_kernel(
@@ -48,23 +60,40 @@ TEST(FailureInjection, CrossCoreDeadlockNamesAllStuckKernels) {
       [](DataMoverCtx& ctx) { ctx.semaphore_wait(0); }, "stuck_pair");
   try {
     dev->run_program(prog);
-    FAIL() << "expected deadlock";
-  } catch (const CheckError& e) {
+    FAIL() << "expected watchdog timeout";
+  } catch (const DeviceTimeoutError& e) {
     const std::string what = e.what();
     EXPECT_NE(what.find("stuck_pair@0"), std::string::npos);
     EXPECT_NE(what.find("stuck_pair@1"), std::string::npos);
   }
+  // The hung kernels still hold their cores: the device is wedged.
+  Program again;
+  again.create_kernel(
+      KernelKind::kDataMover0, {2}, [](DataMoverCtx&) {}, "after_timeout");
+  EXPECT_THROW(dev->run_program(again), ApiError);
 }
 
 TEST(FailureInjection, PartialBarrierArrivalDeadlocks) {
-  // A barrier sized for 4 participants with only 2 arriving must deadlock,
-  // not silently release.
-  auto dev = Device::open();
+  // A barrier sized for 4 participants with only 2 arriving must trip the
+  // watchdog, not silently release.
+  auto dev = Device::open({}, {.sim_time_limit = 50 * kMillisecond});
   Program prog;
   prog.create_global_barrier(0, 4);
   prog.create_kernel(
       KernelKind::kDataMover0, {0, 1},
       [](DataMoverCtx& ctx) { ctx.global_barrier(0); }, "under_subscribed");
+  EXPECT_THROW(dev->run_program(prog), DeviceTimeoutError);
+}
+
+TEST(FailureInjection, DeadlockWithoutWatchdogStillSurfacesAsCheckError) {
+  // Without a sim_time_limit the engine's deadlock detector remains the
+  // backstop (the pre-watchdog behaviour).
+  auto dev = Device::open();
+  Program prog;
+  prog.create_semaphore(0, {0}, 0);
+  prog.create_kernel(
+      KernelKind::kDataMover0, {0},
+      [](DataMoverCtx& ctx) { ctx.semaphore_wait(0); }, "stuck_solo");
   EXPECT_THROW(dev->run_program(prog), CheckError);
 }
 

@@ -65,5 +65,44 @@ TEST(Profile, ClearedBetweenRuns) {
   EXPECT_EQ(dev->last_profile()[0].name, "b");
 }
 
+TEST(Profile, PartialProfileRetainedWhenWatchdogFires) {
+  // The last_profile contract on a failed run: cleared on entry (the earlier
+  // program's entries are gone), finished kernels keep their final numbers,
+  // unfinished ones carry finished == false, the activity charged so far and
+  // a lifetime clamped at the failure time.
+  auto dev = Device::open({}, {.sim_time_limit = 50 * kMillisecond});
+
+  Program warmup;
+  warmup.create_kernel(
+      KernelKind::kDataMover0, {0, 1, 2}, [](DataMoverCtx&) {}, "warmup");
+  dev->run_program(warmup);
+  ASSERT_EQ(dev->last_profile().size(), 3u);
+
+  Program prog;
+  prog.create_semaphore(0, {0}, 0);
+  prog.create_kernel(
+      KernelKind::kDataMover0, {0},
+      [](DataMoverCtx& ctx) {
+        ctx.spin(1 * kMicrosecond);
+        ctx.semaphore_wait(0);  // never posted
+      },
+      "stuck");
+  prog.create_kernel(
+      KernelKind::kDataMover1, {0},
+      [](DataMoverCtx& ctx) { ctx.spin(5 * kMicrosecond); }, "clean");
+  EXPECT_THROW(dev->run_program(prog), DeviceTimeoutError);
+
+  const auto& prof = dev->last_profile();
+  ASSERT_EQ(prof.size(), 2u);  // cleared on entry: no warmup entries
+  EXPECT_EQ(prof[0].name, "stuck");
+  EXPECT_FALSE(prof[0].finished);
+  EXPECT_NEAR(to_seconds(prof[0].active), 1e-6, 1e-8);
+  // Lifetime clamped at failure time: the queue drained when "clean" ended.
+  EXPECT_NEAR(to_seconds(prof[0].lifetime), 5e-6, 1e-7);
+  EXPECT_EQ(prof[1].name, "clean");
+  EXPECT_TRUE(prof[1].finished);
+  EXPECT_NEAR(to_seconds(prof[1].lifetime), 5e-6, 1e-7);
+}
+
 }  // namespace
 }  // namespace ttsim::ttmetal
