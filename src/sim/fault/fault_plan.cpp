@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "ttsim/common/check.hpp"
+#include "ttsim/sim/trace.hpp"
 
 namespace ttsim::sim {
 
@@ -52,7 +53,17 @@ std::uint64_t FaultPlan::record(FaultKind kind, SimTime now, int core,
   event.addr = addr;
   event.size = size;
   trace_.push_back(event);
+  if (sink_ != nullptr) {
+    sink_->record(TraceEventKind::kFault, now, 0,
+                  {core, static_cast<std::int32_t>(kind), 0, addr, size},
+                  sink_track_);
+  }
   return event.id;
+}
+
+void FaultPlan::set_trace(TraceSink* sink) {
+  sink_ = sink;
+  sink_track_ = sink != nullptr ? sink->track("faults") : -1;
 }
 
 bool FaultPlan::flip_dram_read(SimTime now, std::uint64_t addr, std::uint32_t size,

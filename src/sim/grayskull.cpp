@@ -17,6 +17,19 @@ Grayskull::Grayskull(GrayskullSpec spec)
 void Grayskull::install_fault_plan(std::shared_ptr<FaultPlan> plan) {
   fault_plan_ = std::move(plan);
   dram_.set_fault_plan(fault_plan_.get());
+  // Rebind the plan's trace unconditionally: a shared plan can outlive a
+  // previous (traced) device generation, and its old sink would dangle.
+  if (fault_plan_ != nullptr) fault_plan_->set_trace(trace_.get());
+}
+
+TraceSink& Grayskull::enable_trace() {
+  if (trace_ == nullptr) {
+    trace_ = std::make_unique<TraceSink>(engine_);
+    dram_.set_trace(trace_.get());
+    for (auto& w : workers_) w->set_trace(trace_.get());
+    if (fault_plan_ != nullptr) fault_plan_->set_trace(trace_.get());
+  }
+  return *trace_;
 }
 
 Noc& Grayskull::noc(int id) {

@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "ttsim/sim/sync.hpp"
+#include "ttsim/sim/trace.hpp"
 
 namespace ttsim::sim {
 
@@ -21,13 +22,20 @@ class CircularBuffer {
  public:
   /// \param storage backing pages in the owning core's SRAM
   ///        (page_size * num_pages bytes).
+  /// \param trace optional sink recording push/pop occupancy and blocked
+  ///        full/empty waits (`core`/`cb_id` label the events); nullptr
+  ///        disables tracing with no behavioural difference.
   CircularBuffer(Engine& engine, std::byte* storage, std::uint32_t page_size,
-                 std::uint32_t num_pages)
+                 std::uint32_t num_pages, TraceSink* trace = nullptr,
+                 int core = -1, int cb_id = -1)
       : storage_(storage),
         page_size_(page_size),
         num_pages_(num_pages),
         space_(engine),
-        data_(engine) {
+        data_(engine),
+        trace_(trace),
+        core_(core),
+        cb_id_(cb_id) {
     TTSIM_CHECK(page_size_ > 0);
     TTSIM_CHECK(num_pages_ > 0);
     TTSIM_CHECK(storage_ != nullptr);
@@ -46,6 +54,15 @@ class CircularBuffer {
   /// Block until `pages` pages are free for writing.
   void reserve_back(std::uint32_t pages) {
     check_pages(pages);
+    if (trace_ != nullptr && pages_free() < pages) {
+      // Record the blocked interval only when actually blocked, so a
+      // free-flowing pipeline produces no wait events.
+      const SimTime t0 = trace_->now();
+      while (pages_free() < pages) space_.wait();
+      trace_->record(TraceEventKind::kCbFullWait, t0, trace_->now() - t0,
+                     {core_, cb_id_, static_cast<std::int32_t>(pages)});
+      return;
+    }
     while (pages_free() < pages) space_.wait();
   }
 
@@ -57,6 +74,11 @@ class CircularBuffer {
     wr_page_ = (wr_page_ + pages) % num_pages_;
     committed_ += pages;
     override_wr_ptr_ = nullptr;  // an override is only valid for one page
+    if (trace_ != nullptr) {
+      trace_->record(TraceEventKind::kCbPush, trace_->now(), 0,
+                     {core_, cb_id_, static_cast<std::int32_t>(committed_),
+                      0, static_cast<std::uint64_t>(pages) * page_size_});
+    }
     data_.notify_all();
   }
 
@@ -73,6 +95,13 @@ class CircularBuffer {
   /// Block until `pages` pages have been committed by the producer.
   void wait_front(std::uint32_t pages) {
     check_pages(pages);
+    if (trace_ != nullptr && committed_ < pages) {
+      const SimTime t0 = trace_->now();
+      while (committed_ < pages) data_.wait();
+      trace_->record(TraceEventKind::kCbEmptyWait, t0, trace_->now() - t0,
+                     {core_, cb_id_, static_cast<std::int32_t>(pages)});
+      return;
+    }
     while (committed_ < pages) data_.wait();
   }
 
@@ -83,6 +112,11 @@ class CircularBuffer {
     committed_ -= pages;
     rd_page_ = (rd_page_ + pages) % num_pages_;
     override_rd_ptr_ = nullptr;  // an override is only valid for the front page
+    if (trace_ != nullptr) {
+      trace_->record(TraceEventKind::kCbPop, trace_->now(), 0,
+                     {core_, cb_id_, static_cast<std::int32_t>(committed_),
+                      0, static_cast<std::uint64_t>(pages) * page_size_});
+    }
     space_.notify_all();
   }
 
@@ -131,6 +165,9 @@ class CircularBuffer {
   std::byte* override_wr_ptr_ = nullptr;
   WaitQueue space_;
   WaitQueue data_;
+  TraceSink* trace_ = nullptr;
+  int core_ = -1;   // trace labels only
+  int cb_id_ = -1;
 };
 
 }  // namespace ttsim::sim

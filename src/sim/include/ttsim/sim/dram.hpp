@@ -37,6 +37,7 @@
 namespace ttsim::sim {
 
 class FaultPlan;
+class TraceSink;
 
 /// A serialised resource in virtual time (bank, DMA engine, aggregate bus).
 class ResourceTimeline {
@@ -123,6 +124,11 @@ class DramModel {
   /// the model (Grayskull owns both).
   void set_fault_plan(FaultPlan* plan) { fault_ = plan; }
 
+  /// Install a trace sink recording bank enqueue/service/row-miss and
+  /// aggregate-bus occupancy events (tracks "dram/bank<N>", "dram/aggregate").
+  /// Pass nullptr to disable; the sink must outlive the model.
+  void set_trace(TraceSink* trace);
+
   /// The bank serving `addr` (first page's bank for interleaved regions) —
   /// used for fault attribution and stuck-bank decisions.
   int serving_bank(const DramRegion& region, std::uint64_t offset) const;
@@ -175,6 +181,9 @@ class DramModel {
   ResourceTimeline aggregate_;
   DramStats stats_;
   FaultPlan* fault_ = nullptr;
+  TraceSink* trace_ = nullptr;
+  std::vector<int> bank_tracks_;  // interned trace track ids, per bank
+  int agg_track_ = -1;
   std::vector<InterleaveMap::Segment> scratch_segments_;
 };
 

@@ -38,6 +38,8 @@
 
 namespace ttsim::sim {
 
+class TraceSink;
+
 enum class FaultKind {
   kDramReadBitFlip,
   kDramBankStuck,
@@ -167,6 +169,11 @@ class FaultPlan {
     return trace_.empty() ? nullptr : &trace_.back();
   }
 
+  /// Mirror every recorded injection into a simulator trace sink (kFault
+  /// events on the "faults" track). Grayskull rebinds this on plan install
+  /// and on enable_trace; nullptr disables mirroring.
+  void set_trace(TraceSink* sink);
+
  private:
   std::uint64_t record(FaultKind kind, SimTime now, int core, std::uint64_t addr,
                        std::uint32_t size);
@@ -174,6 +181,8 @@ class FaultPlan {
 
   FaultConfig config_;
   Rng rng_;
+  TraceSink* sink_ = nullptr;
+  int sink_track_ = -1;
   std::vector<FaultEvent> trace_;
   std::vector<int> failed_cores_;  // permanently failed (observed) cores
 };

@@ -42,6 +42,11 @@ class TensixCore {
   /// DMA engine timeline for one NoC direction (0 = read NoC, 1 = write NoC).
   ResourceTimeline& dma(int noc_id);
 
+  /// Install a trace sink propagated to CBs created from now on (Grayskull
+  /// wires this before kernels attach). Pass nullptr to disable.
+  void set_trace(TraceSink* trace) { trace_ = trace; }
+  TraceSink* trace() { return trace_; }
+
   /// Clear CBs/semaphores and the SRAM allocator between program launches.
   void reset();
 
@@ -63,6 +68,7 @@ class TensixCore {
   std::map<int, std::unique_ptr<SimSemaphore>> semaphores_;
   ResourceTimeline dma_[2];
   std::unique_ptr<WaitQueue> halt_queue_;  // created on first halt
+  TraceSink* trace_ = nullptr;
 };
 
 /// The whole accelerator: engine + DRAM + NoCs + Tensix grid. One Grayskull
@@ -98,6 +104,14 @@ class Grayskull {
   FaultPlan* fault_plan() { return fault_plan_.get(); }
   const std::shared_ptr<FaultPlan>& fault_plan_ptr() const { return fault_plan_; }
 
+  /// Create (idempotently) the card-wide trace sink and wire it into the
+  /// DRAM model, every worker core and the installed fault plan. Tracing
+  /// observes state but never schedules events, so enabling it does not
+  /// change simulated behaviour.
+  TraceSink& enable_trace();
+  /// The sink, or nullptr when tracing was never enabled.
+  TraceSink* trace() { return trace_.get(); }
+
  private:
   GrayskullSpec spec_;
   Engine engine_;
@@ -106,6 +120,7 @@ class Grayskull {
   Noc noc1_;
   std::vector<std::unique_ptr<TensixCore>> workers_;
   std::shared_ptr<FaultPlan> fault_plan_;
+  std::unique_ptr<TraceSink> trace_;
 };
 
 }  // namespace ttsim::sim

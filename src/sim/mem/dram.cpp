@@ -4,6 +4,7 @@
 
 #include "ttsim/common/log.hpp"
 #include "ttsim/sim/fault.hpp"
+#include "ttsim/sim/trace.hpp"
 
 namespace ttsim::sim {
 
@@ -41,6 +42,19 @@ void DramModel::add_region(const DramRegion& region) {
                     "DRAM regions overlap");
   }
   regions_.emplace(region.base, region);
+}
+
+void DramModel::set_trace(TraceSink* trace) {
+  trace_ = trace;
+  bank_tracks_.clear();
+  agg_track_ = -1;
+  if (trace_ == nullptr) return;
+  // Intern the bank tracks eagerly so track ids are independent of which
+  // bank happens to see traffic first.
+  for (int b = 0; b < spec_.dram_banks; ++b) {
+    bank_tracks_.push_back(trace_->track("dram/bank" + std::to_string(b)));
+  }
+  agg_track_ = trace_->track("dram/aggregate");
 }
 
 void DramModel::remove_region(std::uint64_t base) {
@@ -145,8 +159,10 @@ SimTime DramModel::schedule_access(const Placement& p, std::uint64_t addr,
     // Coarse (slab-placed) regions: each core streams contiguously through
     // its own slab, so rows open once and stay hot; the global-image
     // addresses the simulator uses would misreport those as strided.
+    bool row_miss = false;
     if (!p.region->coarse && !streams.access(seg_addr, seg_addr + seg.length)) {
       bank_busy += spec_.bank_row_miss;
+      row_miss = true;
       ++stats_.row_misses;
     }
     const SimTime bank_start = bank.acquire(now + hop_lat, bank_busy);
@@ -157,7 +173,26 @@ SimTime DramModel::schedule_access(const Placement& p, std::uint64_t addr,
     // Aggregate DDR/NoC ceiling shared by every core (Table VII plateau).
     const SimTime agg_busy = transfer_time(seg.length, spec_.aggregate_gbs);
     stats_.aggregate_busy += agg_busy;
-    const SimTime agg_end = aggregate_.acquire(now, agg_busy) + agg_busy;
+    const SimTime agg_start = aggregate_.acquire(now, agg_busy);
+    const SimTime agg_end = agg_start + agg_busy;
+
+    if (trace_ != nullptr) {
+      const int bank_track = bank_tracks_[static_cast<std::size_t>(seg.bank)];
+      const SimTime arrival = now + hop_lat;
+      const TraceSink::Rec r{/*core=*/-1, /*a=*/seg.bank,
+                             /*b=*/is_write ? 1 : 0, seg_addr, seg.length};
+      // Enqueue dur = time the request sat behind earlier bank work.
+      trace_->record(TraceEventKind::kDramEnqueue, arrival,
+                     bank_start - arrival, r, bank_track);
+      trace_->record(TraceEventKind::kDramService, bank_start, bank_busy, r,
+                     bank_track);
+      if (row_miss) {
+        trace_->record(TraceEventKind::kDramRowMiss, bank_start, 0, r,
+                       bank_track);
+      }
+      trace_->record(TraceEventKind::kDramAggregate, agg_start, agg_busy, r,
+                     agg_track_);
+    }
 
     // Reads deliver when the slowest stage clears. Writes are posted: the
     // barrier sees the local drain (DMA) and acknowledgement; the bank

@@ -19,7 +19,7 @@ CircularBuffer& TensixCore::create_cb(int cb_id, std::uint32_t page_size,
   const std::uint32_t offset =
       sram_.allocate(static_cast<std::uint64_t>(page_size) * num_pages);
   auto cb = std::make_unique<CircularBuffer>(engine_, sram_.data(offset), page_size,
-                                             num_pages);
+                                             num_pages, trace_, id_, cb_id);
   auto& ref = *cb;
   cbs_.emplace(cb_id, std::move(cb));
   return ref;

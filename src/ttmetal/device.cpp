@@ -23,7 +23,18 @@ Device::Device(sim::GrayskullSpec spec, DeviceConfig config)
       bank_top_(static_cast<std::size_t>(spec.dram_banks), 0),
       interleaved_top_(0) {
   TTSIM_CHECK(config_.transfer_max_retries >= 0);
+  // Enable tracing before installing the fault plan so install_fault_plan
+  // binds the plan's mirror to this device's sink.
+  if (config_.enable_trace) hw_.enable_trace();
   if (config_.fault_plan != nullptr) hw_.install_fault_plan(config_.fault_plan);
+}
+
+sim::MetricsReport Device::metrics() {
+  if (hw_.trace() == nullptr) {
+    TTSIM_THROW_API(
+        "Device::metrics requires DeviceConfig::enable_trace at open");
+  }
+  return sim::build_metrics(*hw_.trace(), hw_.spec().dram_banks);
 }
 
 Device::~Device() = default;
@@ -103,6 +114,11 @@ void Device::write_buffer(Buffer& buffer, std::span<const std::byte> data,
   for (int attempt = 0;; ++attempt) {
     engine.run_until(engine.now() + t);
     pcie_time_ += t;
+    if (auto* tr = hw_.trace()) {
+      tr->record(sim::TraceEventKind::kPcieTransfer, engine.now() - t, t,
+                 {-1, attempt, /*b=is_write*/ 1, buffer.address() + offset,
+                  data.size()});
+    }
     std::copy(data.begin(), data.end(), landed.begin());
     std::uint64_t corrupt_at = 0;
     if (plan != nullptr &&
@@ -142,6 +158,11 @@ void Device::read_buffer(Buffer& buffer, std::span<std::byte> out,
   for (int attempt = 0;; ++attempt) {
     engine.run_until(engine.now() + t);
     pcie_time_ += t;
+    if (auto* tr = hw_.trace()) {
+      tr->record(sim::TraceEventKind::kPcieTransfer, engine.now() - t, t,
+                 {-1, attempt, /*b=is_write*/ 0, buffer.address() + offset,
+                  out.size()});
+    }
     if (attempt == 0) {
       // True device-side contents, captured once the transfer's simulated
       // time has elapsed (kernels are never concurrent with a blocking read).
@@ -257,14 +278,26 @@ void Device::run_program(Program& program) {
       const std::string name = k.name + "@" + std::to_string(core_idx);
       const int position = static_cast<int>(i);
       const int group = static_cast<int>(k.cores.size());
-      profile_.push_back(KernelProfile{k.name, core_idx, 0, 0, false});
+      profile_.push_back(KernelProfile{.name = k.name, .core = core_idx});
       auto* prof = &profile_.back();
+      // Kernel start/end markers are recorded inside the process so they
+      // land on the kernel's own trace track.
+      sim::TraceSink* trace = hw_.trace();
       if (k.kind == KernelKind::kCompute) {
         auto fn = k.compute_fn;
-        engine.spawn(name, [this, &core, fn, args, position, group, prof, start] {
+        engine.spawn(name, [this, &core, fn, args, position, group, prof, start,
+                            trace] {
           ComputeCtx ctx(*this, core, args, position, group);
           ctx.set_profile(prof);
+          if (trace != nullptr) {
+            trace->record(sim::TraceEventKind::kKernelStart, trace->now(), 0,
+                          {core.id()});
+          }
           fn(ctx);
+          if (trace != nullptr) {
+            trace->record(sim::TraceEventKind::kKernelEnd, trace->now(), 0,
+                          {core.id()});
+          }
           prof->lifetime = hw_.engine().now() - start;
           prof->active = ctx.active_time();
           prof->finished = true;
@@ -272,15 +305,23 @@ void Device::run_program(Program& program) {
       } else {
         const int noc_id = k.kind == KernelKind::kDataMover0 ? 0 : 1;
         auto fn = k.mover_fn;
-        engine.spawn(name,
-                     [this, &core, fn, args, position, group, noc_id, prof, start] {
-                       DataMoverCtx ctx(*this, core, noc_id, args, position, group);
-                       ctx.set_profile(prof);
-                       fn(ctx);
-                       prof->lifetime = hw_.engine().now() - start;
-                       prof->active = ctx.active_time();
-                       prof->finished = true;
-                     });
+        engine.spawn(name, [this, &core, fn, args, position, group, noc_id,
+                            prof, start, trace] {
+          DataMoverCtx ctx(*this, core, noc_id, args, position, group);
+          ctx.set_profile(prof);
+          if (trace != nullptr) {
+            trace->record(sim::TraceEventKind::kKernelStart, trace->now(), 0,
+                          {core.id()});
+          }
+          fn(ctx);
+          if (trace != nullptr) {
+            trace->record(sim::TraceEventKind::kKernelEnd, trace->now(), 0,
+                          {core.id()});
+          }
+          prof->lifetime = hw_.engine().now() - start;
+          prof->active = ctx.active_time();
+          prof->finished = true;
+        });
       }
     }
   }

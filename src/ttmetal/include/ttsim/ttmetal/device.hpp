@@ -17,7 +17,9 @@
 #include <stdexcept>
 
 #include "ttsim/sim/fault.hpp"
+#include "ttsim/sim/metrics.hpp"
 #include "ttsim/sim/tensix_core.hpp"
+#include "ttsim/sim/trace.hpp"
 #include "ttsim/ttmetal/buffer.hpp"
 #include "ttsim/ttmetal/program.hpp"
 
@@ -57,6 +59,12 @@ struct DeviceConfig {
   /// Deterministic fault plan consulted by the DRAM model, the kernel layer
   /// and the PCIe path. Shared so a plan can span device generations.
   std::shared_ptr<sim::FaultPlan> fault_plan;
+  /// Record a simulator-wide event trace (see sim/trace.hpp): kernel
+  /// lifetimes, mover NoC traffic, CB occupancy/waits, DRAM bank activity,
+  /// PCIe transfers and fault injections. Observationally neutral — results
+  /// and simulated times are identical with tracing on or off — but costs
+  /// host memory per event; leave off for long benchmark runs.
+  bool enable_trace = false;
 };
 
 /// Per-kernel execution profile: how much of the kernel's lifetime was
@@ -69,6 +77,13 @@ struct KernelProfile {
   int core = 0;
   SimTime lifetime = 0;
   SimTime active = 0;
+  /// FPU occupancy (tile math/pack). Part of `active`, broken out so a
+  /// compute kernel's genuine work is separable from its mover/CB overhead.
+  SimTime fpu_busy = 0;
+  /// Time blocked inside cb_wait_front / cb_reserve_back (pipeline
+  /// starvation / back-pressure). Part of the non-active remainder, broken
+  /// out so CB stalls are separable from NoC/semaphore/barrier stalls.
+  SimTime cb_wait = 0;
   bool finished = false;
   double utilisation() const {
     return lifetime > 0 ? static_cast<double>(active) / static_cast<double>(lifetime)
@@ -136,6 +151,16 @@ class Device {
   /// charged so far, and a lifetime clamped at the failure time — so faulted
   /// runs can be profiled post-mortem.
   const std::vector<KernelProfile>& last_profile() const { return profile_; }
+
+  /// The card-wide trace sink, or nullptr unless DeviceConfig::enable_trace
+  /// was set at open. Events accumulate across the device's lifetime; call
+  /// trace()->clear() to scope a capture to a region of interest.
+  sim::TraceSink* trace() { return hw_.trace(); }
+
+  /// Aggregate the recorded trace (per-bank utilization & queue depth,
+  /// per-kernel stall breakdown, CB occupancy histograms, NoC traffic).
+  /// Throws ApiError when the device was opened without enable_trace.
+  sim::MetricsReport metrics();
 
  private:
   Device(sim::GrayskullSpec spec, DeviceConfig config);

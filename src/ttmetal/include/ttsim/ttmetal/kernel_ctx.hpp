@@ -76,6 +76,11 @@ class KernelCtxBase {
   /// (issue overheads, FPU ops, memcpys, loop ticks) — the remainder of its
   /// lifetime was stalling on CBs, semaphores, barriers or NoC completions.
   SimTime active_time() const { return active_; }
+  /// FPU occupancy (tile math/pack); included in active_time().
+  SimTime fpu_time() const { return fpu_busy_; }
+  /// Time blocked inside cb_wait_front / cb_reserve_back; part of the
+  /// non-active remainder.
+  SimTime cb_wait_time() const { return cb_wait_; }
 
   /// Attach the Device-owned profile entry for live write-through, so a
   /// program that fails mid-run still has per-kernel activity recorded.
@@ -87,7 +92,11 @@ class KernelCtxBase {
   /// park the kernel forever (it shows up as a stuck process to the
   /// watchdog / deadlock detector). Called from every charged operation.
   void maybe_halt();
+  /// Account a blocked interval ending now as CB-wait stall.
+  void note_cb_wait(SimTime waited);
   SimTime active_ = 0;
+  SimTime fpu_busy_ = 0;
+  SimTime cb_wait_ = 0;
 
   Device& device_;
   sim::TensixCore& core_;
@@ -95,6 +104,7 @@ class KernelCtxBase {
   int position_;
   int group_size_;
   KernelProfile* profile_ = nullptr;
+  sim::TraceSink* trace_ = nullptr;  ///< device sink, nullptr when disabled
 };
 
 /// API surface for the two data mover baby cores.
@@ -156,6 +166,7 @@ class DataMoverCtx : public KernelCtxBase {
 
  private:
   int noc_id_;
+  int noc_track_ = -1;  // trace track for kNocTransfer events
   // Shared so in-flight completion callbacks outlive a kernel that returns
   // without a final barrier (the events still drain in the engine).
   std::shared_ptr<sim::CompletionTracker> reads_;
@@ -201,6 +212,13 @@ class ComputeCtx : public KernelCtxBase {
   /// Drop a read-pointer override before its page is handed to another
   /// consumer (pop also clears it).
   void cb_clear_rd_ptr(int cb_id);
+
+ private:
+  /// Run one FPU operation, measuring its simulated duration into the
+  /// kernel's active/fpu_busy accounting (and the trace when enabled). The
+  /// Fpu charges engine time directly, so the measurement brackets the call.
+  template <typename Fn>
+  void fpu_op(Fn&& fn);
 };
 
 }  // namespace ttsim::ttmetal

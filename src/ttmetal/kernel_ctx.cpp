@@ -13,7 +13,8 @@ KernelCtxBase::KernelCtxBase(Device& device, sim::TensixCore& core,
       core_(core),
       args_(std::move(args)),
       position_(position),
-      group_size_(group_size) {}
+      group_size_(group_size),
+      trace_(device.hw().trace()) {}
 
 std::uint32_t KernelCtxBase::arg(std::size_t i) const {
   if (i >= args_.size()) {
@@ -48,9 +49,17 @@ void KernelCtxBase::maybe_halt() {
   core_.halt_current_process();
 }
 
+void KernelCtxBase::note_cb_wait(SimTime waited) {
+  if (waited <= 0) return;
+  cb_wait_ += waited;
+  if (profile_ != nullptr) profile_->cb_wait = cb_wait_;
+}
+
 void KernelCtxBase::cb_reserve_back(int cb_id, std::uint32_t pages) {
   charge(device_.spec().cb_op_cost);
+  const SimTime t0 = now();
   core_.cb(cb_id).reserve_back(pages);
+  note_cb_wait(now() - t0);
 }
 
 void KernelCtxBase::cb_push_back(int cb_id, std::uint32_t pages) {
@@ -60,7 +69,9 @@ void KernelCtxBase::cb_push_back(int cb_id, std::uint32_t pages) {
 
 void KernelCtxBase::cb_wait_front(int cb_id, std::uint32_t pages) {
   charge(device_.spec().cb_op_cost);
+  const SimTime t0 = now();
   core_.cb(cb_id).wait_front(pages);
+  note_cb_wait(now() - t0);
 }
 
 void KernelCtxBase::cb_pop_front(int cb_id, std::uint32_t pages) {
@@ -95,17 +106,27 @@ std::uint32_t KernelCtxBase::l1_address_of(const std::byte* p) const {
 
 void KernelCtxBase::semaphore_post(int sem_id, std::int64_t n) {
   charge(device_.spec().cb_op_cost);
+  if (trace_ != nullptr) {
+    trace_->record(sim::TraceEventKind::kSemPost, now(), 0,
+                   {core_.id(), sem_id, static_cast<std::int32_t>(n)});
+  }
   core_.semaphore(sem_id).post(n);
 }
 
 void KernelCtxBase::semaphore_wait(int sem_id, std::int64_t n) {
   charge(device_.spec().cb_op_cost);
+  const SimTime t0 = now();
   core_.semaphore(sem_id).wait(n);
+  if (trace_ != nullptr && now() > t0) {
+    trace_->record(sim::TraceEventKind::kSemWait, t0, now() - t0,
+                   {core_.id(), sem_id, static_cast<std::int32_t>(n)});
+  }
 }
 
 void KernelCtxBase::global_barrier(int barrier_id) {
   // One NoC round trip to signal arrival at the rendezvous core.
   charge(device_.spec().read_latency);
+  const SimTime t0 = now();
   auto& b = device_.barrier(barrier_id);
   const std::uint64_t gen = b.generation;
   if (++b.arrived == b.expected) {
@@ -114,6 +135,10 @@ void KernelCtxBase::global_barrier(int barrier_id) {
     b.queue.notify_all();
   } else {
     while (b.generation == gen) b.queue.wait();
+  }
+  if (trace_ != nullptr && now() > t0) {
+    trace_->record(sim::TraceEventKind::kGlobalBarrierWait, t0, now() - t0,
+                   {core_.id(), barrier_id});
   }
 }
 
@@ -130,10 +155,15 @@ DataMoverCtx::DataMoverCtx(Device& device, sim::TensixCore& core, int noc_id,
     : KernelCtxBase(device, core, std::move(args), position, group_size),
       noc_id_(noc_id),
       reads_(std::make_shared<sim::CompletionTracker>(device.hw().engine())),
-      writes_(std::make_shared<sim::CompletionTracker>(device.hw().engine())) {}
+      writes_(std::make_shared<sim::CompletionTracker>(device.hw().engine())) {
+  if (trace_ != nullptr) {
+    noc_track_ = trace_->track(noc_id_ == 0 ? "noc0" : "noc1");
+  }
+}
 
 void DataMoverCtx::noc_async_read(std::uint64_t noc_addr, std::uint32_t l1_dst,
                                   std::uint32_t size) {
+  const SimTime t0 = now();
   charge(device_.spec().read_issue_overhead);
   auto& hw = device_.hw();
   sim::FaultPlan* plan = hw.fault_plan();
@@ -145,10 +175,27 @@ void DataMoverCtx::noc_async_read(std::uint64_t noc_addr, std::uint32_t l1_dst,
                                   /*is_write=*/false)
                 .extra_delay;
   }
+  // Capture the issuing track now: the completion callback runs in
+  // scheduler context, where "current track" would resolve to the host.
+  int track = -1;
+  if (trace_ != nullptr) {
+    track = trace_->current_track();
+    trace_->record(sim::TraceEventKind::kMoverReadIssue, t0, now() - t0,
+                   {core_.id(), noc_id_, hops, noc_addr, size}, track);
+    trace_->record(sim::TraceEventKind::kNocTransfer, now(),
+                   static_cast<SimTime>(hops) * device_.spec().noc_hop_latency,
+                   {core_.id(), noc_id_, hops, noc_addr, size}, noc_track_);
+  }
   reads_->issue();
   auto& engine = hw.engine();
   hw.dram().read(noc_addr, l1_ptr(l1_dst), size, core_.dma(noc_id_), hops,
-                 [t = reads_, &engine, extra] {
+                 [t = reads_, &engine, extra, tr = trace_, track,
+                  core = core_.id(), noc_addr, size] {
+                   if (tr != nullptr) {
+                     tr->record(sim::TraceEventKind::kMoverReadComplete,
+                                tr->now(), 0, {core, -1, 0, noc_addr, size},
+                                track);
+                   }
                    if (extra > 0) {
                      engine.schedule_after(extra, [t] { t->complete(); });
                    } else {
@@ -159,6 +206,7 @@ void DataMoverCtx::noc_async_read(std::uint64_t noc_addr, std::uint32_t l1_dst,
 
 void DataMoverCtx::noc_async_write(std::uint32_t l1_src, std::uint64_t noc_addr,
                                    std::uint32_t size) {
+  const SimTime t0 = now();
   charge(device_.spec().write_issue_overhead);
   auto& hw = device_.hw();
   sim::FaultPlan* plan = hw.fault_plan();
@@ -169,6 +217,22 @@ void DataMoverCtx::noc_async_write(std::uint32_t l1_src, std::uint64_t noc_addr,
     fd = plan->noc_transaction(now(), core_.id(), noc_id_, noc_addr, size,
                                /*is_write=*/true);
   }
+  int track = -1;
+  if (trace_ != nullptr) {
+    track = trace_->current_track();
+    trace_->record(sim::TraceEventKind::kMoverWriteIssue, t0, now() - t0,
+                   {core_.id(), noc_id_, hops, noc_addr, size}, track);
+    trace_->record(sim::TraceEventKind::kNocTransfer, now(),
+                   static_cast<SimTime>(hops) * device_.spec().noc_hop_latency,
+                   {core_.id(), noc_id_, hops, noc_addr, size}, noc_track_);
+  }
+  auto complete_event = [tr = trace_, track, core = core_.id(), noc_addr,
+                         size] {
+    if (tr != nullptr) {
+      tr->record(sim::TraceEventKind::kMoverWriteComplete, tr->now(), 0,
+                 {core, -1, 0, noc_addr, size}, track);
+    }
+  };
   auto& engine = hw.engine();
   if (fd.drop) {
     // Acknowledged but never lands: the mover pays the usual latency and the
@@ -176,14 +240,19 @@ void DataMoverCtx::noc_async_write(std::uint32_t l1_src, std::uint64_t noc_addr,
     // detectable only by downstream checksums / verification.
     writes_->issue();
     engine.schedule_after(device_.spec().write_latency + fd.extra_delay,
-                          [t = writes_] { t->complete(); });
+                          [t = writes_, complete_event] {
+                            complete_event();
+                            t->complete();
+                          });
     return;
   }
   const int copies = fd.duplicate ? 2 : 1;
   for (int c = 0; c < copies; ++c) {
     writes_->issue();
     hw.dram().write(noc_addr, l1_ptr(l1_src), size, core_.dma(noc_id_), hops,
-                    [t = writes_, &engine, extra = fd.extra_delay] {
+                    [t = writes_, &engine, extra = fd.extra_delay,
+                     complete_event] {
+                      complete_event();
                       if (extra > 0) {
                         engine.schedule_after(extra, [t] { t->complete(); });
                       } else {
@@ -193,16 +262,35 @@ void DataMoverCtx::noc_async_write(std::uint32_t l1_src, std::uint64_t noc_addr,
   }
 }
 
-void DataMoverCtx::noc_async_read_barrier() { reads_->barrier(); }
+void DataMoverCtx::noc_async_read_barrier() {
+  const SimTime t0 = now();
+  reads_->barrier();
+  if (trace_ != nullptr && now() > t0) {
+    trace_->record(sim::TraceEventKind::kReadBarrierWait, t0, now() - t0,
+                   {core_.id(), noc_id_});
+  }
+}
 
-void DataMoverCtx::noc_async_write_barrier() { writes_->barrier(); }
+void DataMoverCtx::noc_async_write_barrier() {
+  const SimTime t0 = now();
+  writes_->barrier();
+  if (trace_ != nullptr && now() > t0) {
+    trace_->record(sim::TraceEventKind::kWriteBarrierWait, t0, now() - t0,
+                   {core_.id(), noc_id_});
+  }
+}
 
 void DataMoverCtx::l1_memcpy(std::uint32_t l1_dst, std::uint32_t l1_src,
                              std::uint32_t size) {
   const auto& spec = device_.spec();
+  const SimTime t0 = now();
   charge(spec.memcpy_call_overhead +
          static_cast<SimTime>(spec.memcpy_ns_per_byte * static_cast<double>(size) *
                               static_cast<double>(kNanosecond)));
+  if (trace_ != nullptr) {
+    trace_->record(sim::TraceEventKind::kMoverMemcpy, t0, now() - t0,
+                   {core_.id(), -1, 0, l1_dst, size});
+  }
   std::memmove(l1_ptr(l1_dst), l1_ptr(l1_src), size);
 }
 
@@ -213,6 +301,7 @@ void DataMoverCtx::l1_store_u16(std::uint32_t l1_addr, std::uint16_t value) {
 
 void DataMoverCtx::noc_async_write_core(int dst_core, std::uint32_t dst_l1,
                                         std::uint32_t src_l1, std::uint32_t size) {
+  const SimTime t0 = now();
   charge(device_.spec().write_issue_overhead);
   auto& hw = device_.hw();
   sim::FaultPlan* plan = hw.fault_plan();
@@ -235,16 +324,36 @@ void DataMoverCtx::noc_async_write_core(int dst_core, std::uint32_t dst_l1,
       core_.dma(noc_id_).acquire(engine.now(), drain) + drain;
   const SimTime complete = dma_end + noc.hop_latency(core_.coord(), dst.coord()) +
                            spec.write_latency + fd.extra_delay;
+  int track = -1;
+  if (trace_ != nullptr) {
+    track = trace_->current_track();
+    const int hops = noc.hops(core_.coord(), dst.coord());
+    trace_->record(sim::TraceEventKind::kMoverWriteIssue, t0, now() - t0,
+                   {core_.id(), noc_id_, hops, dst_l1, size}, track);
+    trace_->record(sim::TraceEventKind::kNocTransfer, dma_end,
+                   noc.hop_latency(core_.coord(), dst.coord()),
+                   {core_.id(), noc_id_, hops, dst_l1, size}, noc_track_);
+  }
+  auto complete_event = [tr = trace_, track, core = core_.id(), dst_l1, size] {
+    if (tr != nullptr) {
+      tr->record(sim::TraceEventKind::kMoverWriteComplete, tr->now(), 0,
+                 {core, -1, 0, dst_l1, size}, track);
+    }
+  };
   writes_->issue();
   if (fd.drop) {
     // Dropped core-to-core write: latency is paid but nothing lands.
-    engine.schedule_at(complete, [t = writes_] { t->complete(); });
+    engine.schedule_at(complete, [t = writes_, complete_event] {
+      complete_event();
+      t->complete();
+    });
     return;
   }
   std::vector<std::byte> snapshot(l1_ptr(src_l1), l1_ptr(src_l1) + size);
   engine.schedule_at(complete, [&dst, dst_l1, data = std::move(snapshot),
-                                t = writes_]() mutable {
+                                t = writes_, complete_event]() mutable {
     std::memcpy(dst.sram().data(dst_l1), data.data(), data.size());
+    complete_event();
     t->complete();
   });
 }
@@ -281,27 +390,50 @@ std::uint32_t DataMoverCtx::read_data_aligned(std::uint64_t address,
 // ---------------------------------------------------------------------------
 // ComputeCtx
 
+template <typename Fn>
+void ComputeCtx::fpu_op(Fn&& fn) {
+  // The Fpu advances engine time itself (it models a hardware unit, not a
+  // kernel op), so bracket the call to attribute that time to this kernel as
+  // FPU-busy — previously it was lumped into the stall remainder. delay()
+  // resumes the process at exactly t0 + cost, so the measurement is exact.
+  maybe_halt();
+  const SimTime t0 = now();
+  fn();
+  const SimTime dt = now() - t0;
+  if (dt > 0) {
+    active_ += dt;
+    fpu_busy_ += dt;
+    if (profile_ != nullptr) {
+      profile_->active = active_;
+      profile_->fpu_busy = fpu_busy_;
+    }
+    if (trace_ != nullptr) {
+      trace_->record(sim::TraceEventKind::kFpuOp, t0, dt, {core_.id()});
+    }
+  }
+}
+
 void ComputeCtx::add_tiles(int cb_a, int cb_b, std::uint32_t ia, std::uint32_t ib,
                            int dst) {
-  core_.fpu().add_tiles(core_.cb(cb_a), core_.cb(cb_b), ia, ib, dst);
+  fpu_op([&] { core_.fpu().add_tiles(core_.cb(cb_a), core_.cb(cb_b), ia, ib, dst); });
 }
 
 void ComputeCtx::sub_tiles(int cb_a, int cb_b, std::uint32_t ia, std::uint32_t ib,
                            int dst) {
-  core_.fpu().sub_tiles(core_.cb(cb_a), core_.cb(cb_b), ia, ib, dst);
+  fpu_op([&] { core_.fpu().sub_tiles(core_.cb(cb_a), core_.cb(cb_b), ia, ib, dst); });
 }
 
 void ComputeCtx::mul_tiles(int cb_a, int cb_b, std::uint32_t ia, std::uint32_t ib,
                            int dst) {
-  core_.fpu().mul_tiles(core_.cb(cb_a), core_.cb(cb_b), ia, ib, dst);
+  fpu_op([&] { core_.fpu().mul_tiles(core_.cb(cb_a), core_.cb(cb_b), ia, ib, dst); });
 }
 
 void ComputeCtx::copy_tile(int cb, std::uint32_t idx, int dst) {
-  core_.fpu().copy_tile(core_.cb(cb), idx, dst);
+  fpu_op([&] { core_.fpu().copy_tile(core_.cb(cb), idx, dst); });
 }
 
 void ComputeCtx::pack_tile(int dst, int cb, std::uint32_t page_offset) {
-  core_.fpu().pack_tile(dst, core_.cb(cb), page_offset);
+  fpu_op([&] { core_.fpu().pack_tile(dst, core_.cb(cb), page_offset); });
 }
 
 void ComputeCtx::cb_set_rd_ptr(int cb_id, std::uint32_t l1_addr) {
@@ -319,8 +451,14 @@ void ComputeCtx::cb_clear_rd_ptr(int cb_id) {
   core_.cb(cb_id).clear_read_ptr();
 }
 
-void ComputeCtx::abs_tile(int dst) { core_.fpu().abs_tile(dst); }
+void ComputeCtx::abs_tile(int dst) {
+  fpu_op([&] { core_.fpu().abs_tile(dst); });
+}
 
-bfloat16_t ComputeCtx::reduce_max(int dst) { return core_.fpu().reduce_max(dst); }
+bfloat16_t ComputeCtx::reduce_max(int dst) {
+  bfloat16_t result{};
+  fpu_op([&] { result = core_.fpu().reduce_max(dst); });
+  return result;
+}
 
 }  // namespace ttsim::ttmetal

@@ -1,0 +1,123 @@
+/// \file test_trace_neutrality.cpp
+/// Property test for the trace layer's central contract: tracing is
+/// observationally neutral. A traced run and an untraced run of the same
+/// workload must produce bit-identical results and identical simulated
+/// times — recording an event never charges simulated time, perturbs
+/// scheduling order, or changes data. This is what makes golden traces
+/// trustworthy: the trace describes the run the user would have had anyway.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "ttsim/core/jacobi_device.hpp"
+#include "ttsim/stream/stream_bench.hpp"
+#include "ttsim/ttmetal/device.hpp"
+
+namespace ttsim {
+namespace {
+
+struct Observed {
+  std::vector<float> solution;
+  SimTime kernel_time = 0;
+  SimTime final_clock = 0;
+};
+
+std::uint32_t float_bits(float f) {
+  std::uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+
+Observed observe_jacobi(bool traced, core::DeviceStrategy strategy, int cores_y,
+                        std::shared_ptr<sim::FaultPlan> plan = nullptr) {
+  ttmetal::DeviceConfig dc;
+  dc.enable_trace = traced;
+  dc.fault_plan = std::move(plan);
+  auto dev = ttmetal::Device::open({}, dc);
+  core::JacobiProblem p;
+  p.width = 96;
+  p.height = 64;
+  p.iterations = 3;
+  core::DeviceRunConfig cfg;
+  cfg.strategy = strategy;
+  cfg.cores_y = cores_y;
+  const auto r = core::run_jacobi_on_device(*dev, p, cfg);
+  EXPECT_TRUE(r.verified_ok);
+  if (traced) {
+    EXPECT_NE(dev->trace(), nullptr);
+    EXPECT_GT(dev->trace()->size(), 0u);
+  } else {
+    EXPECT_EQ(dev->trace(), nullptr);
+  }
+  return {r.solution, r.kernel_time, dev->now()};
+}
+
+Observed observe_stream(bool traced, int num_cores, std::uint64_t interleave_page) {
+  ttmetal::DeviceConfig dc;
+  dc.enable_trace = traced;
+  auto dev = ttmetal::Device::open({}, dc);
+  stream::StreamParams p;
+  p.rows = 64;
+  p.num_cores = num_cores;
+  p.interleave_page = interleave_page;
+  const auto r = stream::run_streaming_benchmark(*dev, p);
+  EXPECT_TRUE(r.verified_ok);
+  return {{}, r.kernel_time, dev->now()};
+}
+
+void expect_neutral(const Observed& off, const Observed& on) {
+  // Bit-identical results: the solution vectors compare equal elementwise.
+  ASSERT_EQ(off.solution.size(), on.solution.size());
+  for (std::size_t i = 0; i < off.solution.size(); ++i) {
+    ASSERT_EQ(float_bits(off.solution[i]), float_bits(on.solution[i]))
+        << "element " << i;
+  }
+  // Identical simulated durations, to the picosecond.
+  EXPECT_EQ(off.kernel_time, on.kernel_time);
+  EXPECT_EQ(off.final_clock, on.final_clock);
+}
+
+TEST(TraceNeutrality, JacobiTiledPipeline) {
+  expect_neutral(observe_jacobi(false, core::DeviceStrategy::kDoubleBuffered, 1),
+                 observe_jacobi(true, core::DeviceStrategy::kDoubleBuffered, 1));
+}
+
+TEST(TraceNeutrality, JacobiRowChunkMulticore) {
+  expect_neutral(observe_jacobi(false, core::DeviceStrategy::kRowChunk, 2),
+                 observe_jacobi(true, core::DeviceStrategy::kRowChunk, 2));
+}
+
+TEST(TraceNeutrality, JacobiSramResident) {
+  expect_neutral(observe_jacobi(false, core::DeviceStrategy::kSramResident, 2),
+                 observe_jacobi(true, core::DeviceStrategy::kSramResident, 2));
+}
+
+TEST(TraceNeutrality, StreamInterleavedMulticore) {
+  expect_neutral(observe_stream(false, 2, 16 * KiB),
+                 observe_stream(true, 2, 16 * KiB));
+}
+
+/// Neutrality must also hold with fault injection active: the FaultPlan's
+/// decision stream is driven by the simulated schedule, so any tracing
+/// perturbation would change *which faults fire* — a particularly loud
+/// failure mode worth pinning.
+TEST(TraceNeutrality, FaultInjectionSchedule) {
+  sim::FaultConfig fc;
+  fc.seed = 5;
+  fc.mover_stall_prob = 0.05;
+  fc.noc_delay_prob = 0.05;
+  const auto run = [&](bool traced) {
+    auto plan = std::make_shared<sim::FaultPlan>(fc);
+    auto obs = observe_jacobi(traced, core::DeviceStrategy::kRowChunk, 2, plan);
+    return std::make_pair(std::move(obs), plan->trace_string());
+  };
+  const auto [off, off_faults] = run(false);
+  const auto [on, on_faults] = run(true);
+  expect_neutral(off, on);
+  EXPECT_FALSE(off_faults.empty());
+  EXPECT_EQ(off_faults, on_faults);
+}
+
+}  // namespace
+}  // namespace ttsim

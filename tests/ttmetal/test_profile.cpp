@@ -104,5 +104,68 @@ TEST(Profile, PartialProfileRetainedWhenWatchdogFires) {
   EXPECT_NEAR(to_seconds(prof[1].lifetime), 5e-6, 1e-7);
 }
 
+TEST(Profile, ComputeKernelSplitsFpuBusyFromCbWait) {
+  // A compute kernel starved by a slow producer: its profile must separate
+  // (a) FPU occupancy — part of `active`, the kernel's genuine work — from
+  // (b) CB-wait time — part of the stalled remainder. Historically the FPU
+  // charged the engine directly and bypassed `active` entirely, so a
+  // pure-FPU kernel profiled as 100% stalled.
+  constexpr int kTiles = 4;
+  constexpr std::uint32_t kTileBytes = 32 * 32 * 2;  // one BF16 tile
+
+  auto dev = Device::open();
+  Program prog;
+  prog.create_cb(0, {0}, kTileBytes, 2);
+  prog.create_cb(16, {0}, kTileBytes, kTiles);  // deep enough to never block
+  prog.create_kernel(
+      KernelKind::kDataMover0, {0},
+      [](DataMoverCtx& ctx) {
+        for (int i = 0; i < kTiles; ++i) {
+          ctx.spin(2 * kMicrosecond);  // pace the pipeline: consumer starves
+          ctx.cb_reserve_back(0, 1);
+          ctx.cb_push_back(0, 1);
+        }
+      },
+      "producer");
+  prog.create_kernel(
+      {0},
+      [](ComputeCtx& ctx) {
+        for (int i = 0; i < kTiles; ++i) {
+          ctx.cb_wait_front(0, 1);  // starved ~2 us per tile
+          ctx.copy_tile(0, 0, 0);
+          ctx.abs_tile(0);
+          ctx.cb_reserve_back(16, 1);
+          ctx.pack_tile(0, 16);
+          ctx.cb_push_back(16, 1);
+          ctx.cb_pop_front(0, 1);
+        }
+      },
+      "math");
+  dev->run_program(prog);
+
+  const auto& prof = dev->last_profile();
+  ASSERT_EQ(prof.size(), 2u);
+  ASSERT_EQ(prof[1].name, "math");
+  const KernelProfile& math = prof[1];
+
+  // FPU time exists and is accounted inside `active`.
+  EXPECT_GT(math.fpu_busy, 0);
+  EXPECT_LE(math.fpu_busy, math.active);
+  // CB starvation exists, is *not* inside `active`, and both fit in the
+  // lifetime side by side.
+  EXPECT_GT(math.cb_wait, 0);
+  EXPECT_LE(math.active + math.cb_wait, math.lifetime);
+  // The producer paces the pipeline at 2 us/tile, so starvation dominates
+  // this kernel's lifetime — the utilisation split is meaningful, not noise.
+  EXPECT_GT(math.cb_wait, math.active);
+  EXPECT_GT(to_seconds(math.cb_wait), 4e-6);
+
+  // The producer never blocks on its CB (the consumer drains faster than it
+  // fills): its cb_wait stays zero while its spins land in `active`.
+  const KernelProfile& producer = prof[0];
+  EXPECT_EQ(producer.cb_wait, 0);
+  EXPECT_NEAR(to_seconds(producer.active), 8e-6, 1e-6);
+}
+
 }  // namespace
 }  // namespace ttsim::ttmetal
