@@ -1,0 +1,118 @@
+/// \file ablation_read_ahead.cpp
+/// Read-ahead depth ablation on the Table VIII workload (1024x9216 BF16,
+/// row-chunk solver, striped buffers): sweeps the reading mover's in-flight
+/// batch depth (DeviceRunConfig::read_ahead = 2/4/8) across core counts
+/// 1..108, with the pipelined DRAM bank service
+/// (GrayskullSpec::dram_bank_pipeline) enabled for the deep columns. The
+/// depth-2 serialised column is the paper's scheme and must match
+/// table8_perf_energy bit-for-bit; the deep columns show the 64-108-core
+/// saturation lifting off the bank-queueing wall (EXPERIMENTS.md known
+/// deviation (b)).
+///
+///   ablation_read_ahead [--full | --quick]   # the sweep
+///   ablation_read_ahead --smoke              # CI: depth 2 vs 8, few cores,
+///                                            # verified, exits non-zero on
+///                                            # regression
+
+#include <cstring>
+
+#include "bench_util.hpp"
+#include "ttsim/core/jacobi_device.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ttsim;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  bench::print_header(
+      "Read-ahead ablation: 1024x9216 BF16 Jacobi (Table VIII workload)", opts);
+
+  core::JacobiProblem p;
+  p.width = 9216;
+  p.height = smoke ? 256 : 1024;
+  p.iterations = smoke ? 10 : (opts.jacobi_iters > 0 ? opts.jacobi_iters : 5000);
+
+  struct Row {
+    int cores_y, cores_x;
+  };
+  const std::vector<Row> rows =
+      smoke ? std::vector<Row>{{1, 2}, {2, 4}}
+            : std::vector<Row>{{1, 1}, {1, 2}, {1, 4}, {2, 4},
+                               {8, 4}, {8, 8}, {8, 9}, {12, 9}};
+  const std::vector<int> depths = smoke ? std::vector<int>{2, 8}
+                                        : std::vector<int>{2, 4, 8};
+
+  auto run = [&](const Row& row, int depth, bool pipelined) {
+    core::DeviceRunConfig cfg;
+    cfg.strategy = core::DeviceStrategy::kRowChunk;
+    cfg.cores_y = row.cores_y;
+    cfg.cores_x = row.cores_x;
+    cfg.buffer_layout = ttmetal::BufferLayout::kStriped;
+    cfg.read_ahead = depth;
+    // Deep piped columns are the full deep-pipelining configuration: once
+    // the bank queues drain, the hashed stripe placement's 3-stripe hot
+    // bank becomes the wall, so they also balance the stripes. At depth 2
+    // balancing is left off — shallow queues make lockstep cores camp on
+    // round-robin banks (the behaviour the hash exists to break), so the
+    // depth-2 piped column isolates the bank pipeline alone.
+    cfg.balanced_stripes = pipelined && depth > 2;
+    cfg.verify = smoke;  // bit-exact vs the CPU reference in CI
+    sim::GrayskullSpec spec;
+    spec.dram_bank_pipeline = pipelined;
+    return core::run_jacobi_on_device(p, cfg, spec);
+  };
+
+  Table t;
+  {
+    std::vector<std::string> cols = {"Cores", "Y x X",
+                                     "depth 2 serial (GPt/s)"};
+    for (int d : depths) {
+      cols.push_back("depth " + std::to_string(d) + " piped (GPt/s)");
+    }
+    cols.push_back("best speedup");
+    t.set_headers(std::move(cols));
+  }
+
+  bool ok = true;
+  for (const Row& row : rows) {
+    const int ncores = row.cores_y * row.cores_x;
+    std::vector<std::string> cells = {
+        std::to_string(ncores),
+        std::to_string(row.cores_y) + " x " + std::to_string(row.cores_x)};
+    // Baseline: the paper's two-batch scheme on the serialised bank model —
+    // the exact configuration every table bench and golden trace pins.
+    const auto base = run(row, 2, /*pipelined=*/false);
+    const double base_g = base.gpts(p, /*kernel_only=*/true);
+    cells.push_back(Table::fmt(base_g, 2));
+    ok = ok && base.verified_ok;
+
+    double best = base_g;
+    SimTime prev_time = 0;
+    for (std::size_t i = 0; i < depths.size(); ++i) {
+      const auto r = run(row, depths[i], /*pipelined=*/true);
+      const double g = r.gpts(p, /*kernel_only=*/true);
+      cells.push_back(Table::fmt(g, 2));
+      best = std::max(best, g);
+      ok = ok && r.verified_ok;
+      // Monotonicity: deeper read-ahead must never slow the pipelined run.
+      if (i > 0 && r.kernel_time > prev_time) {
+        std::cout << "REGRESSION: depth " << depths[i] << " slower than depth "
+                  << depths[i - 1] << " at " << ncores << " cores\n";
+        ok = false;
+      }
+      prev_time = r.kernel_time;
+    }
+    cells.push_back(Table::fmt(best / base_g, 2) + "x");
+    t.add_row(std::move(cells));
+  }
+
+  t.print(std::cout);
+  if (smoke) {
+    std::cout << (ok ? "\nsmoke OK: results verified, depth monotone\n"
+                     : "\nsmoke FAILED\n");
+    return ok ? 0 : 1;
+  }
+  return 0;
+}

@@ -33,15 +33,20 @@ struct Options {
   std::string row;
   int cores = 2;
   std::uint64_t page = 16 * KiB;
+  int read_ahead = 2;
   std::string export_path;
 };
 
 [[noreturn]] void usage() {
   std::cout
       << "usage: attr_bottleneck <row> [--cores N] [--page BYTES] "
-         "[--export FILE]\n"
+         "[--read-ahead N] [--export FILE]\n"
          "rows: table2-memcpy table2-rowchunk table7 table7-interleaved "
-         "table8\n";
+         "table8\n"
+         "--read-ahead > 2 also enables the pipelined DRAM bank service and\n"
+         "balanced stripe placement (table8), so the attribution shows the\n"
+         "bank queues draining (the metrics report grows a 'Bank pipeline'\n"
+         "section) and the hot-bank imbalance flattening\n";
   std::exit(2);
 }
 
@@ -153,6 +158,9 @@ sim::MetricsReport run_row(ttmetal::Device& device, const Options& opt) {
     cfg.strategy = opt.row == "table2-memcpy"
                        ? core::DeviceStrategy::kDoubleBuffered
                        : core::DeviceStrategy::kRowChunk;
+    if (cfg.strategy == core::DeviceStrategy::kRowChunk) {
+      cfg.read_ahead = opt.read_ahead;
+    }
     device.trace()->clear();  // drop the setup PCIe transfers
     core::run_jacobi_on_device(device, p, cfg);
   } else if (opt.row == "table7" || opt.row == "table7-interleaved") {
@@ -171,6 +179,8 @@ sim::MetricsReport run_row(ttmetal::Device& device, const Options& opt) {
     core::DeviceRunConfig cfg;
     cfg.strategy = core::DeviceStrategy::kRowChunk;
     cfg.buffer_layout = ttmetal::BufferLayout::kStriped;
+    cfg.read_ahead = opt.read_ahead;
+    cfg.balanced_stripes = opt.read_ahead > 2;
     cfg.cores_x = 9;
     cfg.cores_y = std::max(1, opt.cores / 9);
     if (opt.cores < 9) {
@@ -194,6 +204,8 @@ int main(int argc, char** argv) {
       opt.cores = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--page") == 0 && i + 1 < argc) {
       opt.page = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--read-ahead") == 0 && i + 1 < argc) {
+      opt.read_ahead = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--export") == 0 && i + 1 < argc) {
       opt.export_path = argv[++i];
     } else if (argv[i][0] != '-' && opt.row.empty()) {
@@ -206,7 +218,11 @@ int main(int argc, char** argv) {
 
   ttmetal::DeviceConfig dcfg;
   dcfg.enable_trace = true;
-  auto device = ttmetal::Device::open({}, dcfg);
+  // Deep read-ahead is the configuration that exposes the bank queues, so
+  // pair it with the pipelined bank service it is designed to exploit.
+  sim::GrayskullSpec spec;
+  if (opt.read_ahead > 2) spec.dram_bank_pipeline = true;
+  auto device = ttmetal::Device::open(spec, dcfg);
 
   std::cout << "=== attr_bottleneck: " << opt.row << " ===\n\n";
   const sim::MetricsReport m = run_row(*device, opt);

@@ -10,6 +10,9 @@
 /// arranged "cores in Y x cores in X" with X strips of 1024 elements at the
 /// full decomposition (12 x 9 over 108 workers).
 
+#include <utility>
+#include <vector>
+
 #include "bench_util.hpp"
 #include "ttsim/core/jacobi_device.hpp"
 #include "ttsim/cpu/xeon_model.hpp"
@@ -56,6 +59,8 @@ int main(int argc, char** argv) {
       {2, 4, 7.99, 276},   {8, 4, 9.20, 240},   {8, 8, 12.96, 170},
       {8, 9, 17.26, 128},  {12, 9, 22.06, 110},
   };
+  // Baselines kept for the deep-pipelining supplement below (ncores -> GPt/s).
+  std::vector<std::pair<int, double>> plateau;
   for (const auto& row : rows) {
     core::DeviceRunConfig cfg;
     cfg.strategy = core::DeviceStrategy::kRowChunk;
@@ -79,6 +84,49 @@ int main(int argc, char** argv) {
     const std::string label = "e150 " + std::to_string(ncores);
     perf.add(label, row.paper_gpts, g, "GPt/s");
     joules.add(label, row.paper_j, j, "J");
+    if (ncores >= 64) plateau.emplace_back(ncores, g);
+  }
+
+  // --- deep pipelining supplement (not part of the paper comparison) ---
+  // Above ~64 cores the paper-faithful two-batch scheme saturates on the
+  // DRAM bank queues (EXPERIMENTS.md known deviation (b)). Re-run the
+  // plateau rows over read_ahead = 2/4/8 with the pipelined bank service
+  // (and, for depths > 2, balanced stripe placement: draining the queues
+  // exposes the hashed placement's 3-stripe hot bank as the next wall) and
+  // report the best depth per row — the strip geometry shifts the optimum
+  // (narrow multi-column strips pay column-boundary drains at depth > 2);
+  // bench/ablation_read_ahead has the full depth x cores sweep.
+  Table deep{"Type", "Total cores", "depth 2 (GPt/s)", "best piped (GPt/s)",
+             "best depth", "speedup", "paper (GPt/s)"};
+  for (const auto& row : rows) {
+    const int ncores = row.cores_y * row.cores_x;
+    if (ncores < 64) continue;
+    double best_g = 0;
+    int best_depth = 0;
+    for (const int depth : {2, 4, 8}) {
+      core::DeviceRunConfig cfg;
+      cfg.strategy = core::DeviceStrategy::kRowChunk;
+      cfg.cores_y = row.cores_y;
+      cfg.cores_x = row.cores_x;
+      cfg.buffer_layout = ttmetal::BufferLayout::kStriped;
+      cfg.read_ahead = depth;
+      cfg.balanced_stripes = depth > 2;
+      sim::GrayskullSpec deep_spec;
+      deep_spec.dram_bank_pipeline = true;
+      const auto r = core::run_jacobi_on_device(p, cfg, deep_spec);
+      const double g = r.gpts(p, /*kernel_only=*/true);
+      if (g > best_g) {
+        best_g = g;
+        best_depth = depth;
+      }
+    }
+    double base = 0;
+    for (const auto& [n, b] : plateau) {
+      if (n == ncores) base = b;
+    }
+    deep.add_row("e150", ncores, Table::fmt(base, 2), Table::fmt(best_g, 2),
+                 best_depth, Table::fmt(best_g / base, 2) + "x",
+                 Table::fmt(row.paper_gpts, 2));
   }
 
   // --- multi-card rows ---
@@ -106,6 +154,10 @@ int main(int argc, char** argv) {
   }
 
   t.print(std::cout);
+  std::cout << "\nDeep memory pipelining (best read_ahead depth per row, "
+               "pipelined banks, balanced stripes at depth > 2; supplement, "
+               "not part of the paper comparison):\n";
+  deep.print(std::cout);
   std::cout << '\n' << perf.to_string() << '\n' << joules.to_string() << '\n';
 
   // The paper's headline claims, checked explicitly.

@@ -68,6 +68,21 @@ struct DeviceRunConfig {
   /// Row-chunk batch width in elements (the paper uses 1024; clamped to the
   /// per-core strip width).
   std::uint32_t chunk_elems = 1024;
+  /// Read-ahead depth of the row-chunk reading mover: how many row batches
+  /// it keeps in flight (issued but not yet consumed). 2 is the paper's
+  /// Section VI scheme and the default; deeper values grow the local row
+  /// window (2N+1 slots) and input CBs (N pages each) so more DRAM reads
+  /// overlap, which is what lifts the 64+ core runs off the bank-queueing
+  /// wall (see bench/ablation_read_ahead). Honoured by kRowChunk (and the
+  /// stencil runner); other strategies read as the paper describes them.
+  int read_ahead = 2;
+  /// kStriped only: round-robin the grid's row slabs over the banks instead
+  /// of the default allocator-order hash. The hash (the paper-faithful
+  /// model of per-core slab allocation) deals 16 stripes 3/2/.../1 across 8
+  /// banks; once deep read-ahead drains the bank queues the 3-stripe bank
+  /// is the remaining wall, so the deep-pipelining configuration pairs this
+  /// with read_ahead > 2 (see bench/ablation_read_ahead).
+  bool balanced_stripes = false;
   /// Verify against the BF16-exact CPU reference after the run.
   bool verify = false;
 };

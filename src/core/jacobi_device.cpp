@@ -76,6 +76,7 @@ ttmetal::BufferConfig grid_buffer_config(const DeviceRunConfig& cfg,
     // Sixteen row slabs per grid: every Y sub-range of cores still spreads
     // its traffic over all eight banks.
     bc.page_size = align_up(layout.bytes() / 16 + 1, 32);
+    bc.balanced_stripes = cfg.balanced_stripes;
   }
   return bc;
 }
@@ -92,6 +93,10 @@ void validate_config(const ttmetal::Device& device, const JacobiProblem& p,
                                            << device.num_workers() << " workers");
   }
   if (p.iterations < 1) TTSIM_THROW_API("need at least one iteration");
+  if (cfg.read_ahead < 2 || cfg.read_ahead > 64) {
+    TTSIM_THROW_API("read_ahead must be in [2, 64] (got " << cfg.read_ahead
+                    << "); 2 is the paper's two-batch scheme");
+  }
   if (cfg.strategy == DeviceStrategy::kSramResident) {
     if (cfg.cores_x != 1) {
       TTSIM_THROW_API("the SRAM-resident solver decomposes in Y only (cores_x == 1)");
@@ -149,6 +154,7 @@ DeviceRunResult run_jacobi_on_device(ttmetal::Device& device, const JacobiProble
   shared->strategy = cfg.strategy;
   shared->toggles = cfg.toggles;
   shared->chunk_elems = cfg.chunk_elems;
+  shared->read_ahead = cfg.read_ahead;
   shared->ranges = detail::decompose(p, sel.cores_x, sel.cores_y,
                                      tiled ? detail::kTile : 16);
   shared->core_ids = sel.core_ids;
@@ -234,6 +240,7 @@ AdaptiveRunResult run_jacobi_adaptive(ttmetal::Device& device, const JacobiProbl
     shared->iterations = chunk;
     shared->strategy = cfg.strategy;
     shared->chunk_elems = cfg.chunk_elems;
+    shared->read_ahead = cfg.read_ahead;
     shared->residual_addr = residuals->address();
     shared->ranges = detail::decompose(p, sel.cores_x, sel.cores_y, 16);
     shared->core_ids = sel.core_ids;

@@ -65,6 +65,9 @@ struct KernelShared {
   DeviceStrategy strategy = DeviceStrategy::kRowChunk;
   ComponentToggles toggles;
   std::uint32_t chunk_elems = 1024;
+  /// Row-chunk reader's in-flight batch depth (DeviceRunConfig::read_ahead);
+  /// 2 reproduces the paper's two-batch scheme bit-exactly.
+  int read_ahead = 2;
   /// When non-zero: on the final iteration the compute kernel tracks the
   /// per-core max |unew - u| on the FPU and the writing mover stores it (one
   /// BF16 value per core, 32-byte slots) at this DRAM address. Requires

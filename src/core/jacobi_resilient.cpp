@@ -98,6 +98,7 @@ ResilientRunResult run_jacobi_resilient(const JacobiProblem& p,
         shared->strategy = cfg.strategy;
         shared->toggles = cfg.toggles;
         shared->chunk_elems = cfg.chunk_elems;
+        shared->read_ahead = cfg.read_ahead;
         shared->ranges = detail::decompose(p, sel.cores_x, sel.cores_y,
                                            tiled ? detail::kTile : 16);
         shared->core_ids = sel.core_ids;

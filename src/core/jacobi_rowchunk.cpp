@@ -2,10 +2,12 @@
 /// The Section VI optimised Jacobi design. Batches are one-dimensional
 /// chunks of (up to) 1024 elements along X (Fig. 6); each batch needs one
 /// contiguous read of chunk+2 elements (the chunk plus one halo element per
-/// side). The reading data mover keeps five row slots in local SRAM, reads
-/// two batches ahead with a single barrier per batch, and never copies
-/// memory: the compute kernel redirects the input CBs' read pointers into
-/// the mover's slots with the cb_set_rd_ptr SDK extension —
+/// side). The reading data mover keeps a rotating window of row slots in
+/// local SRAM (2N+1 slots for read-ahead depth N; the paper's N = 2 gives
+/// the five-slot scheme of Section VI), reads N batches ahead with one
+/// tagged barrier per batch, and never copies memory: the compute kernel
+/// redirects the input CBs' read pointers into the mover's slots with the
+/// cb_set_rd_ptr SDK extension —
 ///   x-1 tile = slot(j)   + off        (chunk shifted left by one element)
 ///   x+1 tile = slot(j)   + off + 4 B  (shifted right)
 ///   y-1 tile = slot(j-1) + off + 2 B  (row above, centred)
@@ -17,8 +19,6 @@
 namespace ttsim::core::detail {
 namespace {
 
-constexpr std::uint32_t kSlots = 5;
-
 std::uint32_t slot_bytes(std::uint32_t chunk) {
   // chunk + 2 halo elements, plus up to 32 alignment-prefix bytes.
   return static_cast<std::uint32_t>(align_up((chunk + 2) * 2 + 32, 64));
@@ -29,8 +29,10 @@ struct ChunkGrid {
   std::uint32_t chunk;   ///< elements per batch
   std::uint32_t ncols;   ///< column strips of `chunk` elements
   std::uint32_t nrows;
+  std::uint32_t nslots;  ///< row-slot rotation length (2 * read_ahead + 1)
 
-  ChunkGrid(const CoreRange& r, std::uint32_t chunk_elems) : rg(r) {
+  ChunkGrid(const CoreRange& r, std::uint32_t chunk_elems, std::uint32_t slots)
+      : rg(r), nslots(slots) {
     const std::uint32_t strip = rg.col_hi - rg.col_lo;
     // Largest chunk that tiles the strip exactly and keeps writes aligned
     // (multiple of 16 elements). X-decompositions whose strips don't divide
@@ -46,7 +48,7 @@ struct ChunkGrid {
   /// Slot index for input row y within this core's rotation.
   std::uint32_t slot_of(std::int64_t y) const {
     return static_cast<std::uint32_t>(
-        (y - (static_cast<std::int64_t>(rg.row_lo) - 1)) % kSlots);
+        (y - (static_cast<std::int64_t>(rg.row_lo) - 1)) % nslots);
   }
 };
 
@@ -57,31 +59,38 @@ void build_rowchunk_program(ttmetal::Program& prog, std::shared_ptr<KernelShared
   const std::vector<int> cores = sh->workers();
   TTSIM_CHECK(static_cast<int>(cores.size()) == ncores);
 
-  // Input CBs carry no data (read pointers are aliased); two pages give the
+  // Read-ahead depth N: the reader keeps up to N row batches in flight.
+  // Input CBs carry no data (read pointers are aliased); N pages give the
   // reader exactly the flow control that keeps a slot alive until the
-  // compute kernel is done with the batches that read it.
-  for (int cb = kCbIn0; cb <= kCbIn3; ++cb) prog.create_cb(cb, cores, kTileBytes, 2);
+  // compute kernel is done with the batches that read it — a reserve for
+  // batch j waits for batch j-N to be popped, at which point the slot the
+  // next issued row lands in (row j-N-1's) is no longer referenced.
+  const auto depth = static_cast<std::uint32_t>(std::max(2, sh->read_ahead));
+  const std::uint32_t nslots = 2 * depth + 1;
+  for (int cb = kCbIn0; cb <= kCbIn3; ++cb) {
+    prog.create_cb(cb, cores, kTileBytes, depth);
+  }
   prog.create_cb(kCbScalar, cores, kTileBytes, 1);
   prog.create_cb(kCbInter, cores, kTileBytes, 2);
   prog.create_cb(kCbOut, cores, kTileBytes, 4);
   if (sh->residual_addr != 0) prog.create_cb(kCbRes, cores, 32, 1);
 
-  // Five-slot local row buffer, sized for the widest chunk any core uses.
+  // (2N+1)-slot local row buffer, sized for the widest chunk any core uses.
   std::uint32_t max_chunk = 16;
   for (const auto& rg : sh->ranges) {
     max_chunk = std::max(max_chunk, std::min(sh->chunk_elems, rg.col_hi - rg.col_lo));
   }
   const std::uint32_t sbytes = slot_bytes(max_chunk);
-  const auto slots = prog.create_l1_buffer(cores, kSlots * sbytes);
+  const auto slots = prog.create_l1_buffer(cores, nslots * sbytes);
   const std::uint32_t slots_addr = prog.l1_buffer_address(slots);
   prog.create_global_barrier(kIterationBarrier, 2 * ncores);
 
   // ---------------- reading data mover ----------------
   prog.create_kernel(
       ttmetal::KernelKind::kDataMover0, cores,
-      [sh, slots_addr, sbytes](ttmetal::DataMoverCtx& ctx) {
+      [sh, slots_addr, sbytes, depth, nslots](ttmetal::DataMoverCtx& ctx) {
         const ChunkGrid grid(sh->ranges[static_cast<std::size_t>(ctx.position())],
-                             sh->chunk_elems);
+                             sh->chunk_elems, nslots);
         const PaddedLayout& L = sh->layout;
 
         fill_scalar_page(ctx, kCbScalar, 0.25f);
@@ -94,26 +103,52 @@ void build_rowchunk_program(ttmetal::Program& prog, std::shared_ptr<KernelShared
             const std::uint32_t off =
                 static_cast<std::uint32_t>(L.byte_offset(0, c0 - 1) % 32);
             const std::uint32_t read_bytes = (grid.chunk + 2) * 2 + off;
+            // Reads are tagged with their slot so a batch can wait for the
+            // one row it still needs without draining the deeper
+            // read-ahead. A tag is safely reusable by the time its slot is:
+            // row y's read is waited at batch y-1, long before row
+            // y + nslots is issued (at batch >= y + depth + 1).
             auto issue_row = [&](std::int64_t y) {
               const std::uint64_t addr = src + L.byte_offset(y, c0 - 1) - off;
+              const std::uint32_t slot = grid.slot_of(y);
               ctx.noc_async_read(ctx.get_noc_addr(addr),
-                                 slots_addr + grid.slot_of(y) * sbytes, read_bytes);
+                                 slots_addr + slot * sbytes, read_bytes,
+                                 static_cast<int>(slot));
             };
 
             const std::int64_t r0 = grid.rg.row_lo;
             const std::int64_t r1 = grid.rg.row_hi;
+            // Column boundary: the prologue below lands rows in slots 0..2,
+            // which still alias rows of the *previous* column's tail while up
+            // to N-1 of its batches are in flight. At N = 2 the single
+            // outstanding batch is covered by the DRAM round trip (the
+            // paper's scheme, pinned by the golden traces); deeper pipelines
+            // genuinely race, so drain: all `depth` pages of kCbIn3 free
+            // means the compute kernel has finished every slot-referencing
+            // add of the previous column.
+            if (depth > 2 && col > 0) ctx.cb_reserve_back(kCbIn3, depth);
             // Prologue: rows r0-1, r0, r0+1 (clamped to the strip's halo).
-            for (std::int64_t y = r0 - 1; y <= std::min<std::int64_t>(r0 + 1, r1); ++y) {
-              issue_row(y);
-            }
+            std::int64_t issued_hi = std::min<std::int64_t>(r0 + 1, r1);
+            for (std::int64_t y = r0 - 1; y <= issued_hi; ++y) issue_row(y);
             for (std::int64_t j = r0; j < r1; ++j) {
               // Flow control: a free page means the compute kernel has
-              // popped batch j-2, so slot(j+2) (= slot(j-3)) is reusable.
+              // popped batch j-N, so the slot row issued_hi+1 rotates into
+              // (row j-N-1's) is reusable.
               for (int cb = kCbIn0; cb <= kCbIn3; ++cb) ctx.cb_reserve_back(cb, 1);
-              // "Synchronise memory reads immediately" (rows <= j+1 land)...
-              ctx.noc_async_read_barrier();
-              // ..."and issue a non-blocking read for two batches ahead".
-              if (j + 2 <= r1) issue_row(j + 2);
+              // "Synchronise memory reads immediately": batch j needs rows
+              // j-1, j, j+1; the first two were waited by earlier batches,
+              // so wait on row j+1's tag (the prologue's untracked set on
+              // the first batch).
+              if (j == r0) {
+                ctx.noc_async_read_barrier();
+              } else {
+                ctx.noc_async_read_barrier(
+                    static_cast<int>(grid.slot_of(j + 1)));
+              }
+              // ...and issue non-blocking reads up to N batches ahead.
+              while (issued_hi < std::min<std::int64_t>(j + depth, r1)) {
+                issue_row(++issued_hi);
+              }
               for (int cb = kCbIn0; cb <= kCbIn3; ++cb) ctx.cb_push_back(cb, 1);
               ctx.loop_tick();
             }
@@ -126,9 +161,9 @@ void build_rowchunk_program(ttmetal::Program& prog, std::shared_ptr<KernelShared
   // ---------------- compute cores ----------------
   prog.create_kernel(
       cores,
-      [sh, slots_addr, sbytes](ttmetal::ComputeCtx& ctx) {
+      [sh, slots_addr, sbytes, nslots](ttmetal::ComputeCtx& ctx) {
         const ChunkGrid grid(sh->ranges[static_cast<std::size_t>(ctx.position())],
-                             sh->chunk_elems);
+                             sh->chunk_elems, nslots);
         const PaddedLayout& L = sh->layout;
         constexpr int dst0 = 0;
         constexpr int dst1 = 1;
@@ -220,9 +255,9 @@ void build_rowchunk_program(ttmetal::Program& prog, std::shared_ptr<KernelShared
   // ---------------- writing data mover ----------------
   prog.create_kernel(
       ttmetal::KernelKind::kDataMover1, cores,
-      [sh](ttmetal::DataMoverCtx& ctx) {
+      [sh, nslots](ttmetal::DataMoverCtx& ctx) {
         const ChunkGrid grid(sh->ranges[static_cast<std::size_t>(ctx.position())],
-                             sh->chunk_elems);
+                             sh->chunk_elems, nslots);
         const PaddedLayout& L = sh->layout;
         for (int it = 0; it < sh->iterations; ++it) {
           const std::uint64_t dst = (it % 2 == 0) ? sh->d2 : sh->d1;

@@ -24,7 +24,6 @@ using detail::kTileBytes;
 constexpr int kCbTmp = 6;
 constexpr int kCbTapBase = 0;     // tap alias CBs 0..4 (C,W,E,N,S order below)
 constexpr int kCbWeightBase = 8;  // weight CBs 8..12
-constexpr std::uint32_t kSlots = 5;
 
 /// Tap order fixed across device and CPU reference: centre, W, E, N, S.
 struct Tap {
@@ -46,6 +45,7 @@ struct StencilShared {
   PaddedLayout layout;
   int iterations = 0;
   std::uint32_t chunk_elems = 1024;
+  int read_ahead = 2;
   std::vector<Tap> taps;
   bool needs_north = false, needs_south = false;
   std::vector<detail::CoreRange> ranges;
@@ -56,8 +56,11 @@ struct StencilShared {
 struct ChunkGrid {
   detail::CoreRange rg;
   std::uint32_t chunk, ncols, nrows;
+  std::uint32_t nslots;  // row-slot rotation length (2 * read_ahead + 1)
 
-  ChunkGrid(const detail::CoreRange& r, std::uint32_t chunk_elems) : rg(r) {
+  ChunkGrid(const detail::CoreRange& r, std::uint32_t chunk_elems,
+            std::uint32_t slots)
+      : rg(r), nslots(slots) {
     const std::uint32_t strip = rg.col_hi - rg.col_lo;
     chunk = std::min(chunk_elems, strip);
     while (chunk > 16 && (strip % chunk != 0 || chunk % 16 != 0)) --chunk;
@@ -67,7 +70,7 @@ struct ChunkGrid {
   }
   std::uint32_t slot_of(std::int64_t y) const {
     return static_cast<std::uint32_t>(
-        (y - (static_cast<std::int64_t>(rg.row_lo) - 1) + kSlots) % kSlots);
+        (y - (static_cast<std::int64_t>(rg.row_lo) - 1) + nslots) % nslots);
   }
 };
 
@@ -81,8 +84,13 @@ void build_stencil_program(ttmetal::Program& prog,
   std::vector<int> cores;
   for (int c = 0; c < ncores; ++c) cores.push_back(c);
 
+  // Read-ahead depth N (2 = the paper's scheme): 2N+1 row slots and N-page
+  // tap CBs keep up to N batches of reads in flight (see jacobi_rowchunk).
+  const auto depth = static_cast<std::uint32_t>(std::max(2, sh->read_ahead));
+  const std::uint32_t nslots = 2 * depth + 1;
+
   for (const auto& tap : sh->taps) {
-    prog.create_cb(kCbTapBase + tap.index, cores, kTileBytes, 2);
+    prog.create_cb(kCbTapBase + tap.index, cores, kTileBytes, depth);
     prog.create_cb(kCbWeightBase + tap.index, cores, kTileBytes, 1);
   }
   prog.create_cb(kCbInter, cores, kTileBytes, 2);
@@ -95,15 +103,15 @@ void build_stencil_program(ttmetal::Program& prog,
   }
   const std::uint32_t sbytes = slot_bytes_for(max_chunk);
   const std::uint32_t slots_addr =
-      prog.l1_buffer_address(prog.create_l1_buffer(cores, kSlots * sbytes));
+      prog.l1_buffer_address(prog.create_l1_buffer(cores, nslots * sbytes));
   prog.create_global_barrier(kIterationBarrier, 2 * ncores);
 
   // ---------------- reading data mover ----------------
   prog.create_kernel(
       ttmetal::KernelKind::kDataMover0, cores,
-      [sh, slots_addr, sbytes](ttmetal::DataMoverCtx& ctx) {
+      [sh, slots_addr, sbytes, depth, nslots](ttmetal::DataMoverCtx& ctx) {
         const ChunkGrid grid(sh->ranges[static_cast<std::size_t>(ctx.position())],
-                             sh->chunk_elems);
+                             sh->chunk_elems, nslots);
         const PaddedLayout& L = sh->layout;
         for (const auto& tap : sh->taps) {
           detail::fill_scalar_page(ctx, kCbWeightBase + tap.index, tap.weight);
@@ -119,22 +127,45 @@ void build_stencil_program(ttmetal::Program& prog,
             const std::uint32_t off =
                 static_cast<std::uint32_t>(L.byte_offset(0, c0 - 1) % 32);
             const std::uint32_t read_bytes = (grid.chunk + 2) * 2 + off;
+            // Slot-tagged reads, as in the Jacobi row-chunk reader: each
+            // batch waits only on the row it still needs while up to
+            // `depth` batches of reads stay in flight.
             auto issue_row = [&](std::int64_t y) {
+              const std::uint32_t slot = grid.slot_of(y);
               ctx.noc_async_read(
                   ctx.get_noc_addr(src + L.byte_offset(y, c0 - 1) - off),
-                  slots_addr + grid.slot_of(y) * sbytes, read_bytes);
+                  slots_addr + slot * sbytes, read_bytes,
+                  static_cast<int>(slot));
             };
             const std::int64_t r0 = grid.rg.row_lo, r1 = grid.rg.row_hi;
-            for (std::int64_t y = r0 + lo; y <= std::min<std::int64_t>(r0 + 1, r1);
-                 ++y) {
-              issue_row(y);
+            // Column boundary: as in the Jacobi reader, the prologue's slots
+            // still alias the previous column's tail rows while up to N-1 of
+            // its batches are in flight. N = 2 (the paper's scheme) is
+            // covered by the DRAM round trip; deeper pipelines must drain.
+            // All `depth` pages of the last-popped tap CB free means the
+            // compute kernel is past every slot read of the previous column.
+            if (depth > 2 && col > 0) {
+              ctx.cb_reserve_back(kCbTapBase + sh->taps.back().index, depth);
             }
+            // Last row any batch of this column needs.
+            const std::int64_t max_row = hi == 1 ? r1 : r1 - 1;
+            std::int64_t issued_hi = std::min<std::int64_t>(r0 + 1, r1);
+            for (std::int64_t y = r0 + lo; y <= issued_hi; ++y) issue_row(y);
             for (std::int64_t j = r0; j < r1; ++j) {
               for (const auto& tap : sh->taps)
                 ctx.cb_reserve_back(kCbTapBase + tap.index, 1);
-              ctx.noc_async_read_barrier();
-              if (j + 2 <= r1 && hi == 1) issue_row(j + 2);
-              if (j + 2 < r1 && hi == 0) issue_row(j + 2);
+              // Batch j's furthest input row is min(j+hi, max_row); waiting
+              // the tag of min(j+1, max_row) covers it (rows below were
+              // waited by earlier batches; an already-drained tag is free).
+              if (j == r0) {
+                ctx.noc_async_read_barrier();
+              } else {
+                ctx.noc_async_read_barrier(static_cast<int>(
+                    grid.slot_of(std::min<std::int64_t>(j + 1, max_row))));
+              }
+              while (issued_hi < std::min<std::int64_t>(j + depth, max_row)) {
+                issue_row(++issued_hi);
+              }
               for (const auto& tap : sh->taps)
                 ctx.cb_push_back(kCbTapBase + tap.index, 1);
               ctx.loop_tick();
@@ -148,9 +179,9 @@ void build_stencil_program(ttmetal::Program& prog,
   // ---------------- compute cores ----------------
   prog.create_kernel(
       cores,
-      [sh, slots_addr, sbytes](ttmetal::ComputeCtx& ctx) {
+      [sh, slots_addr, sbytes, nslots](ttmetal::ComputeCtx& ctx) {
         const ChunkGrid grid(sh->ranges[static_cast<std::size_t>(ctx.position())],
-                             sh->chunk_elems);
+                             sh->chunk_elems, nslots);
         const PaddedLayout& L = sh->layout;
         constexpr int dst0 = 0;
         for (int it = 0; it < sh->iterations; ++it) {
@@ -211,9 +242,9 @@ void build_stencil_program(ttmetal::Program& prog,
   // ---------------- writing data mover ----------------
   prog.create_kernel(
       ttmetal::KernelKind::kDataMover1, cores,
-      [sh](ttmetal::DataMoverCtx& ctx) {
+      [sh, nslots](ttmetal::DataMoverCtx& ctx) {
         const ChunkGrid grid(sh->ranges[static_cast<std::size_t>(ctx.position())],
-                             sh->chunk_elems);
+                             sh->chunk_elems, nslots);
         const PaddedLayout& L = sh->layout;
         for (int it = 0; it < sh->iterations; ++it) {
           const std::uint64_t dst = (it % 2 == 0) ? sh->d2 : sh->d1;
@@ -260,6 +291,9 @@ DeviceRunResult run_stencil_on_device(ttmetal::Device& device, const StencilProb
   const auto taps = active_taps(p.stencil);
   if (taps.empty()) TTSIM_THROW_API("stencil has no non-zero taps");
   if (p.iterations < 1) TTSIM_THROW_API("need at least one iteration");
+  if (cfg.read_ahead < 2 || cfg.read_ahead > 64) {
+    TTSIM_THROW_API("read_ahead must be in [2, 64] (got " << cfg.read_ahead << ")");
+  }
   const int ncores = cfg.cores_x * cfg.cores_y;
   if (ncores > device.num_workers()) {
     TTSIM_THROW_API("decomposition needs " << ncores << " cores but the e150 has "
@@ -273,6 +307,7 @@ DeviceRunResult run_stencil_on_device(ttmetal::Device& device, const StencilProb
     bc.page_size = cfg.interleave_page;
   } else if (cfg.buffer_layout == ttmetal::BufferLayout::kStriped) {
     bc.page_size = align_up(layout.bytes() / 16 + 1, 32);
+    bc.balanced_stripes = cfg.balanced_stripes;
   }
   auto d1 = device.create_buffer(bc);
   auto d2 = device.create_buffer(bc);
@@ -287,6 +322,7 @@ DeviceRunResult run_stencil_on_device(ttmetal::Device& device, const StencilProb
   shared->d2 = d2->address();
   shared->iterations = p.iterations;
   shared->chunk_elems = cfg.chunk_elems;
+  shared->read_ahead = cfg.read_ahead;
   shared->taps = taps;
   shared->needs_north = p.stencil.wn != 0.0f;
   shared->needs_south = p.stencil.ws != 0.0f;

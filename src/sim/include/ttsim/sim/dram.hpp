@@ -6,7 +6,10 @@
 ///  * each bank is a serialised FIFO resource: a request occupies it for
 ///    per-request processing + transfer at the bank's bandwidth, plus a
 ///    row re-activation penalty when the request does not continue the
-///    previous access;
+///    previous access; with GrayskullSpec::dram_bank_pipeline the
+///    processing stage of a queued request instead overlaps the data
+///    transfer of the request in service (in-order two-stage pipeline per
+///    bank — identical timing whenever no queue forms);
 ///  * a global aggregate-bandwidth resource models the DDR/NoC ceiling the
 ///    paper hits at two streaming cores (Table VII);
 ///  * interleaved buffers are split at page boundaries; every page
@@ -42,6 +45,8 @@ class TraceSink;
 /// A serialised resource in virtual time (bank, DMA engine, aggregate bus).
 class ResourceTimeline {
  public:
+  ResourceTimeline() : id_(next_id_++) {}
+
   /// Claim the resource for `busy` starting no earlier than `earliest`.
   /// Returns the actual start time.
   SimTime acquire(SimTime earliest, SimTime busy) {
@@ -51,7 +56,17 @@ class ResourceTimeline {
   }
   SimTime free_at() const { return free_at_; }
 
+  /// Process-unique identity, stable for the timeline's whole lifetime and
+  /// never recycled (unlike the object's address). Anything that keys state
+  /// by "which resource was this" must use the id: a destroyed timeline's
+  /// heap/stack slot can be reused by a brand-new one, and pointer-keyed
+  /// state would make the newcomer inherit its predecessor's history (e.g.
+  /// a write-combiner stream that silently skips write_scatter_penalty).
+  std::uint64_t id() const { return id_; }
+
  private:
+  inline static std::uint64_t next_id_ = 0;
+  std::uint64_t id_;
   SimTime free_at_ = 0;
 };
 
@@ -66,6 +81,12 @@ struct DramRegion {
   /// sub-request overhead (a request virtually never crosses a stripe).
   bool coarse = false;
   std::byte* storage = nullptr; ///< host-backed functional data
+  /// Coarse regions only: deterministic round-robin stripe->bank placement
+  /// (stripe % banks) instead of the default allocator-order hash. Opt-in:
+  /// the hash models real per-core slab allocation, which lands unevenly
+  /// (16 stripes -> a 3/2/.../1 bank split) — exactly the hot-bank wall the
+  /// deep-pipelining configuration then hits; balancing removes it.
+  bool balanced = false;
 };
 
 /// Per-model counters exposed for tests and bench diagnostics.
@@ -84,6 +105,11 @@ struct DramStats {
   SimTime write_bank_busy = 0;
   SimTime dma_busy = 0;
   SimTime aggregate_busy = 0;
+  /// Pipelined bank service only: segments whose processing stage ran
+  /// (partly or fully) under the previous request's data transfer, and the
+  /// total serialised-service time that overlap saved.
+  std::uint64_t pipelined_segments = 0;
+  SimTime pipeline_overlap_saved = 0;
 };
 
 class DramModel {
@@ -141,9 +167,16 @@ class DramModel {
   Placement place(std::uint64_t addr, std::uint64_t size) const;
 
   /// Computes the simulated completion time of an access (shared by
-  /// read/write), charging bank/aggregate/DMA resources.
+  /// read/write), charging bank/aggregate/DMA resources. Leaves the
+  /// access's per-bank segments in scratch_segments_.
   SimTime schedule_access(const Placement& p, std::uint64_t addr, std::uint32_t size,
                           bool is_write, ResourceTimeline& dma, int hops);
+
+  /// Consults the fault plan for every segment the just-scheduled access
+  /// touches (scratch_segments_); true when any of them lands on a stuck
+  /// bank. A multi-page interleaved access must fault even when only a
+  /// non-first segment crosses the stuck bank.
+  bool access_hits_stuck_bank(std::uint64_t addr, std::uint32_t size, bool is_write);
 
   Engine& engine_;
   GrayskullSpec spec_;
@@ -173,11 +206,16 @@ class DramModel {
     }
   };
 
-  std::vector<ResourceTimeline> banks_;
+  std::vector<ResourceTimeline> banks_;      // data-transfer stage (and the
+                                             // whole service when serialised)
+  std::vector<ResourceTimeline> bank_cmd_;   // processing stage (pipelined mode)
   std::vector<StreamTable> bank_read_streams_;      // row-miss tracking
   std::vector<StreamTable> bank_write_streams_;     // (separate write queues)
   std::vector<std::uint64_t> bank_last_write_end_;  // write-merge tracking
-  std::map<const ResourceTimeline*, std::uint64_t> dma_last_write_end_;
+  /// Write-combiner continuation per requesting DMA engine, keyed by the
+  /// timeline's stable id (never by pointer: a recycled timeline address
+  /// must not inherit the old engine's stream and skip the scatter penalty).
+  std::map<std::uint64_t, std::uint64_t> dma_last_write_end_;
   ResourceTimeline aggregate_;
   DramStats stats_;
   FaultPlan* fault_ = nullptr;

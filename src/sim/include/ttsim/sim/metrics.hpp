@@ -27,6 +27,12 @@ struct BankMetrics {
   std::uint64_t bytes = 0;       ///< payload serviced
   SimTime busy = 0;              ///< total service occupancy
   SimTime queue_wait = 0;        ///< total time requests sat queued
+  /// Command-stage occupancy under pipelined bank service (zero when the
+  /// model runs serialised): processing + row activation overlapping the
+  /// previous request's data transfer. busy then counts the data stage
+  /// only, so pipe_busy is the work the pipeline hid from the queue.
+  SimTime pipe_busy = 0;
+  std::uint64_t pipe_segments = 0;  ///< kDramBankPipe events seen
 };
 
 /// One kernel process (one trace track with kernel start/end events).

@@ -117,6 +117,16 @@ struct GrayskullSpec {
   /// 32: 1.094 s / (4096 rows * 512 sub-requests) ≈ 520 ns each; the
   /// replication-0 rows confirm the same constant.
   SimTime interleave_sub_overhead = 520 * kNanosecond;
+  /// Pipelined bank service: overlap the per-request processing (proc +
+  /// row activation) of a queued request with the data transfer of the one
+  /// in service — a small in-order command/data pipeline per bank, which is
+  /// how the real GDDR controller sustains the ~88 GB/s the paper's Table
+  /// VIII Jacobi traffic implies. Default off: the serialised model is what
+  /// the microbenchmark tables (III–VII) calibrate, and the golden traces
+  /// pin it. An *uncontended* bank behaves identically either way (the
+  /// pipeline only overlaps stages of *queued* requests), so enabling this
+  /// changes nothing until a bank queue actually forms.
+  bool dram_bank_pipeline = false;
 
   // ---- NoC ----
   SimTime noc_hop_latency = 1 * kNanosecond;  ///< per-hop router latency

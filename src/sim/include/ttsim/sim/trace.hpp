@@ -57,6 +57,10 @@ enum class TraceEventKind : std::uint8_t {
   kNocTransfer,       ///< payload transited a NoC; dur = link occupancy
   kFault,             ///< fault injection fired; a = FaultKind
   kPcieTransfer,      ///< host<->device transfer attempt; dur = bus time
+  kDramBankPipe,      ///< cmd-stage occupancy under pipelined bank service
+                      ///< (GrayskullSpec::dram_bank_pipeline); dur = proc +
+                      ///< row activation, overlapping the previous request's
+                      ///< data transfer. Never emitted in serialised mode.
 };
 
 const char* to_string(TraceEventKind kind);

@@ -12,6 +12,7 @@ DramModel::DramModel(Engine& engine, const GrayskullSpec& spec)
     : engine_(engine),
       spec_(spec),
       banks_(static_cast<std::size_t>(spec.dram_banks)),
+      bank_cmd_(static_cast<std::size_t>(spec.dram_banks)),
       bank_read_streams_(static_cast<std::size_t>(spec.dram_banks)),
       bank_write_streams_(static_cast<std::size_t>(spec.dram_banks)),
       bank_last_write_end_(static_cast<std::size_t>(spec.dram_banks), ~0ULL) {}
@@ -71,8 +72,9 @@ int DramModel::serving_bank(const DramRegion& region, std::uint64_t offset) cons
   if (region.page_size == 0) return region.bank;
   if (region.coarse) {
     const std::uint64_t stripe = offset / region.page_size;
-    return static_cast<int>((stripe * 2654435761ULL >> 16) %
-                            static_cast<std::uint64_t>(spec_.dram_banks));
+    const auto banks = static_cast<std::uint64_t>(spec_.dram_banks);
+    return static_cast<int>(region.balanced ? stripe % banks
+                                            : (stripe * 2654435761ULL >> 16) % banks);
   }
   return InterleaveMap(spec_.dram_banks, region.page_size).bank_of(offset);
 }
@@ -108,11 +110,15 @@ SimTime DramModel::schedule_access(const Placement& p, std::uint64_t addr,
       // Coarse stripes model per-core slab allocation: slabs land on banks
       // effectively at random (allocator order), so scramble the
       // stripe->bank mapping to avoid artificial bank camping by cores
-      // working through the same logical row range.
+      // working through the same logical row range. `balanced` regions
+      // round-robin instead — the even placement a bandwidth-aware
+      // allocator would choose.
       for (auto& seg : scratch_segments_) {
         const std::uint64_t stripe = seg.offset / p.region->page_size;
-        seg.bank = static_cast<int>((stripe * 2654435761ULL >> 16) %
-                                    static_cast<std::uint64_t>(spec_.dram_banks));
+        const auto banks = static_cast<std::uint64_t>(spec_.dram_banks);
+        seg.bank = static_cast<int>(
+            p.region->balanced ? stripe % banks
+                               : (stripe * 2654435761ULL >> 16) % banks);
       }
     }
   } else {
@@ -124,10 +130,11 @@ SimTime DramModel::schedule_access(const Placement& p, std::uint64_t addr,
                                     : 0;
 
   // Scattered posted writes flush the mover's write combiner (once per
-  // request, charged on the first segment's drain).
+  // request, charged on the first segment's drain). Keyed by the timeline's
+  // stable id: a fresh engine at a recycled address starts a fresh stream.
   SimTime scatter_penalty = 0;
   if (is_write) {
-    auto [it, fresh] = dma_last_write_end_.try_emplace(&dma, ~0ULL);
+    auto [it, fresh] = dma_last_write_end_.try_emplace(dma.id(), ~0ULL);
     if (fresh || it->second != addr) scatter_penalty = spec_.write_scatter_penalty;
     it->second = addr + size;
   }
@@ -155,18 +162,56 @@ SimTime DramModel::schedule_access(const Placement& p, std::uint64_t addr,
     auto& streams = (is_write ? bank_write_streams_
                               : bank_read_streams_)[static_cast<std::size_t>(seg.bank)];
     const std::uint64_t seg_addr = p.region->base + seg.offset;
-    SimTime bank_busy = proc + transfer_time(seg.length, bank_gbs);
+    const SimTime xfer = transfer_time(seg.length, bank_gbs);
+    SimTime proc_busy = proc;
     // Coarse (slab-placed) regions: each core streams contiguously through
     // its own slab, so rows open once and stay hot; the global-image
     // addresses the simulator uses would misreport those as strided.
     bool row_miss = false;
     if (!p.region->coarse && !streams.access(seg_addr, seg_addr + seg.length)) {
-      bank_busy += spec_.bank_row_miss;
+      proc_busy += spec_.bank_row_miss;
       row_miss = true;
       ++stats_.row_misses;
     }
-    const SimTime bank_start = bank.acquire(now + hop_lat, bank_busy);
-    const SimTime bank_end = bank_start + bank_busy;
+    const SimTime bank_busy = proc_busy + xfer;
+    SimTime bank_start, bank_end;
+    SimTime service_start, service_busy;  // the kDramService interval
+    if (!spec_.dram_bank_pipeline) {
+      // Serialised service: one request occupies the bank end to end.
+      bank_start = bank.acquire(now + hop_lat, bank_busy);
+      bank_end = bank_start + bank_busy;
+      service_start = bank_start;
+      service_busy = bank_busy;
+    } else {
+      // In-order two-stage pipeline: the command stage (processing + row
+      // activation) of this request runs while the previous request's data
+      // still transfers; the data stage stays strictly ordered behind it.
+      // An uncontended bank times out identically to the serialised model.
+      auto& cmd = bank_cmd_[static_cast<std::size_t>(seg.bank)];
+      // Snapshot before acquiring: the serialised model would have started
+      // this whole request (processing + transfer) once the previous data
+      // transfer cleared, i.e. at max(arrival, bank free time).
+      const SimTime bank_free = bank.free_at();
+      const SimTime cmd_start = cmd.acquire(now + hop_lat, proc_busy);
+      const SimTime cmd_end = cmd_start + proc_busy;
+      const SimTime data_start = bank.acquire(cmd_end, xfer);
+      bank_start = cmd_start;
+      bank_end = data_start + xfer;
+      service_start = data_start;
+      service_busy = xfer;
+      const SimTime serialized_end =
+          std::max(now + hop_lat, bank_free) + bank_busy;
+      if (bank_end < serialized_end) {
+        ++stats_.pipelined_segments;
+        stats_.pipeline_overlap_saved += serialized_end - bank_end;
+      }
+      if (trace_ != nullptr) {
+        trace_->record(TraceEventKind::kDramBankPipe, cmd_start, proc_busy,
+                       {/*core=*/-1, /*a=*/seg.bank, /*b=*/is_write ? 1 : 0,
+                        seg_addr, seg.length},
+                       bank_tracks_[static_cast<std::size_t>(seg.bank)]);
+      }
+    }
     (is_write ? stats_.write_bank_busy : stats_.read_bank_busy) += bank_busy;
     stats_.dma_busy += dma_busy;
 
@@ -184,8 +229,8 @@ SimTime DramModel::schedule_access(const Placement& p, std::uint64_t addr,
       // Enqueue dur = time the request sat behind earlier bank work.
       trace_->record(TraceEventKind::kDramEnqueue, arrival,
                      bank_start - arrival, r, bank_track);
-      trace_->record(TraceEventKind::kDramService, bank_start, bank_busy, r,
-                     bank_track);
+      trace_->record(TraceEventKind::kDramService, service_start, service_busy,
+                     r, bank_track);
       if (row_miss) {
         trace_->record(TraceEventKind::kDramRowMiss, bank_start, 0, r,
                        bank_track);
@@ -205,6 +250,22 @@ SimTime DramModel::schedule_access(const Placement& p, std::uint64_t addr,
   // on the return path (latency, not bank occupancy).
   if (!is_write) complete += transfer_time(size, spec_.read_store_forward_gbs);
   return complete + rt_latency + hop_lat;
+}
+
+bool DramModel::access_hits_stuck_bank(std::uint64_t addr, std::uint32_t size,
+                                       bool is_write) {
+  if (fault_ == nullptr) return false;
+  // scratch_segments_ holds the just-scheduled access's per-bank segments —
+  // an interleaved request must fault when *any* of them lands on a stuck
+  // bank, not just the first byte's. bank_stuck is side-effect-free for
+  // non-stuck banks, and we stop at the first hit so one access still logs
+  // at most one fault event.
+  for (const auto& seg : scratch_segments_) {
+    if (fault_->bank_stuck(engine_.now(), seg.bank, addr, size, is_write)) {
+      return true;
+    }
+  }
+  return false;
 }
 
 void DramModel::read(std::uint64_t addr, std::byte* dst, std::uint32_t size,
@@ -239,8 +300,7 @@ void DramModel::read(std::uint64_t addr, std::byte* dst, std::uint32_t size,
   bool flip = false;
   std::uint32_t flip_bit = 0;
   if (fault_ != nullptr) {
-    stuck = fault_->bank_stuck(engine_.now(), serving_bank(*p.region, p.offset),
-                               addr, size, /*is_write=*/false);
+    stuck = access_hits_stuck_bank(addr, size, /*is_write=*/false);
     if (!stuck) flip = fault_->flip_dram_read(engine_.now(), addr, size, &flip_bit);
   }
   std::byte* src = p.region->storage + p.offset;
@@ -274,10 +334,12 @@ void DramModel::write(std::uint64_t addr, const std::byte* src, std::uint32_t si
         // previous write are merged correctly by the controller, while
         // non-contiguous unaligned writes corrupt memory. Reproduce both.
         const Placement probe = place(align_down(addr, spec_.dram_alignment), 1);
-        const int bank = probe.region->page_size != 0
-                             ? InterleaveMap(spec_.dram_banks, probe.region->page_size)
-                                   .bank_of(probe.offset)
-                             : probe.region->bank;
+        // serving_bank, not a raw InterleaveMap: coarse regions scramble the
+        // stripe->bank mapping, and the merge probe must look at the bank
+        // that actually serves the byte or two distinct banks can alias to
+        // one tracking slot (a write elsewhere then breaks a legitimate
+        // continuation).
+        const int bank = serving_bank(*probe.region, probe.offset);
         if (bank_last_write_end_[static_cast<std::size_t>(bank)] == addr) {
           ++stats_.unaligned_writes_merged;  // merged: lands where intended
         } else {
@@ -292,12 +354,11 @@ void DramModel::write(std::uint64_t addr, const std::byte* src, std::uint32_t si
   }
   {
     // Track write continuation on the *intended* stream so that a later
-    // unaligned continuation of this write merges.
+    // unaligned continuation of this write merges. Must agree with the
+    // merge probe above on which bank serves the byte (serving_bank handles
+    // the coarse-region stripe scramble).
     const Placement probe = place(align_down(addr, spec_.dram_alignment), 1);
-    const int bank = probe.region->page_size != 0
-                         ? InterleaveMap(spec_.dram_banks, probe.region->page_size)
-                               .bank_of(probe.offset)
-                         : probe.region->bank;
+    const int bank = serving_bank(*probe.region, probe.offset);
     bank_last_write_end_[static_cast<std::size_t>(bank)] = addr + size;
   }
   const Placement p = place(effective_addr, size);
@@ -307,10 +368,7 @@ void DramModel::write(std::uint64_t addr, const std::byte* src, std::uint32_t si
   stats_.bytes_written += size;
   // A stuck bank silently drops device-side writes (the timing above is
   // still charged: the transaction happened, the commit did not).
-  const bool dropped =
-      fault_ != nullptr &&
-      fault_->bank_stuck(engine_.now(), serving_bank(*p.region, p.offset), addr,
-                         size, /*is_write=*/true);
+  const bool dropped = access_hits_stuck_bank(addr, size, /*is_write=*/true);
   // Snapshot the source now: on real hardware the data leaves the core when
   // the NoC accepts it, and the paper's kernels recycle source buffers.
   std::vector<std::byte> snapshot(src, src + size);

@@ -116,6 +116,12 @@ MetricsReport build_metrics(const TraceSink& sink, int num_banks) {
       case TraceEventKind::kDramRowMiss:
         if (BankMetrics* bm = bank(e.a)) bm->row_misses += 1;
         break;
+      case TraceEventKind::kDramBankPipe:
+        if (BankMetrics* bm = bank(e.a)) {
+          bm->pipe_busy += e.dur;
+          bm->pipe_segments += 1;
+        }
+        break;
       case TraceEventKind::kDramAggregate:
         rep.aggregate_busy += e.dur;
         break;
@@ -174,6 +180,17 @@ std::string MetricsReport::to_string() const {
               Table::fmt(aggregate_utilization(), 3), "-");
     os << "DRAM\n";
     t.print(os);
+    bool any_pipe = false;
+    for (const BankMetrics& bm : banks) any_pipe |= bm.pipe_segments > 0;
+    if (any_pipe) {
+      Table p{"Bank", "Pipelined segs", "Cmd-stage us"};
+      for (std::size_t b = 0; b < banks.size(); ++b) {
+        p.add_row(static_cast<int>(b), banks[b].pipe_segments,
+                  us(banks[b].pipe_busy));
+      }
+      os << "Bank pipeline (cmd stage overlapping data transfer)\n";
+      p.print(os);
+    }
     os << '\n';
   }
 

@@ -36,6 +36,7 @@ const char* to_string(TraceEventKind kind) {
     case TraceEventKind::kNocTransfer: return "noc_transfer";
     case TraceEventKind::kFault: return "fault";
     case TraceEventKind::kPcieTransfer: return "pcie_transfer";
+    case TraceEventKind::kDramBankPipe: return "dram_bank_pipe";
   }
   return "unknown";
 }

@@ -90,6 +90,7 @@ std::shared_ptr<Buffer> Device::create_buffer(const BufferConfig& config) {
     interleaved_top_ = offset + config.size;
     addr = base + offset;
     region = sim::DramRegion{addr, config.size, -1, page, coarse, nullptr};
+    region.balanced = coarse && config.balanced_stripes;
   }
   auto buffer = std::shared_ptr<Buffer>(new Buffer(*this, config, addr, bank));
   region.storage = buffer->storage_.data();

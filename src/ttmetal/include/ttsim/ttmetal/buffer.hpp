@@ -27,6 +27,11 @@ struct BufferConfig {
   int bank = -1;                ///< single-bank: fixed bank, or -1 = allocator picks
   std::uint64_t page_size = 4 * KiB;  ///< interleaved page / stripe size;
                                       ///< kStriped with 0 = size/num_banks
+  /// kStriped only: place stripes round-robin over banks instead of the
+  /// default allocator-order hash (which lands unevenly, like real per-core
+  /// slab allocation does). Off by default — the hashed placement is what
+  /// every paper-comparison table measures.
+  bool balanced_stripes = false;
 };
 
 /// A DRAM allocation on one device. Host access goes through the command

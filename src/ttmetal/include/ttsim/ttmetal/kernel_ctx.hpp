@@ -128,10 +128,18 @@ class DataMoverCtx : public KernelCtxBase {
   /// Non-blocking DRAM -> L1 read (issue cost charged; completion counted
   /// towards noc_async_read_barrier).
   void noc_async_read(std::uint64_t noc_addr, std::uint32_t l1_dst, std::uint32_t size);
+  /// Tagged read, in the style of Wormhole tt-metal's transaction-id reads:
+  /// also counted towards the per-tag barrier below, so a deep-read-ahead
+  /// mover can wait for one batch's reads without draining every later
+  /// batch it already issued. Tags are small non-negative ints (slot ids).
+  void noc_async_read(std::uint64_t noc_addr, std::uint32_t l1_dst, std::uint32_t size,
+                      int tag);
   /// Non-blocking L1 -> DRAM write (source data captured at issue).
   void noc_async_write(std::uint32_t l1_src, std::uint64_t noc_addr, std::uint32_t size);
   /// Block until every issued read has landed in L1.
   void noc_async_read_barrier();
+  /// Block until every read issued with `tag` has landed in L1.
+  void noc_async_read_barrier(int tag);
   /// Block until every issued write has drained to DRAM.
   void noc_async_write_barrier();
 
@@ -165,12 +173,21 @@ class DataMoverCtx : public KernelCtxBase {
   std::uint64_t writes_issued() const { return writes_->issued_total(); }
 
  private:
+  /// Shared issue path for tagged and untagged reads; a null tag tracker
+  /// means "untagged" and costs nothing extra (the global tracker is always
+  /// charged, so untagged timing is bit-identical either way).
+  void read_impl(std::uint64_t noc_addr, std::uint32_t l1_dst, std::uint32_t size,
+                 std::shared_ptr<sim::CompletionTracker> tag_tracker);
+  /// Lazily-created per-tag tracker (tags are dense small slot ids).
+  const std::shared_ptr<sim::CompletionTracker>& read_tag(int tag);
+
   int noc_id_;
   int noc_track_ = -1;  // trace track for kNocTransfer events
   // Shared so in-flight completion callbacks outlive a kernel that returns
   // without a final barrier (the events still drain in the engine).
   std::shared_ptr<sim::CompletionTracker> reads_;
   std::shared_ptr<sim::CompletionTracker> writes_;
+  std::vector<std::shared_ptr<sim::CompletionTracker>> read_tags_;
 };
 
 /// API surface for the (logically single) compute core driving the FPU.

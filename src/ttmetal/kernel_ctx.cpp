@@ -163,6 +163,29 @@ DataMoverCtx::DataMoverCtx(Device& device, sim::TensixCore& core, int noc_id,
 
 void DataMoverCtx::noc_async_read(std::uint64_t noc_addr, std::uint32_t l1_dst,
                                   std::uint32_t size) {
+  read_impl(noc_addr, l1_dst, size, nullptr);
+}
+
+void DataMoverCtx::noc_async_read(std::uint64_t noc_addr, std::uint32_t l1_dst,
+                                  std::uint32_t size, int tag) {
+  read_impl(noc_addr, l1_dst, size, read_tag(tag));
+}
+
+const std::shared_ptr<sim::CompletionTracker>& DataMoverCtx::read_tag(int tag) {
+  TTSIM_CHECK_MSG(tag >= 0 && tag < 256, "read tag out of range");
+  if (static_cast<std::size_t>(tag) >= read_tags_.size()) {
+    read_tags_.resize(static_cast<std::size_t>(tag) + 1);
+  }
+  auto& tracker = read_tags_[static_cast<std::size_t>(tag)];
+  if (tracker == nullptr) {
+    tracker = std::make_shared<sim::CompletionTracker>(device_.hw().engine());
+  }
+  return tracker;
+}
+
+void DataMoverCtx::read_impl(std::uint64_t noc_addr, std::uint32_t l1_dst,
+                             std::uint32_t size,
+                             std::shared_ptr<sim::CompletionTracker> tag_tracker) {
   const SimTime t0 = now();
   charge(device_.spec().read_issue_overhead);
   auto& hw = device_.hw();
@@ -187,19 +210,28 @@ void DataMoverCtx::noc_async_read(std::uint64_t noc_addr, std::uint32_t l1_dst,
                    {core_.id(), noc_id_, hops, noc_addr, size}, noc_track_);
   }
   reads_->issue();
+  if (tag_tracker != nullptr) tag_tracker->issue();
   auto& engine = hw.engine();
+  // The callback completes the global tracker first, then the tag tracker —
+  // tag bookkeeping never adds engine events or time (CompletionTracker's
+  // complete() with no waiter is pure counter work), so untagged and tagged
+  // reads are timing- and trace-identical.
   hw.dram().read(noc_addr, l1_ptr(l1_dst), size, core_.dma(noc_id_), hops,
-                 [t = reads_, &engine, extra, tr = trace_, track,
-                  core = core_.id(), noc_addr, size] {
+                 [t = reads_, tag = std::move(tag_tracker), &engine, extra,
+                  tr = trace_, track, core = core_.id(), noc_addr, size] {
                    if (tr != nullptr) {
                      tr->record(sim::TraceEventKind::kMoverReadComplete,
                                 tr->now(), 0, {core, -1, 0, noc_addr, size},
                                 track);
                    }
                    if (extra > 0) {
-                     engine.schedule_after(extra, [t] { t->complete(); });
+                     engine.schedule_after(extra, [t, tag] {
+                       t->complete();
+                       if (tag != nullptr) tag->complete();
+                     });
                    } else {
                      t->complete();
+                     if (tag != nullptr) tag->complete();
                    }
                  });
 }
@@ -265,6 +297,17 @@ void DataMoverCtx::noc_async_write(std::uint32_t l1_src, std::uint64_t noc_addr,
 void DataMoverCtx::noc_async_read_barrier() {
   const SimTime t0 = now();
   reads_->barrier();
+  if (trace_ != nullptr && now() > t0) {
+    trace_->record(sim::TraceEventKind::kReadBarrierWait, t0, now() - t0,
+                   {core_.id(), noc_id_});
+  }
+}
+
+void DataMoverCtx::noc_async_read_barrier(int tag) {
+  const SimTime t0 = now();
+  read_tag(tag)->barrier();
+  // Same event as the global barrier: a metrics consumer sees "time this
+  // mover stalled waiting for reads" either way.
   if (trace_ != nullptr && now() > t0) {
     trace_->record(sim::TraceEventKind::kReadBarrierWait, t0, now() - t0,
                    {core_.id(), noc_id_});

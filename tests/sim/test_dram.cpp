@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
+#include <memory>
 #include <numeric>
 #include <vector>
 
+#include "ttsim/sim/fault.hpp"
 #include "ttsim/sim/sync.hpp"
 
 namespace ttsim::sim {
@@ -343,6 +346,36 @@ TEST_F(DramTest, CoarseStripeFunctionalRoundTrip) {
   EXPECT_EQ(std::memcmp(in.data(), out.data(), in.size()), 0);
 }
 
+TEST_F(DramTest, BalancedCoarseStripesRoundRobinOverBanks) {
+  // The hashed stripe->bank placement (allocator-order model) deals a small
+  // stripe count unevenly; a `balanced` coarse region must round-robin
+  // exactly. Sixteen stripes mirror grid_buffer_config's slab count.
+  std::vector<std::byte> s(1 * MiB);
+  const std::uint64_t stripe = 64 * KiB;  // 16 stripes over the 1 MiB region
+  DramRegion r{4 * GiB, 1 * MiB, -1, stripe, true, s.data()};
+  r.balanced = true;
+  dram_.add_region(r);
+  const DramRegion& region = dram_.region_of(4 * GiB, 1);
+  std::vector<int> per_bank(static_cast<std::size_t>(spec_.dram_banks), 0);
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    const int b = dram_.serving_bank(region, i * stripe);
+    EXPECT_EQ(b, static_cast<int>(i % static_cast<std::uint64_t>(spec_.dram_banks)));
+    ++per_bank[static_cast<std::size_t>(b)];
+  }
+  for (int n : per_bank) EXPECT_EQ(n, 2);
+
+  // Same geometry under the default hash: provably uneven (this imbalance
+  // is the post-pipelining hot bank the balanced placement removes).
+  std::vector<std::byte> s2(1 * MiB);
+  dram_.add_region(DramRegion{5 * GiB, 1 * MiB, -1, stripe, true, s2.data()});
+  const DramRegion& hashed = dram_.region_of(5 * GiB, 1);
+  std::fill(per_bank.begin(), per_bank.end(), 0);
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    ++per_bank[static_cast<std::size_t>(dram_.serving_bank(hashed, i * stripe))];
+  }
+  EXPECT_NE(*std::max_element(per_bank.begin(), per_bank.end()), 2);
+}
+
 TEST_F(DramTest, StreamTableTracksMultipleSequentialStreams) {
   // Several cores streaming disjoint slices of one bank should all be row
   // hits after their first access (controller stream prefetch).
@@ -363,6 +396,153 @@ TEST_F(DramTest, StreamTableTracksMultipleSequentialStreams) {
   engine_.run();
   // Only the 4 cold first-touches miss.
   EXPECT_EQ(dram_.stats().row_misses, 4u);
+}
+
+TEST_F(DramTest, CoarseRegionMergeProbeUsesServingBank) {
+  // Regression: the unaligned-merge probe and the continuation tracking used
+  // to compute the bank with a raw InterleaveMap, bypassing the coarse
+  // stripe->bank scramble. Two stripes whose *naive* page-index banks
+  // collide but whose serving banks differ then aliased to one tracking
+  // slot, and an interfering write on the other stripe broke a legitimate
+  // continuation (corrupting instead of merging).
+  std::vector<std::byte> s(1 * MiB);
+  const std::uint64_t base = 4 * GiB;
+  const std::uint64_t stripe = 4096;
+  dram_.add_region(DramRegion{base, 1 * MiB, -1, stripe, true, s.data()});
+  const DramRegion& region = dram_.region_of(base, 1);
+
+  // An interfering stripe whose naive bank (stripe index mod banks) equals
+  // stripe 0's but whose scrambled serving bank differs.
+  const int b0 = dram_.serving_bank(region, 0);
+  std::uint64_t other = 0;
+  for (std::uint64_t k = static_cast<std::uint64_t>(spec_.dram_banks);
+       k * stripe < 1 * MiB; k += static_cast<std::uint64_t>(spec_.dram_banks)) {
+    if (dram_.serving_bank(region, k * stripe) != b0) {
+      other = k * stripe;
+      break;
+    }
+  }
+  ASSERT_NE(other, 0u) << "scramble degenerated: no differing stripe found";
+
+  std::vector<std::byte> a(34, std::byte{0x01});
+  std::vector<std::byte> mid(64, std::byte{0x5A});
+  std::vector<std::byte> b(30, std::byte{0x02});
+  timed_write(base, 34, a.data());                // ends unaligned at +34
+  timed_write(base + other, 64, mid.data());     // different serving bank
+  timed_write(base + 34, 30, b.data());          // legitimate continuation
+  EXPECT_EQ(dram_.stats().unaligned_writes_merged, 1u);
+  EXPECT_EQ(dram_.stats().unaligned_writes_corrupted, 0u);
+  EXPECT_EQ(s[33], std::byte{0x01});
+  EXPECT_EQ(s[34], std::byte{0x02});
+  EXPECT_EQ(s[63], std::byte{0x02});
+}
+
+TEST_F(DramTest, StuckBankFaultsOnNonFirstInterleaveSegment) {
+  // Regression: the stuck-bank check consulted only the first byte's bank,
+  // so a multi-page interleaved access whose *later* segments crossed the
+  // stuck bank read/wrote clean data.
+  auto& storage = make_region(0, 64 * KiB, 0, /*page_size=*/1024);
+  std::iota(reinterpret_cast<unsigned char*>(storage.data()),
+            reinterpret_cast<unsigned char*>(storage.data()) + 4096, 1);
+  FaultConfig fc;
+  fc.stuck_banks = {2};  // pages 0..3 -> banks 0..3; bank 2 is segment #3
+  FaultPlan plan(fc);
+  dram_.set_fault_plan(&plan);
+
+  // Touching only bank 0 stays clean.
+  std::vector<std::byte> dst(4096);
+  timed_read(0, 1024, dst.data());
+  EXPECT_EQ(std::memcmp(dst.data(), storage.data(), 1024), 0);
+  EXPECT_TRUE(plan.trace().empty());
+
+  // Spanning pages 0..3 must fault on the non-first stuck segment.
+  timed_read(0, 4096, dst.data());
+  ASSERT_EQ(plan.trace().size(), 1u);
+  EXPECT_EQ(plan.trace()[0].kind, FaultKind::kDramBankStuck);
+  EXPECT_EQ(dst[0], std::byte{0xFF});
+  EXPECT_EQ(dst[4095], std::byte{0xFF});
+
+  // Same for writes: the whole access is silently dropped.
+  std::vector<std::byte> src(4096, std::byte{0x77});
+  timed_write(0, 4096, src.data());
+  EXPECT_NE(storage[0], std::byte{0x77});
+  ASSERT_EQ(plan.trace().size(), 2u);
+  EXPECT_EQ(plan.trace()[1].kind, FaultKind::kDramBankStuck);
+  dram_.set_fault_plan(nullptr);
+}
+
+TEST_F(DramTest, FreshDmaTimelineAlwaysPaysScatterPenalty) {
+  // Regression: the write-combiner continuation was keyed by the DMA
+  // timeline's address, so a brand-new timeline allocated into a recycled
+  // heap slot inherited its predecessor's stream and skipped the scatter
+  // penalty. Keyed by stable id, a fresh timeline always pays it, even when
+  // its write continues the destroyed engine's stream.
+  make_region(0, 1 * MiB);
+  std::vector<std::byte> src(64, std::byte{0x3C});
+  auto timed_write_with = [&](ResourceTimeline& dma, std::uint64_t addr) {
+    SimTime elapsed = -1;
+    engine_.spawn("w", [&] {
+      CompletionTracker t(engine_);
+      const SimTime start = engine_.now();
+      t.issue();
+      dram_.write(addr, src.data(), 64, dma, 4, [&t] { t.complete(); });
+      t.barrier();
+      elapsed = engine_.now() - start;
+    });
+    engine_.run();
+    return elapsed;
+  };
+
+  auto a = std::make_unique<ResourceTimeline>();
+  timed_write_with(*a, 0);                       // cold: row miss + scatter
+  const SimTime cont = timed_write_with(*a, 64); // continuation: no scatter
+  a.reset();
+  // New timeline, very likely reusing a's heap slot. Its first write
+  // continues the old stream's address, but it is a different engine.
+  auto b = std::make_unique<ResourceTimeline>();
+  const SimTime fresh = timed_write_with(*b, 128);
+  EXPECT_GE(fresh, cont + spec_.write_scatter_penalty);
+}
+
+TEST_F(DramTest, BankPipelineOverlapsQueuedRequests) {
+  // Two back-to-back reads queue on one bank: with the pipelined service the
+  // second request's processing stage runs under the first one's data
+  // transfer, so the pair finishes strictly earlier. A single (uncontended)
+  // request must cost exactly the same in both modes.
+  auto run_reads = [&](bool pipelined, int nreads, DramStats* out) {
+    Engine e;
+    GrayskullSpec spec = spec_;
+    spec.dram_bank_pipeline = pipelined;
+    DramModel d(e, spec);
+    std::vector<std::byte> s(1 * MiB);
+    d.add_region(DramRegion{0, 1 * MiB, 0, 0, false, s.data()});
+    std::vector<std::byte> dst(8192);
+    ResourceTimeline dma_a, dma_b;
+    SimTime elapsed = -1;
+    e.spawn("r", [&] {
+      CompletionTracker t(e);
+      for (int i = 0; i < nreads; ++i) {
+        t.issue();
+        d.read(static_cast<std::uint64_t>(i) * 8192, dst.data(), 8192,
+               i % 2 == 0 ? dma_a : dma_b, 4, [&t] { t.complete(); });
+      }
+      t.barrier();
+      elapsed = e.now();
+    });
+    e.run();
+    if (out != nullptr) *out = d.stats();
+    return elapsed;
+  };
+
+  EXPECT_EQ(run_reads(false, 1, nullptr), run_reads(true, 1, nullptr));
+
+  DramStats serial, piped;
+  const SimTime t_serial = run_reads(false, 2, &serial);
+  const SimTime t_piped = run_reads(true, 2, &piped);
+  EXPECT_LT(t_piped, t_serial);
+  EXPECT_EQ(serial.pipelined_segments, 0u);
+  EXPECT_GE(piped.pipelined_segments, 1u);
+  EXPECT_EQ(t_serial - t_piped, piped.pipeline_overlap_saved);
 }
 
 TEST_F(DramTest, ReadStatsAccumulate) {
