@@ -1,0 +1,74 @@
+#include "ttsim/core/jacobi_batch.hpp"
+
+#include <set>
+
+#include "jacobi_internal.hpp"
+
+namespace ttsim::core {
+
+void build_batched_rowchunk_program(ttmetal::Program& prog, const JacobiProblem& p,
+                                    const DeviceRunConfig& cfg,
+                                    const std::vector<BatchSlot>& slots) {
+  if (slots.empty()) TTSIM_THROW_API("batched launch needs at least one slot");
+  if (cfg.strategy != DeviceStrategy::kRowChunk) {
+    TTSIM_THROW_API("batched launches are built on the row-chunk strategy");
+  }
+  if (p.iterations < 1) TTSIM_THROW_API("need at least one iteration");
+  if (cfg.read_ahead < 2 || cfg.read_ahead > 64) {
+    TTSIM_THROW_API("read_ahead must be in [2, 64] (got " << cfg.read_ahead
+                    << "); 2 is the paper's two-batch scheme");
+  }
+
+  const PaddedLayout layout(p.width, p.height);
+  const auto ranges = detail::decompose(p, cfg.cores_x, cfg.cores_y, 16);
+
+  std::set<int> used;
+  for (std::size_t g = 0; g < slots.size(); ++g) {
+    const BatchSlot& slot = slots[g];
+    if (slot.core_ids.size() != ranges.size()) {
+      TTSIM_THROW_API("batch slot " << g << " supplies " << slot.core_ids.size()
+                      << " cores but the decomposition needs " << ranges.size());
+    }
+    for (int id : slot.core_ids) {
+      if (!used.insert(id).second) {
+        TTSIM_THROW_API("batch slots must use disjoint cores (worker " << id
+                        << " appears twice)");
+      }
+    }
+  }
+
+  for (std::size_t g = 0; g < slots.size(); ++g) {
+    const BatchSlot& slot = slots[g];
+    auto shared = std::make_shared<detail::KernelShared>(layout);
+    shared->d1 = slot.d1;
+    shared->d2 = slot.d2;
+    shared->iterations = p.iterations;
+    shared->strategy = cfg.strategy;
+    shared->toggles = cfg.toggles;
+    shared->chunk_elems = cfg.chunk_elems;
+    shared->read_ahead = cfg.read_ahead;
+    shared->ranges = ranges;
+    shared->core_ids = slot.core_ids;
+    shared->barrier_id = static_cast<int>(g);
+    detail::build_rowchunk_program(prog, shared);
+  }
+}
+
+void validate_batch_request(const JacobiProblem& p, const DeviceRunConfig& cfg) {
+  if (cfg.strategy != DeviceStrategy::kRowChunk) {
+    TTSIM_THROW_API("batched launches are built on the row-chunk strategy");
+  }
+  if (p.iterations < 1) TTSIM_THROW_API("need at least one iteration");
+  if (cfg.read_ahead < 2 || cfg.read_ahead > 64) {
+    TTSIM_THROW_API("read_ahead must be in [2, 64] (got " << cfg.read_ahead
+                    << "); 2 is the paper's two-batch scheme");
+  }
+  (void)detail::decompose(p, cfg.cores_x, cfg.cores_y, 16);
+}
+
+ttmetal::BufferConfig batch_grid_buffer_config(const DeviceRunConfig& cfg,
+                                               const JacobiProblem& p) {
+  return detail::grid_buffer_config(cfg, PaddedLayout(p.width, p.height));
+}
+
+}  // namespace ttsim::core

@@ -5,6 +5,7 @@
 
 #include "jacobi_internal.hpp"
 #include "ttsim/cpu/jacobi_cpu.hpp"
+#include "ttsim/ttmetal/counters.hpp"
 
 namespace ttsim::core {
 
@@ -68,7 +69,8 @@ CoreSelection select_cores(ttmetal::Device& device, const JacobiProblem& p,
 
 ttmetal::BufferConfig grid_buffer_config(const DeviceRunConfig& cfg,
                                          const PaddedLayout& layout) {
-  ttmetal::BufferConfig bc{.size = layout.bytes()};
+  ttmetal::BufferConfig bc;
+  bc.size = layout.bytes();
   bc.layout = cfg.buffer_layout;
   if (cfg.buffer_layout == ttmetal::BufferLayout::kInterleaved) {
     bc.page_size = cfg.interleave_page;
@@ -133,7 +135,7 @@ DeviceRunResult run_jacobi_on_device(ttmetal::Device& device, const JacobiProble
                                      const DeviceRunConfig& cfg) {
   validate_config(device, p, cfg);
   const detail::CoreSelection sel = detail::select_cores(device, p, cfg);
-  const std::uint64_t retries_before = device.transfer_retries();
+  const ttmetal::RetryScope retries(device);
   const PaddedLayout layout(p.width, p.height);
   const bool tiled = cfg.strategy != DeviceStrategy::kRowChunk &&
                      cfg.strategy != DeviceStrategy::kSramResident;
@@ -178,8 +180,7 @@ DeviceRunResult run_jacobi_on_device(ttmetal::Device& device, const JacobiProble
   result.kernel_time = device.last_kernel_duration();
   result.total_time = device.now() - t_start;
   result.cores_used = sel.ncores();
-  result.transfer_retries =
-      static_cast<int>(device.transfer_retries() - retries_before);
+  result.transfer_retries = static_cast<int>(retries.count());
   result.solution = layout.extract_interior(out);
 
   if (cfg.verify && cfg.toggles.all_enabled()) {
@@ -220,8 +221,9 @@ AdaptiveRunResult run_jacobi_adaptive(ttmetal::Device& device, const JacobiProbl
   auto d1 = device.create_buffer(bc);
   auto d2 = device.create_buffer(bc);
   const int ncores = sel.ncores();
-  auto residuals =
-      device.create_buffer({.size = static_cast<std::uint64_t>(ncores) * 32});
+  ttmetal::BufferConfig res_cfg;
+  res_cfg.size = static_cast<std::uint64_t>(ncores) * 32;
+  auto residuals = device.create_buffer(res_cfg);
 
   const SimTime t_start = device.now();
   const auto image = layout.initial_image(p);

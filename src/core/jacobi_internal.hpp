@@ -81,6 +81,12 @@ struct KernelShared {
   /// kernels keep addressing neighbours by *position* and the builders
   /// translate to physical ids.
   std::vector<int> core_ids;
+  /// Device-wide barrier id the built kernels rendezvous on between
+  /// iterations. The default reproduces every single-group program
+  /// bit-exactly; batched launches (several independent solves in one
+  /// program on disjoint core groups — see jacobi_batch.hpp) give each
+  /// group its own id so groups never synchronise with each other.
+  int barrier_id = kIterationBarrier;
 
   KernelShared(const PaddedLayout& l) : layout(l) {}
 

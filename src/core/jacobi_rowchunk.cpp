@@ -83,7 +83,7 @@ void build_rowchunk_program(ttmetal::Program& prog, std::shared_ptr<KernelShared
   const std::uint32_t sbytes = slot_bytes(max_chunk);
   const auto slots = prog.create_l1_buffer(cores, nslots * sbytes);
   const std::uint32_t slots_addr = prog.l1_buffer_address(slots);
-  prog.create_global_barrier(kIterationBarrier, 2 * ncores);
+  prog.create_global_barrier(sh->barrier_id, 2 * ncores);
 
   // ---------------- reading data mover ----------------
   prog.create_kernel(
@@ -153,7 +153,7 @@ void build_rowchunk_program(ttmetal::Program& prog, std::shared_ptr<KernelShared
               ctx.loop_tick();
             }
           }
-          ctx.global_barrier(kIterationBarrier);
+          ctx.global_barrier(sh->barrier_id);
         }
       },
       "jacobi_rowchunk_reader");
@@ -274,7 +274,7 @@ void build_rowchunk_program(ttmetal::Program& prog, std::shared_ptr<KernelShared
               ctx.loop_tick();
             }
           }
-          ctx.global_barrier(kIterationBarrier);
+          ctx.global_barrier(sh->barrier_id);
         }
         if (sh->residual_addr != 0) {
           // One BF16 residual per core, each in its own aligned 32-byte slot.

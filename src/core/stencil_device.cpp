@@ -49,6 +49,9 @@ struct StencilShared {
   std::vector<Tap> taps;
   bool needs_north = false, needs_south = false;
   std::vector<detail::CoreRange> ranges;
+  /// Iteration-barrier id (distinct per group when several independent
+  /// stencil solves share one program launch).
+  int barrier_id = kIterationBarrier;
 
   explicit StencilShared(const PaddedLayout& l) : layout(l) {}
 };
@@ -104,7 +107,7 @@ void build_stencil_program(ttmetal::Program& prog,
   const std::uint32_t sbytes = slot_bytes_for(max_chunk);
   const std::uint32_t slots_addr =
       prog.l1_buffer_address(prog.create_l1_buffer(cores, nslots * sbytes));
-  prog.create_global_barrier(kIterationBarrier, 2 * ncores);
+  prog.create_global_barrier(sh->barrier_id, 2 * ncores);
 
   // ---------------- reading data mover ----------------
   prog.create_kernel(
@@ -171,7 +174,7 @@ void build_stencil_program(ttmetal::Program& prog,
               ctx.loop_tick();
             }
           }
-          ctx.global_barrier(kIterationBarrier);
+          ctx.global_barrier(sh->barrier_id);
         }
       },
       "stencil_reader");
@@ -261,7 +264,7 @@ void build_stencil_program(ttmetal::Program& prog,
               ctx.loop_tick();
             }
           }
-          ctx.global_barrier(kIterationBarrier);
+          ctx.global_barrier(sh->barrier_id);
         }
       },
       "stencil_writer");
@@ -301,7 +304,8 @@ DeviceRunResult run_stencil_on_device(ttmetal::Device& device, const StencilProb
   }
 
   const PaddedLayout layout(p.width, p.height);
-  ttmetal::BufferConfig bc{.size = layout.bytes()};
+  ttmetal::BufferConfig bc;
+  bc.size = layout.bytes();
   bc.layout = cfg.buffer_layout;
   if (cfg.buffer_layout == ttmetal::BufferLayout::kInterleaved) {
     bc.page_size = cfg.interleave_page;

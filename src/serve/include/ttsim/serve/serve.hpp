@@ -1,0 +1,226 @@
+#pragma once
+/// \file serve.hpp
+/// Asynchronous multi-tenant stencil serving on a pool of simulated cards.
+///
+/// A StencilService accepts Jacobi solve requests from many tenants and runs
+/// them on N simulated Grayskull e150s. Three mechanisms buy throughput over
+/// serial blocking dispatch:
+///
+///   1. **Spatial batching** — up to max_batch same-shape requests launch as
+///      ONE program on disjoint core groups (jacobi_batch.hpp), paying the
+///      ~500 us program-dispatch cost once and running the solves in
+///      parallel across the grid.
+///   2. **Async overlap** — each card drives three command queues (writes,
+///      programs, reads) ordered by events, so batch j+1's host->device
+///      staging rides the PCIe bus while batch j's kernels occupy the cores
+///      (double-banked slot buffers make this safe).
+///   3. **Session caching** — per (card, shape) sessions hold the streaming
+///      buffers and the compiled batch programs; a shape pays its setup cost
+///      once and every later request reuses it.
+///
+/// Scheduling is priority-first, then round-robin across tenants within a
+/// priority (fair share), with same-shape head-of-line coalescing to form
+/// batches. The pending queue is bounded: when full, submit() rejects with a
+/// retry-after hint (backpressure) instead of queueing unboundedly.
+///
+/// Resilience rides on the PR-1 device machinery: with a watchdog configured
+/// (DeviceConfig::sim_time_limit) a FaultPlan core kill surfaces as
+/// DeviceTimeoutError at harvest; the service reopens the card (the shared
+/// FaultPlan keeps the core dead), rebuilds its sessions on the surviving
+/// workers — shrinking that card's batch width, not the whole service — and
+/// requeues the in-flight requests (bounded by max_retries).
+///
+/// Everything is simulated time on the cards' deterministic engines: the
+/// same submission sequence always produces the same timeline, latencies and
+/// span trace (byte-identical across runs — the loadgen pins this).
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ttsim/core/jacobi_device.hpp"
+#include "ttsim/sim/trace.hpp"
+
+namespace ttsim::serve {
+
+/// Everything that shapes the compiled program and the session buffers.
+/// Boundary values are NOT part of the key: they only change the initial
+/// image (per-request data), so requests with different physics batch
+/// together as long as the shapes match.
+struct ShapeKey {
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+  int iterations = 0;
+  std::uint32_t chunk_elems = 0;
+  int read_ahead = 0;
+  auto operator<=>(const ShapeKey&) const = default;
+};
+
+/// One tenant request: solve `problem` some time at or after `arrival`
+/// (simulated time on the service clock).
+struct Request {
+  core::JacobiProblem problem;
+  int tenant = 0;
+  int priority = 0;       ///< higher dispatches first
+  SimTime arrival = 0;    ///< earliest dispatch time (simulated)
+  SimTime deadline = 0;   ///< absolute sim time; 0 = none. Missed-at-dispatch
+                          ///< requests fail; missed-at-completion ones are
+                          ///< delivered but counted as deadline_missed.
+};
+
+enum class RequestStatus : std::uint8_t {
+  kQueued,     ///< admitted, not yet completed
+  kCompleted,  ///< solution delivered
+  kFailed,     ///< invalid shape, deadline missed at dispatch, or retries
+               ///< exhausted after card faults
+  kRejected,   ///< backpressure: pending queue full at submit
+};
+
+/// Submit outcome. Rejected tickets carry a retry-after hint (the earliest
+/// simulated time resubmission is worth attempting).
+struct Ticket {
+  std::uint64_t id = 0;
+  RequestStatus status = RequestStatus::kQueued;
+  SimTime retry_after = 0;
+};
+
+/// Final state of one request (query via StencilService::result()).
+struct RequestResult {
+  RequestStatus status = RequestStatus::kQueued;
+  int tenant = 0;
+  int card = -1;          ///< card that ran it (-1 until dispatched)
+  int batch_size = 0;     ///< slots in the launch that carried it
+  int retries = 0;        ///< times requeued after a card fault
+  SimTime admit = 0;      ///< arrival time as admitted
+  SimTime dispatched = 0; ///< batch formation time on the card clock
+  SimTime completed = 0;  ///< D2H readback done
+  SimTime latency = 0;    ///< completed - admit
+  bool deadline_missed = false;
+  std::string error;            ///< kFailed: why
+  std::vector<float> solution;  ///< interior, row-major (kCompleted only)
+};
+
+struct ServiceConfig {
+  int cards = 1;
+  sim::GrayskullSpec spec;
+  /// Per-card device config. Shared fault_plan spans card reopens, so a
+  /// failed core stays failed for the service's lifetime. Set
+  /// sim_time_limit to arm the watchdog that converts core kills into
+  /// recoverable DeviceTimeoutErrors.
+  ttmetal::DeviceConfig device;
+  /// Per-slot solver config; strategy must be kRowChunk. cores_x * cores_y
+  /// workers serve one request; a card batches as many slots as its usable
+  /// workers allow (capped by max_batch).
+  core::DeviceRunConfig run;
+  int max_batch = 8;
+  /// Bounded admission queue; submissions beyond this reject (backpressure).
+  std::size_t queue_capacity = 256;
+  /// Retry-after hint attached to rejections, added to the service clock.
+  SimTime retry_after = 1 * kMillisecond;
+  /// Requeue budget per request across card faults.
+  int max_retries = 1;
+  /// Record per-request spans (admit/queue/h2d/kernel/d2h) in spans().
+  bool record_spans = true;
+};
+
+struct TenantStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t deadline_missed = 0;
+  std::vector<SimTime> latencies;  ///< completed requests, admission order
+};
+
+struct ServiceMetrics {
+  std::map<int, TenantStats> tenants;
+  std::uint64_t batches = 0;           ///< programs launched
+  std::uint64_t batched_requests = 0;  ///< requests carried by those launches
+  std::uint64_t session_cache_hits = 0;
+  std::uint64_t session_cache_misses = 0;
+  std::uint64_t card_reopens = 0;  ///< devices lost to faults and reopened
+  std::size_t max_queue_depth = 0;
+
+  /// Latency percentile over every completed request (0 when none).
+  SimTime latency_percentile(double p) const;
+  SimTime p50() const { return latency_percentile(0.50); }
+  SimTime p99() const { return latency_percentile(0.99); }
+  std::uint64_t total_completed() const;
+};
+
+/// The serving frontend. Single-threaded and deterministic: submit requests
+/// (arrival times non-decreasing per your workload model), then drain() — or
+/// interleave submit/drain waves for closed-loop clients.
+class StencilService {
+ public:
+  explicit StencilService(ServiceConfig config);
+  ~StencilService();
+
+  StencilService(const StencilService&) = delete;
+  StencilService& operator=(const StencilService&) = delete;
+
+  /// Admit (or reject) one request. O(1); no simulation runs here.
+  Ticket submit(const Request& request);
+
+  /// Run the cards until every admitted request has completed or failed.
+  void drain();
+
+  /// One scheduling action (dispatch a batch or harvest the oldest in-flight
+  /// one). Returns false when there is nothing left to do.
+  bool step();
+
+  /// Final state of a submitted request (ApiError for unknown ids).
+  const RequestResult& result(std::uint64_t ticket_id) const;
+
+  const ServiceMetrics& metrics() const { return metrics_; }
+
+  /// Per-request span trace (kServeAdmit .. kServeD2H), when
+  /// ServiceConfig::record_spans. Deterministic: byte-identical canonical()
+  /// across runs of the same submission sequence.
+  const sim::TraceSink& spans() const { return spans_; }
+
+  /// Service clock: the max of the card clocks and the latest admission.
+  SimTime now() const;
+
+  int cards() const { return static_cast<int>(cards_.size()); }
+  /// Batch slots card `card` can currently field for `key`'s shape (shrinks
+  /// when the fault plan kills cores; 0 = the card cannot serve the shape).
+  int card_capacity(int card, const ShapeKey& key);
+
+ private:
+  struct Card;
+  struct Session;
+  struct InFlight;
+  struct Pending;
+
+  Session& session(Card& card, const ShapeKey& key);
+  bool dispatch_on(Card& card);
+  void harvest_one(Card& card);
+  void handle_card_failure(Card& card, const std::string& why);
+  void fail_request(std::uint64_t id, const std::string& why);
+  void record_span(sim::TraceEventKind kind, SimTime ts, SimTime dur, int track,
+                   std::uint64_t req, std::int32_t b = 0);
+  int tenant_track(int tenant);
+  int card_track(int card);
+
+  ServiceConfig cfg_;
+  std::vector<std::unique_ptr<Card>> cards_;
+  std::deque<std::uint64_t> pending_;  // ticket ids awaiting dispatch
+  std::map<std::uint64_t, Pending> requests_;
+  std::map<std::uint64_t, RequestResult> results_;
+  std::uint64_t next_ticket_ = 1;
+  std::uint64_t batch_seq_ = 0;
+  int rr_cursor_ = 0;  // round-robin start tenant index within a priority
+  SimTime service_now_ = 0;
+  ServiceMetrics metrics_;
+
+  sim::Engine span_engine_;  // never run; clock source for the span sink
+  sim::TraceSink spans_;
+  std::map<int, int> tenant_tracks_;
+  std::map<int, int> card_tracks_;
+};
+
+}  // namespace ttsim::serve

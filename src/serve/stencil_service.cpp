@@ -1,0 +1,596 @@
+/// \file stencil_service.cpp
+/// The multi-tenant stencil-serving frontend: admission, shape-keyed session
+/// cache, batching scheduler, the three-queue async pipeline per card, and
+/// fault recovery by card reopen. See serve.hpp for the design overview.
+
+#include "ttsim/serve/serve.hpp"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+#include <utility>
+
+#include "ttsim/common/check.hpp"
+#include "ttsim/core/jacobi_batch.hpp"
+#include "ttsim/ttmetal/device.hpp"
+
+namespace ttsim::serve {
+
+namespace {
+/// Batches in flight per card: 2 gives write/compute overlap with the
+/// double-banked slot buffers; deeper would let a third batch's H2D land in
+/// a bank whose reads have not drained.
+constexpr std::size_t kPipelineDepth = 2;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ServiceMetrics
+
+SimTime ServiceMetrics::latency_percentile(double p) const {
+  std::vector<SimTime> all;
+  for (const auto& [tenant, stats] : tenants)
+    all.insert(all.end(), stats.latencies.begin(), stats.latencies.end());
+  if (all.empty()) return 0;
+  std::sort(all.begin(), all.end());
+  double rank = p * static_cast<double>(all.size());
+  std::size_t idx = rank <= 1.0 ? 0 : static_cast<std::size_t>(rank + 0.5) - 1;
+  if (idx >= all.size()) idx = all.size() - 1;
+  return all[idx];
+}
+
+std::uint64_t ServiceMetrics::total_completed() const {
+  std::uint64_t n = 0;
+  for (const auto& [tenant, stats] : tenants) n += stats.completed;
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Internal structures
+
+struct StencilService::Pending {
+  Request req;
+  ShapeKey key;
+};
+
+struct StencilService::Session {
+  explicit Session(const ShapeKey& k) : key(k), layout(k.width, k.height) {}
+
+  ShapeKey key;
+  core::PaddedLayout layout;
+  /// groups[g] = the physical workers serving batch slot g.
+  std::vector<std::vector<int>> groups;
+  /// banks[bank][g] = {d1, d2} grid buffers for slot g. Two banks so batch
+  /// j+1's H2D staging can overlap batch j's kernels without a hazard.
+  std::array<std::vector<std::array<std::shared_ptr<ttmetal::Buffer>, 2>>, 2> banks;
+  /// Compiled batch programs, keyed by (bank, batch width B). Programs are
+  /// reusable across launches, so each (bank, B) compiles once.
+  std::map<std::pair<int, int>, std::unique_ptr<ttmetal::Program>> programs;
+  int next_bank = 0;
+};
+
+struct StencilService::InFlight {
+  std::vector<std::uint64_t> members;  ///< ticket ids, slot order
+  ShapeKey key;
+  int bank = 0;
+  SimTime dispatched = 0;
+  ttmetal::Event write_done, kernel_done, read_done;
+  std::vector<std::vector<bfloat16_t>> outputs;  ///< read destinations
+};
+
+struct StencilService::Card {
+  int index = 0;
+  // The device must outlive the sessions (Buffer destructors release their
+  // allocation on the device), so it is declared first / destroyed last.
+  std::unique_ptr<ttmetal::Device> device;
+  std::map<ShapeKey, std::unique_ptr<Session>> sessions;
+  std::deque<InFlight> inflight;
+};
+
+// ---------------------------------------------------------------------------
+// Construction
+
+StencilService::StencilService(ServiceConfig config)
+    : cfg_(std::move(config)), spans_(span_engine_) {
+  if (cfg_.cards < 1) TTSIM_THROW_API("service needs at least one card");
+  if (cfg_.run.strategy != core::DeviceStrategy::kRowChunk) {
+    TTSIM_THROW_API("serving is built on the row-chunk strategy");
+  }
+  if (cfg_.run.cores_x < 1 || cfg_.run.cores_y < 1) {
+    TTSIM_THROW_API("need at least a 1x1 core grid per batch slot");
+  }
+  if (cfg_.max_batch < 1) TTSIM_THROW_API("max_batch must be >= 1");
+  if (cfg_.queue_capacity < 1) TTSIM_THROW_API("queue_capacity must be >= 1");
+  if (cfg_.max_retries < 0) TTSIM_THROW_API("max_retries must be >= 0");
+  for (int i = 0; i < cfg_.cards; ++i) {
+    auto card = std::make_unique<Card>();
+    card->index = i;
+    card->device = ttmetal::Device::open(cfg_.spec, cfg_.device);
+    const int slot = cfg_.run.cores_x * cfg_.run.cores_y;
+    if (slot > card->device->num_workers()) {
+      TTSIM_THROW_API("a batch slot needs " << slot << " cores but the card has "
+                                            << card->device->num_workers());
+    }
+    cards_.push_back(std::move(card));
+  }
+}
+
+StencilService::~StencilService() = default;
+
+// ---------------------------------------------------------------------------
+// Spans
+
+int StencilService::tenant_track(int tenant) {
+  auto it = tenant_tracks_.find(tenant);
+  if (it != tenant_tracks_.end()) return it->second;
+  std::ostringstream name;
+  name << "tenant" << tenant;
+  const int id = spans_.track(name.str());
+  tenant_tracks_.emplace(tenant, id);
+  return id;
+}
+
+int StencilService::card_track(int card) {
+  auto it = card_tracks_.find(card);
+  if (it != card_tracks_.end()) return it->second;
+  std::ostringstream name;
+  name << "card" << card;
+  const int id = spans_.track(name.str());
+  card_tracks_.emplace(card, id);
+  return id;
+}
+
+void StencilService::record_span(sim::TraceEventKind kind, SimTime ts, SimTime dur,
+                                 int track, std::uint64_t req, std::int32_t b) {
+  if (!cfg_.record_spans) return;
+  sim::TraceSink::Rec rec;
+  rec.b = b;
+  rec.addr = req;  // the ticket id ties spans of one request together
+  spans_.record(kind, ts, dur, rec, track);
+}
+
+// ---------------------------------------------------------------------------
+// Admission
+
+Ticket StencilService::submit(const Request& request) {
+  service_now_ = std::max(service_now_, request.arrival);
+  Ticket ticket;
+  ticket.id = next_ticket_++;
+  TenantStats& ts = metrics_.tenants[request.tenant];
+  ++ts.submitted;
+
+  RequestResult r;
+  r.tenant = request.tenant;
+  r.admit = request.arrival;
+
+  ShapeKey key;
+  key.width = request.problem.width;
+  key.height = request.problem.height;
+  key.iterations = request.problem.iterations;
+  key.chunk_elems = cfg_.run.chunk_elems;
+  key.read_ahead = cfg_.run.read_ahead;
+
+  // Invalid shapes fail immediately — they would fail on every card.
+  try {
+    core::validate_batch_request(request.problem, cfg_.run);
+  } catch (const ApiError& e) {
+    r.status = RequestStatus::kFailed;
+    r.error = e.what();
+    ++ts.failed;
+    results_.emplace(ticket.id, std::move(r));
+    ticket.status = RequestStatus::kFailed;
+    return ticket;
+  }
+
+  // Backpressure: a full pending queue rejects with a retry-after hint
+  // instead of queueing unboundedly.
+  if (pending_.size() >= cfg_.queue_capacity) {
+    r.status = RequestStatus::kRejected;
+    ++ts.rejected;
+    record_span(sim::TraceEventKind::kServeReject, request.arrival, 0,
+                tenant_track(request.tenant), ticket.id);
+    results_.emplace(ticket.id, std::move(r));
+    ticket.status = RequestStatus::kRejected;
+    ticket.retry_after = service_now_ + cfg_.retry_after;
+    return ticket;
+  }
+
+  record_span(sim::TraceEventKind::kServeAdmit, request.arrival, 0,
+              tenant_track(request.tenant), ticket.id);
+  results_.emplace(ticket.id, std::move(r));
+  Pending p;
+  p.req = request;
+  p.key = key;
+  requests_.emplace(ticket.id, std::move(p));
+  pending_.push_back(ticket.id);
+  metrics_.max_queue_depth = std::max(metrics_.max_queue_depth, pending_.size());
+  return ticket;
+}
+
+// ---------------------------------------------------------------------------
+// Sessions
+
+int StencilService::card_capacity(int card, const ShapeKey& key) {
+  (void)key;  // slot width is a service-level constant today
+  TTSIM_CHECK(card >= 0 && card < static_cast<int>(cards_.size()));
+  const int slot = cfg_.run.cores_x * cfg_.run.cores_y;
+  const int usable = static_cast<int>(cards_[static_cast<std::size_t>(card)]
+                                          ->device->usable_workers().size());
+  return std::min(usable / slot, cfg_.max_batch);
+}
+
+StencilService::Session& StencilService::session(Card& card, const ShapeKey& key) {
+  auto it = card.sessions.find(key);
+  if (it != card.sessions.end()) {
+    ++metrics_.session_cache_hits;
+    return *it->second;
+  }
+  ++metrics_.session_cache_misses;
+
+  auto s = std::make_unique<Session>(key);
+  const int slot = cfg_.run.cores_x * cfg_.run.cores_y;
+  const auto usable = card.device->usable_workers();
+  const int groups = std::min(static_cast<int>(usable.size()) / slot, cfg_.max_batch);
+  TTSIM_CHECK_MSG(groups >= 1, "session built on a card with no capacity");
+  for (int g = 0; g < groups; ++g) {
+    s->groups.emplace_back(usable.begin() + static_cast<std::ptrdiff_t>(g) * slot,
+                           usable.begin() + static_cast<std::ptrdiff_t>(g + 1) * slot);
+  }
+
+  core::JacobiProblem shape;
+  shape.width = key.width;
+  shape.height = key.height;
+  shape.iterations = key.iterations;
+  const ttmetal::BufferConfig base = core::batch_grid_buffer_config(cfg_.run, shape);
+  for (int bank = 0; bank < 2; ++bank) {
+    auto& vec = s->banks[static_cast<std::size_t>(bank)];
+    for (int g = 0; g < groups; ++g) {
+      std::array<std::shared_ptr<ttmetal::Buffer>, 2> pair;
+      for (int half = 0; half < 2; ++half) {
+        ttmetal::BufferConfig bc = base;
+        std::ostringstream name;
+        name << "serve-c" << card.index << '-' << key.width << 'x' << key.height
+             << "-bank" << bank << "-slot" << g << "-d" << (half + 1);
+        bc.name = name.str();
+        pair[static_cast<std::size_t>(half)] = card.device->create_buffer(bc);
+      }
+      vec.push_back(std::move(pair));
+    }
+  }
+  auto& ref = *s;
+  card.sessions.emplace(key, std::move(s));
+  return ref;
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling
+
+void StencilService::fail_request(std::uint64_t id, const std::string& why) {
+  auto& r = results_.at(id);
+  r.status = RequestStatus::kFailed;
+  r.error = why;
+  ++metrics_.tenants[r.tenant].failed;
+  requests_.erase(id);
+}
+
+bool StencilService::dispatch_on(Card& card) {
+  if (pending_.empty() || card.inflight.size() >= kPipelineDepth) return false;
+  SimTime t = card.device->now();
+
+  auto eligible_ids = [&](SimTime at) {
+    std::vector<std::uint64_t> ids;
+    for (std::uint64_t id : pending_)
+      if (requests_.at(id).req.arrival <= at) ids.push_back(id);
+    return ids;
+  };
+  std::vector<std::uint64_t> eligible = eligible_ids(t);
+  if (eligible.empty()) {
+    // Nothing has arrived on this card's clock. A busy card will catch up
+    // when its batches are harvested; an idle one fast-forwards to the next
+    // arrival (the engine just advances its clock — there is nothing to run).
+    if (!card.inflight.empty()) return false;
+    SimTime earliest = 0;
+    bool first = true;
+    for (std::uint64_t id : pending_) {
+      const SimTime a = requests_.at(id).req.arrival;
+      if (first || a < earliest) earliest = a;
+      first = false;
+    }
+    if (earliest > t) card.device->hw().engine().run_until(earliest);
+    t = card.device->now();
+    eligible = eligible_ids(t);
+    if (eligible.empty()) return false;
+  }
+
+  // Head choice: highest priority first; within it, round-robin over the
+  // tenants that have eligible work (fair share), FIFO within a tenant.
+  int top = requests_.at(eligible.front()).req.priority;
+  for (std::uint64_t id : eligible) top = std::max(top, requests_.at(id).req.priority);
+  std::vector<int> tenants;
+  for (std::uint64_t id : eligible) {
+    const Pending& p = requests_.at(id);
+    if (p.req.priority != top) continue;
+    if (std::find(tenants.begin(), tenants.end(), p.req.tenant) == tenants.end())
+      tenants.push_back(p.req.tenant);
+  }
+  std::sort(tenants.begin(), tenants.end());
+  TTSIM_CHECK(!tenants.empty());  // a top-priority request always exists
+  int head_tenant = tenants.front();
+  for (int tenant : tenants) {
+    if (tenant >= rr_cursor_) {
+      head_tenant = tenant;
+      break;
+    }
+  }
+  rr_cursor_ = head_tenant + 1;
+
+  std::uint64_t head = 0;
+  for (std::uint64_t id : eligible) {
+    const Pending& p = requests_.at(id);
+    if (p.req.priority == top && p.req.tenant == head_tenant) {
+      head = id;
+      break;
+    }
+  }
+  const ShapeKey key = requests_.at(head).key;
+
+  // Capacity: a card that cannot field even one slot of this shape leaves
+  // it for a capable card; when no card can, the request fails.
+  if (card_capacity(card.index, key) < 1) {
+    bool anyone = false;
+    for (const auto& other : cards_)
+      if (card_capacity(other->index, key) >= 1) anyone = true;
+    if (!anyone) {
+      pending_.erase(std::find(pending_.begin(), pending_.end(), head));
+      fail_request(head, "no card has enough usable workers for this shape");
+      return true;
+    }
+    return false;
+  }
+
+  Session& s = session(card, key);
+  const int max_slots =
+      std::min(static_cast<int>(s.groups.size()), cfg_.max_batch);
+
+  // Coalesce: fill the batch with same-shape eligible requests in priority /
+  // FIFO order, starting from the head. Dispatch-time deadline misses fail
+  // here rather than wasting a slot.
+  std::vector<std::uint64_t> members{head};
+  for (std::uint64_t id : eligible) {
+    if (static_cast<int>(members.size()) >= max_slots) break;
+    if (id == head) continue;
+    const Pending& p = requests_.at(id);
+    if (p.key != key) continue;
+    members.push_back(id);
+  }
+  std::vector<std::uint64_t> batch;
+  for (std::uint64_t id : members) {
+    pending_.erase(std::find(pending_.begin(), pending_.end(), id));
+    const Pending& p = requests_.at(id);
+    if (p.req.deadline != 0 && p.req.deadline < t) {
+      auto& r = results_.at(id);
+      r.deadline_missed = true;
+      ++metrics_.tenants[p.req.tenant].deadline_missed;
+      fail_request(id, "deadline passed before dispatch");
+      continue;
+    }
+    batch.push_back(id);
+  }
+  if (batch.empty()) return true;  // everything expired; still progress
+
+  const int b = static_cast<int>(batch.size());
+  const int bank = s.next_bank;
+  s.next_bank ^= 1;
+
+  // Compile (or reuse) the batch program for (bank, B).
+  const auto pkey = std::make_pair(bank, b);
+  auto pit = s.programs.find(pkey);
+  if (pit == s.programs.end()) {
+    auto prog = std::make_unique<ttmetal::Program>();
+    std::vector<core::BatchSlot> slots(static_cast<std::size_t>(b));
+    for (int g = 0; g < b; ++g) {
+      auto& slot = slots[static_cast<std::size_t>(g)];
+      const auto& pair = s.banks[static_cast<std::size_t>(bank)][static_cast<std::size_t>(g)];
+      slot.d1 = pair[0]->address();
+      slot.d2 = pair[1]->address();
+      slot.core_ids = s.groups[static_cast<std::size_t>(g)];
+    }
+    core::JacobiProblem shape;
+    shape.width = key.width;
+    shape.height = key.height;
+    shape.iterations = key.iterations;
+    core::build_batched_rowchunk_program(*prog, shape, cfg_.run, slots);
+    pit = s.programs.emplace(pkey, std::move(prog)).first;
+  }
+
+  // The three-queue pipeline: writes on 0, the program on 1, reads on 2,
+  // ordered by events. Nothing blocks here; the timeline materialises when
+  // the card is driven at harvest.
+  auto& dev = *card.device;
+  auto& cq_write = dev.command_queue(0);
+  auto& cq_kernel = dev.command_queue(1);
+  auto& cq_read = dev.command_queue(2);
+
+  InFlight fl;
+  fl.members = batch;
+  fl.key = key;
+  fl.bank = bank;
+  fl.dispatched = t;
+  for (int g = 0; g < b; ++g) {
+    const Pending& p = requests_.at(batch[static_cast<std::size_t>(g)]);
+    const auto image = s.layout.initial_image(p.req.problem);
+    const auto bytes = std::as_bytes(std::span{image});
+    const auto& pair = s.banks[static_cast<std::size_t>(bank)][static_cast<std::size_t>(g)];
+    cq_write.enqueue_write_buffer(*pair[0], bytes, /*blocking=*/false);
+    cq_write.enqueue_write_buffer(*pair[1], bytes, /*blocking=*/false);
+  }
+  fl.write_done = cq_write.record_event();
+  cq_kernel.wait_for_event(fl.write_done);
+  cq_kernel.enqueue_program(*pit->second, /*blocking=*/false);
+  fl.kernel_done = cq_kernel.record_event();
+  cq_read.wait_for_event(fl.kernel_done);
+  fl.outputs.resize(static_cast<std::size_t>(b));
+  const bool odd = key.iterations % 2 == 1;
+  for (int g = 0; g < b; ++g) {
+    auto& out = fl.outputs[static_cast<std::size_t>(g)];
+    out.resize(s.layout.elems());
+    const auto& pair = s.banks[static_cast<std::size_t>(bank)][static_cast<std::size_t>(g)];
+    cq_read.enqueue_read_buffer(*pair[odd ? 1 : 0],
+                                std::as_writable_bytes(std::span{out}),
+                                /*blocking=*/false);
+  }
+  fl.read_done = cq_read.record_event();
+
+  ++metrics_.batches;
+  metrics_.batched_requests += static_cast<std::uint64_t>(b);
+  for (std::uint64_t id : batch) {
+    auto& r = results_.at(id);
+    r.card = card.index;
+    r.batch_size = b;
+    r.dispatched = t;
+    record_span(sim::TraceEventKind::kServeQueueWait, r.admit, t - r.admit,
+                tenant_track(r.tenant), id);
+  }
+  card.inflight.push_back(std::move(fl));
+  return true;
+}
+
+void StencilService::harvest_one(Card& card) {
+  TTSIM_CHECK(!card.inflight.empty());
+  try {
+    card.device->synchronize(card.inflight.front().read_done);
+  } catch (const ttmetal::DeviceTimeoutError& e) {
+    handle_card_failure(card, e.what());
+    return;
+  } catch (const ttmetal::TransferError& e) {
+    handle_card_failure(card, e.what());
+    return;
+  } catch (const CheckError& e) {
+    // Engine deadlock: a core kill with no watchdog armed drains the queue.
+    handle_card_failure(card, e.what());
+    return;
+  }
+
+  InFlight fl = std::move(card.inflight.front());
+  card.inflight.pop_front();
+  Session& s = *card.sessions.at(fl.key);
+  const int b = static_cast<int>(fl.members.size());
+  const SimTime h2d_end = fl.write_done.completed_at();
+  const SimTime kernel_end = fl.kernel_done.completed_at();
+  const SimTime d2h_end = fl.read_done.completed_at();
+  const int track = card_track(card.index);
+  record_span(sim::TraceEventKind::kServeH2D, fl.dispatched, h2d_end - fl.dispatched,
+              track, fl.members.front(), b);
+  record_span(sim::TraceEventKind::kServeKernel, h2d_end, kernel_end - h2d_end,
+              track, fl.members.front(), b);
+  record_span(sim::TraceEventKind::kServeD2H, kernel_end, d2h_end - kernel_end,
+              track, fl.members.front(), b);
+
+  for (int g = 0; g < b; ++g) {
+    const std::uint64_t id = fl.members[static_cast<std::size_t>(g)];
+    const Pending& p = requests_.at(id);
+    auto& r = results_.at(id);
+    r.status = RequestStatus::kCompleted;
+    r.completed = d2h_end;
+    r.latency = d2h_end - r.admit;
+    if (p.req.deadline != 0 && d2h_end > p.req.deadline) {
+      r.deadline_missed = true;
+      ++metrics_.tenants[r.tenant].deadline_missed;
+    }
+    r.solution = s.layout.extract_interior(fl.outputs[static_cast<std::size_t>(g)]);
+    TenantStats& ts = metrics_.tenants[r.tenant];
+    ++ts.completed;
+    ts.latencies.push_back(r.latency);
+    requests_.erase(id);
+  }
+}
+
+void StencilService::handle_card_failure(Card& card, const std::string& why) {
+  ++metrics_.card_reopens;
+  const SimTime old_now = card.device->now();
+
+  std::vector<std::uint64_t> victims;
+  for (const auto& fl : card.inflight)
+    for (std::uint64_t id : fl.members) victims.push_back(id);
+  card.inflight.clear();
+  // Sessions hold the card's buffers and compiled programs; they must be
+  // torn down before the device they were built on.
+  card.sessions.clear();
+  card.device.reset();
+  // Reopen: the shared FaultPlan in cfg_.device remembers the failed cores,
+  // so the fresh generation comes up with fewer usable workers and the next
+  // session on this card shrinks its batch width accordingly.
+  card.device = ttmetal::Device::open(cfg_.spec, cfg_.device);
+  // A reboot does not rewind time: restore the card clock so service
+  // latencies stay monotone.
+  card.device->hw().engine().run_until(old_now);
+
+  // Oldest-first victims requeue to the *front* of the pending queue in
+  // their original order (reverse iteration + push_front).
+  for (auto it = victims.rbegin(); it != victims.rend(); ++it) {
+    const std::uint64_t id = *it;
+    auto& r = results_.at(id);
+    const Pending& p = requests_.at(id);
+    if (r.retries >= cfg_.max_retries ||
+        (p.req.deadline != 0 && p.req.deadline <= old_now)) {
+      fail_request(id, why);
+      continue;
+    }
+    ++r.retries;
+    r.card = -1;
+    r.batch_size = 0;
+    pending_.push_front(id);
+  }
+}
+
+bool StencilService::step() {
+  bool progress = false;
+  // Dispatch onto the least-loaded card (fewest batches in flight), clock
+  // furthest behind as the tie-break, for as long as batches can be formed.
+  // Load first matters for a same-instant wave: dispatching does not advance
+  // a card's clock, so a clock-only rule would stack the wave onto card 0 up
+  // to pipeline depth before the rest of the pool saw any work.
+  while (!pending_.empty()) {
+    Card* best = nullptr;
+    for (auto& c : cards_) {
+      if (c->inflight.size() >= kPipelineDepth) continue;
+      if (!best || std::make_pair(c->inflight.size(), c->device->now()) <
+                       std::make_pair(best->inflight.size(), best->device->now()))
+        best = c.get();
+    }
+    if (!best || !dispatch_on(*best)) break;
+    progress = true;
+  }
+  // Harvest the oldest in-flight batch across the pool.
+  Card* oldest = nullptr;
+  for (auto& c : cards_) {
+    if (c->inflight.empty()) continue;
+    if (!oldest ||
+        c->inflight.front().dispatched < oldest->inflight.front().dispatched)
+      oldest = c.get();
+  }
+  if (oldest) {
+    harvest_one(*oldest);
+    progress = true;
+  }
+  return progress;
+}
+
+void StencilService::drain() {
+  while (step()) {
+  }
+  TTSIM_CHECK_MSG(pending_.empty(), "drain() finished with requests still queued");
+}
+
+const RequestResult& StencilService::result(std::uint64_t ticket_id) const {
+  auto it = results_.find(ticket_id);
+  if (it == results_.end()) TTSIM_THROW_API("unknown ticket id " << ticket_id);
+  return it->second;
+}
+
+SimTime StencilService::now() const {
+  SimTime t = service_now_;
+  for (const auto& c : cards_) t = std::max(t, c->device->hw().engine().now());
+  return t;
+}
+
+}  // namespace ttsim::serve

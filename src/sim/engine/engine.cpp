@@ -90,13 +90,29 @@ void Engine::run() {
     queue_.pop();
     dispatch(ev);
   }
-  if (unfinished_process_count() > 0) {
-    std::ostringstream os;
-    os << "simulation deadlock: " << unfinished_process_count()
-       << " process(es) blocked forever:";
-    for (const auto& name : blocked_process_names()) os << ' ' << name;
-    throw CheckError(os.str());
-  }
+  if (unfinished_process_count() > 0) throw_deadlock();
+}
+
+SimTime Engine::next_event_time() const {
+  TTSIM_CHECK_MSG(!queue_.empty(), "next_event_time() with no pending events");
+  return queue_.top().time;
+}
+
+bool Engine::step() {
+  TTSIM_CHECK_MSG(current_ == nullptr, "Engine::step() called from inside a process");
+  if (queue_.empty()) return false;
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  dispatch(ev);
+  return true;
+}
+
+void Engine::throw_deadlock() const {
+  std::ostringstream os;
+  os << "simulation deadlock: " << unfinished_process_count()
+     << " process(es) blocked forever:";
+  for (const auto& name : blocked_process_names()) os << ' ' << name;
+  throw CheckError(os.str());
 }
 
 bool Engine::run_until(SimTime deadline) {

@@ -26,6 +26,30 @@ void __sanitizer_finish_switch_fiber(void* fake_stack_save,
 }
 #endif
 
+// TSan's model is different: one shadow context per fiber, created/destroyed
+// explicitly, with __tsan_switch_to_fiber called immediately before each
+// swapcontext. Without it TSan attributes the fiber's accesses to the
+// scheduler's stack and dies on its own bookkeeping. The simulator is
+// single-threaded; the annotations only keep TSan's per-"thread" state
+// coherent so the rest of the build (host code, future threaded frontends)
+// can be checked.
+#if defined(__SANITIZE_THREAD__)
+#define TTSIM_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define TTSIM_TSAN_FIBERS 1
+#endif
+#endif
+
+#ifdef TTSIM_TSAN_FIBERS
+extern "C" {
+void* __tsan_get_current_fiber(void);
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+#endif
+
 namespace ttsim::sim {
 namespace {
 thread_local Fiber* t_current_fiber = nullptr;
@@ -43,6 +67,9 @@ Fiber::~Fiber() {
   // A fiber destroyed mid-flight would leak whatever is on its stack; the
   // engine destroys fibers only after completion — at teardown it first
   // unwinds parked fibers via cancel(). Nothing to do beyond freeing memory.
+#ifdef TTSIM_TSAN_FIBERS
+  if (tsan_fiber_) __tsan_destroy_fiber(tsan_fiber_);
+#endif
 }
 
 Fiber* Fiber::current() { return t_current_fiber; }
@@ -51,7 +78,8 @@ void Fiber::trampoline(unsigned hi, unsigned lo) {
   auto* self = reinterpret_cast<Fiber*>(
       (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo));
   self->run();
-  // Returning from a makecontext entry with uc_link set resumes return_ctx_.
+  // Not reached: run() exits via an explicit swapcontext (uc_link stays set
+  // as a belt-and-braces fallback).
 }
 
 void Fiber::run() {
@@ -70,11 +98,22 @@ void Fiber::run() {
   }
   finished_ = true;
 #ifdef TTSIM_ASAN_FIBERS
-  // Final exit (via uc_link): null fake_stack_save destroys the fiber's fake
-  // stack.
+  // Final exit: null fake_stack_save destroys the fiber's fake stack.
   __sanitizer_start_switch_fiber(nullptr, asan_caller_bottom_,
                                  asan_caller_size_);
 #endif
+#ifdef TTSIM_TSAN_FIBERS
+  // Final exit switches back to the resumer's context; the fiber's own
+  // context is destroyed with the Fiber object.
+  __tsan_switch_to_fiber(tsan_caller_, 0);
+#endif
+  // Leave via an explicit switch rather than returning through the
+  // trampoline and uc_link: the sanitizer annotations above must sit at the
+  // real switch point. TSan in particular maintains a per-context shadow
+  // call stack via function entry/exit hooks — unwinding run() and the
+  // trampoline after the switch annotation would pop those frames on the
+  // *resumer's* shadow stack and corrupt it.
+  swapcontext(&ctx_, &return_ctx_);
 }
 
 void Fiber::resume() {
@@ -99,6 +138,13 @@ void Fiber::resume() {
   __sanitizer_start_switch_fiber(&resumer_fake_stack, stack_.get(),
                                  stack_bytes_);
 #endif
+#ifdef TTSIM_TSAN_FIBERS
+  // The resumer's context is re-captured every time: a fiber may be resumed
+  // from different points (scheduler, nested resumes) across its life.
+  if (!tsan_fiber_) tsan_fiber_ = __tsan_create_fiber(0);
+  tsan_caller_ = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
   TTSIM_CHECK(swapcontext(&return_ctx_, &ctx_) == 0);
 #ifdef TTSIM_ASAN_FIBERS
   __sanitizer_finish_switch_fiber(resumer_fake_stack, nullptr, nullptr);
@@ -112,6 +158,9 @@ void Fiber::yield() {
 #ifdef TTSIM_ASAN_FIBERS
   __sanitizer_start_switch_fiber(&asan_fake_stack_, asan_caller_bottom_,
                                  asan_caller_size_);
+#endif
+#ifdef TTSIM_TSAN_FIBERS
+  __tsan_switch_to_fiber(tsan_caller_, 0);
 #endif
   TTSIM_CHECK(swapcontext(&ctx_, &return_ctx_) == 0);
 #ifdef TTSIM_ASAN_FIBERS

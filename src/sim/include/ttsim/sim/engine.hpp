@@ -81,6 +81,22 @@ class Engine {
   /// completes keeps an accurate finish time.
   bool run_until_done(SimTime deadline);
 
+  /// --- single-step driving (the ttmetal command-queue layer) ---
+  /// Whether any event (wakeup or callback) is queued.
+  bool has_pending() const { return !queue_.empty(); }
+  /// Simulated time of the next queued event; CHECK-fails when none pending.
+  SimTime next_event_time() const;
+  /// Dispatch exactly one event (advancing now() to its time). Returns false
+  /// without doing anything when the queue is empty. Lets a host-side driver
+  /// interleave its own bookkeeping (watchdog deadlines, cross-queue
+  /// ordering) between events while preserving the engine's (time, seq)
+  /// order exactly.
+  bool step();
+  /// Throw the same deadlock CheckError run() raises when the queue drains
+  /// with unfinished processes. Exposed so external drivers report blocked
+  /// kernels identically to run().
+  [[noreturn]] void throw_deadlock() const;
+
   SimTime now() const { return now_; }
 
   /// The process currently executing; CHECK-fails outside process context.

@@ -74,6 +74,9 @@ class Fiber {
   void* asan_fake_stack_ = nullptr;
   const void* asan_caller_bottom_ = nullptr;
   std::size_t asan_caller_size_ = 0;
+  // TSan fiber contexts (see fiber.cpp; unused without TSan).
+  void* tsan_fiber_ = nullptr;
+  void* tsan_caller_ = nullptr;
 };
 
 }  // namespace ttsim::sim

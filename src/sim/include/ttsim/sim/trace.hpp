@@ -61,6 +61,15 @@ enum class TraceEventKind : std::uint8_t {
                       ///< (GrayskullSpec::dram_bank_pipeline); dur = proc +
                       ///< row activation, overlapping the previous request's
                       ///< data transfer. Never emitted in serialised mode.
+  // Serving-layer request spans (src/serve/). Recorded only by the
+  // StencilService's private span sink, never by device workloads, so the
+  // golden-trace hashes of the device benchmarks are unaffected.
+  kServeAdmit,        ///< request accepted into a tenant queue (instant)
+  kServeReject,       ///< request rejected (backpressure/deadline); a = reason
+  kServeQueueWait,    ///< admit -> dispatch; dur = time queued
+  kServeH2D,          ///< host->device staging of a batch; dur = PCIe time
+  kServeKernel,       ///< batched kernel launch; dur = program time; b = batch
+  kServeD2H,          ///< device->host readback of a batch; dur = PCIe time
 };
 
 const char* to_string(TraceEventKind kind);

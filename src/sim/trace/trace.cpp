@@ -37,6 +37,12 @@ const char* to_string(TraceEventKind kind) {
     case TraceEventKind::kFault: return "fault";
     case TraceEventKind::kPcieTransfer: return "pcie_transfer";
     case TraceEventKind::kDramBankPipe: return "dram_bank_pipe";
+    case TraceEventKind::kServeAdmit: return "serve_admit";
+    case TraceEventKind::kServeReject: return "serve_reject";
+    case TraceEventKind::kServeQueueWait: return "serve_queue_wait";
+    case TraceEventKind::kServeH2D: return "serve_h2d";
+    case TraceEventKind::kServeKernel: return "serve_kernel";
+    case TraceEventKind::kServeD2H: return "serve_d2h";
   }
   return "unknown";
 }

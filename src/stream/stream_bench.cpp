@@ -63,7 +63,8 @@ StreamOutcome run_streaming_benchmark(ttmetal::Device& device,
       static_cast<std::uint64_t>(p.rows) * p.row_bytes;
   const int repl = std::max(1, p.replication);
 
-  ttmetal::BufferConfig buf_cfg{.size = total_bytes};
+  ttmetal::BufferConfig buf_cfg;
+  buf_cfg.size = total_bytes;
   if (p.interleave_page != 0) {
     buf_cfg.layout = ttmetal::BufferLayout::kInterleaved;
     buf_cfg.page_size = p.interleave_page;

@@ -1,0 +1,245 @@
+#include "ttsim/ttmetal/command_queue.hpp"
+
+#include <algorithm>
+
+#include "ttsim/common/crc32.hpp"
+#include "ttsim/ttmetal/device.hpp"
+
+namespace ttsim::ttmetal {
+
+SimTime Event::completed_at() const {
+  if (!completed()) {
+    TTSIM_THROW_API("Event::completed_at on an event that has not completed");
+  }
+  return state_->time;
+}
+
+CommandQueue::CommandQueue(Device& device, int id) : device_(device), id_(id) {}
+
+void CommandQueue::enqueue_write_buffer(Buffer& buffer, std::span<const std::byte> data,
+                                        bool blocking, std::uint64_t offset) {
+  device_.validate_transfer(buffer, offset, data.size(), /*is_write=*/true);
+  auto c = std::make_unique<Command>();
+  c->kind = Command::Kind::kWrite;
+  c->buffer = &buffer;
+  c->offset = offset;
+  c->data.assign(data.begin(), data.end());
+  c->landed.assign(data.begin(), data.end());
+  c->sent_crc = crc32(data);
+  c->duration = device_.spec().pcie_latency +
+                transfer_time(data.size(), device_.spec().pcie_gbs);
+  commands_.push_back(std::move(c));
+  pump();
+  if (blocking) finish();
+}
+
+void CommandQueue::enqueue_read_buffer(Buffer& buffer, std::span<std::byte> out,
+                                       bool blocking, std::uint64_t offset) {
+  device_.validate_transfer(buffer, offset, out.size(), /*is_write=*/false);
+  auto c = std::make_unique<Command>();
+  c->kind = Command::Kind::kRead;
+  c->buffer = &buffer;
+  c->offset = offset;
+  c->out = out;
+  c->duration = device_.spec().pcie_latency +
+                transfer_time(out.size(), device_.spec().pcie_gbs);
+  commands_.push_back(std::move(c));
+  pump();
+  if (blocking) finish();
+}
+
+void CommandQueue::enqueue_program(Program& program, bool blocking) {
+  auto c = std::make_unique<Command>();
+  c->kind = Command::Kind::kProgram;
+  c->program = &program;
+  commands_.push_back(std::move(c));
+  pump();
+  if (blocking) finish();
+}
+
+Event CommandQueue::record_event() {
+  Event ev;
+  ev.state_ = std::make_shared<Event::State>();
+  ev.state_->device = &device_;
+  auto c = std::make_unique<Command>();
+  c->kind = Command::Kind::kRecordEvent;
+  c->event = ev.state_;
+  commands_.push_back(std::move(c));
+  pump();
+  return ev;
+}
+
+void CommandQueue::wait_for_event(const Event& event) {
+  TTSIM_CHECK_MSG(event.valid(), "wait_for_event on a default-constructed Event");
+  TTSIM_CHECK_MSG(event.state_->device == &device_,
+                  "wait_for_event across devices is not supported (each card has "
+                  "its own independent clock)");
+  auto c = std::make_unique<Command>();
+  c->kind = Command::Kind::kWaitEvent;
+  c->event = event.state_;
+  commands_.push_back(std::move(c));
+  pump();
+}
+
+void CommandQueue::finish() {
+  device_.drive([this] { return commands_.empty(); });
+}
+
+void CommandQueue::pump() {
+  while (!commands_.empty()) {
+    Command& c = *commands_.front();
+    if (c.started) return;  // async execution in flight; completion pumps again
+    switch (c.kind) {
+      case Command::Kind::kWaitEvent: {
+        if (!c.event->completed) {
+          if (!c.registered) {
+            c.event->waiters.push_back(this);
+            c.registered = true;
+          }
+          return;  // parked until the event's recording queue reaches it
+        }
+        commands_.pop_front();
+        continue;
+      }
+      case Command::Kind::kRecordEvent: {
+        auto state = c.event;
+        commands_.pop_front();
+        state->completed = true;
+        state->time = device_.hw().engine().now();
+        std::vector<CommandQueue*> waiters = std::move(state->waiters);
+        state->waiters.clear();
+        for (CommandQueue* q : waiters) q->pump();
+        continue;
+      }
+      case Command::Kind::kWrite:
+      case Command::Kind::kRead:
+        c.started = true;
+        start_transfer(c);
+        return;
+      case Command::Kind::kProgram:
+        c.started = true;
+        start_program(c);
+        return;
+    }
+  }
+}
+
+void CommandQueue::complete_head() {
+  commands_.pop_front();
+  pump();
+}
+
+// --- transfers -------------------------------------------------------------
+// These callbacks replicate the historical blocking Device::write_buffer /
+// read_buffer loops step for step (same simulated delays, same pcie_time_
+// accounting, same trace records at the same timestamps and on the host
+// track, same retry/backoff/error text), so the blocking wrappers stay
+// bit-identical while queued transfers can overlap kernel execution.
+
+void CommandQueue::start_transfer(Command& c) {
+  device_.acquire_pcie([this, &c] { transfer_attempt(c); });
+}
+
+void CommandQueue::transfer_attempt(Command& c) {
+  device_.hw().engine().schedule_after(c.duration, [this, &c] { transfer_landed(c); });
+}
+
+void CommandQueue::transfer_landed(Command& c) {
+  auto& engine = device_.hw().engine();
+  const bool is_write = c.kind == Command::Kind::kWrite;
+  const std::uint64_t addr = c.buffer->address() + c.offset;
+  const std::size_t size = is_write ? c.data.size() : c.out.size();
+  device_.pcie_time_ += c.duration;
+  if (auto* tr = device_.hw().trace()) {
+    tr->record(sim::TraceEventKind::kPcieTransfer, engine.now() - c.duration,
+               c.duration, {-1, c.attempt, is_write ? 1 : 0, addr, size});
+  }
+  sim::FaultPlan* plan = device_.hw().fault_plan();
+  if (is_write) {
+    std::copy(c.data.begin(), c.data.end(), c.landed.begin());
+    std::uint64_t corrupt_at = 0;
+    if (plan != nullptr && plan->pcie_corrupt(engine.now(), size, &corrupt_at)) {
+      c.landed[corrupt_at] ^= std::byte{0x40};
+      if (c.first_fault.empty()) c.first_fault = sim::to_string(*plan->last_event());
+    }
+    device_.hw().dram().host_write(addr, c.landed.data(), c.landed.size());
+  } else {
+    if (c.attempt == 0) {
+      // True device-side contents, captured once the transfer's simulated
+      // time has elapsed.
+      c.landed.resize(size);
+      device_.hw().dram().host_read(addr, c.landed.data(), c.landed.size());
+      c.sent_crc = crc32(c.landed);
+    }
+    std::copy(c.landed.begin(), c.landed.end(), c.out.begin());
+    std::uint64_t corrupt_at = 0;
+    if (plan != nullptr && plan->pcie_corrupt(engine.now(), size, &corrupt_at)) {
+      c.out[corrupt_at] ^= std::byte{0x40};
+      if (c.first_fault.empty()) c.first_fault = sim::to_string(*plan->last_event());
+    }
+  }
+  if (!device_.config_.checksum_transfers) {
+    finish_transfer(c);
+    return;
+  }
+  // The device checksums the payload in-line; the host pays one extra
+  // round-trip latency for the acknowledgement.
+  engine.schedule_after(device_.spec().pcie_latency, [this, &c] { transfer_verify(c); });
+}
+
+void CommandQueue::transfer_verify(Command& c) {
+  auto& engine = device_.hw().engine();
+  const bool is_write = c.kind == Command::Kind::kWrite;
+  device_.pcie_time_ += device_.spec().pcie_latency;
+  const std::uint32_t got_crc = is_write ? crc32(c.landed) : crc32(c.out);
+  if (got_crc == c.sent_crc) {
+    finish_transfer(c);
+    return;
+  }
+  if (c.attempt >= device_.config_.transfer_max_retries) {
+    device_.post_host_error(std::make_exception_ptr(TransferError(
+        std::string(is_write ? "write_buffer" : "read_buffer") +
+        " checksum mismatch persisted after " + std::to_string(c.attempt) +
+        " retries; first fault: " +
+        (c.first_fault.empty() ? "<none recorded>" : c.first_fault))));
+    finish_transfer(c);
+    return;
+  }
+  ++device_.transfer_retries_;
+  const SimTime backoff = device_.config_.transfer_retry_backoff << c.attempt;
+  ++c.attempt;
+  engine.schedule_after(backoff, [this, &c, backoff] {
+    device_.pcie_time_ += backoff;
+    transfer_attempt(c);
+  });
+}
+
+void CommandQueue::finish_transfer(Command& c) {
+  (void)c;
+  device_.release_pcie();
+  complete_head();
+}
+
+// --- programs --------------------------------------------------------------
+
+void CommandQueue::start_program(Command& c) {
+  device_.acquire_program_slot([this, &c] { begin_program(c); });
+}
+
+void CommandQueue::begin_program(Command& c) {
+  // Re-checked here (not only at enqueue): a program queued behind another
+  // may find the device wedged by the time the cores free up.
+  if (device_.wedged_) {
+    device_.release_program_slot();
+    device_.post_host_error(
+        std::make_exception_ptr(ApiError(detail::kWedgedRunError)));
+    complete_head();
+    return;
+  }
+  Program* program = c.program;
+  device_.hw().engine().schedule_after(
+      device_.spec().program_dispatch,
+      [this, program] { device_.launch_kernels(*program, *this); });
+}
+
+}  // namespace ttsim::ttmetal

@@ -102,108 +102,142 @@ void Device::release_buffer(const Buffer& buffer) {
   hw_.dram().remove_region(buffer.address());
 }
 
+void Device::validate_transfer(const Buffer& buffer, std::uint64_t offset,
+                               std::size_t size, bool is_write) const {
+  if (offset + size <= buffer.size()) return;
+  TTSIM_THROW_API((is_write ? "write_buffer" : "read_buffer")
+                  << ": transfer of " << size << " bytes at offset " << offset
+                  << " exceeds buffer \"" << buffer.name() << "\" ("
+                  << buffer.size() << " bytes)");
+}
+
+CommandQueue& Device::command_queue(int id) {
+  TTSIM_CHECK_MSG(id >= 0 && id < 64, "command queue id out of range: " << id);
+  if (static_cast<std::size_t>(id) >= command_queues_.size()) {
+    command_queues_.resize(static_cast<std::size_t>(id) + 1);
+  }
+  auto& slot = command_queues_[static_cast<std::size_t>(id)];
+  if (slot == nullptr) slot.reset(new CommandQueue(*this, id));
+  return *slot;
+}
+
+void Device::synchronize(const Event& event) {
+  TTSIM_CHECK_MSG(event.valid(), "synchronize on a default-constructed Event");
+  TTSIM_CHECK_MSG(event.state_->device == this,
+                  "synchronize: the event belongs to another device");
+  auto state = event.state_;
+  drive([state] { return state->completed; });
+}
+
+void Device::drive(const std::function<bool()>& done) {
+  auto& engine = hw_.engine();
+  for (;;) {
+    if (pending_host_error_ != nullptr) {
+      std::exception_ptr error = std::exchange(pending_host_error_, nullptr);
+      std::rethrow_exception(error);
+    }
+    if (done()) return;
+    if (running_ != nullptr && running_->deadline > 0 &&
+        (!engine.has_pending() || engine.next_event_time() > running_->deadline)) {
+      // Watchdog: the next event (if any) lies beyond the deadline, so the
+      // program cannot finish in time — exactly run_until_done's verdict,
+      // with now() left at the last processed event.
+      throw_program_timeout();
+    }
+    if (!engine.has_pending()) {
+      if (running_ != nullptr) {
+        // Unbounded program wedged: report the blocked kernels exactly as
+        // Engine::run() does.
+        fail_running_program();
+        engine.throw_deadlock();
+      }
+      TTSIM_THROW_API(
+          "command queues stalled: commands pending but no simulator events "
+          "remain (waiting on an event that is never recorded?)");
+    }
+    try {
+      engine.step();
+    } catch (...) {
+      // A kernel exception unwound out of the engine.
+      if (running_ != nullptr) fail_running_program();
+      throw;
+    }
+  }
+}
+
+void Device::post_host_error(std::exception_ptr error) {
+  if (pending_host_error_ == nullptr) pending_host_error_ = std::move(error);
+}
+
+void Device::acquire_pcie(std::function<void()> fn) {
+  if (!pcie_busy_) {
+    pcie_busy_ = true;
+    fn();
+    return;
+  }
+  pcie_waiters_.push_back(std::move(fn));
+}
+
+void Device::release_pcie() {
+  TTSIM_DCHECK(pcie_busy_);
+  if (!pcie_waiters_.empty()) {
+    auto fn = std::move(pcie_waiters_.front());
+    pcie_waiters_.pop_front();
+    fn();  // the bus stays busy, handed FIFO to the next transfer
+    return;
+  }
+  pcie_busy_ = false;
+}
+
+void Device::acquire_program_slot(std::function<void()> fn) {
+  if (!program_busy_) {
+    program_busy_ = true;
+    fn();
+    return;
+  }
+  program_waiters_.push_back(std::move(fn));
+}
+
+void Device::release_program_slot() {
+  TTSIM_DCHECK(program_busy_);
+  if (!program_waiters_.empty()) {
+    auto fn = std::move(program_waiters_.front());
+    program_waiters_.pop_front();
+    fn();
+    return;
+  }
+  program_busy_ = false;
+}
+
 void Device::write_buffer(Buffer& buffer, std::span<const std::byte> data,
                           std::uint64_t offset) {
-  TTSIM_CHECK(offset + data.size() <= buffer.size());
-  const auto& spec = hw_.spec();
-  auto& engine = hw_.engine();
-  sim::FaultPlan* plan = hw_.fault_plan();
-  const SimTime t = spec.pcie_latency + transfer_time(data.size(), spec.pcie_gbs);
-  const std::uint32_t sent_crc = crc32(data);
-  std::vector<std::byte> landed(data.begin(), data.end());
-  std::string first_fault;
-  for (int attempt = 0;; ++attempt) {
-    engine.run_until(engine.now() + t);
-    pcie_time_ += t;
-    if (auto* tr = hw_.trace()) {
-      tr->record(sim::TraceEventKind::kPcieTransfer, engine.now() - t, t,
-                 {-1, attempt, /*b=is_write*/ 1, buffer.address() + offset,
-                  data.size()});
-    }
-    std::copy(data.begin(), data.end(), landed.begin());
-    std::uint64_t corrupt_at = 0;
-    if (plan != nullptr &&
-        plan->pcie_corrupt(engine.now(), data.size(), &corrupt_at)) {
-      landed[corrupt_at] ^= std::byte{0x40};
-      if (first_fault.empty()) first_fault = sim::to_string(*plan->last_event());
-    }
-    hw_.dram().host_write(buffer.address() + offset, landed.data(), landed.size());
-    if (!config_.checksum_transfers) return;
-    // The device checksums the payload in-line as it lands; the host pays one
-    // extra round-trip latency for the acknowledgement.
-    engine.run_until(engine.now() + spec.pcie_latency);
-    pcie_time_ += spec.pcie_latency;
-    if (crc32(landed) == sent_crc) return;
-    if (attempt >= config_.transfer_max_retries) {
-      throw TransferError("write_buffer checksum mismatch persisted after " +
-                          std::to_string(attempt) + " retries; first fault: " +
-                          (first_fault.empty() ? "<none recorded>" : first_fault));
-    }
-    ++transfer_retries_;
-    const SimTime backoff = config_.transfer_retry_backoff << attempt;
-    engine.run_until(engine.now() + backoff);
-    pcie_time_ += backoff;
-  }
+  command_queue(0).enqueue_write_buffer(buffer, data, /*blocking=*/true, offset);
 }
 
 void Device::read_buffer(Buffer& buffer, std::span<std::byte> out,
                          std::uint64_t offset) {
-  TTSIM_CHECK(offset + out.size() <= buffer.size());
-  const auto& spec = hw_.spec();
-  auto& engine = hw_.engine();
-  sim::FaultPlan* plan = hw_.fault_plan();
-  const SimTime t = spec.pcie_latency + transfer_time(out.size(), spec.pcie_gbs);
-  std::vector<std::byte> sent(out.size());
-  std::uint32_t sent_crc = 0;
-  std::string first_fault;
-  for (int attempt = 0;; ++attempt) {
-    engine.run_until(engine.now() + t);
-    pcie_time_ += t;
-    if (auto* tr = hw_.trace()) {
-      tr->record(sim::TraceEventKind::kPcieTransfer, engine.now() - t, t,
-                 {-1, attempt, /*b=is_write*/ 0, buffer.address() + offset,
-                  out.size()});
-    }
-    if (attempt == 0) {
-      // True device-side contents, captured once the transfer's simulated
-      // time has elapsed (kernels are never concurrent with a blocking read).
-      hw_.dram().host_read(buffer.address() + offset, sent.data(), sent.size());
-      sent_crc = crc32(sent);
-    }
-    std::copy(sent.begin(), sent.end(), out.begin());
-    std::uint64_t corrupt_at = 0;
-    if (plan != nullptr && plan->pcie_corrupt(engine.now(), out.size(), &corrupt_at)) {
-      out[corrupt_at] ^= std::byte{0x40};
-      if (first_fault.empty()) first_fault = sim::to_string(*plan->last_event());
-    }
-    if (!config_.checksum_transfers) return;
-    // Device-computed CRC of what it sent rides back with the payload; one
-    // extra round-trip latency covers the compare/ack exchange.
-    engine.run_until(engine.now() + spec.pcie_latency);
-    pcie_time_ += spec.pcie_latency;
-    if (crc32(out) == sent_crc) return;
-    if (attempt >= config_.transfer_max_retries) {
-      throw TransferError("read_buffer checksum mismatch persisted after " +
-                          std::to_string(attempt) + " retries; first fault: " +
-                          (first_fault.empty() ? "<none recorded>" : first_fault));
-    }
-    ++transfer_retries_;
-    const SimTime backoff = config_.transfer_retry_backoff << attempt;
-    engine.run_until(engine.now() + backoff);
-    pcie_time_ += backoff;
-  }
+  command_queue(0).enqueue_read_buffer(buffer, out, /*blocking=*/true, offset);
 }
 
 void Device::run_program(Program& program) {
-  if (wedged_) {
-    TTSIM_THROW_API(
-        "run_program on a wedged device: an earlier program timed out and its "
-        "kernels still hold cores; open a fresh Device (cores recorded as "
-        "failed in the FaultPlan stay failed across the reopen)");
-  }
+  if (wedged_) TTSIM_THROW_API(detail::kWedgedRunError);
   auto& engine = hw_.engine();
-  engine.run_until(engine.now() + hw_.spec().program_dispatch);
+  command_queue(0).enqueue_program(program, /*blocking=*/true);
+  // Bit-exact equivalence with the historical synchronous implementation:
+  // run() drained every trailing event after the kernels finished, the
+  // watchdog variant drained events up to the deadline, and
+  // last_kernel_duration included that drain.
+  const SimTime deadline =
+      config_.sim_time_limit > 0 ? last_launch_start_ + config_.sim_time_limit : 0;
+  drive([&] {
+    return !engine.has_pending() ||
+           (deadline > 0 && engine.next_event_time() > deadline);
+  });
+  last_kernel_duration_ = engine.now() - last_launch_start_;
+}
 
+void Device::launch_kernels(Program& program, CommandQueue& queue) {
+  auto& engine = hw_.engine();
   // Reset every core the program touches, then instantiate CBs, semaphores
   // and L1 buffers in creation order so real L1 addresses match the plan.
   std::set<int> used;
@@ -213,26 +247,22 @@ void Device::run_program(Program& program) {
   for (const auto& k : program.kernels_) used.insert(k.cores.begin(), k.cores.end());
   for (int core : used) hw_.worker(core).reset();
 
-  // Allocation replay. Program planned addresses assuming every allocation
-  // happens on each core; heterogeneous per-core layouts would diverge, so
-  // verify as we go.
+  // Allocation replay in global creation order. The program planned per-core
+  // bump addresses; disjoint core groups (batched launches) restart at their
+  // own tops, and the per-core check below catches any layout the plan could
+  // not predict.
   struct Alloc {
-    std::size_t order;
     const Program::CbConfig* cb;
     const Program::L1Config* l1;
   };
   std::vector<Alloc> allocs;
-  for (std::size_t i = 0; i < program.cbs_.size(); ++i)
-    allocs.push_back({i, &program.cbs_[i], nullptr});
-  for (std::size_t i = 0; i < program.l1_buffers_.size(); ++i)
-    allocs.push_back({program.cbs_.size() + i, nullptr, &program.l1_buffers_[i]});
-  // CBs and L1 buffers were planned in interleaved creation order; recover
-  // that order from the planned addresses, which increase monotonically.
+  for (const auto& cb : program.cbs_) allocs.push_back({&cb, nullptr});
+  for (const auto& l1 : program.l1_buffers_) allocs.push_back({nullptr, &l1});
   std::sort(allocs.begin(), allocs.end(), [](const Alloc& a, const Alloc& b) {
-    auto planned = [](const Alloc& x) -> std::uint64_t {
-      return x.l1 != nullptr ? x.l1->planned_address : x.cb->planned_address;
+    auto order = [](const Alloc& x) -> std::size_t {
+      return x.l1 != nullptr ? x.l1->order : x.cb->order;
     };
-    return planned(a) < planned(b);
+    return order(a) < order(b);
   });
 
   for (const auto& a : allocs) {
@@ -269,6 +299,13 @@ void Device::run_program(Program& program) {
   for (const auto& k : program.kernels_) total_kernels += k.cores.size();
   profile_.reserve(total_kernels);  // spawn lambdas hold stable pointers
   const SimTime start = engine.now();
+  last_launch_start_ = start;
+  running_ = std::make_unique<ProgramLaunch>();
+  running_->queue = &queue;
+  running_->start = start;
+  running_->deadline = config_.sim_time_limit > 0 ? start + config_.sim_time_limit : 0;
+  running_->remaining = total_kernels;
+  ProgramLaunch* owner = running_.get();
   for (auto& k : program.kernels_) {
     for (std::size_t i = 0; i < k.cores.size(); ++i) {
       const int core_idx = k.cores[i];
@@ -287,7 +324,7 @@ void Device::run_program(Program& program) {
       if (k.kind == KernelKind::kCompute) {
         auto fn = k.compute_fn;
         engine.spawn(name, [this, &core, fn, args, position, group, prof, start,
-                            trace] {
+                            trace, owner] {
           ComputeCtx ctx(*this, core, args, position, group);
           ctx.set_profile(prof);
           if (trace != nullptr) {
@@ -302,12 +339,13 @@ void Device::run_program(Program& program) {
           prof->lifetime = hw_.engine().now() - start;
           prof->active = ctx.active_time();
           prof->finished = true;
+          on_kernel_done(owner);
         });
       } else {
         const int noc_id = k.kind == KernelKind::kDataMover0 ? 0 : 1;
         auto fn = k.mover_fn;
         engine.spawn(name, [this, &core, fn, args, position, group, noc_id,
-                            prof, start, trace] {
+                            prof, start, trace, owner] {
           DataMoverCtx ctx(*this, core, noc_id, args, position, group);
           ctx.set_profile(prof);
           if (trace != nullptr) {
@@ -322,33 +360,51 @@ void Device::run_program(Program& program) {
           prof->lifetime = hw_.engine().now() - start;
           prof->active = ctx.active_time();
           prof->finished = true;
+          on_kernel_done(owner);
         });
       }
     }
   }
-  if (config_.sim_time_limit > 0) {
-    // Watchdog: bound the program in simulated time; a hang becomes a typed
-    // error naming the stuck kernels instead of an engine-drain deadlock.
-    if (!engine.run_until_done(start + config_.sim_time_limit)) {
-      finalise_profile(start);
-      wedged_ = true;
-      if (auto* plan = hw_.fault_plan()) plan->commit_elapsed_kills(engine.now());
-      std::ostringstream os;
-      os << "program exceeded sim_time_limit (" << config_.sim_time_limit
-         << " ns); stuck kernels:";
-      for (const auto& stuck : engine.blocked_process_names()) os << ' ' << stuck;
-      throw DeviceTimeoutError(os.str());
-    }
-  } else {
-    try {
-      engine.run();
-    } catch (...) {
-      finalise_profile(start);
-      if (auto* plan = hw_.fault_plan()) plan->commit_elapsed_kills(engine.now());
-      throw;
-    }
-  }
-  last_kernel_duration_ = engine.now() - start;
+  if (total_kernels == 0) program_complete();
+}
+
+void Device::on_kernel_done(ProgramLaunch* owner) {
+  // Stale completions (a straggler kernel from an aborted launch finishing
+  // later) must not count against the current program.
+  if (running_.get() != owner) return;
+  TTSIM_DCHECK(running_->remaining > 0);
+  if (--running_->remaining == 0) program_complete();
+}
+
+void Device::program_complete() {
+  ProgramLaunch* launch = running_.get();
+  last_kernel_duration_ = hw_.engine().now() - launch->start;
+  CommandQueue* queue = launch->queue;
+  running_.reset();
+  release_program_slot();
+  queue->complete_head();
+}
+
+void Device::fail_running_program() {
+  ProgramLaunch* launch = running_.get();
+  finalise_profile(launch->start);
+  if (auto* plan = hw_.fault_plan()) plan->commit_elapsed_kills(hw_.engine().now());
+  CommandQueue* queue = launch->queue;
+  running_.reset();
+  release_program_slot();
+  queue->complete_head();
+}
+
+void Device::throw_program_timeout() {
+  std::ostringstream os;
+  os << "program exceeded sim_time_limit (" << config_.sim_time_limit
+     << " ns); stuck kernels:";
+  for (const auto& stuck : hw_.engine().blocked_process_names()) os << ' ' << stuck;
+  // Wedge before releasing the program slot so a queued follow-up program is
+  // rejected instead of launching onto held cores.
+  wedged_ = true;
+  fail_running_program();
+  throw DeviceTimeoutError(os.str());
 }
 
 void Device::finalise_profile(SimTime start) {

@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "ttsim/common/units.hpp"
@@ -32,6 +33,9 @@ struct BufferConfig {
   /// slab allocation does). Off by default — the hashed placement is what
   /// every paper-comparison table measures.
   bool balanced_stripes = false;
+  /// Optional debug name, surfaced in transfer argument-validation errors so
+  /// a failure names which buffer it hit once multiple queues are in flight.
+  std::string name;
 };
 
 /// A DRAM allocation on one device. Host access goes through the command
@@ -45,6 +49,11 @@ class Buffer {
   std::uint64_t address() const { return address_; }
   std::uint64_t size() const { return config_.size; }
   const BufferConfig& config() const { return config_; }
+  /// Debug name from BufferConfig::name, or "<unnamed>".
+  const std::string& name() const {
+    static const std::string kUnnamed = "<unnamed>";
+    return config_.name.empty() ? kUnnamed : config_.name;
+  }
   /// Bank holding the buffer (single-bank layout only).
   int bank() const { return bank_; }
 

@@ -1,0 +1,44 @@
+#pragma once
+/// \file counters.hpp
+/// Scoped diff helpers for the Device's cumulative counters. pcie_time() and
+/// transfer_retries() only ever grow; measuring a region of interest used to
+/// mean hand-rolled before/after subtraction at every call site. These
+/// scopes capture the baseline at construction and report the delta.
+///
+///   ttmetal::PcieScope pcie(dev);
+///   ttmetal::RetryScope retries(dev);
+///   ... transfers ...
+///   report(pcie.elapsed(), retries.count());
+
+#include "ttsim/ttmetal/device.hpp"
+
+namespace ttsim::ttmetal {
+
+/// Simulated PCIe wall time spent since construction.
+class PcieScope {
+ public:
+  explicit PcieScope(Device& device) : device_(device), start_(device.pcie_time()) {}
+  /// Delta so far (the device keeps counting; call as often as needed).
+  SimTime elapsed() const { return device_.pcie_time() - start_; }
+  /// Re-baseline to now.
+  void reset() { start_ = device_.pcie_time(); }
+
+ private:
+  Device& device_;
+  SimTime start_;
+};
+
+/// Checksummed-transfer retries taken since construction.
+class RetryScope {
+ public:
+  explicit RetryScope(Device& device)
+      : device_(device), start_(device.transfer_retries()) {}
+  std::uint64_t count() const { return device_.transfer_retries() - start_; }
+  void reset() { start_ = device_.transfer_retries(); }
+
+ private:
+  Device& device_;
+  std::uint64_t start_;
+};
+
+}  // namespace ttsim::ttmetal

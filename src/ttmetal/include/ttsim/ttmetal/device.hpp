@@ -11,6 +11,9 @@
 /// TransferError naming the original fault), and carry a deterministic
 /// sim::FaultPlan that the simulator consults for fault injection.
 
+#include <deque>
+#include <exception>
+#include <functional>
 #include <map>
 #include <memory>
 #include <span>
@@ -21,9 +24,20 @@
 #include "ttsim/sim/tensix_core.hpp"
 #include "ttsim/sim/trace.hpp"
 #include "ttsim/ttmetal/buffer.hpp"
+#include "ttsim/ttmetal/command_queue.hpp"
 #include "ttsim/ttmetal/program.hpp"
 
 namespace ttsim::ttmetal {
+
+namespace detail {
+/// Rejection text for launching on a device whose cores are still held by a
+/// timed-out program. Shared by the blocking wrapper (throws eagerly) and
+/// the queued-program path (surfaces via finish()).
+inline constexpr const char* kWedgedRunError =
+    "run_program on a wedged device: an earlier program timed out and its "
+    "kernels still hold cores; open a fresh Device (cores recorded as "
+    "failed in the FaultPlan stay failed across the reopen)";
+}  // namespace detail
 
 /// Thrown by Device::run_program when the program exceeds
 /// DeviceConfig::sim_time_limit; the message names every stuck kernel. The
@@ -115,7 +129,17 @@ class Device {
   /// paper's input/output streaming buffers do).
   std::shared_ptr<Buffer> create_buffer(const BufferConfig& config);
 
-  // --- command queue (blocking; simulated PCIe cost applied) ---
+  // --- command queues ---
+  /// In-order asynchronous command stream `id` (created on demand, owned by
+  /// the device). Commands on distinct queues overlap in simulated time
+  /// wherever the hardware allows: PCIe transfers run concurrently with a
+  /// program's kernels, so a write queue hides H2D behind a compute queue.
+  CommandQueue& command_queue(int id = 0);
+  /// Drive the simulator until `event` completes. Rethrows any error an
+  /// async command hit in the meantime.
+  void synchronize(const Event& event);
+
+  // --- blocking convenience API (one enqueue + finish on queue 0) ---
   /// With DeviceConfig::checksum_transfers, each transfer is CRC-verified
   /// and retried with exponential backoff; throws TransferError when retries
   /// are exhausted.
@@ -169,7 +193,48 @@ class Device {
   /// profile on a failed run).
   void finalise_profile(SimTime start);
   friend class Buffer;
+  friend class CommandQueue;
   friend class KernelCtxBase;
+
+  /// ApiError naming the buffer, offset and size when the range is invalid.
+  void validate_transfer(const Buffer& buffer, std::uint64_t offset, std::size_t size,
+                         bool is_write) const;
+
+  /// The central host-side driver: dispatch engine events one at a time
+  /// until `done()` — surfacing queued async errors, enforcing the program
+  /// watchdog deadline, and turning a drained queue with a running program
+  /// into the same deadlock CheckError Engine::run() throws. Everything
+  /// (finish, synchronize, the blocking wrappers) funnels through here so
+  /// error semantics are identical on every path.
+  void drive(const std::function<bool()>& done);
+  /// Record an async command failure; the first error wins and is rethrown
+  /// by the next drive().
+  void post_host_error(std::exception_ptr error);
+
+  // Exclusive PCIe bus: one transfer on the wire at a time, FIFO handoff.
+  void acquire_pcie(std::function<void()> fn);
+  void release_pcie();
+  // Exclusive core grid: one program launched at a time, FIFO handoff.
+  void acquire_program_slot(std::function<void()> fn);
+  void release_program_slot();
+
+  /// One launched program occupying the cores.
+  struct ProgramLaunch {
+    CommandQueue* queue = nullptr;
+    SimTime start = 0;     ///< kernel start (dispatch excluded)
+    SimTime deadline = 0;  ///< start + sim_time_limit, or 0 = unbounded
+    std::size_t remaining = 0;  ///< kernels still running
+  };
+
+  /// Instantiate CBs/semaphores/barriers and spawn the kernels (the body of
+  /// the historical run_program, after the dispatch delay).
+  void launch_kernels(Program& program, CommandQueue& queue);
+  void on_kernel_done(ProgramLaunch* owner);
+  void program_complete();
+  /// Shared failure cleanup (partial profile, elapsed fault kills, release
+  /// the cores, abandon the owning queue's head command).
+  void fail_running_program();
+  [[noreturn]] void throw_program_timeout();
 
   /// Device-wide rendezvous used by KernelCtxBase::global_barrier.
   struct DeviceBarrier {
@@ -193,6 +258,16 @@ class Device {
   std::uint64_t transfer_retries_ = 0;
   bool wedged_ = false;  // a watchdog timeout left kernels stuck on cores
   std::vector<KernelProfile> profile_;
+
+  // Command-queue state (destroyed before hw_, declared after it).
+  std::vector<std::unique_ptr<CommandQueue>> command_queues_;
+  std::exception_ptr pending_host_error_;
+  bool pcie_busy_ = false;
+  std::deque<std::function<void()>> pcie_waiters_;
+  bool program_busy_ = false;
+  std::deque<std::function<void()>> program_waiters_;
+  std::unique_ptr<ProgramLaunch> running_;
+  SimTime last_launch_start_ = 0;
 };
 
 }  // namespace ttsim::ttmetal

@@ -75,6 +75,7 @@ class Program {
     std::uint32_t page_size;
     std::uint32_t num_pages;
     std::uint32_t planned_address;
+    std::size_t order;  ///< global creation order across CBs and L1 buffers
   };
   struct SemConfig {
     int sem_id;
@@ -90,6 +91,7 @@ class Program {
     std::uint32_t size;
     std::uint32_t align;
     std::uint32_t planned_address;
+    std::size_t order;  ///< global creation order across CBs and L1 buffers
   };
   struct KernelConfig {
     KernelKind kind;
@@ -101,15 +103,21 @@ class Program {
     std::vector<std::uint32_t> common_args;
   };
 
-  /// Mirrors sim::Sram's bump allocator so L1 addresses are known before launch.
-  std::uint32_t plan_allocate(std::uint32_t size, std::uint32_t align);
+  /// Mirrors sim::Sram's per-core bump allocator so L1 addresses are known
+  /// before launch. The plan tracks one bump top per core: allocations on
+  /// disjoint core groups (batched programs) restart at each group's own
+  /// top, exactly as the real per-core SRAM allocators will at launch. The
+  /// planned address is the aligned maximum over the core set's tops.
+  std::uint32_t plan_allocate(const std::vector<int>& cores, std::uint32_t size,
+                              std::uint32_t align);
 
   std::vector<CbConfig> cbs_;
   std::vector<SemConfig> semaphores_;
   std::vector<BarrierConfig> barriers_;
   std::vector<L1Config> l1_buffers_;
   std::vector<KernelConfig> kernels_;
-  std::uint64_t planned_top_ = 0;
+  std::map<int, std::uint64_t> planned_tops_;  // per-core L1 bump mirror
+  std::size_t next_order_ = 0;  // creation order shared by CBs and L1 buffers
 };
 
 }  // namespace ttsim::ttmetal

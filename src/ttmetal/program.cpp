@@ -2,9 +2,19 @@
 
 namespace ttsim::ttmetal {
 
-std::uint32_t Program::plan_allocate(std::uint32_t size, std::uint32_t align) {
-  const std::uint64_t base = align_up(planned_top_, align);
-  planned_top_ = base + size;
+std::uint32_t Program::plan_allocate(const std::vector<int>& cores,
+                                     std::uint32_t size, std::uint32_t align) {
+  // Heterogeneous overlaps (a core appearing in groups with different layout
+  // histories) plan at the max and are caught by the per-core address check
+  // at launch; homogeneous groups — the only layouts that ever worked — plan
+  // exactly what each core's SRAM allocator will hand out.
+  std::uint64_t top = 0;
+  for (int core : cores) {
+    const auto it = planned_tops_.find(core);
+    if (it != planned_tops_.end()) top = std::max(top, it->second);
+  }
+  const std::uint64_t base = align_up(top, align);
+  for (int core : cores) planned_tops_[core] = base + size;
   return static_cast<std::uint32_t>(base);
 }
 
@@ -12,8 +22,8 @@ void Program::create_cb(int cb_id, const std::vector<int>& cores,
                         std::uint32_t page_size, std::uint32_t num_pages) {
   TTSIM_CHECK(!cores.empty());
   TTSIM_CHECK(page_size > 0 && num_pages > 0);
-  const std::uint32_t addr = plan_allocate(page_size * num_pages, 32);
-  cbs_.push_back(CbConfig{cb_id, cores, page_size, num_pages, addr});
+  const std::uint32_t addr = plan_allocate(cores, page_size * num_pages, 32);
+  cbs_.push_back(CbConfig{cb_id, cores, page_size, num_pages, addr, next_order_++});
 }
 
 void Program::create_semaphore(int sem_id, const std::vector<int>& cores,
@@ -30,8 +40,8 @@ void Program::create_global_barrier(int barrier_id, int participants) {
 L1BufferHandle Program::create_l1_buffer(const std::vector<int>& cores,
                                          std::uint32_t size, std::uint32_t align) {
   TTSIM_CHECK(!cores.empty());
-  const std::uint32_t addr = plan_allocate(size, align);
-  l1_buffers_.push_back(L1Config{cores, size, align, addr});
+  const std::uint32_t addr = plan_allocate(cores, size, align);
+  l1_buffers_.push_back(L1Config{cores, size, align, addr, next_order_++});
   return static_cast<L1BufferHandle>(l1_buffers_.size()) - 1;
 }
 

@@ -95,9 +95,22 @@ TEST(Device, PartialBufferOffsetAccess) {
 
 TEST(Device, OutOfRangeAccessThrows) {
   auto dev = Device::open();
-  auto buf = dev->create_buffer({.size = 1024});
+  auto buf = dev->create_buffer({.size = 1024, .name = "grid-u"});
   std::vector<std::byte> data(512);
-  EXPECT_THROW(dev->write_buffer(*buf, data, 600), CheckError);
+  EXPECT_THROW(dev->write_buffer(*buf, data, 600), ApiError);
+  // The error names the buffer, the offset and the sizes so an async failure
+  // identifies which in-flight transfer it was.
+  try {
+    dev->write_buffer(*buf, data, 600);
+    FAIL() << "expected ApiError";
+  } catch (const ApiError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("grid-u"), std::string::npos) << what;
+    EXPECT_NE(what.find("offset 600"), std::string::npos) << what;
+    EXPECT_NE(what.find("512"), std::string::npos) << what;
+  }
+  std::vector<std::byte> out(2048);
+  EXPECT_THROW(dev->read_buffer(*buf, out), ApiError);
 }
 
 TEST(Device, BufferReleaseUnmapsRegion) {
