@@ -3,8 +3,11 @@
 /// chunks of (up to) 1024 elements along X (Fig. 6); each batch needs one
 /// contiguous read of chunk+2 elements (the chunk plus one halo element per
 /// side). The reading data mover keeps a rotating window of row slots in
-/// local SRAM (2N+1 slots for read-ahead depth N; the paper's N = 2 gives
-/// the five-slot scheme of Section VI), reads N batches ahead with one
+/// local SRAM — 2N+3 slots for read-ahead depth N, rotated continuously
+/// across column strips so a column's first rows never land in slots the
+/// previous column's in-flight batches still reference (the paper's N = 2
+/// scheme needs 5 slots in steady state; the two extra slots absorb the
+/// column-boundary overlap) — reads N batches ahead with one
 /// tagged barrier per batch, and never copies memory: the compute kernel
 /// redirects the input CBs' read pointers into the mover's slots with the
 /// cb_set_rd_ptr SDK extension —
@@ -29,7 +32,7 @@ struct ChunkGrid {
   std::uint32_t chunk;   ///< elements per batch
   std::uint32_t ncols;   ///< column strips of `chunk` elements
   std::uint32_t nrows;
-  std::uint32_t nslots;  ///< row-slot rotation length (2 * read_ahead + 1)
+  std::uint32_t nslots;  ///< row-slot rotation length, 2N+3
 
   ChunkGrid(const CoreRange& r, std::uint32_t chunk_elems, std::uint32_t slots)
       : rg(r), nslots(slots) {
@@ -45,10 +48,16 @@ struct ChunkGrid {
     ncols = strip / chunk;
     nrows = rg.row_hi - rg.row_lo;
   }
-  /// Slot index for input row y within this core's rotation.
-  std::uint32_t slot_of(std::int64_t y) const {
-    return static_cast<std::uint32_t>(
-        (y - (static_cast<std::int64_t>(rg.row_lo) - 1)) % nslots);
+  /// Slot index for input row y of column strip `col`. The rotation runs
+  /// continuously across column strips (each strip touches nrows+2 rows:
+  /// the strip plus one halo row per side), so the first rows of a new
+  /// column take the slots *after* the previous column's tail instead of
+  /// wrapping back onto slots its in-flight batches may still reference.
+  std::uint32_t slot_of(std::uint32_t col, std::int64_t y) const {
+    const std::int64_t t =
+        static_cast<std::int64_t>(col) * (nrows + 2) +
+        (y - (static_cast<std::int64_t>(rg.row_lo) - 1));
+    return static_cast<std::uint32_t>(t % nslots);
   }
 };
 
@@ -66,7 +75,16 @@ void build_rowchunk_program(ttmetal::Program& prog, std::shared_ptr<KernelShared
   // batch j waits for batch j-N to be popped, at which point the slot the
   // next issued row lands in (row j-N-1's) is no longer referenced.
   const auto depth = static_cast<std::uint32_t>(std::max(2, sh->read_ahead));
-  const std::uint32_t nslots = 2 * depth + 1;
+  // Slot-count bound for the continuous rotation. Batch k of a column
+  // (continuous row index T+k for the column's first input row T) may issue
+  // rows up to T+k+N+1 while its reserve only proves batch k-N was popped —
+  // across a column boundary the unpopped batches k-N+1..k-1 of the
+  // previous column still reference rows down to T+k-N-1, a live span of
+  // 2N+2 consecutive row indices (the three-row prologue before batch 0's
+  // reserve spans N+4, which is smaller for every N >= 2). The rotation
+  // must never map two of those onto one slot, so nslots = 2N+3: at the
+  // paper's N = 2 that is 7.
+  const std::uint32_t nslots = 2 * depth + 3;
   for (int cb = kCbIn0; cb <= kCbIn3; ++cb) {
     prog.create_cb(cb, cores, kTileBytes, depth);
   }
@@ -75,7 +93,7 @@ void build_rowchunk_program(ttmetal::Program& prog, std::shared_ptr<KernelShared
   prog.create_cb(kCbOut, cores, kTileBytes, 4);
   if (sh->residual_addr != 0) prog.create_cb(kCbRes, cores, 32, 1);
 
-  // (2N+1)-slot local row buffer, sized for the widest chunk any core uses.
+  // nslots-deep local row buffer, sized for the widest chunk any core uses.
   std::uint32_t max_chunk = 16;
   for (const auto& rg : sh->ranges) {
     max_chunk = std::max(max_chunk, std::min(sh->chunk_elems, rg.col_hi - rg.col_lo));
@@ -110,7 +128,7 @@ void build_rowchunk_program(ttmetal::Program& prog, std::shared_ptr<KernelShared
             // y + nslots is issued (at batch >= y + depth + 1).
             auto issue_row = [&](std::int64_t y) {
               const std::uint64_t addr = src + L.byte_offset(y, c0 - 1) - off;
-              const std::uint32_t slot = grid.slot_of(y);
+              const std::uint32_t slot = grid.slot_of(col, y);
               ctx.noc_async_read(ctx.get_noc_addr(addr),
                                  slots_addr + slot * sbytes, read_bytes,
                                  static_cast<int>(slot));
@@ -118,15 +136,14 @@ void build_rowchunk_program(ttmetal::Program& prog, std::shared_ptr<KernelShared
 
             const std::int64_t r0 = grid.rg.row_lo;
             const std::int64_t r1 = grid.rg.row_hi;
-            // Column boundary: the prologue below lands rows in slots 0..2,
-            // which still alias rows of the *previous* column's tail while up
-            // to N-1 of its batches are in flight. At N = 2 the single
-            // outstanding batch is covered by the DRAM round trip (the
-            // paper's scheme, pinned by the golden traces); deeper pipelines
-            // genuinely race, so drain: all `depth` pages of kCbIn3 free
-            // means the compute kernel has finished every slot-referencing
-            // add of the previous column.
-            if (depth > 2 && col > 0) ctx.cb_reserve_back(kCbIn3, depth);
+            // Column boundary: the continuous rotation (slot_of) places the
+            // prologue rows in the slots after the previous column's tail,
+            // and nslots = 2*depth+3 keeps every row issued here clear of
+            // every slot that column's unpopped batches may still reference
+            // — no drain or timing assumption needed at any depth. (Across
+            // iterations the rendezvous below orders everything: the writer
+            // only reaches the barrier after consuming output the compute
+            // kernel produced from its last reads.)
             // Prologue: rows r0-1, r0, r0+1 (clamped to the strip's halo).
             std::int64_t issued_hi = std::min<std::int64_t>(r0 + 1, r1);
             for (std::int64_t y = r0 - 1; y <= issued_hi; ++y) issue_row(y);
@@ -143,7 +160,7 @@ void build_rowchunk_program(ttmetal::Program& prog, std::shared_ptr<KernelShared
                 ctx.noc_async_read_barrier();
               } else {
                 ctx.noc_async_read_barrier(
-                    static_cast<int>(grid.slot_of(j + 1)));
+                    static_cast<int>(grid.slot_of(col, j + 1)));
               }
               // ...and issue non-blocking reads up to N batches ahead.
               while (issued_hi < std::min<std::int64_t>(j + depth, r1)) {
@@ -177,15 +194,22 @@ void build_rowchunk_program(ttmetal::Program& prog, std::shared_ptr<KernelShared
                                                          grid.chunk;
             const std::uint32_t off =
                 static_cast<std::uint32_t>(L.byte_offset(0, c0 - 1) % 32);
+            // A redirected tile covers only the chunk's elements, not a full
+            // 2 KiB page — declare that so tooling reasoning about the FPU's
+            // fetch window stays within this batch's slots.
+            const std::uint32_t valid = grid.chunk * 2;
             for (std::int64_t j = grid.rg.row_lo; j < grid.rg.row_hi; ++j) {
-              const std::uint32_t sj = slots_addr + grid.slot_of(j) * sbytes + off;
-              const std::uint32_t sup = slots_addr + grid.slot_of(j - 1) * sbytes + off;
-              const std::uint32_t sdn = slots_addr + grid.slot_of(j + 1) * sbytes + off;
+              const std::uint32_t sj =
+                  slots_addr + grid.slot_of(col, j) * sbytes + off;
+              const std::uint32_t sup =
+                  slots_addr + grid.slot_of(col, j - 1) * sbytes + off;
+              const std::uint32_t sdn =
+                  slots_addr + grid.slot_of(col, j + 1) * sbytes + off;
 
               ctx.cb_wait_front(kCbIn0, 1);
               ctx.cb_wait_front(kCbIn1, 1);
-              ctx.cb_set_rd_ptr(kCbIn0, sj);      // x-1
-              ctx.cb_set_rd_ptr(kCbIn1, sj + 4);  // x+1
+              ctx.cb_set_rd_ptr(kCbIn0, sj, valid);      // x-1
+              ctx.cb_set_rd_ptr(kCbIn1, sj + 4, valid);  // x+1
               ctx.add_tiles(kCbIn0, kCbIn1, 0, 0, dst0);
               ctx.cb_pop_front(kCbIn1, 1);
               ctx.cb_pop_front(kCbIn0, 1);
@@ -196,7 +220,7 @@ void build_rowchunk_program(ttmetal::Program& prog, std::shared_ptr<KernelShared
 
               ctx.cb_wait_front(kCbIn2, 1);
               ctx.cb_wait_front(kCbInter, 1);
-              ctx.cb_set_rd_ptr(kCbIn2, sup + 2);  // y-1
+              ctx.cb_set_rd_ptr(kCbIn2, sup + 2, valid);  // y-1
               ctx.add_tiles(kCbIn2, kCbInter, 0, 0, dst0);
               ctx.cb_pop_front(kCbInter, 1);
               ctx.cb_pop_front(kCbIn2, 1);
@@ -207,7 +231,7 @@ void build_rowchunk_program(ttmetal::Program& prog, std::shared_ptr<KernelShared
 
               ctx.cb_wait_front(kCbIn3, 1);
               ctx.cb_wait_front(kCbInter, 1);
-              ctx.cb_set_rd_ptr(kCbIn3, sdn + 2);  // y+1
+              ctx.cb_set_rd_ptr(kCbIn3, sdn + 2, valid);  // y+1
               ctx.add_tiles(kCbIn3, kCbInter, 0, 0, dst0);
               ctx.cb_pop_front(kCbInter, 1);
               ctx.cb_pop_front(kCbIn3, 1);
@@ -227,8 +251,8 @@ void build_rowchunk_program(ttmetal::Program& prog, std::shared_ptr<KernelShared
                 // Device-side residual: |unew - u| over this chunk, reduced
                 // on the FPU. Alias the freshly packed page as an input and
                 // the source slot's centre row as the old value.
-                ctx.cb_set_rd_ptr(kCbOut, ctx.get_write_ptr(kCbOut));
-                ctx.cb_set_rd_ptr(kCbInter, sj + 2);
+                ctx.cb_set_rd_ptr(kCbOut, ctx.get_write_ptr(kCbOut), valid);
+                ctx.cb_set_rd_ptr(kCbInter, sj + 2, valid);
                 ctx.sub_tiles(kCbOut, kCbInter, 0, 0, dst1);
                 ctx.cb_clear_rd_ptr(kCbOut);
                 ctx.cb_clear_rd_ptr(kCbInter);

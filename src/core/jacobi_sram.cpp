@@ -139,11 +139,16 @@ void build_sram_resident_program(ttmetal::Program& prog,
           if (has_upper) {
             const std::uint32_t src_slab = sh->slab(k % 2);
             const std::uint32_t upper_rows = sh->rows_pc(pos - 1);
+            // Send [prefix|L|interior] but NOT the R boundary element: dm1
+            // is restoring R concurrently (both movers are gated only on the
+            // compute semaphores), and a halo row's R is never consumed —
+            // the receiver's y-taps stop at the interior. Excluding it keeps
+            // the exchange race-free without a dm0<->dm1 handshake.
             ctx.noc_async_write_core(
                 sh->worker_of(pos - 1),
                 sh->row_data(src_slab, upper_rows + 1) - sh->off,
                 sh->row_data(src_slab, 1) - sh->off,
-                sh->row_data_elems * 2 + sh->off);
+                (sh->row_data_elems - 1) * 2 + sh->off);
             ctx.noc_semaphore_inc(sh->worker_of(pos - 1), kSemBottomHalo);
           }
           ctx.loop_tick();

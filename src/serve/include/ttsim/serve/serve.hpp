@@ -190,6 +190,10 @@ class StencilService {
   /// when the fault plan kills cores; 0 = the card cannot serve the shape).
   int card_capacity(int card, const ShapeKey& key);
 
+  /// Race-detector findings accumulated across every card's device, in card
+  /// order. Empty unless ServiceConfig::device.enable_verify is set.
+  std::vector<verify::Finding> verify_findings() const;
+
  private:
   struct Card;
   struct Session;

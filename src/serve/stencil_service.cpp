@@ -218,6 +218,16 @@ int StencilService::card_capacity(int card, const ShapeKey& key) {
   return std::min(usable / slot, cfg_.max_batch);
 }
 
+std::vector<verify::Finding> StencilService::verify_findings() const {
+  std::vector<verify::Finding> all;
+  for (const auto& card : cards_) {
+    const verify::Verifier* v = card->device->verifier();
+    if (v == nullptr) continue;
+    all.insert(all.end(), v->findings().begin(), v->findings().end());
+  }
+  return all;
+}
+
 StencilService::Session& StencilService::session(Card& card, const ShapeKey& key) {
   auto it = card.sessions.find(key);
   if (it != card.sessions.end()) {

@@ -107,11 +107,12 @@ bool Engine::step() {
   return true;
 }
 
-void Engine::throw_deadlock() const {
+void Engine::throw_deadlock(const std::string& diagnosis) const {
   std::ostringstream os;
   os << "simulation deadlock: " << unfinished_process_count()
      << " process(es) blocked forever:";
   for (const auto& name : blocked_process_names()) os << ' ' << name;
+  if (!diagnosis.empty()) os << '\n' << diagnosis;
   throw CheckError(os.str());
 }
 
@@ -143,6 +144,14 @@ std::size_t Engine::unfinished_process_count() const {
     if (!p->finished()) ++n;
   }
   return n;
+}
+
+std::vector<const Process*> Engine::unfinished_processes() const {
+  std::vector<const Process*> out;
+  for (const auto& p : processes_) {
+    if (!p->finished()) out.push_back(p.get());
+  }
+  return out;
 }
 
 std::vector<std::string> Engine::blocked_process_names() const {

@@ -6,8 +6,10 @@ namespace ttsim::sim {
 
 void WaitQueue::wait() {
   Process& p = engine_.current();
+  p.wait_site_ = site_;
   waiters_.push_back(&p);
   engine_.block_current();
+  p.wait_site_ = WaitSite{};
 }
 
 void WaitQueue::notify_one() {

@@ -39,6 +39,8 @@ class CircularBuffer {
     TTSIM_CHECK(page_size_ > 0);
     TTSIM_CHECK(num_pages_ > 0);
     TTSIM_CHECK(storage_ != nullptr);
+    space_.set_site({WaitSite::Kind::kCbFull, core_, cb_id_});
+    data_.set_site({WaitSite::Kind::kCbEmpty, core_, cb_id_});
   }
 
   std::uint32_t page_size() const { return page_size_; }
@@ -111,7 +113,7 @@ class CircularBuffer {
     TTSIM_CHECK_MSG(committed_ >= pages, "cb_pop_front past the committed pages");
     committed_ -= pages;
     rd_page_ = (rd_page_ + pages) % num_pages_;
-    override_rd_ptr_ = nullptr;  // an override is only valid for the front page
+    clear_read_ptr();  // an override is only valid for the front page
     if (trace_ != nullptr) {
       trace_->record(TraceEventKind::kCbPop, trace_->now(), 0,
                      {core_, cb_id_, static_cast<std::int32_t>(committed_),
@@ -129,12 +131,26 @@ class CircularBuffer {
 
   /// The paper's cb_set_rd_ptr / llk_set_read_ptr extension: alias the front
   /// page at arbitrary local memory. Cleared by the next pop_front.
-  void set_read_ptr(const std::byte* p) {
+  /// `valid_bytes` bounds how much of the aliased page carries meaningful
+  /// data (FPU tile ops always fetch a full tile, but lanes past the chunk
+  /// width are don't-care): purely an annotation for the race detector — 0
+  /// means "the whole page". No effect on behaviour or timing.
+  void set_read_ptr(const std::byte* p, std::uint32_t valid_bytes = 0) {
     TTSIM_CHECK(p != nullptr);
     override_rd_ptr_ = p;
+    override_rd_valid_ = valid_bytes;
   }
-  void clear_read_ptr() { override_rd_ptr_ = nullptr; }
+  void clear_read_ptr() {
+    override_rd_ptr_ = nullptr;
+    override_rd_valid_ = 0;
+  }
   bool has_read_ptr_override() const { return override_rd_ptr_ != nullptr; }
+  /// Meaningful bytes behind the current read pointer (override annotation,
+  /// else the page size).
+  std::uint32_t read_valid_bytes() const {
+    if (override_rd_ptr_ != nullptr && override_rd_valid_ > 0) return override_rd_valid_;
+    return page_size_;
+  }
 
   /// Producer-side counterpart (the paper's API recommendation: "enabling
   /// CBs to alias local memory"): alias the producer page at arbitrary local
@@ -162,6 +178,7 @@ class CircularBuffer {
   std::uint32_t pending_ = 0;  // reserved-not-yet-pushed (kept 0: tt-metal
                                // tracks reservation implicitly via wr ptr)
   const std::byte* override_rd_ptr_ = nullptr;
+  std::uint32_t override_rd_valid_ = 0;
   std::byte* override_wr_ptr_ = nullptr;
   WaitQueue space_;
   WaitQueue data_;

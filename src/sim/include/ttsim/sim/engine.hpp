@@ -23,6 +23,28 @@ namespace ttsim::sim {
 
 class Engine;
 
+/// What a blocked process is waiting for. Every WaitQueue carries one
+/// (annotated by its owner at creation); WaitQueue::wait() stamps it onto the
+/// blocking process so diagnostics can name the resource instead of just the
+/// kernel. Pure host-side bookkeeping: never schedules events or charges
+/// simulated time, so annotating is observationally neutral.
+struct WaitSite {
+  enum class Kind {
+    kNone,       ///< not blocked on a wait queue (or site never annotated)
+    kCbFull,     ///< producer blocked in cb_reserve_back (needs a consumer pop)
+    kCbEmpty,    ///< consumer blocked in cb_wait_front (needs a producer push)
+    kSemaphore,  ///< blocked in semaphore_wait (needs a post)
+    kBarrier,    ///< blocked at a global barrier (needs the other participants)
+    kNocRead,    ///< blocked in noc_async_read_barrier (DMA completions)
+    kNocWrite,   ///< blocked in noc_async_write_barrier (DMA completions)
+    kHalted,     ///< parked forever — the core was killed by the fault plan
+    kOther,      ///< a wait queue with no specific annotation
+  };
+  Kind kind = Kind::kNone;
+  int core = -1;  ///< owning Tensix core, when the resource is core-local
+  int id = -1;    ///< cb/semaphore/barrier id or NoC tag, when applicable
+};
+
 /// A simulated sequential execution context (one baby-core kernel).
 class Process {
  public:
@@ -31,6 +53,10 @@ class Process {
   const std::string& name() const { return name_; }
   State state() const { return state_; }
   bool finished() const { return state_ == State::kFinished; }
+
+  /// The resource this process is (or was last) blocked on. Meaningful while
+  /// the process sits in a WaitQueue; cleared when the wait returns.
+  const WaitSite& wait_site() const { return wait_site_; }
 
  private:
   friend class Engine;
@@ -43,6 +69,7 @@ class Process {
   std::string name_;
   Fiber fiber_;
   State state_ = State::kReady;
+  WaitSite wait_site_;
 };
 
 /// The discrete-event scheduler.
@@ -94,8 +121,9 @@ class Engine {
   bool step();
   /// Throw the same deadlock CheckError run() raises when the queue drains
   /// with unfinished processes. Exposed so external drivers report blocked
-  /// kernels identically to run().
-  [[noreturn]] void throw_deadlock() const;
+  /// kernels identically to run(). A non-empty `diagnosis` (e.g. a wait-for
+  /// cycle report) is appended on its own line.
+  [[noreturn]] void throw_deadlock(const std::string& diagnosis = {}) const;
 
   SimTime now() const { return now_; }
 
@@ -112,6 +140,9 @@ class Engine {
   std::size_t process_count() const { return processes_.size(); }
   std::size_t unfinished_process_count() const;
   std::vector<std::string> blocked_process_names() const;
+  /// Every process that has not finished, in spawn order — the deadlock
+  /// diagnoser walks these and reads each one's wait_site().
+  std::vector<const Process*> unfinished_processes() const;
 
  private:
   friend class WaitQueue;

@@ -33,9 +33,17 @@ class WaitQueue {
 
   std::size_t waiter_count() const { return waiters_.size(); }
 
+  /// Annotate what a process blocked on this queue is waiting for. The site
+  /// is stamped onto each waiter for the lifetime of its wait; diagnostics
+  /// (the verify-layer deadlock diagnoser) read it off blocked processes.
+  /// Never affects scheduling or simulated time.
+  void set_site(const WaitSite& site) { site_ = site; }
+  const WaitSite& site() const { return site_; }
+
  private:
   Engine& engine_;
   std::deque<Process*> waiters_;
+  WaitSite site_;
 };
 
 /// Counting semaphore in simulated time.
@@ -69,6 +77,9 @@ class SimSemaphore {
 
   std::int64_t value() const { return count_; }
 
+  /// Forwarded to the underlying wait queue (see WaitQueue::set_site).
+  void set_site(const WaitSite& site) { queue_.set_site(site); }
+
  private:
   WaitQueue queue_;
   std::int64_t count_;
@@ -98,6 +109,9 @@ class CompletionTracker {
 
   std::uint64_t outstanding() const { return outstanding_; }
   std::uint64_t issued_total() const { return issued_total_; }
+
+  /// Forwarded to the underlying wait queue (see WaitQueue::set_site).
+  void set_site(const WaitSite& site) { queue_.set_site(site); }
 
  private:
   WaitQueue queue_;

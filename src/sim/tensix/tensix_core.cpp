@@ -37,6 +37,7 @@ SimSemaphore& TensixCore::create_semaphore(int sem_id, std::int64_t initial) {
   TTSIM_CHECK_MSG(semaphores_.count(sem_id) == 0,
                   "semaphore " << sem_id << " already exists on core " << id_);
   auto sem = std::make_unique<SimSemaphore>(engine_, initial);
+  sem->set_site({WaitSite::Kind::kSemaphore, id_, sem_id});
   auto& ref = *sem;
   semaphores_.emplace(sem_id, std::move(sem));
   return ref;
@@ -62,7 +63,10 @@ void TensixCore::reset() {
 }
 
 void TensixCore::halt_current_process() {
-  if (halt_queue_ == nullptr) halt_queue_ = std::make_unique<WaitQueue>(engine_);
+  if (halt_queue_ == nullptr) {
+    halt_queue_ = std::make_unique<WaitQueue>(engine_);
+    halt_queue_->set_site({WaitSite::Kind::kHalted, id_, -1});
+  }
   for (;;) halt_queue_->wait();  // never notified: the core is dead
 }
 

@@ -27,6 +27,72 @@ Device::Device(sim::GrayskullSpec spec, DeviceConfig config)
   // binds the plan's mirror to this device's sink.
   if (config_.enable_trace) hw_.enable_trace();
   if (config_.fault_plan != nullptr) hw_.install_fault_plan(config_.fault_plan);
+  if (config_.enable_verify) verify_ = std::make_unique<verify::Verifier>();
+}
+
+verify::DeviceInfo Device::verify_info() {
+  verify::DeviceInfo info;
+  info.num_workers = hw_.worker_count();
+  info.sram_bytes = hw_.spec().sram_bytes;
+  info.dram_align_bytes = static_cast<std::uint32_t>(hw_.spec().dram_alignment);
+  sim::FaultPlan* plan = hw_.fault_plan();
+  if (plan != nullptr) {
+    const SimTime t = hw_.engine().now();
+    for (int w = 0; w < hw_.worker_count(); ++w) {
+      if (plan->core_dead(w, t)) info.failed_cores.push_back(w);
+    }
+  }
+  return info;
+}
+
+std::vector<verify::LintError> Device::lint_program(const Program& program) {
+  return verify::lint(program.verify_info(), verify_info());
+}
+
+void Device::note_cb_producer(int core, int cb_id, const std::string& kernel) {
+  auto& names = cb_peers_[{core, cb_id}].producers;
+  if (std::find(names.begin(), names.end(), kernel) == names.end()) {
+    names.push_back(kernel);
+  }
+}
+
+void Device::note_cb_consumer(int core, int cb_id, const std::string& kernel) {
+  auto& names = cb_peers_[{core, cb_id}].consumers;
+  if (std::find(names.begin(), names.end(), kernel) == names.end()) {
+    names.push_back(kernel);
+  }
+}
+
+void Device::note_sem_poster(int core, int sem_id, const std::string& kernel) {
+  auto& names = sem_posters_[{core, sem_id}];
+  if (std::find(names.begin(), names.end(), kernel) == names.end()) {
+    names.push_back(kernel);
+  }
+}
+
+verify::DeadlockReport Device::diagnose_blocked(bool quiescent) {
+  std::vector<verify::BlockedKernel> blocked;
+  for (const sim::Process* p : hw_.engine().unfinished_processes()) {
+    verify::BlockedKernel k;
+    k.name = p->name();
+    k.site = p->wait_site();
+    const auto core_it = kernel_core_by_name_.find(k.name);
+    k.core = core_it != kernel_core_by_name_.end() ? core_it->second : -1;
+    using Kind = sim::WaitSite::Kind;
+    if (k.site.kind == Kind::kCbFull) {
+      // Full CB: a consumer pop frees space.
+      const auto it = cb_peers_.find({k.site.core, k.site.id});
+      if (it != cb_peers_.end()) k.known_unblockers = it->second.consumers;
+    } else if (k.site.kind == Kind::kCbEmpty) {
+      const auto it = cb_peers_.find({k.site.core, k.site.id});
+      if (it != cb_peers_.end()) k.known_unblockers = it->second.producers;
+    } else if (k.site.kind == Kind::kSemaphore) {
+      const auto it = sem_posters_.find({k.site.core, k.site.id});
+      if (it != sem_posters_.end()) k.known_unblockers = it->second;
+    }
+    blocked.push_back(std::move(k));
+  }
+  return verify::diagnose(blocked, quiescent);
 }
 
 sim::MetricsReport Device::metrics() {
@@ -147,9 +213,11 @@ void Device::drive(const std::function<bool()>& done) {
     if (!engine.has_pending()) {
       if (running_ != nullptr) {
         // Unbounded program wedged: report the blocked kernels exactly as
-        // Engine::run() does.
+        // Engine::run() does, plus the wait-for cycle diagnosis (the queue
+        // has drained, so the structural edges are sound).
+        const std::string diagnosis = diagnose_blocked(/*quiescent=*/true).text;
         fail_running_program();
-        engine.throw_deadlock();
+        engine.throw_deadlock(diagnosis);
       }
       TTSIM_THROW_API(
           "command queues stalled: commands pending but no simulator events "
@@ -238,6 +306,14 @@ void Device::run_program(Program& program) {
 
 void Device::launch_kernels(Program& program, CommandQueue& queue) {
   auto& engine = hw_.engine();
+  // Under enable_verify the static linter walks the declarations before
+  // anything is instantiated: a protocol violation becomes a launch-time
+  // error with a full diagnosis instead of a hang or silent corruption.
+  if (verify_ != nullptr) {
+    const auto lint_errors = lint_program(program);
+    TTSIM_CHECK_MSG(lint_errors.empty(), "program failed static lint:\n"
+                                             << verify::format_lint(lint_errors));
+  }
   // Reset every core the program touches, then instantiate CBs, semaphores
   // and L1 buffers in creation order so real L1 addresses match the plan.
   std::set<int> used;
@@ -289,9 +365,17 @@ void Device::launch_kernels(Program& program, CommandQueue& queue) {
   }
   barriers_.clear();
   for (const auto& b : program.barriers_) {
-    barriers_.emplace(b.barrier_id,
-                      std::make_unique<DeviceBarrier>(engine, b.participants));
+    auto barrier = std::make_unique<DeviceBarrier>(engine, b.participants);
+    barrier->queue.set_site({sim::WaitSite::Kind::kBarrier, -1, b.barrier_id});
+    barriers_.emplace(b.barrier_id, std::move(barrier));
   }
+
+  // Fresh wait-for registry and race-detector state per launch (cores were
+  // reset above, so cross-program shadow state would be stale).
+  cb_peers_.clear();
+  sem_posters_.clear();
+  kernel_core_by_name_.clear();
+  if (verify_ != nullptr) verify_->begin_program();
 
   // Spawn kernel processes: dm0 / dm1 / compute per core, in creation order.
   profile_.clear();
@@ -318,15 +402,20 @@ void Device::launch_kernels(Program& program, CommandQueue& queue) {
       const int group = static_cast<int>(k.cores.size());
       profile_.push_back(KernelProfile{.name = k.name, .core = core_idx});
       auto* prof = &profile_.back();
+      kernel_core_by_name_.emplace(name, core_idx);
+      // Thread ids are assigned here, in spawn order, so the detector's
+      // clocks are deterministic regardless of execution interleaving.
+      const int vtid = verify_ != nullptr ? verify_->register_thread(name) : -1;
       // Kernel start/end markers are recorded inside the process so they
       // land on the kernel's own trace track.
       sim::TraceSink* trace = hw_.trace();
       if (k.kind == KernelKind::kCompute) {
         auto fn = k.compute_fn;
         engine.spawn(name, [this, &core, fn, args, position, group, prof, start,
-                            trace, owner] {
+                            trace, owner, name, vtid] {
           ComputeCtx ctx(*this, core, args, position, group);
           ctx.set_profile(prof);
+          ctx.set_identity(name, verify_.get(), vtid);
           if (trace != nullptr) {
             trace->record(sim::TraceEventKind::kKernelStart, trace->now(), 0,
                           {core.id()});
@@ -345,9 +434,10 @@ void Device::launch_kernels(Program& program, CommandQueue& queue) {
         const int noc_id = k.kind == KernelKind::kDataMover0 ? 0 : 1;
         auto fn = k.mover_fn;
         engine.spawn(name, [this, &core, fn, args, position, group, noc_id,
-                            prof, start, trace, owner] {
+                            prof, start, trace, owner, name, vtid] {
           DataMoverCtx ctx(*this, core, noc_id, args, position, group);
           ctx.set_profile(prof);
+          ctx.set_identity(name, verify_.get(), vtid);
           if (trace != nullptr) {
             trace->record(sim::TraceEventKind::kKernelStart, trace->now(), 0,
                           {core.id()});
@@ -400,6 +490,13 @@ void Device::throw_program_timeout() {
   os << "program exceeded sim_time_limit (" << config_.sim_time_limit
      << " ns); stuck kernels:";
   for (const auto& stuck : hw_.engine().blocked_process_names()) os << ' ' << stuck;
+  // Replace "kernel X stuck" with the actual wait cycle where one exists.
+  // Mid-flight timeouts (events still pending) only use registry-recorded
+  // counterpart edges — structural guesses would fabricate cycles out of
+  // kernels that are merely slow.
+  const std::string diagnosis =
+      diagnose_blocked(/*quiescent=*/!hw_.engine().has_pending()).text;
+  if (!diagnosis.empty()) os << '\n' << diagnosis;
   // Wedge before releasing the program slot so a queued follow-up program is
   // rejected instead of launching onto held cores.
   wedged_ = true;

@@ -26,6 +26,9 @@
 #include "ttsim/ttmetal/buffer.hpp"
 #include "ttsim/ttmetal/command_queue.hpp"
 #include "ttsim/ttmetal/program.hpp"
+#include "ttsim/verify/deadlock.hpp"
+#include "ttsim/verify/lint.hpp"
+#include "ttsim/verify/race.hpp"
 
 namespace ttsim::ttmetal {
 
@@ -79,6 +82,13 @@ struct DeviceConfig {
   /// and simulated times are identical with tracing on or off — but costs
   /// host memory per event; leave off for long benchmark runs.
   bool enable_trace = false;
+  /// Run the happens-before race detector (verify/race.hpp) over every
+  /// launched program: kernel SRAM accesses, CB and semaphore edges, and
+  /// in-flight noc_async_read landings are checked against the protocol.
+  /// Findings accumulate on Device::verifier(). Pure host-side bookkeeping:
+  /// results, simulated times and traces are bit-identical with it on or
+  /// off; leave off for benchmark runs (host-time cost per access).
+  bool enable_verify = false;
 };
 
 /// Per-kernel execution profile: how much of the kernel's lifetime was
@@ -186,6 +196,19 @@ class Device {
   /// Throws ApiError when the device was opened without enable_trace.
   sim::MetricsReport metrics();
 
+  /// The race detector, or nullptr unless DeviceConfig::enable_verify was
+  /// set at open. Findings accumulate across launches; call
+  /// verifier()->clear_findings() to scope a check.
+  verify::Verifier* verifier() { return verify_.get(); }
+
+  /// Snapshot for the static linter (verify/lint.hpp): worker count, SRAM
+  /// capacity, currently-dead cores, DRAM alignment granule.
+  verify::DeviceInfo verify_info();
+
+  /// Convenience: lint `program` against this device (verify::lint on the
+  /// two snapshots). Usable with or without enable_verify.
+  std::vector<verify::LintError> lint_program(const Program& program);
+
  private:
   Device(sim::GrayskullSpec spec, DeviceConfig config);
   void release_buffer(const Buffer& buffer);
@@ -231,6 +254,23 @@ class Device {
   void launch_kernels(Program& program, CommandQueue& queue);
   void on_kernel_done(ProgramLaunch* owner);
   void program_complete();
+
+  // --- wait-for registry (always on: pure host-side maps, no engine
+  // interaction) --- which kernels produce into / consume from each CB and
+  // post each semaphore, keyed by (core, id). Resolved to wait-cycle edges
+  // by diagnose_blocked() when a program hangs.
+  struct CbPeers {
+    std::vector<std::string> producers;
+    std::vector<std::string> consumers;
+  };
+  void note_cb_producer(int core, int cb_id, const std::string& kernel);
+  void note_cb_consumer(int core, int cb_id, const std::string& kernel);
+  void note_sem_poster(int core, int sem_id, const std::string& kernel);
+  /// Snapshot every unfinished kernel process (name, core, wait site, the
+  /// registry's counterpart kernels) and run the wait-for diagnosis
+  /// (verify/deadlock.hpp). `quiescent`: the event queue has drained, so
+  /// structural fallback edges and orphan analysis are sound.
+  verify::DeadlockReport diagnose_blocked(bool quiescent);
   /// Shared failure cleanup (partial profile, elapsed fault kills, release
   /// the cores, abandon the owning queue's head command).
   void fail_running_program();
@@ -258,6 +298,10 @@ class Device {
   std::uint64_t transfer_retries_ = 0;
   bool wedged_ = false;  // a watchdog timeout left kernels stuck on cores
   std::vector<KernelProfile> profile_;
+  std::unique_ptr<verify::Verifier> verify_;  // non-null iff enable_verify
+  std::map<std::pair<int, int>, CbPeers> cb_peers_;                 // (core, cb)
+  std::map<std::pair<int, int>, std::vector<std::string>> sem_posters_;  // (core, sem)
+  std::map<std::string, int> kernel_core_by_name_;  // process name -> worker
 
   // Command-queue state (destroyed before hw_, declared after it).
   std::vector<std::unique_ptr<CommandQueue>> command_queues_;

@@ -14,6 +14,10 @@
 
 #include "ttsim/sim/tensix_core.hpp"
 
+namespace ttsim::verify {
+class Verifier;  // verify/race.hpp
+}
+
 namespace ttsim::ttmetal {
 
 class Device;
@@ -86,6 +90,16 @@ class KernelCtxBase {
   /// program that fails mid-run still has per-kernel activity recorded.
   void set_profile(KernelProfile* profile) { profile_ = profile; }
 
+  /// Attach this kernel's launch identity: its process name (for the
+  /// wait-for registry) and, when DeviceConfig::enable_verify is set, the
+  /// race detector and this kernel's thread id. Called by Device at spawn,
+  /// like set_profile.
+  void set_identity(std::string name, verify::Verifier* verifier, int vtid) {
+    kernel_name_ = std::move(name);
+    verify_ = verifier;
+    vtid_ = vtid;
+  }
+
  protected:
   void charge(SimTime cost);
   /// If the fault plan killed this kernel's core, record the failure and
@@ -98,6 +112,15 @@ class KernelCtxBase {
   SimTime fpu_busy_ = 0;
   SimTime cb_wait_ = 0;
 
+  /// Record a kernel SRAM access with the race detector (no-op with verify
+  /// off). Pure host bookkeeping — never charges, delays or schedules.
+  void verify_read(std::uint32_t l1_addr, std::uint32_t size, const char* what);
+  void verify_write(std::uint32_t l1_addr, std::uint32_t size, const char* what);
+  /// Register this kernel in the device's wait-for registry as a poster of
+  /// `sem_id` on `dst_core` (Device friendship does not extend to the
+  /// derived mover context, hence the base-class forwarder).
+  void note_remote_sem_post(int dst_core, int sem_id);
+
   Device& device_;
   sim::TensixCore& core_;
   std::vector<std::uint32_t> args_;
@@ -105,6 +128,9 @@ class KernelCtxBase {
   int group_size_;
   KernelProfile* profile_ = nullptr;
   sim::TraceSink* trace_ = nullptr;  ///< device sink, nullptr when disabled
+  std::string kernel_name_;          ///< process name ("<kernel>@<core>")
+  verify::Verifier* verify_ = nullptr;  ///< nullptr unless enable_verify
+  int vtid_ = -1;                       ///< detector thread id
 };
 
 /// API surface for the two data mover baby cores.
@@ -174,10 +200,10 @@ class DataMoverCtx : public KernelCtxBase {
 
  private:
   /// Shared issue path for tagged and untagged reads; a null tag tracker
-  /// means "untagged" and costs nothing extra (the global tracker is always
-  /// charged, so untagged timing is bit-identical either way).
+  /// means "untagged" (tag -1) and costs nothing extra (the global tracker
+  /// is always charged, so untagged timing is bit-identical either way).
   void read_impl(std::uint64_t noc_addr, std::uint32_t l1_dst, std::uint32_t size,
-                 std::shared_ptr<sim::CompletionTracker> tag_tracker);
+                 std::shared_ptr<sim::CompletionTracker> tag_tracker, int tag);
   /// Lazily-created per-tag tracker (tags are dense small slot ids).
   const std::shared_ptr<sim::CompletionTracker>& read_tag(int tag);
 
@@ -218,8 +244,12 @@ class ComputeCtx : public KernelCtxBase {
 
   /// The paper's Section VI extension (added to tt-metal's cb_api.h /
   /// llk_set_read_ptr): repoint the consumer read pointer of `cb_id` at an
-  /// arbitrary L1 address so FPU ops consume data in place.
-  void cb_set_rd_ptr(int cb_id, std::uint32_t l1_addr);
+  /// arbitrary L1 address so FPU ops consume data in place. `valid_bytes`
+  /// annotates how much of the aliased page carries meaningful data (FPU
+  /// tile ops always fetch a full tile, but lanes past the chunk width are
+  /// don't-care) — used by the race detector to bound the recorded read;
+  /// 0 means the whole page. No effect on behaviour or timing.
+  void cb_set_rd_ptr(int cb_id, std::uint32_t l1_addr, std::uint32_t valid_bytes = 0);
 
   /// Producer-side counterpart (the paper's API recommendation: CBs that
   /// alias local memory): pack_tile lands directly at `l1_addr` — used by
@@ -236,6 +266,11 @@ class ComputeCtx : public KernelCtxBase {
   /// Fpu charges engine time directly, so the measurement brackets the call.
   template <typename Fn>
   void fpu_op(Fn&& fn);
+
+  /// Record the SRAM read an FPU op performs on tile `idx` of `cb_id` with
+  /// the race detector, clipped to the CB's read_valid_bytes() annotation
+  /// (tile ops fetch a full tile but only that much is meaningful).
+  void verify_tile_read(int cb_id, std::uint32_t idx, const char* what);
 };
 
 }  // namespace ttsim::ttmetal

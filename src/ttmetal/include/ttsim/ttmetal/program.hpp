@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ttsim/ttmetal/kernel_ctx.hpp"
+#include "ttsim/verify/lint.hpp"
 
 namespace ttsim::ttmetal {
 
@@ -65,6 +66,11 @@ class Program {
     args.push_back(static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
     args.push_back(static_cast<std::uint32_t>(v >> 32));
   }
+
+  /// Snapshot of every declaration for the static linter (verify/lint.hpp);
+  /// pair with Device::verify_info() and verify::lint, or use
+  /// Device::lint_program.
+  verify::ProgramInfo verify_info() const;
 
  private:
   friend class Device;

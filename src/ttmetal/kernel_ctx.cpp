@@ -1,8 +1,11 @@
 #include "ttsim/ttmetal/kernel_ctx.hpp"
 
+#include <algorithm>
 #include <cstring>
 
+#include "ttsim/sim/fpu.hpp"
 #include "ttsim/ttmetal/device.hpp"
+#include "ttsim/verify/race.hpp"
 
 namespace ttsim::ttmetal {
 
@@ -55,27 +58,63 @@ void KernelCtxBase::note_cb_wait(SimTime waited) {
   if (profile_ != nullptr) profile_->cb_wait = cb_wait_;
 }
 
+void KernelCtxBase::verify_read(std::uint32_t l1_addr, std::uint32_t size,
+                                const char* what) {
+  if (verify_ != nullptr) verify_->on_read(vtid_, core_.id(), l1_addr, size, what);
+}
+
+void KernelCtxBase::verify_write(std::uint32_t l1_addr, std::uint32_t size,
+                                 const char* what) {
+  if (verify_ != nullptr) verify_->on_write(vtid_, core_.id(), l1_addr, size, what);
+}
+
+void KernelCtxBase::note_remote_sem_post(int dst_core, int sem_id) {
+  device_.note_sem_poster(dst_core, sem_id, kernel_name_);
+}
+
 void KernelCtxBase::cb_reserve_back(int cb_id, std::uint32_t pages) {
   charge(device_.spec().cb_op_cost);
+  device_.note_cb_producer(core_.id(), cb_id, kernel_name_);
   const SimTime t0 = now();
   core_.cb(cb_id).reserve_back(pages);
   note_cb_wait(now() - t0);
+  // Space granted: order this producer behind the consumer pops that freed
+  // the pages it will now overwrite.
+  if (verify_ != nullptr) {
+    verify_->acquire(vtid_, verify::Verifier::cb_space_key(core_.id(), cb_id));
+  }
 }
 
 void KernelCtxBase::cb_push_back(int cb_id, std::uint32_t pages) {
   charge(device_.spec().cb_op_cost);
+  device_.note_cb_producer(core_.id(), cb_id, kernel_name_);
+  // Publish the filled pages: consumers acquiring the data clock after their
+  // wait_front are ordered behind every write this producer made.
+  if (verify_ != nullptr) {
+    verify_->release(vtid_, verify::Verifier::cb_data_key(core_.id(), cb_id));
+  }
   core_.cb(cb_id).push_back(pages);
 }
 
 void KernelCtxBase::cb_wait_front(int cb_id, std::uint32_t pages) {
   charge(device_.spec().cb_op_cost);
+  device_.note_cb_consumer(core_.id(), cb_id, kernel_name_);
   const SimTime t0 = now();
   core_.cb(cb_id).wait_front(pages);
   note_cb_wait(now() - t0);
+  if (verify_ != nullptr) {
+    verify_->acquire(vtid_, verify::Verifier::cb_data_key(core_.id(), cb_id));
+  }
 }
 
 void KernelCtxBase::cb_pop_front(int cb_id, std::uint32_t pages) {
   charge(device_.spec().cb_op_cost);
+  device_.note_cb_consumer(core_.id(), cb_id, kernel_name_);
+  // Return the pages: producers acquiring the space clock in reserve_back
+  // are ordered behind every read this consumer made.
+  if (verify_ != nullptr) {
+    verify_->release(vtid_, verify::Verifier::cb_space_key(core_.id(), cb_id));
+  }
   core_.cb(cb_id).pop_front(pages);
 }
 
@@ -106,6 +145,10 @@ std::uint32_t KernelCtxBase::l1_address_of(const std::byte* p) const {
 
 void KernelCtxBase::semaphore_post(int sem_id, std::int64_t n) {
   charge(device_.spec().cb_op_cost);
+  device_.note_sem_poster(core_.id(), sem_id, kernel_name_);
+  if (verify_ != nullptr) {
+    verify_->release(vtid_, verify::Verifier::sem_key(core_.id(), sem_id));
+  }
   if (trace_ != nullptr) {
     trace_->record(sim::TraceEventKind::kSemPost, now(), 0,
                    {core_.id(), sem_id, static_cast<std::int32_t>(n)});
@@ -117,6 +160,9 @@ void KernelCtxBase::semaphore_wait(int sem_id, std::int64_t n) {
   charge(device_.spec().cb_op_cost);
   const SimTime t0 = now();
   core_.semaphore(sem_id).wait(n);
+  if (verify_ != nullptr) {
+    verify_->acquire(vtid_, verify::Verifier::sem_key(core_.id(), sem_id));
+  }
   if (trace_ != nullptr && now() > t0) {
     trace_->record(sim::TraceEventKind::kSemWait, t0, now() - t0,
                    {core_.id(), sem_id, static_cast<std::int32_t>(n)});
@@ -129,12 +175,20 @@ void KernelCtxBase::global_barrier(int barrier_id) {
   const SimTime t0 = now();
   auto& b = device_.barrier(barrier_id);
   const std::uint64_t gen = b.generation;
+  // All-to-all edge: release on arrival, acquire after the rendezvous — by
+  // then every participant's release is merged into the barrier clock.
+  if (verify_ != nullptr) {
+    verify_->release(vtid_, verify::Verifier::barrier_key(barrier_id));
+  }
   if (++b.arrived == b.expected) {
     b.arrived = 0;
     ++b.generation;
     b.queue.notify_all();
   } else {
     while (b.generation == gen) b.queue.wait();
+  }
+  if (verify_ != nullptr) {
+    verify_->acquire(vtid_, verify::Verifier::barrier_key(barrier_id));
   }
   if (trace_ != nullptr && now() > t0) {
     trace_->record(sim::TraceEventKind::kGlobalBarrierWait, t0, now() - t0,
@@ -156,6 +210,8 @@ DataMoverCtx::DataMoverCtx(Device& device, sim::TensixCore& core, int noc_id,
       noc_id_(noc_id),
       reads_(std::make_shared<sim::CompletionTracker>(device.hw().engine())),
       writes_(std::make_shared<sim::CompletionTracker>(device.hw().engine())) {
+  reads_->set_site({sim::WaitSite::Kind::kNocRead, core.id(), noc_id});
+  writes_->set_site({sim::WaitSite::Kind::kNocWrite, core.id(), noc_id});
   if (trace_ != nullptr) {
     noc_track_ = trace_->track(noc_id_ == 0 ? "noc0" : "noc1");
   }
@@ -163,12 +219,12 @@ DataMoverCtx::DataMoverCtx(Device& device, sim::TensixCore& core, int noc_id,
 
 void DataMoverCtx::noc_async_read(std::uint64_t noc_addr, std::uint32_t l1_dst,
                                   std::uint32_t size) {
-  read_impl(noc_addr, l1_dst, size, nullptr);
+  read_impl(noc_addr, l1_dst, size, nullptr, -1);
 }
 
 void DataMoverCtx::noc_async_read(std::uint64_t noc_addr, std::uint32_t l1_dst,
                                   std::uint32_t size, int tag) {
-  read_impl(noc_addr, l1_dst, size, read_tag(tag));
+  read_impl(noc_addr, l1_dst, size, read_tag(tag), tag);
 }
 
 const std::shared_ptr<sim::CompletionTracker>& DataMoverCtx::read_tag(int tag) {
@@ -179,15 +235,24 @@ const std::shared_ptr<sim::CompletionTracker>& DataMoverCtx::read_tag(int tag) {
   auto& tracker = read_tags_[static_cast<std::size_t>(tag)];
   if (tracker == nullptr) {
     tracker = std::make_shared<sim::CompletionTracker>(device_.hw().engine());
+    tracker->set_site({sim::WaitSite::Kind::kNocRead, core_.id(), tag});
   }
   return tracker;
 }
 
 void DataMoverCtx::read_impl(std::uint64_t noc_addr, std::uint32_t l1_dst,
                              std::uint32_t size,
-                             std::shared_ptr<sim::CompletionTracker> tag_tracker) {
+                             std::shared_ptr<sim::CompletionTracker> tag_tracker,
+                             int tag) {
   const SimTime t0 = now();
   charge(device_.spec().read_issue_overhead);
+  if (verify_ != nullptr) {
+    // The landing clobbers [l1_dst, l1_dst+size) at an unknown time before
+    // the matching barrier; the detector also enforces the 256-bit DRAM
+    // source alignment rule here.
+    verify_->on_noc_read_issue(vtid_, core_.id(), l1_dst, size, tag, noc_addr,
+                               device_.spec().dram_alignment);
+  }
   auto& hw = device_.hw();
   sim::FaultPlan* plan = hw.fault_plan();
   if (plan != nullptr) charge(plan->mover_stall(now(), core_.id()));
@@ -240,6 +305,9 @@ void DataMoverCtx::noc_async_write(std::uint32_t l1_src, std::uint64_t noc_addr,
                                    std::uint32_t size) {
   const SimTime t0 = now();
   charge(device_.spec().write_issue_overhead);
+  // The DRAM model snapshots the source at issue, so this is when the L1
+  // data is read.
+  verify_read(l1_src, size, "noc_async_write source");
   auto& hw = device_.hw();
   sim::FaultPlan* plan = hw.fault_plan();
   if (plan != nullptr) charge(plan->mover_stall(now(), core_.id()));
@@ -297,6 +365,9 @@ void DataMoverCtx::noc_async_write(std::uint32_t l1_src, std::uint64_t noc_addr,
 void DataMoverCtx::noc_async_read_barrier() {
   const SimTime t0 = now();
   reads_->barrier();
+  // The untagged barrier waits on every read this mover issued, tagged or
+  // not — all its in-flight landings are now ordered writes.
+  if (verify_ != nullptr) verify_->on_noc_read_retire(vtid_, -1);
   if (trace_ != nullptr && now() > t0) {
     trace_->record(sim::TraceEventKind::kReadBarrierWait, t0, now() - t0,
                    {core_.id(), noc_id_});
@@ -306,6 +377,7 @@ void DataMoverCtx::noc_async_read_barrier() {
 void DataMoverCtx::noc_async_read_barrier(int tag) {
   const SimTime t0 = now();
   read_tag(tag)->barrier();
+  if (verify_ != nullptr) verify_->on_noc_read_retire(vtid_, tag);
   // Same event as the global barrier: a metrics consumer sees "time this
   // mover stalled waiting for reads" either way.
   if (trace_ != nullptr && now() > t0) {
@@ -334,11 +406,14 @@ void DataMoverCtx::l1_memcpy(std::uint32_t l1_dst, std::uint32_t l1_src,
     trace_->record(sim::TraceEventKind::kMoverMemcpy, t0, now() - t0,
                    {core_.id(), -1, 0, l1_dst, size});
   }
+  verify_read(l1_src, size, "l1_memcpy source");
+  verify_write(l1_dst, size, "l1_memcpy destination");
   std::memmove(l1_ptr(l1_dst), l1_ptr(l1_src), size);
 }
 
 void DataMoverCtx::l1_store_u16(std::uint32_t l1_addr, std::uint16_t value) {
   charge(2 * kNanosecond);  // a couple of baby-core store cycles
+  verify_write(l1_addr, sizeof(value), "l1_store_u16");
   std::memcpy(l1_ptr(l1_addr), &value, sizeof(value));
 }
 
@@ -384,6 +459,7 @@ void DataMoverCtx::noc_async_write_core(int dst_core, std::uint32_t dst_l1,
     }
   };
   writes_->issue();
+  verify_read(src_l1, size, "noc_async_write_core source");
   if (fd.drop) {
     // Dropped core-to-core write: latency is paid but nothing lands.
     engine.schedule_at(complete, [t = writes_, complete_event] {
@@ -391,6 +467,13 @@ void DataMoverCtx::noc_async_write_core(int dst_core, std::uint32_t dst_l1,
       t->complete();
     });
     return;
+  }
+  if (verify_ != nullptr) {
+    // The landing memcpy into the destination core runs strictly before the
+    // matching noc_semaphore_inc arrives there (same NoC, earlier schedule),
+    // so recording it at issue with this mover's clock keeps the usual
+    // release-via-semaphore ordering exact.
+    verify_->on_write(vtid_, dst_core, dst_l1, size, "noc_async_write_core landing");
   }
   std::vector<std::byte> snapshot(l1_ptr(src_l1), l1_ptr(src_l1) + size);
   engine.schedule_at(complete, [&dst, dst_l1, data = std::move(snapshot),
@@ -403,6 +486,13 @@ void DataMoverCtx::noc_async_write_core(int dst_core, std::uint32_t dst_l1,
 
 void DataMoverCtx::noc_semaphore_inc(int dst_core, int sem_id, std::int64_t n) {
   charge(device_.spec().cb_op_cost);
+  note_remote_sem_post(dst_core, sem_id);
+  if (verify_ != nullptr) {
+    // Release at the call: the scheduled post lands no earlier than every
+    // write this mover has issued so far (NoC ordering), so a waiter that
+    // acquires after the post is correctly ordered behind those writes.
+    verify_->release(vtid_, verify::Verifier::sem_key(dst_core, sem_id));
+  }
   auto& hw = device_.hw();
   sim::TensixCore& dst = hw.worker(dst_core);
   auto& noc = hw.noc(noc_id_);
@@ -456,32 +546,61 @@ void ComputeCtx::fpu_op(Fn&& fn) {
   }
 }
 
+void ComputeCtx::verify_tile_read(int cb_id, std::uint32_t idx, const char* what) {
+  if (verify_ == nullptr) return;
+  auto& cb = core_.cb(cb_id);
+  // The FPU fetches a full tile from read_ptr() + idx * kTileBytes, but only
+  // read_valid_bytes() of it is meaningful (an in-place override may alias a
+  // row much narrower than a tile; a small CB page holds less than a tile) —
+  // recording the honest fetch span would overlap unrelated neighbours.
+  const std::uint32_t addr = l1_address_of(cb.read_ptr()) +
+                             idx * sim::Fpu::kTileBytes;
+  const std::uint32_t size = std::min(sim::Fpu::kTileBytes, cb.read_valid_bytes());
+  verify_->on_read(vtid_, core_.id(), addr, size, what);
+}
+
 void ComputeCtx::add_tiles(int cb_a, int cb_b, std::uint32_t ia, std::uint32_t ib,
                            int dst) {
+  verify_tile_read(cb_a, ia, "add_tiles operand a");
+  verify_tile_read(cb_b, ib, "add_tiles operand b");
   fpu_op([&] { core_.fpu().add_tiles(core_.cb(cb_a), core_.cb(cb_b), ia, ib, dst); });
 }
 
 void ComputeCtx::sub_tiles(int cb_a, int cb_b, std::uint32_t ia, std::uint32_t ib,
                            int dst) {
+  verify_tile_read(cb_a, ia, "sub_tiles operand a");
+  verify_tile_read(cb_b, ib, "sub_tiles operand b");
   fpu_op([&] { core_.fpu().sub_tiles(core_.cb(cb_a), core_.cb(cb_b), ia, ib, dst); });
 }
 
 void ComputeCtx::mul_tiles(int cb_a, int cb_b, std::uint32_t ia, std::uint32_t ib,
                            int dst) {
+  verify_tile_read(cb_a, ia, "mul_tiles operand a");
+  verify_tile_read(cb_b, ib, "mul_tiles operand b");
   fpu_op([&] { core_.fpu().mul_tiles(core_.cb(cb_a), core_.cb(cb_b), ia, ib, dst); });
 }
 
 void ComputeCtx::copy_tile(int cb, std::uint32_t idx, int dst) {
+  verify_tile_read(cb, idx, "copy_tile source");
   fpu_op([&] { core_.fpu().copy_tile(core_.cb(cb), idx, dst); });
 }
 
 void ComputeCtx::pack_tile(int dst, int cb, std::uint32_t page_offset) {
+  if (verify_ != nullptr) {
+    // pack_tile stores a full tile; the spill past a narrow logical row is
+    // real SRAM traffic (callers size their strides for it), so record the
+    // honest span.
+    verify_->on_write(vtid_, core_.id(),
+                      l1_address_of(core_.cb(cb).write_ptr(page_offset)),
+                      sim::Fpu::kTileBytes, "pack_tile");
+  }
   fpu_op([&] { core_.fpu().pack_tile(dst, core_.cb(cb), page_offset); });
 }
 
-void ComputeCtx::cb_set_rd_ptr(int cb_id, std::uint32_t l1_addr) {
+void ComputeCtx::cb_set_rd_ptr(int cb_id, std::uint32_t l1_addr,
+                               std::uint32_t valid_bytes) {
   charge(device_.spec().cb_op_cost);
-  core_.cb(cb_id).set_read_ptr(l1_ptr(l1_addr));
+  core_.cb(cb_id).set_read_ptr(l1_ptr(l1_addr), valid_bytes);
 }
 
 void ComputeCtx::cb_set_wr_ptr(int cb_id, std::uint32_t l1_addr) {

@@ -96,4 +96,25 @@ void Program::set_common_runtime_args(KernelHandle kernel,
   kernels_[static_cast<std::size_t>(kernel)].common_args = std::move(args);
 }
 
+verify::ProgramInfo Program::verify_info() const {
+  verify::ProgramInfo info;
+  for (const auto& cb : cbs_) {
+    info.cbs.push_back(
+        {cb.cb_id, cb.cores, cb.page_size, cb.num_pages, cb.planned_address});
+  }
+  for (const auto& sem : semaphores_) {
+    info.semaphores.push_back({sem.sem_id, sem.cores, sem.initial});
+  }
+  for (const auto& b : barriers_) {
+    info.barriers.push_back({b.barrier_id, b.participants});
+  }
+  for (const auto& l1 : l1_buffers_) {
+    info.l1_buffers.push_back({l1.cores, l1.size, l1.align, l1.planned_address});
+  }
+  for (const auto& k : kernels_) {
+    info.kernels.push_back({static_cast<int>(k.kind), k.cores, k.name});
+  }
+  return info;
+}
+
 }  // namespace ttsim::ttmetal

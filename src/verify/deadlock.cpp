@@ -1,0 +1,203 @@
+#include "ttsim/verify/deadlock.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace ttsim::verify {
+namespace {
+
+using Kind = sim::WaitSite::Kind;
+
+/// Kinds whose waiters another kernel process could in principle unblock.
+bool kernel_waitable(Kind k) {
+  return k == Kind::kCbFull || k == Kind::kCbEmpty || k == Kind::kSemaphore ||
+         k == Kind::kBarrier;
+}
+
+const char* unblock_hint(Kind k) {
+  switch (k) {
+    case Kind::kCbFull: return "needs a consumer pop";
+    case Kind::kCbEmpty: return "needs a producer push";
+    case Kind::kSemaphore: return "needs a post";
+    case Kind::kBarrier: return "needs the remaining participants";
+    case Kind::kNocRead: return "waiting on NoC read completions";
+    case Kind::kNocWrite: return "waiting on NoC write completions";
+    case Kind::kHalted: return "core killed by the fault plan";
+    default: return "blocked";
+  }
+}
+
+/// Wait-for edges out of kernel `i`: indices of kernels that could unblock it.
+std::vector<int> unblockers_of(const std::vector<BlockedKernel>& blocked, int i,
+                               const std::map<std::string, int>& by_name,
+                               bool quiescent) {
+  const BlockedKernel& k = blocked[static_cast<std::size_t>(i)];
+  std::vector<int> out;
+  if (!kernel_waitable(k.site.kind)) return out;
+  if (!k.known_unblockers.empty()) {
+    for (const auto& name : k.known_unblockers) {
+      const auto it = by_name.find(name);
+      if (it != by_name.end() && it->second != i) out.push_back(it->second);
+    }
+    if (!out.empty()) return out;
+    // Every recorded counterpart already finished: fall through to the
+    // structural rules so e.g. a same-core kernel that has not yet reached
+    // its first push is still considered.
+  }
+  // The structural fallbacks below over-approximate (any co-resident could
+  // be the missing counterpart), which is only safe once the event queue has
+  // drained and process wakeups are the sole way anything ever moves again.
+  if (!quiescent) return out;
+  for (int j = 0; j < static_cast<int>(blocked.size()); ++j) {
+    if (j == i) continue;
+    const BlockedKernel& other = blocked[static_cast<std::size_t>(j)];
+    if (k.site.kind == Kind::kBarrier) {
+      // Anyone not already parked at this barrier still has to arrive.
+      if (other.site.kind == Kind::kBarrier && other.site.id == k.site.id) continue;
+      out.push_back(j);
+    } else {
+      // CB and semaphore state lives on one Tensix core; only kernels
+      // attached to that core can push/pop/post it directly. (Remote
+      // semaphore posts via noc_semaphore_inc are covered by the registry
+      // path above.)
+      if (other.core == k.site.core) out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string describe_wait_site(const sim::WaitSite& site) {
+  std::ostringstream os;
+  switch (site.kind) {
+    case Kind::kCbFull:
+      os << "CB " << site.id << " full (core " << site.core << ")";
+      break;
+    case Kind::kCbEmpty:
+      os << "CB " << site.id << " empty (core " << site.core << ")";
+      break;
+    case Kind::kSemaphore:
+      os << "semaphore " << site.id << " (core " << site.core << ")";
+      break;
+    case Kind::kBarrier:
+      os << "global barrier " << site.id;
+      break;
+    case Kind::kNocRead:
+      os << "noc_async_read_barrier (core " << site.core << ")";
+      break;
+    case Kind::kNocWrite:
+      os << "noc_async_write_barrier (core " << site.core << ")";
+      break;
+    case Kind::kHalted:
+      os << "halted core " << site.core;
+      break;
+    default:
+      os << "unknown wait";
+      break;
+  }
+  return os.str();
+}
+
+DeadlockReport diagnose(const std::vector<BlockedKernel>& blocked, bool quiescent) {
+  DeadlockReport report;
+  const int n = static_cast<int>(blocked.size());
+  std::map<std::string, int> by_name;
+  for (int i = 0; i < n; ++i) by_name.emplace(blocked[static_cast<std::size_t>(i)].name, i);
+
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    adj[static_cast<std::size_t>(i)] = unblockers_of(blocked, i, by_name, quiescent);
+    // A waitable site with nobody who could ever service it is only provably
+    // dead once the queue has drained. NoC barrier waits at quiescence mean
+    // the completions were lost — equally unwakeable.
+    const Kind kind = blocked[static_cast<std::size_t>(i)].site.kind;
+    if (quiescent && adj[static_cast<std::size_t>(i)].empty() &&
+        (kernel_waitable(kind) || kind == Kind::kNocRead || kind == Kind::kNocWrite)) {
+      report.orphans.push_back(i);
+    }
+  }
+
+  // Tarjan's SCC, iterative. Components with >= 2 nodes (or a self-loop —
+  // impossible here since unblockers exclude self) are wait cycles.
+  std::vector<int> index(static_cast<std::size_t>(n), -1);
+  std::vector<int> low(static_cast<std::size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<int> stack;
+  int next_index = 0;
+  struct Frame {
+    int v;
+    std::size_t child;
+  };
+  for (int root = 0; root < n; ++root) {
+    if (index[static_cast<std::size_t>(root)] != -1) continue;
+    std::vector<Frame> frames{{root, 0}};
+    index[static_cast<std::size_t>(root)] = low[static_cast<std::size_t>(root)] = next_index++;
+    stack.push_back(root);
+    on_stack[static_cast<std::size_t>(root)] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto& edges = adj[static_cast<std::size_t>(f.v)];
+      if (f.child < edges.size()) {
+        const int w = edges[f.child++];
+        if (index[static_cast<std::size_t>(w)] == -1) {
+          index[static_cast<std::size_t>(w)] = low[static_cast<std::size_t>(w)] = next_index++;
+          stack.push_back(w);
+          on_stack[static_cast<std::size_t>(w)] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[static_cast<std::size_t>(w)]) {
+          low[static_cast<std::size_t>(f.v)] =
+              std::min(low[static_cast<std::size_t>(f.v)], index[static_cast<std::size_t>(w)]);
+        }
+      } else {
+        const int v = f.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          const int parent = frames.back().v;
+          low[static_cast<std::size_t>(parent)] =
+              std::min(low[static_cast<std::size_t>(parent)], low[static_cast<std::size_t>(v)]);
+        }
+        if (low[static_cast<std::size_t>(v)] == index[static_cast<std::size_t>(v)]) {
+          std::vector<int> comp;
+          for (;;) {
+            const int w = stack.back();
+            stack.pop_back();
+            on_stack[static_cast<std::size_t>(w)] = false;
+            comp.push_back(w);
+            if (w == v) break;
+          }
+          if (comp.size() >= 2) {
+            std::sort(comp.begin(), comp.end());
+            report.cycles.push_back(std::move(comp));
+          }
+        }
+      }
+    }
+  }
+
+  if (report.empty()) return report;
+  std::ostringstream os;
+  os << "wait-for diagnosis:";
+  int cycle_no = 0;
+  for (const auto& cycle : report.cycles) {
+    os << "\n  wait cycle " << ++cycle_no << " (" << cycle.size() << " kernels):";
+    for (const int i : cycle) {
+      const BlockedKernel& k = blocked[static_cast<std::size_t>(i)];
+      os << "\n    " << k.name << ": blocked on " << describe_wait_site(k.site)
+         << " — " << unblock_hint(k.site.kind);
+    }
+  }
+  if (!report.orphans.empty()) {
+    os << "\n  stuck with no possible waker:";
+    for (const int i : report.orphans) {
+      const BlockedKernel& k = blocked[static_cast<std::size_t>(i)];
+      os << "\n    " << k.name << ": blocked on " << describe_wait_site(k.site)
+         << " — " << unblock_hint(k.site.kind);
+    }
+  }
+  report.text = os.str();
+  return report;
+}
+
+}  // namespace ttsim::verify

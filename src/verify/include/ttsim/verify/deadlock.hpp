@@ -1,0 +1,63 @@
+#pragma once
+/// \file deadlock.hpp
+/// Deadlock diagnosis over blocked kernel processes: builds a wait-for graph
+/// from each process's WaitSite (what resource it is blocked on) plus the
+/// registry of counterpart resource users, extracts wait cycles, and formats
+/// a report naming every participant and its blocking resource — replacing
+/// "kernel X stuck" with the actual cycle.
+///
+/// The diagnoser is pure host-side analysis: it reads state, never the
+/// engine, so running it is observationally neutral.
+
+#include <string>
+#include <vector>
+
+#include "ttsim/sim/engine.hpp"
+
+namespace ttsim::verify {
+
+/// One unfinished kernel process at the moment of diagnosis.
+struct BlockedKernel {
+  std::string name;
+  /// Worker core the kernel runs on (for same-core fallback edges; the
+  /// site's own core can differ for remote resources).
+  int core = -1;
+  sim::WaitSite site;
+  /// Names of processes recorded by the wait registry as counterpart users
+  /// of the blocking resource: consumers of a full CB, producers of an empty
+  /// one, posters of a semaphore. Empty means unresolved — the diagnoser
+  /// falls back to same-core / barrier-complement edges.
+  std::vector<std::string> known_unblockers;
+};
+
+struct DeadlockReport {
+  /// Wait cycles: each entry lists indices into the diagnosed kernel list.
+  std::vector<std::vector<int>> cycles;
+  /// Kernels blocked on a resource with no live process that could ever
+  /// release it (e.g. a semaphore whose only poster finished, or a core the
+  /// fault plan killed).
+  std::vector<int> orphans;
+  /// Human-readable diagnosis: one line per cycle participant naming its
+  /// blocking resource, plus the orphan list. Empty when nothing was found.
+  std::string text;
+
+  bool empty() const { return cycles.empty() && orphans.empty(); }
+};
+
+/// Human description of a wait site ("CB 3 empty (core 0, needs a producer
+/// push)", "semaphore 2 (core 1)", ...).
+std::string describe_wait_site(const sim::WaitSite& site);
+
+/// Build the wait-for graph over `blocked` and extract every wait cycle
+/// (strongly connected component with at least one edge) and every orphan.
+///
+/// `quiescent` says the engine's event queue has drained: nothing can wake
+/// any waiter except another process in `blocked`. Only then are the
+/// structural fallback edges (same-core co-residents, barrier complement)
+/// and the orphan analysis sound. On a mid-flight watchdog timeout pass
+/// false: the diagnosis then uses only registry-recorded counterpart edges,
+/// whose cycles are real mutual waits regardless of pending events.
+DeadlockReport diagnose(const std::vector<BlockedKernel>& blocked,
+                        bool quiescent = true);
+
+}  // namespace ttsim::verify

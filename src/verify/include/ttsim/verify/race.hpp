@@ -1,0 +1,145 @@
+#pragma once
+/// \file race.hpp
+/// Dynamic happens-before race detector for simulated tt-metal kernels —
+/// FastTrack-style vector clocks over the kernel processes, with interval
+/// shadow memory per Tensix core SRAM and explicit tracking of in-flight
+/// `noc_async_read` landings.
+///
+/// Happens-before edges (the release/acquire taxonomy, see DESIGN.md):
+///   cb_push_back   releases the CB's data clock;  cb_wait_front acquires it
+///   cb_pop_front   releases the CB's space clock; cb_reserve_back acquires it
+///   semaphore_post / noc_semaphore_inc release a semaphore clock;
+///   semaphore_wait acquires it
+///   global_barrier releases then (after the rendezvous) acquires the
+///   barrier clock — an all-to-all edge
+///   noc_async_read_barrier retires the issuing mover's in-flight landings,
+///   recording each as a write ordered at the barrier's return
+///
+/// The detector is instrumented from the ttmetal kernel contexts behind
+/// DeviceConfig::enable_verify; every entry point is pure host bookkeeping
+/// (no charges, delays or scheduled events), so enabling it never changes
+/// results, simulated times or traces.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ttsim::verify {
+
+struct Finding {
+  enum class Kind {
+    kDataRace,           ///< unsynchronised write/read or write/write pair
+    kReadBeforeBarrier,  ///< SRAM read overlapping an un-barriered NoC read
+    kInFlightClobber,    ///< write (or second NoC read) over an in-flight landing
+    kMisalignedDramRead, ///< DRAM read source not 256-bit aligned
+  };
+  Kind kind;
+  int core = -1;
+  std::uint32_t addr = 0;  ///< L1 address of the overlap (or DRAM low bits)
+  std::uint32_t size = 0;
+  std::string what;  ///< both access labels and kernel names
+};
+
+const char* to_string(Finding::Kind kind);
+
+/// The detector. One instance per Device; threads are the kernel processes
+/// of the running program, registered at launch.
+class Verifier {
+ public:
+  Verifier() = default;
+
+  /// Clear shadow memory, in-flight reads and the thread registry for a new
+  /// program launch (cores are reset between launches, so stale shadow state
+  /// would manufacture cross-program races). Findings persist.
+  void begin_program();
+
+  /// Register a kernel process; returns its thread id.
+  int register_thread(std::string name);
+  const std::string& thread_name(int tid) const;
+
+  // --- sync-clock keys ---
+  static std::uint64_t cb_data_key(int core, int cb_id);
+  static std::uint64_t cb_space_key(int core, int cb_id);
+  static std::uint64_t sem_key(int core, int sem_id);
+  static std::uint64_t barrier_key(int barrier_id);
+
+  /// Join the sync object's clock into the thread (wait/acquire side).
+  void acquire(int tid, std::uint64_t key);
+  /// Join the thread's clock into the sync object (post/release side).
+  void release(int tid, std::uint64_t key);
+
+  // --- SRAM shadow accesses ---
+  void on_read(int tid, int core, std::uint32_t addr, std::uint32_t size,
+               const char* what);
+  void on_write(int tid, int core, std::uint32_t addr, std::uint32_t size,
+                const char* what);
+
+  // --- in-flight NoC reads ---
+  /// A noc_async_read was issued: [l1_dst, l1_dst+size) will be overwritten
+  /// at an unknown time before the matching barrier. Also checks the DRAM
+  /// source alignment rule (alignment 0 skips that check).
+  void on_noc_read_issue(int tid, int core, std::uint32_t l1_dst,
+                         std::uint32_t size, int tag, std::uint64_t dram_addr,
+                         std::uint64_t dram_alignment);
+  /// The issuing mover returned from noc_async_read_barrier(tag); tag -1
+  /// retires every in-flight read of the thread (the untagged barrier waits
+  /// on all of them). Each landing becomes a write ordered at this point.
+  void on_noc_read_retire(int tid, int tag);
+
+  const std::vector<Finding>& findings() const { return findings_; }
+  void clear_findings() { findings_.clear(); dedupe_.clear(); }
+
+ private:
+  using Clock = std::vector<std::uint32_t>;
+
+  struct ReadEntry {
+    int tid;
+    std::uint32_t clk;
+    const char* what;
+  };
+  /// Shadow segment [lo, hi): last write epoch plus per-thread last reads.
+  struct Segment {
+    std::uint32_t hi = 0;
+    int w_tid = -1;  ///< -1: never written
+    std::uint32_t w_clk = 0;
+    const char* w_what = nullptr;
+    std::vector<ReadEntry> reads;
+  };
+  struct InFlight {
+    std::uint32_t lo, hi;
+    int tid;
+    int tag;
+    std::uint64_t dram_addr;
+  };
+
+  Clock& thread_clock(int tid);
+  std::uint32_t epoch_of(int tid) const { return clocks_[static_cast<std::size_t>(tid)][static_cast<std::size_t>(tid)]; }
+  bool ordered_before(int tid, std::uint32_t clk, const Clock& target) const {
+    return clk <= (static_cast<std::size_t>(tid) < target.size()
+                       ? target[static_cast<std::size_t>(tid)]
+                       : 0);
+  }
+  /// Split shadow segments so [lo, hi) is covered by exact-boundary segments,
+  /// creating fresh (never-accessed) segments for gaps; returns iterators via
+  /// callback over each segment in range.
+  std::map<std::uint32_t, Segment>& core_shadow(int core);
+  void split_at(std::map<std::uint32_t, Segment>& shadow, std::uint32_t at);
+  void shadow_write(int tid, int core, std::uint32_t addr, std::uint32_t size,
+                    const char* what, bool check);
+  void report(Finding::Kind kind, int core, std::uint32_t addr, std::uint32_t size,
+              std::string what);
+  void check_in_flight_overlap(int tid, int core, std::uint32_t lo, std::uint32_t hi,
+                               const char* what, bool is_write);
+
+  std::vector<std::string> thread_names_;
+  std::vector<Clock> clocks_;
+  std::map<std::uint64_t, Clock> sync_clocks_;
+  std::map<int, std::map<std::uint32_t, Segment>> shadow_;  // per core
+  std::map<int, std::vector<InFlight>> in_flight_;          // per core
+  std::vector<Finding> findings_;
+  std::set<std::string> dedupe_;
+};
+
+}  // namespace ttsim::verify

@@ -1,0 +1,275 @@
+#include "ttsim/verify/race.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ttsim/common/check.hpp"
+
+namespace ttsim::verify {
+
+const char* to_string(Finding::Kind kind) {
+  switch (kind) {
+    case Finding::Kind::kDataRace: return "data race";
+    case Finding::Kind::kReadBeforeBarrier: return "read before barrier";
+    case Finding::Kind::kInFlightClobber: return "in-flight clobber";
+    case Finding::Kind::kMisalignedDramRead: return "misaligned DRAM read";
+  }
+  return "?";
+}
+
+void Verifier::begin_program() {
+  thread_names_.clear();
+  clocks_.clear();
+  sync_clocks_.clear();
+  shadow_.clear();
+  in_flight_.clear();
+}
+
+int Verifier::register_thread(std::string name) {
+  const int tid = static_cast<int>(thread_names_.size());
+  thread_names_.push_back(std::move(name));
+  Clock c(static_cast<std::size_t>(tid) + 1, 0);
+  c[static_cast<std::size_t>(tid)] = 1;  // epoch 0 = "before everything"
+  clocks_.push_back(std::move(c));
+  return tid;
+}
+
+const std::string& Verifier::thread_name(int tid) const {
+  static const std::string kUnknown = "<unknown>";
+  if (tid < 0 || static_cast<std::size_t>(tid) >= thread_names_.size()) return kUnknown;
+  return thread_names_[static_cast<std::size_t>(tid)];
+}
+
+namespace {
+std::uint64_t make_key(std::uint64_t kind, int core, int id) {
+  return (kind << 48) | (static_cast<std::uint64_t>(static_cast<std::uint32_t>(core)) << 24) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(id) & 0xFFFFFFu);
+}
+
+void join_into(std::vector<std::uint32_t>& dst, const std::vector<std::uint32_t>& src) {
+  if (src.size() > dst.size()) dst.resize(src.size(), 0);
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = std::max(dst[i], src[i]);
+}
+}  // namespace
+
+std::uint64_t Verifier::cb_data_key(int core, int cb_id) { return make_key(1, core, cb_id); }
+std::uint64_t Verifier::cb_space_key(int core, int cb_id) { return make_key(2, core, cb_id); }
+std::uint64_t Verifier::sem_key(int core, int sem_id) { return make_key(3, core, sem_id); }
+std::uint64_t Verifier::barrier_key(int barrier_id) { return make_key(4, 0, barrier_id); }
+
+Verifier::Clock& Verifier::thread_clock(int tid) {
+  TTSIM_CHECK(tid >= 0 && static_cast<std::size_t>(tid) < clocks_.size());
+  return clocks_[static_cast<std::size_t>(tid)];
+}
+
+void Verifier::acquire(int tid, std::uint64_t key) {
+  const auto it = sync_clocks_.find(key);
+  if (it == sync_clocks_.end()) return;
+  join_into(thread_clock(tid), it->second);
+}
+
+void Verifier::release(int tid, std::uint64_t key) {
+  Clock& c = thread_clock(tid);
+  join_into(sync_clocks_[key], c);
+  ++c[static_cast<std::size_t>(tid)];  // new epoch: later accesses are not covered
+}
+
+std::map<std::uint32_t, Verifier::Segment>& Verifier::core_shadow(int core) {
+  return shadow_[core];
+}
+
+void Verifier::split_at(std::map<std::uint32_t, Segment>& shadow, std::uint32_t at) {
+  auto it = shadow.upper_bound(at);
+  if (it == shadow.begin()) return;
+  --it;
+  if (it->first >= at || it->second.hi <= at) return;
+  Segment right = it->second;  // copy: same epoch/reads, new bounds
+  it->second.hi = at;
+  shadow.emplace(at, std::move(right));
+}
+
+void Verifier::report(Finding::Kind kind, int core, std::uint32_t addr,
+                      std::uint32_t size, std::string what) {
+  std::ostringstream key;
+  key << static_cast<int>(kind) << '|' << core << '|' << what;
+  if (!dedupe_.insert(key.str()).second) return;
+  findings_.push_back(Finding{kind, core, addr, size, std::move(what)});
+}
+
+void Verifier::check_in_flight_overlap(int tid, int core, std::uint32_t lo,
+                                       std::uint32_t hi, const char* what,
+                                       bool is_write) {
+  const auto it = in_flight_.find(core);
+  if (it == in_flight_.end()) return;
+  for (const InFlight& e : it->second) {
+    if (e.hi <= lo || hi <= e.lo) continue;
+    std::ostringstream os;
+    if (is_write) {
+      os << "write by " << thread_name(tid) << " (" << what << ") overlaps the "
+         << "landing of an un-barriered noc_async_read issued by "
+         << thread_name(e.tid);
+    } else {
+      os << thread_name(tid) << " (" << what << ") reads data whose "
+         << "noc_async_read (issued by " << thread_name(e.tid)
+         << ") has no completed barrier yet";
+    }
+    report(is_write ? Finding::Kind::kInFlightClobber : Finding::Kind::kReadBeforeBarrier,
+           core, std::max(lo, e.lo), std::min(hi, e.hi) - std::max(lo, e.lo), os.str());
+  }
+}
+
+void Verifier::on_read(int tid, int core, std::uint32_t addr, std::uint32_t size,
+                       const char* what) {
+  if (size == 0) return;
+  const std::uint32_t lo = addr;
+  const std::uint32_t hi = addr + size;
+  check_in_flight_overlap(tid, core, lo, hi, what, /*is_write=*/false);
+
+  auto& shadow = core_shadow(core);
+  split_at(shadow, lo);
+  split_at(shadow, hi);
+  const Clock& mine = thread_clock(tid);
+  const std::uint32_t my_epoch = epoch_of(tid);
+  std::uint32_t pos = lo;
+  auto it = shadow.lower_bound(lo);
+  while (pos < hi) {
+    if (it == shadow.end() || it->first > pos) {
+      const std::uint32_t gap_hi = (it == shadow.end()) ? hi : std::min(hi, it->first);
+      it = shadow.emplace(pos, Segment{gap_hi, -1, 0, nullptr, {}}).first;
+    }
+    Segment& seg = it->second;
+    if (seg.w_tid >= 0 && seg.w_tid != tid &&
+        !ordered_before(seg.w_tid, seg.w_clk, mine)) {
+      std::ostringstream os;
+      os << "write by " << thread_name(seg.w_tid) << " ("
+         << (seg.w_what != nullptr ? seg.w_what : "?")
+         << ") is not ordered before read by " << thread_name(tid) << " (" << what
+         << ")";
+      report(Finding::Kind::kDataRace, core, it->first, seg.hi - it->first, os.str());
+    }
+    bool found = false;
+    for (ReadEntry& r : seg.reads) {
+      if (r.tid == tid) {
+        r.clk = my_epoch;
+        r.what = what;
+        found = true;
+        break;
+      }
+    }
+    if (!found) seg.reads.push_back(ReadEntry{tid, my_epoch, what});
+    pos = seg.hi;
+    ++it;
+  }
+}
+
+void Verifier::shadow_write(int tid, int core, std::uint32_t addr, std::uint32_t size,
+                            const char* what, bool check) {
+  const std::uint32_t lo = addr;
+  const std::uint32_t hi = addr + size;
+  auto& shadow = core_shadow(core);
+  split_at(shadow, lo);
+  split_at(shadow, hi);
+  const Clock& mine = thread_clock(tid);
+  auto it = shadow.lower_bound(lo);
+  while (it != shadow.end() && it->first < hi) {
+    if (check) {
+      const Segment& seg = it->second;
+      if (seg.w_tid >= 0 && seg.w_tid != tid &&
+          !ordered_before(seg.w_tid, seg.w_clk, mine)) {
+        std::ostringstream os;
+        os << "write by " << thread_name(seg.w_tid) << " ("
+           << (seg.w_what != nullptr ? seg.w_what : "?")
+           << ") is not ordered before write by " << thread_name(tid) << " ("
+           << what << ")";
+        report(Finding::Kind::kDataRace, core, it->first, seg.hi - it->first, os.str());
+      }
+      for (const ReadEntry& r : seg.reads) {
+        if (r.tid == tid || ordered_before(r.tid, r.clk, mine)) continue;
+        std::ostringstream os;
+        os << "read by " << thread_name(r.tid) << " ("
+           << (r.what != nullptr ? r.what : "?")
+           << ") is not ordered before write by " << thread_name(tid) << " ("
+           << what << ")";
+        report(Finding::Kind::kDataRace, core, it->first, seg.hi - it->first, os.str());
+      }
+    }
+    it = shadow.erase(it);
+  }
+  shadow.emplace(lo, Segment{hi, tid, epoch_of(tid), what, {}});
+}
+
+void Verifier::on_write(int tid, int core, std::uint32_t addr, std::uint32_t size,
+                        const char* what) {
+  if (size == 0) return;
+  check_in_flight_overlap(tid, core, addr, addr + size, what, /*is_write=*/true);
+  shadow_write(tid, core, addr, size, what, /*check=*/true);
+}
+
+void Verifier::on_noc_read_issue(int tid, int core, std::uint32_t l1_dst,
+                                 std::uint32_t size, int tag,
+                                 std::uint64_t dram_addr,
+                                 std::uint64_t dram_alignment) {
+  if (dram_alignment > 0 && dram_addr % dram_alignment != 0) {
+    std::ostringstream os;
+    os << thread_name(tid) << ": noc_async_read source 0x" << std::hex << dram_addr
+       << std::dec << " violates the " << dram_alignment * 8
+       << "-bit DRAM alignment rule (use read_data_aligned)";
+    report(Finding::Kind::kMisalignedDramRead, core,
+           static_cast<std::uint32_t>(dram_addr), size, os.str());
+  }
+  if (size == 0) return;
+  const std::uint32_t lo = l1_dst;
+  const std::uint32_t hi = l1_dst + size;
+  // A second landing over a still-in-flight one: the two DMAs race.
+  check_in_flight_overlap(tid, core, lo, hi, "noc_async_read issue", /*is_write=*/true);
+  // The landing behaves as a write at an unknown time before the barrier:
+  // any recorded access not ordered before the *issue* races with it.
+  auto& shadow = core_shadow(core);
+  split_at(shadow, lo);
+  split_at(shadow, hi);
+  const Clock& mine = thread_clock(tid);
+  for (auto it = shadow.lower_bound(lo); it != shadow.end() && it->first < hi; ++it) {
+    const Segment& seg = it->second;
+    if (seg.w_tid >= 0 && seg.w_tid != tid &&
+        !ordered_before(seg.w_tid, seg.w_clk, mine)) {
+      std::ostringstream os;
+      os << "noc_async_read landing issued by " << thread_name(tid)
+         << " overlaps a write by " << thread_name(seg.w_tid) << " ("
+         << (seg.w_what != nullptr ? seg.w_what : "?")
+         << ") that is not ordered before the issue";
+      report(Finding::Kind::kInFlightClobber, core, it->first, seg.hi - it->first,
+             os.str());
+    }
+    for (const ReadEntry& r : seg.reads) {
+      if (r.tid == tid || ordered_before(r.tid, r.clk, mine)) continue;
+      std::ostringstream os;
+      os << "noc_async_read landing issued by " << thread_name(tid)
+         << " overlaps data still being read by " << thread_name(r.tid) << " ("
+         << (r.what != nullptr ? r.what : "?")
+         << ") — slot recycled before its consumers were ordered behind the issue";
+      report(Finding::Kind::kInFlightClobber, core, it->first, seg.hi - it->first,
+             os.str());
+    }
+  }
+  in_flight_[core].push_back(InFlight{lo, hi, tid, tag, dram_addr});
+}
+
+void Verifier::on_noc_read_retire(int tid, int tag) {
+  for (auto& [core, entries] : in_flight_) {
+    for (std::size_t i = 0; i < entries.size();) {
+      const InFlight& e = entries[i];
+      if (e.tid == tid && (tag < 0 || e.tag == tag)) {
+        // The landing is now visible and ordered: record it as a write by the
+        // issuer at the post-barrier clock. Conflicts were already checked at
+        // issue and at intervening accesses, so skip re-checking.
+        shadow_write(tid, core, e.lo, e.hi - e.lo, "noc_async_read landing",
+                     /*check=*/false);
+        entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+}
+
+}  // namespace ttsim::verify

@@ -1,0 +1,252 @@
+/// \file ttsim_lint.cpp
+/// Kernel protocol verifier CLI: runs the static linter, the happens-before
+/// race detector and the deadlock diagnoser over the repo's golden workloads
+/// (or a chosen subset) and reports every finding. Exit code 0 means every
+/// selected workload came back clean; 1 means at least one finding (lint
+/// error, race, clobber, misaligned read, or a diagnosed deadlock); 2 is a
+/// usage error.
+///
+/// This is the CI entry point for the verification gate:
+///   ttsim_lint            # all workloads, default shape
+///   ttsim_lint rowchunk sram --cores-y 4
+///   ttsim_lint --demo-lint  # show the static linter on a broken program
+///
+/// Everything runs under DeviceConfig::enable_verify, which also arms the
+/// pre-launch lint pass — a program with broken declarations fails before a
+/// single kernel is spawned, with the full lint report in the exception.
+
+#include <cstring>
+#include <exception>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ttsim/common/check.hpp"
+#include "ttsim/core/jacobi_device.hpp"
+#include "ttsim/serve/serve.hpp"
+#include "ttsim/stream/stream_bench.hpp"
+#include "ttsim/ttmetal/device.hpp"
+#include "ttsim/verify/lint.hpp"
+#include "ttsim/verify/race.hpp"
+
+namespace {
+
+struct Options {
+  int width = 128;
+  int height = 128;
+  int iterations = 4;
+  int cores_y = 2;
+  int read_ahead = 2;
+  bool demo_lint = false;
+  std::vector<std::string> workloads;
+};
+
+void usage(std::ostream& os) {
+  os << "usage: ttsim_lint [options] [workload...]\n"
+        "\n"
+        "workloads (default: all):\n"
+        "  tiled write-optimised double-buffered rowchunk sram stream serve\n"
+        "\n"
+        "options:\n"
+        "  --width N --height N --iters N   Jacobi problem shape (default "
+        "128x128x4)\n"
+        "  --cores-y N                      worker rows per workload (default 2)\n"
+        "  --read-ahead N                   rowchunk pipeline depth (default 2)\n"
+        "  --demo-lint                      lint an intentionally broken program\n"
+        "                                   and print the report (always exits 1)\n"
+        "  -h, --help                       this message\n";
+}
+
+int print_findings(const std::string& name,
+                   const std::vector<ttsim::verify::Finding>& findings) {
+  if (findings.empty()) {
+    std::cout << name << ": clean\n";
+    return 0;
+  }
+  std::cout << name << ": " << findings.size() << " finding(s)\n";
+  for (const auto& f : findings) {
+    std::cout << "  " << ttsim::verify::to_string(f.kind) << " core " << f.core
+              << " @0x" << std::hex << f.addr << std::dec << "+" << f.size
+              << ": " << f.what << "\n";
+  }
+  return 1;
+}
+
+int run_jacobi(const std::string& name, ttsim::core::DeviceStrategy strategy,
+               const Options& opt) {
+  ttsim::ttmetal::DeviceConfig dc;
+  dc.enable_verify = true;
+  auto dev = ttsim::ttmetal::Device::open({}, dc);
+  ttsim::core::JacobiProblem p;
+  p.width = opt.width;
+  p.height = opt.height;
+  p.iterations = opt.iterations;
+  ttsim::core::DeviceRunConfig cfg;
+  cfg.strategy = strategy;
+  cfg.cores_y = opt.cores_y;
+  cfg.read_ahead = opt.read_ahead;
+  ttsim::core::run_jacobi_on_device(*dev, p, cfg);
+  return print_findings(name, dev->verifier()->findings());
+}
+
+int run_stream(const Options& opt) {
+  ttsim::ttmetal::DeviceConfig dc;
+  dc.enable_verify = true;
+  auto dev = ttsim::ttmetal::Device::open({}, dc);
+  ttsim::stream::StreamParams p;
+  p.rows = 32;
+  p.num_cores = opt.cores_y;
+  p.interleave_page = 16 * ttsim::KiB;
+  ttsim::stream::run_streaming_benchmark(*dev, p);
+  return print_findings("stream", dev->verifier()->findings());
+}
+
+int run_serve(const Options& opt) {
+  ttsim::serve::ServiceConfig cfg;
+  cfg.cards = 1;
+  cfg.device.enable_verify = true;
+  cfg.run.strategy = ttsim::core::DeviceStrategy::kRowChunk;
+  cfg.run.cores_x = 1;
+  cfg.run.cores_y = 4;
+  cfg.max_batch = 8;
+  ttsim::serve::StencilService svc(cfg);
+  ttsim::core::JacobiProblem p;
+  p.width = opt.width;
+  p.height = opt.height;
+  p.iterations = opt.iterations;
+  for (int tenant = 0; tenant < 4; ++tenant) {
+    ttsim::serve::Request req;
+    req.problem = p;
+    req.problem.bc_left = 0.25f * static_cast<float>(tenant + 1);
+    req.tenant = tenant;
+    if (svc.submit(req).status != ttsim::serve::RequestStatus::kQueued) {
+      std::cout << "serve: submit rejected\n";
+      return 1;
+    }
+  }
+  svc.drain();
+  return print_findings("serve", svc.verify_findings());
+}
+
+/// --demo-lint: every static check firing at once, so the report format is
+/// easy to eyeball (and to paste into docs).
+int demo_lint() {
+  ttsim::verify::ProgramInfo p;
+  p.kernels.push_back({/*kind=*/0, {0}, "reader"});
+  p.kernels.push_back({/*kind=*/0, {0}, "shadow-reader"});  // duplicate kind
+  p.kernels.push_back({/*kind=*/1, {99}, "off-grid-writer"});
+  p.cbs.push_back({/*cb_id=*/0, {0}, /*page_size=*/48, /*num_pages=*/2, 0});
+  p.cbs.push_back({/*cb_id=*/1, {3}, 1024, 2, 0});  // core 3 has no kernels
+  p.semaphores.push_back({/*sem_id=*/0, {3}, 0});
+  p.barriers.push_back({/*barrier_id=*/0, /*participants=*/64});
+  ttsim::verify::DeviceInfo d;
+  d.num_workers = 4;
+  d.sram_bytes = 1024 * 1024;
+  const auto errors = ttsim::verify::lint(p, d);
+  std::cout << ttsim::verify::format_lint(errors);
+  std::cout << "demo program: " << errors.size() << " lint error(s)\n";
+  return 1;
+}
+
+int parse_int(const char* flag, const char* value, Options& opt, int Options::*field) {
+  if (value == nullptr) {
+    std::cerr << "ttsim_lint: " << flag << " needs a value\n";
+    return 2;
+  }
+  opt.*field = std::atoi(value);
+  if (opt.*field <= 0) {
+    std::cerr << "ttsim_lint: " << flag << " must be positive\n";
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "-h" || arg == "--help") {
+      usage(std::cout);
+      return 0;
+    } else if (arg == "--demo-lint") {
+      opt.demo_lint = true;
+    } else if (arg == "--width") {
+      if (int rc = parse_int("--width", next(), opt, &Options::width)) return rc;
+    } else if (arg == "--height") {
+      if (int rc = parse_int("--height", next(), opt, &Options::height)) return rc;
+    } else if (arg == "--iters") {
+      if (int rc = parse_int("--iters", next(), opt, &Options::iterations)) return rc;
+    } else if (arg == "--cores-y") {
+      if (int rc = parse_int("--cores-y", next(), opt, &Options::cores_y)) return rc;
+    } else if (arg == "--read-ahead") {
+      if (int rc = parse_int("--read-ahead", next(), opt, &Options::read_ahead)) return rc;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "ttsim_lint: unknown option " << arg << "\n";
+      usage(std::cerr);
+      return 2;
+    } else {
+      opt.workloads.push_back(arg);
+    }
+  }
+  if (opt.demo_lint) return demo_lint();
+  if (opt.workloads.empty()) {
+    opt.workloads = {"tiled",    "write-optimised", "double-buffered",
+                     "rowchunk", "sram",            "stream",
+                     "serve"};
+  }
+
+  const std::vector<std::pair<std::string, std::function<int()>>> runners = {
+      {"tiled",
+       [&] { return run_jacobi("tiled", ttsim::core::DeviceStrategy::kInitial, opt); }},
+      {"write-optimised",
+       [&] {
+         return run_jacobi("write-optimised",
+                           ttsim::core::DeviceStrategy::kWriteOptimised, opt);
+       }},
+      {"double-buffered",
+       [&] {
+         return run_jacobi("double-buffered",
+                           ttsim::core::DeviceStrategy::kDoubleBuffered, opt);
+       }},
+      {"rowchunk",
+       [&] { return run_jacobi("rowchunk", ttsim::core::DeviceStrategy::kRowChunk, opt); }},
+      {"sram",
+       [&] {
+         return run_jacobi("sram", ttsim::core::DeviceStrategy::kSramResident, opt);
+       }},
+      {"stream", [&] { return run_stream(opt); }},
+      {"serve", [&] { return run_serve(opt); }},
+  };
+
+  int exit_code = 0;
+  for (const std::string& want : opt.workloads) {
+    bool found = false;
+    for (const auto& [name, fn] : runners) {
+      if (name != want) continue;
+      found = true;
+      try {
+        exit_code |= fn();
+      } catch (const ttsim::ttmetal::DeviceTimeoutError& e) {
+        // Watchdog fired: the what() already carries the wait-for diagnosis.
+        std::cout << name << ": deadlock (watchdog)\n" << e.what() << "\n";
+        exit_code = 1;
+      } catch (const std::exception& e) {
+        // CheckError from engine quiescence carries the wait-cycle report;
+        // a pre-launch lint failure carries the formatted lint errors.
+        std::cout << name << ": failed\n" << e.what() << "\n";
+        exit_code = 1;
+      }
+      break;
+    }
+    if (!found) {
+      std::cerr << "ttsim_lint: unknown workload '" << want << "'\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+  return exit_code;
+}
