@@ -10,6 +10,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "ttsim/common/error.hpp"
+
 namespace ttsim {
 
 /// Error thrown when a TTSIM_CHECK fails. Carries the failing expression and
@@ -17,7 +19,13 @@ namespace ttsim {
 /// of string-matching what(). Errors raised outside a check site (e.g. the
 /// engine's deadlock report) carry only the message: expr() is empty and
 /// line() is 0.
-class CheckError : public std::logic_error {
+///
+/// SimError verdict: not retryable — a violated invariant is a logic error
+/// that a fresh device generation would only reproduce. The one exception is
+/// the engine's deadlock report, which subclasses this as DeadlockError and
+/// overrides the verdict (a mid-run core kill with no watchdog armed drains
+/// the event queue; reopening the card genuinely recovers).
+class CheckError : public std::logic_error, public SimError {
  public:
   explicit CheckError(const std::string& what) : std::logic_error(what) {}
   CheckError(const char* expr, const char* file, int line, const std::string& what)
@@ -30,10 +38,24 @@ class CheckError : public std::logic_error {
   /// Source line of the failing check (0 when not from a check site).
   int line() const { return line_; }
 
+  bool retryable() const noexcept override { return false; }
+  const char* what() const noexcept override { return std::logic_error::what(); }
+
  private:
   std::string expr_;
   std::string file_;
   int line_ = 0;
+};
+
+/// Thrown by Engine::throw_deadlock (directly or via Device::drive) when the
+/// event queue drains with processes still blocked. A CheckError — every
+/// existing deadlock catch site keeps working — but retryable: the dominant
+/// cause in practice is a fault-plan core kill parking its peers forever,
+/// which a fresh device generation (minus the dead core) survives.
+class DeadlockError : public CheckError {
+ public:
+  using CheckError::CheckError;
+  bool retryable() const noexcept override { return true; }
 };
 
 /// Error thrown for user-facing API misuse (bad arguments, protocol

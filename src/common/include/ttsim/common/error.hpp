@@ -1,0 +1,42 @@
+#pragma once
+/// \file error.hpp
+/// SimError: the common mixin base of the simulator's typed failure modes.
+///
+/// The host-facing layers (resilient drivers, the serving frontend) used to
+/// classify faults by catching each concrete type in its own block —
+/// CheckError here, DeviceTimeoutError there, TransferError in a third
+/// place — and each site re-derived "can I retry this on a fresh device
+/// generation?" from the type name. SimError centralises that verdict:
+/// every typed simulator failure derives from it and answers retryable()
+/// itself, so a caller writes ONE catch block and one policy.
+///
+/// retryable() == true means the failed operation may well succeed if
+/// re-attempted on a fresh device generation (a watchdog timeout from a
+/// core kill, a transfer whose retries were exhausted by transient bus
+/// corruption, an engine deadlock caused by a mid-run core death).
+/// retryable() == false marks logic errors — violated simulator invariants
+/// that a retry would only reproduce.
+///
+/// SimError is a mixin, not an exception type: concrete errors keep their
+/// std::logic_error / std::runtime_error lineage (existing catch sites stay
+/// valid) and additionally inherit SimError. Catch `const ttsim::SimError&`
+/// to handle every typed simulator failure polymorphically; what() is
+/// declared here as well so the handler needs no cross-cast to read the
+/// message.
+
+namespace ttsim {
+
+class SimError {
+ public:
+  virtual ~SimError() = default;
+
+  /// May the failed operation succeed if retried on a fresh device
+  /// generation? Drives the serve layer's victim-requeue-vs-fail decision.
+  virtual bool retryable() const noexcept = 0;
+
+  /// The failure message (same text as the std::exception side of the
+  /// concrete type).
+  virtual const char* what() const noexcept = 0;
+};
+
+}  // namespace ttsim

@@ -1,0 +1,33 @@
+/// \file checkpoint.cpp
+/// SessionCheckpoint: CRC-sealed padded device images (see checkpoint.hpp).
+
+#include "ttsim/serve/checkpoint.hpp"
+
+#include "ttsim/common/check.hpp"
+#include "ttsim/common/crc32.hpp"
+
+namespace ttsim::serve {
+
+SessionCheckpoint SessionCheckpoint::capture(std::vector<bfloat16_t> image,
+                                             int iterations_done, SimTime at) {
+  TTSIM_CHECK_MSG(!image.empty(), "cannot checkpoint an empty device image");
+  TTSIM_CHECK(iterations_done > 0);
+  SessionCheckpoint c;
+  c.image_ = std::move(image);
+  c.iterations_done_ = iterations_done;
+  c.captured_at_ = at;
+  c.crc_ = crc32(std::as_bytes(std::span{c.image_}));
+  return c;
+}
+
+const std::vector<bfloat16_t>& SessionCheckpoint::image() const {
+  TTSIM_CHECK_MSG(!image_.empty(), "restore from an empty checkpoint");
+  const std::uint32_t seen = crc32(std::as_bytes(std::span{image_}));
+  TTSIM_CHECK_MSG(seen == crc_, "checkpoint CRC mismatch: sealed 0x"
+                                    << std::hex << crc_ << " observed 0x" << seen
+                                    << std::dec
+                                    << " — host-side checkpoint corrupted");
+  return image_;
+}
+
+}  // namespace ttsim::serve

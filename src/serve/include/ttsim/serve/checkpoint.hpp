@@ -1,0 +1,56 @@
+#pragma once
+/// \file checkpoint.hpp
+/// Host-side session checkpoints for the serving layer.
+///
+/// The format is PR 1's run_jacobi_resilient checkpoint, lifted to a named
+/// type: the exact padded BF16 device image (PaddedLayout geometry — the
+/// boundary rows/columns and the Fig. 5 alignment padding included), plus
+/// how many Jacobi sweeps produced it. Because the image is the bit-exact
+/// device state, restoring it onto ANY card — the same one after a reopen,
+/// or a different card in the pool — and running the remaining sweeps
+/// reproduces the undisturbed solve bit for bit: per-element BF16
+/// arithmetic does not depend on which cores execute it.
+///
+/// Integrity: the image carries a CRC-32 (the same polynomial the
+/// checksummed PCIe path uses, common/crc32.hpp) sealed at capture time and
+/// verified before every restore, so host-side corruption of a parked
+/// checkpoint is caught at the migration boundary instead of surfacing as a
+/// silently wrong solution.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ttsim/bfloat/bfloat16.hpp"
+#include "ttsim/common/units.hpp"
+
+namespace ttsim::serve {
+
+class SessionCheckpoint {
+ public:
+  SessionCheckpoint() = default;
+
+  /// Seal `image` (the exact device readback after `iterations_done`
+  /// sweeps) as a checkpoint, taking ownership and computing the CRC.
+  static SessionCheckpoint capture(std::vector<bfloat16_t> image,
+                                   int iterations_done, SimTime at);
+
+  bool empty() const { return image_.empty(); }
+  int iterations_done() const { return iterations_done_; }
+  SimTime captured_at() const { return captured_at_; }
+  std::uint32_t crc() const { return crc_; }
+  std::uint64_t bytes() const { return image_.size() * sizeof(bfloat16_t); }
+
+  /// The sealed image, CRC-verified on every access (CheckError names the
+  /// expected and observed CRC on mismatch). Restore paths upload exactly
+  /// these bytes.
+  const std::vector<bfloat16_t>& image() const;
+
+ private:
+  std::vector<bfloat16_t> image_;
+  int iterations_done_ = 0;
+  SimTime captured_at_ = 0;
+  std::uint32_t crc_ = 0;
+};
+
+}  // namespace ttsim::serve

@@ -1,0 +1,59 @@
+#pragma once
+/// \file health.hpp
+/// Per-card health tracking for the serving pool.
+///
+/// Each card moves through a small state machine driven by how its batches
+/// end:
+///
+///     healthy --failure--> degraded --repeat--> quarantined
+///        ^                    |  ^                   |
+///        +--clean harvests----+  +---probe passes----+
+///
+///  * A **failure** is any recoverable fault at harvest — watchdog timeout,
+///    transfer-retry exhaustion, engine deadlock from a core kill. The first
+///    one degrades the card; `quarantine_after` consecutive ones quarantine
+///    it.
+///  * **Degraded** cards still serve but the scheduler steers work away from
+///    them (they are picked only when no healthy card has pipeline room).
+///    `readmit_successes` consecutive clean harvests promote them back to
+///    healthy.
+///  * **Quarantined** cards take no work. In-flight requests migrate to other
+///    cards via their checkpoints. After `probe_after` of simulated time the
+///    service probes the card: optionally heals its transient core faults
+///    (`heal_on_probe` — the FaultPlan::heal_dead_cores flap hook), reopens
+///    a fresh device generation, and checks it can field at least one batch
+///    slot. A passing probe readmits the card as degraded (probation); a
+///    failing one either reschedules the probe (`heal_on_probe`, the flap
+///    may clear later) or retires the card for good — dead silicon with no
+///    field service never comes back.
+///
+/// All transitions happen in deterministic scheduler order on simulated
+/// time, so a seeded chaos run produces a byte-identical health history.
+
+#include "ttsim/common/units.hpp"
+
+namespace ttsim::serve {
+
+enum class CardHealth : std::uint8_t {
+  kHealthy,      ///< full member of the pool
+  kDegraded,     ///< serving, but deprioritized; on probation
+  kQuarantined,  ///< taking no work; awaiting probe (or retired)
+};
+
+const char* to_string(CardHealth health);
+
+struct HealthConfig {
+  /// Consecutive recoverable failures that quarantine a card. The first
+  /// failure always degrades it.
+  int quarantine_after = 2;
+  /// Simulated time a quarantined card sits out before a readmission probe.
+  SimTime probe_after = 10 * kMillisecond;
+  /// Consecutive clean harvests that promote degraded back to healthy.
+  int readmit_successes = 2;
+  /// Probes call FaultPlan::heal_dead_cores before reopening — models field
+  /// service resetting a transient (flapping) card. Off by default: failed
+  /// silicon stays failed and an unserviceable card retires.
+  bool heal_on_probe = false;
+};
+
+}  // namespace ttsim::serve

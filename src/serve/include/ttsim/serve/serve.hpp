@@ -23,12 +23,33 @@
 /// batches. The pending queue is bounded: when full, submit() rejects with a
 /// retry-after hint (backpressure) instead of queueing unboundedly.
 ///
-/// Resilience rides on the PR-1 device machinery: with a watchdog configured
-/// (DeviceConfig::sim_time_limit) a FaultPlan core kill surfaces as
-/// DeviceTimeoutError at harvest; the service reopens the card (the shared
-/// FaultPlan keeps the core dead), rebuilds its sessions on the surviving
-/// workers — shrinking that card's batch width, not the whole service — and
-/// requeues the in-flight requests (bounded by max_retries).
+/// **Resilience** (see DESIGN.md, "Service resilience") rides on four
+/// mechanisms layered over the PR-1 device machinery:
+///
+///   * **Checkpoint/migration** — with checkpoint_every = k, a solve runs as
+///     ceil(iterations / k)-sweep segments; each segment's readback is
+///     sealed host-side as a CRC-32'd SessionCheckpoint (the exact padded
+///     BF16 device image, PR 1's resilient-solver format). When a card dies
+///     mid-solve the victim requeues and its next segment uploads the
+///     checkpoint onto whichever card dispatches it — bit-exact resume,
+///     since the image is the whole numerical state.
+///   * **Health-tracked pool** — per-card healthy / degraded / quarantined
+///     states driven by harvest outcomes (health.hpp). The scheduler steers
+///     work away from degraded cards and gives quarantined ones none;
+///     readmission goes through a probe that reopens the card (optionally
+///     healing flapping cores via FaultPlan::heal_dead_cores) and checks it
+///     can still field a batch slot.
+///   * **SLO-aware admission** — with slo_admission set, a deadline request
+///     is rejected at submit when the EWMA batch-service estimate says it
+///     cannot finish in time (retry_after = 0: resubmitting unchanged is
+///     pointless). With shed_low_priority, a full queue evicts its
+///     lowest-priority newest entry to admit a higher-priority newcomer
+///     instead of bouncing it. With adaptive_retry, backpressure hints
+///     scale with the estimated queue drain time instead of a constant.
+///   * **Typed errors** — every recoverable fault (DeviceTimeoutError,
+///     TransferError, DeadlockError) and every logic error (CheckError)
+///     implements SimError; harvest catches the one base and consults
+///     retryable() to pick requeue-and-reopen vs fail-fast.
 ///
 /// Everything is simulated time on the cards' deterministic engines: the
 /// same submission sequence always produces the same timeline, latencies and
@@ -42,6 +63,8 @@
 #include <vector>
 
 #include "ttsim/core/jacobi_device.hpp"
+#include "ttsim/serve/checkpoint.hpp"
+#include "ttsim/serve/health.hpp"
 #include "ttsim/sim/trace.hpp"
 
 namespace ttsim::serve {
@@ -49,7 +72,9 @@ namespace ttsim::serve {
 /// Everything that shapes the compiled program and the session buffers.
 /// Boundary values are NOT part of the key: they only change the initial
 /// image (per-request data), so requests with different physics batch
-/// together as long as the shapes match.
+/// together as long as the shapes match. With checkpointing, `iterations`
+/// is the SEGMENT length (remaining sweeps capped at checkpoint_every), so
+/// requests resume mid-solve batch with others at the same remaining depth.
 struct ShapeKey {
   std::uint32_t width = 0;
   std::uint32_t height = 0;
@@ -76,11 +101,12 @@ enum class RequestStatus : std::uint8_t {
   kCompleted,  ///< solution delivered
   kFailed,     ///< invalid shape, deadline missed at dispatch, or retries
                ///< exhausted after card faults
-  kRejected,   ///< backpressure: pending queue full at submit
+  kRejected,   ///< backpressure (queue full / shed) or SLO-infeasible
 };
 
-/// Submit outcome. Rejected tickets carry a retry-after hint (the earliest
-/// simulated time resubmission is worth attempting).
+/// Submit outcome. Rejected tickets carry a retry-after hint: the earliest
+/// simulated time resubmission is worth attempting, or 0 when resubmitting
+/// the same request is pointless (deadline infeasible — relax it instead).
 struct Ticket {
   std::uint64_t id = 0;
   RequestStatus status = RequestStatus::kQueued;
@@ -94,10 +120,12 @@ struct RequestResult {
   int card = -1;          ///< card that ran it (-1 until dispatched)
   int batch_size = 0;     ///< slots in the launch that carried it
   int retries = 0;        ///< times requeued after a card fault
+  int migrations = 0;     ///< checkpoint resumes on a different card
   SimTime admit = 0;      ///< arrival time as admitted
   SimTime dispatched = 0; ///< batch formation time on the card clock
   SimTime completed = 0;  ///< D2H readback done
   SimTime latency = 0;    ///< completed - admit
+  SimTime retry_after = 0;  ///< kRejected: the ticket's resubmission hint
   bool deadline_missed = false;
   std::string error;            ///< kFailed: why
   std::vector<float> solution;  ///< interior, row-major (kCompleted only)
@@ -111,6 +139,11 @@ struct ServiceConfig {
   /// sim_time_limit to arm the watchdog that converts core kills into
   /// recoverable DeviceTimeoutErrors.
   ttmetal::DeviceConfig device;
+  /// Per-card overrides of `device` (empty = every card uses `device`;
+  /// otherwise size must equal `cards`). Lets chaos scenarios give each
+  /// card its own fault plan so one card can storm while its pool-mates
+  /// stay clean.
+  std::vector<ttmetal::DeviceConfig> card_devices;
   /// Per-slot solver config; strategy must be kRowChunk. cores_x * cores_y
   /// workers serve one request; a card batches as many slots as its usable
   /// workers allow (capped by max_batch).
@@ -124,6 +157,24 @@ struct ServiceConfig {
   int max_retries = 1;
   /// Record per-request spans (admit/queue/h2d/kernel/d2h) in spans().
   bool record_spans = true;
+  /// Checkpoint period in Jacobi sweeps: a solve runs as segments of at most
+  /// this many iterations, each segment's result sealed host-side as a
+  /// migratable checkpoint. 0 (default) disables checkpointing — a card
+  /// fault restarts the solve from scratch, exactly the pre-resilience
+  /// behavior.
+  int checkpoint_every = 0;
+  /// Health state machine knobs (degrade / quarantine / probe / readmit).
+  HealthConfig health;
+  /// Reject deadline requests at submit when the EWMA service-time estimate
+  /// says they cannot finish in time (retry_after = 0 on the ticket).
+  bool slo_admission = false;
+  /// When the queue is full, evict its lowest-priority newest entry to make
+  /// room for a strictly higher-priority newcomer (the evictee is rejected
+  /// with a retry hint) instead of rejecting the newcomer.
+  bool shed_low_priority = false;
+  /// Scale backpressure retry-after hints with the estimated time to drain
+  /// the current queue instead of the constant `retry_after`.
+  bool adaptive_retry = false;
 };
 
 struct TenantStats {
@@ -144,10 +195,25 @@ struct ServiceMetrics {
   std::uint64_t card_reopens = 0;  ///< devices lost to faults and reopened
   std::size_t max_queue_depth = 0;
 
+  // -- resilience --
+  std::uint64_t checkpoints_taken = 0;   ///< segment results sealed host-side
+  std::uint64_t checkpoint_bytes = 0;    ///< total bytes across those seals
+  std::uint64_t migrations = 0;          ///< checkpoint resumes on a new card
+  std::uint64_t iterations_saved = 0;    ///< sweeps a retry did NOT redo
+  std::uint64_t shed = 0;                ///< queued requests evicted for
+                                         ///< higher-priority newcomers
+  std::uint64_t infeasible_rejects = 0;  ///< SLO-admission rejects
+  std::uint64_t quarantines = 0;         ///< healthy/degraded -> quarantined
+  std::uint64_t probes = 0;              ///< readmission probes run
+  std::uint64_t readmissions = 0;        ///< probes that passed
+  std::uint64_t commands_cancelled = 0;  ///< queue entries dropped off wedged
+                                         ///< devices before reopen
+
   /// Latency percentile over every completed request (0 when none).
   SimTime latency_percentile(double p) const;
   SimTime p50() const { return latency_percentile(0.50); }
   SimTime p99() const { return latency_percentile(0.99); }
+  SimTime p999() const { return latency_percentile(0.999); }
   std::uint64_t total_completed() const;
 };
 
@@ -162,14 +228,16 @@ class StencilService {
   StencilService(const StencilService&) = delete;
   StencilService& operator=(const StencilService&) = delete;
 
-  /// Admit (or reject) one request. O(1); no simulation runs here.
+  /// Admit (or reject) one request. O(queue) worst case; no simulation runs
+  /// here.
   Ticket submit(const Request& request);
 
   /// Run the cards until every admitted request has completed or failed.
   void drain();
 
-  /// One scheduling action (dispatch a batch or harvest the oldest in-flight
-  /// one). Returns false when there is nothing left to do.
+  /// One scheduling action (dispatch a batch, harvest the oldest in-flight
+  /// one, or probe a quarantined card). Returns false when there is nothing
+  /// left to do.
   bool step();
 
   /// Final state of a submitted request (ApiError for unknown ids).
@@ -189,6 +257,8 @@ class StencilService {
   /// Batch slots card `card` can currently field for `key`'s shape (shrinks
   /// when the fault plan kills cores; 0 = the card cannot serve the shape).
   int card_capacity(int card, const ShapeKey& key);
+  /// Current health state of `card` (see health.hpp for the machine).
+  CardHealth card_health(int card) const;
 
   /// Race-detector findings accumulated across every card's device, in card
   /// order. Empty unless ServiceConfig::device.enable_verify is set.
@@ -201,10 +271,24 @@ class StencilService {
   struct Pending;
 
   Session& session(Card& card, const ShapeKey& key);
+  /// The shape of `p`'s NEXT segment (remaining sweeps, capped at
+  /// checkpoint_every when checkpointing is on).
+  ShapeKey effective_key(const Pending& p) const;
   bool dispatch_on(Card& card);
   void harvest_one(Card& card);
-  void handle_card_failure(Card& card, const std::string& why);
+  void handle_card_failure(Card& card, const std::string& why, bool retryable);
+  void reopen_card(Card& card, SimTime resume_at);
+  /// Readmission probe for a quarantined card (heal, reopen, capacity
+  /// check). Passing readmits as degraded; failing reschedules or retires.
+  void probe_card(Card& card);
+  void note_clean_harvest(Card& card);
   void fail_request(std::uint64_t id, const std::string& why);
+  /// Batch slots currently fielded by cards the scheduler may use.
+  int active_slots() const;
+  /// EWMA-based estimate of when a request admitted now would complete; 0
+  /// when there is no service-time history yet.
+  SimTime estimate_completion(const Request& request) const;
+  SimTime backpressure_hint() const;
   void record_span(sim::TraceEventKind kind, SimTime ts, SimTime dur, int track,
                    std::uint64_t req, std::int32_t b = 0);
   int tenant_track(int tenant);
@@ -219,6 +303,7 @@ class StencilService {
   std::uint64_t batch_seq_ = 0;
   int rr_cursor_ = 0;  // round-robin start tenant index within a priority
   SimTime service_now_ = 0;
+  SimTime ewma_batch_ = 0;  // EWMA of dispatch->readback per batch (ns)
   ServiceMetrics metrics_;
 
   sim::Engine span_engine_;  // never run; clock source for the span sink

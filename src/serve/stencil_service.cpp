@@ -1,6 +1,8 @@
 /// \file stencil_service.cpp
-/// The multi-tenant stencil-serving frontend: admission, shape-keyed session
-/// cache, batching scheduler, the three-queue async pipeline per card, and
+/// The multi-tenant stencil-serving frontend: admission (with SLO checks and
+/// load shedding), shape-keyed session cache, batching scheduler, the
+/// three-queue async pipeline per card, and the resilience layer —
+/// checkpoint/migration, the per-card health state machine, and typed-error
 /// fault recovery by card reopen. See serve.hpp for the design overview.
 
 #include "ttsim/serve/serve.hpp"
@@ -8,6 +10,7 @@
 #include <algorithm>
 #include <array>
 #include <sstream>
+#include <tuple>
 #include <utility>
 
 #include "ttsim/common/check.hpp"
@@ -22,6 +25,15 @@ namespace {
 /// a bank whose reads have not drained.
 constexpr std::size_t kPipelineDepth = 2;
 }  // namespace
+
+const char* to_string(CardHealth health) {
+  switch (health) {
+    case CardHealth::kHealthy: return "healthy";
+    case CardHealth::kDegraded: return "degraded";
+    case CardHealth::kQuarantined: return "quarantined";
+  }
+  return "unknown";
+}
 
 // ---------------------------------------------------------------------------
 // ServiceMetrics
@@ -49,7 +61,10 @@ std::uint64_t ServiceMetrics::total_completed() const {
 
 struct StencilService::Pending {
   Request req;
-  ShapeKey key;
+  ShapeKey key;  ///< shape of the NEXT segment (tracks remaining sweeps)
+  int iterations_done = 0;      ///< sweeps completed across prior segments
+  SessionCheckpoint ckpt;       ///< state after iterations_done sweeps
+  int ckpt_card = -1;           ///< card that produced the checkpoint
 };
 
 struct StencilService::Session {
@@ -79,11 +94,22 @@ struct StencilService::InFlight {
 
 struct StencilService::Card {
   int index = 0;
+  /// This card's device config (cfg_.device or its card_devices override);
+  /// reopens after faults and probes reuse it so the card keeps its own
+  /// fault plan across generations.
+  ttmetal::DeviceConfig dev_cfg;
   // The device must outlive the sessions (Buffer destructors release their
   // allocation on the device), so it is declared first / destroyed last.
   std::unique_ptr<ttmetal::Device> device;
   std::map<ShapeKey, std::unique_ptr<Session>> sessions;
   std::deque<InFlight> inflight;
+
+  // -- health state machine (see health.hpp) --
+  CardHealth health = CardHealth::kHealthy;
+  int consecutive_failures = 0;
+  int clean_streak = 0;   ///< clean harvests since degraded (readmission)
+  SimTime probe_at = 0;   ///< quarantined: earliest readmission probe time
+  bool retired = false;   ///< probe found dead silicon; never serves again
 };
 
 // ---------------------------------------------------------------------------
@@ -101,10 +127,24 @@ StencilService::StencilService(ServiceConfig config)
   if (cfg_.max_batch < 1) TTSIM_THROW_API("max_batch must be >= 1");
   if (cfg_.queue_capacity < 1) TTSIM_THROW_API("queue_capacity must be >= 1");
   if (cfg_.max_retries < 0) TTSIM_THROW_API("max_retries must be >= 0");
+  if (cfg_.checkpoint_every < 0) TTSIM_THROW_API("checkpoint_every must be >= 0");
+  if (cfg_.health.quarantine_after < 1) {
+    TTSIM_THROW_API("quarantine_after must be >= 1");
+  }
+  if (cfg_.health.readmit_successes < 1) {
+    TTSIM_THROW_API("readmit_successes must be >= 1");
+  }
+  if (!cfg_.card_devices.empty() &&
+      cfg_.card_devices.size() != static_cast<std::size_t>(cfg_.cards)) {
+    TTSIM_THROW_API("card_devices must be empty or have one entry per card");
+  }
   for (int i = 0; i < cfg_.cards; ++i) {
     auto card = std::make_unique<Card>();
     card->index = i;
-    card->device = ttmetal::Device::open(cfg_.spec, cfg_.device);
+    card->dev_cfg = cfg_.card_devices.empty()
+                        ? cfg_.device
+                        : cfg_.card_devices[static_cast<std::size_t>(i)];
+    card->device = ttmetal::Device::open(cfg_.spec, card->dev_cfg);
     const int slot = cfg_.run.cores_x * cfg_.run.cores_y;
     if (slot > card->device->num_workers()) {
       TTSIM_THROW_API("a batch slot needs " << slot << " cores but the card has "
@@ -151,6 +191,55 @@ void StencilService::record_span(sim::TraceEventKind kind, SimTime ts, SimTime d
 // ---------------------------------------------------------------------------
 // Admission
 
+ShapeKey StencilService::effective_key(const Pending& p) const {
+  ShapeKey key;
+  key.width = p.req.problem.width;
+  key.height = p.req.problem.height;
+  int remaining = p.req.problem.iterations - p.iterations_done;
+  if (cfg_.checkpoint_every > 0) remaining = std::min(remaining, cfg_.checkpoint_every);
+  key.iterations = remaining;
+  key.chunk_elems = cfg_.run.chunk_elems;
+  key.read_ahead = cfg_.run.read_ahead;
+  return key;
+}
+
+int StencilService::active_slots() const {
+  int slots = 0;
+  const int slot = cfg_.run.cores_x * cfg_.run.cores_y;
+  for (const auto& c : cards_) {
+    if (c->retired || c->health == CardHealth::kQuarantined) continue;
+    const int usable = static_cast<int>(c->device->usable_workers().size());
+    slots += std::min(usable / slot, cfg_.max_batch);
+  }
+  return slots;
+}
+
+SimTime StencilService::estimate_completion(const Request& request) const {
+  if (ewma_batch_ == 0) return 0;  // no history: admit optimistically
+  const int slots = active_slots();
+  if (slots < 1) return 0;  // pool is down; admission is not the gate
+  // Full batch waves queued ahead of this request, then its own segments.
+  const auto waves =
+      static_cast<SimTime>(pending_.size() / static_cast<std::size_t>(slots));
+  SimTime segments = 1;
+  if (cfg_.checkpoint_every > 0) {
+    segments = (request.problem.iterations + cfg_.checkpoint_every - 1) /
+               cfg_.checkpoint_every;
+  }
+  return std::max(service_now_, request.arrival) +
+         ewma_batch_ * (waves + segments);
+}
+
+SimTime StencilService::backpressure_hint() const {
+  if (!cfg_.adaptive_retry || ewma_batch_ == 0) return cfg_.retry_after;
+  const int slots = active_slots();
+  if (slots < 1) return cfg_.retry_after;
+  const auto waves = static_cast<SimTime>(
+      (pending_.size() + static_cast<std::size_t>(slots) - 1) /
+      static_cast<std::size_t>(slots));
+  return std::max<SimTime>(ewma_batch_ * waves, kMicrosecond);
+}
+
 Ticket StencilService::submit(const Request& request) {
   service_now_ = std::max(service_now_, request.arrival);
   Ticket ticket;
@@ -161,13 +250,6 @@ Ticket StencilService::submit(const Request& request) {
   RequestResult r;
   r.tenant = request.tenant;
   r.admit = request.arrival;
-
-  ShapeKey key;
-  key.width = request.problem.width;
-  key.height = request.problem.height;
-  key.iterations = request.problem.iterations;
-  key.chunk_elems = cfg_.run.chunk_elems;
-  key.read_ahead = cfg_.run.read_ahead;
 
   // Invalid shapes fail immediately — they would fail on every card.
   try {
@@ -181,17 +263,64 @@ Ticket StencilService::submit(const Request& request) {
     return ticket;
   }
 
+  // SLO admission: when history says the deadline cannot be met even if
+  // everything goes right, rejecting now is kinder than a guaranteed miss.
+  // retry_after = 0: resubmitting the same deadline is pointless.
+  if (cfg_.slo_admission && request.deadline != 0) {
+    const SimTime eta = estimate_completion(request);
+    if (eta != 0 && eta > request.deadline) {
+      r.status = RequestStatus::kRejected;
+      ++ts.rejected;
+      ++metrics_.infeasible_rejects;
+      record_span(sim::TraceEventKind::kServeReject, request.arrival, 0,
+                  tenant_track(request.tenant), ticket.id);
+      results_.emplace(ticket.id, std::move(r));
+      ticket.status = RequestStatus::kRejected;
+      ticket.retry_after = 0;
+      return ticket;
+    }
+  }
+
   // Backpressure: a full pending queue rejects with a retry-after hint
-  // instead of queueing unboundedly.
+  // instead of queueing unboundedly — unless shedding is on and a
+  // lower-priority queued request can make room for this one.
   if (pending_.size() >= cfg_.queue_capacity) {
-    r.status = RequestStatus::kRejected;
-    ++ts.rejected;
-    record_span(sim::TraceEventKind::kServeReject, request.arrival, 0,
-                tenant_track(request.tenant), ticket.id);
-    results_.emplace(ticket.id, std::move(r));
-    ticket.status = RequestStatus::kRejected;
-    ticket.retry_after = service_now_ + cfg_.retry_after;
-    return ticket;
+    std::uint64_t victim = 0;
+    if (cfg_.shed_low_priority) {
+      // Lowest priority strictly below the newcomer; newest such entry
+      // (its investment-so-far is smallest). Never shed a request that has
+      // already run a segment — its checkpoint represents paid-for work.
+      int victim_prio = request.priority;
+      for (auto it = pending_.rbegin(); it != pending_.rend(); ++it) {
+        const Pending& p = requests_.at(*it);
+        if (p.iterations_done > 0) continue;
+        if (p.req.priority < victim_prio) {
+          victim_prio = p.req.priority;
+          victim = *it;
+        }
+      }
+    }
+    if (victim != 0) {
+      pending_.erase(std::find(pending_.begin(), pending_.end(), victim));
+      auto& vr = results_.at(victim);
+      vr.status = RequestStatus::kRejected;
+      vr.retry_after = service_now_ + backpressure_hint();
+      ++metrics_.tenants[vr.tenant].rejected;
+      ++metrics_.shed;
+      record_span(sim::TraceEventKind::kServeReject, service_now_, 0,
+                  tenant_track(vr.tenant), victim);
+      requests_.erase(victim);
+    } else {
+      r.status = RequestStatus::kRejected;
+      ++ts.rejected;
+      record_span(sim::TraceEventKind::kServeReject, request.arrival, 0,
+                  tenant_track(request.tenant), ticket.id);
+      ticket.status = RequestStatus::kRejected;
+      ticket.retry_after = service_now_ + backpressure_hint();
+      r.retry_after = ticket.retry_after;
+      results_.emplace(ticket.id, std::move(r));
+      return ticket;
+    }
   }
 
   record_span(sim::TraceEventKind::kServeAdmit, request.arrival, 0,
@@ -199,7 +328,7 @@ Ticket StencilService::submit(const Request& request) {
   results_.emplace(ticket.id, std::move(r));
   Pending p;
   p.req = request;
-  p.key = key;
+  p.key = effective_key(p);
   requests_.emplace(ticket.id, std::move(p));
   pending_.push_back(ticket.id);
   metrics_.max_queue_depth = std::max(metrics_.max_queue_depth, pending_.size());
@@ -216,6 +345,11 @@ int StencilService::card_capacity(int card, const ShapeKey& key) {
   const int usable = static_cast<int>(cards_[static_cast<std::size_t>(card)]
                                           ->device->usable_workers().size());
   return std::min(usable / slot, cfg_.max_batch);
+}
+
+CardHealth StencilService::card_health(int card) const {
+  TTSIM_CHECK(card >= 0 && card < static_cast<int>(cards_.size()));
+  return cards_[static_cast<std::size_t>(card)]->health;
 }
 
 std::vector<verify::Finding> StencilService::verify_findings() const {
@@ -259,7 +393,8 @@ StencilService::Session& StencilService::session(Card& card, const ShapeKey& key
         ttmetal::BufferConfig bc = base;
         std::ostringstream name;
         name << "serve-c" << card.index << '-' << key.width << 'x' << key.height
-             << "-bank" << bank << "-slot" << g << "-d" << (half + 1);
+             << "-i" << key.iterations << "-bank" << bank << "-slot" << g << "-d"
+             << (half + 1);
         bc.name = name.str();
         pair[static_cast<std::size_t>(half)] = card.device->create_buffer(bc);
       }
@@ -344,11 +479,17 @@ bool StencilService::dispatch_on(Card& card) {
   const ShapeKey key = requests_.at(head).key;
 
   // Capacity: a card that cannot field even one slot of this shape leaves
-  // it for a capable card; when no card can, the request fails.
+  // it for a capable card; when no card can — now or after a readmission
+  // probe — the request fails.
   if (card_capacity(card.index, key) < 1) {
     bool anyone = false;
-    for (const auto& other : cards_)
-      if (card_capacity(other->index, key) >= 1) anyone = true;
+    for (const auto& other : cards_) {
+      if (other->retired) continue;
+      if (card_capacity(other->index, key) >= 1 ||
+          (other->health == CardHealth::kQuarantined && cfg_.health.heal_on_probe)) {
+        anyone = true;
+      }
+    }
     if (!anyone) {
       pending_.erase(std::find(pending_.begin(), pending_.end(), head));
       fail_request(head, "no card has enough usable workers for this shape");
@@ -426,12 +567,30 @@ bool StencilService::dispatch_on(Card& card) {
   fl.bank = bank;
   fl.dispatched = t;
   for (int g = 0; g < b; ++g) {
-    const Pending& p = requests_.at(batch[static_cast<std::size_t>(g)]);
-    const auto image = s.layout.initial_image(p.req.problem);
-    const auto bytes = std::as_bytes(std::span{image});
+    Pending& p = requests_.at(batch[static_cast<std::size_t>(g)]);
+    auto& rr = results_.at(batch[static_cast<std::size_t>(g)]);
     const auto& pair = s.banks[static_cast<std::size_t>(bank)][static_cast<std::size_t>(g)];
-    cq_write.enqueue_write_buffer(*pair[0], bytes, /*blocking=*/false);
-    cq_write.enqueue_write_buffer(*pair[1], bytes, /*blocking=*/false);
+    if (p.iterations_done == 0) {
+      // First segment: the initial image from the request's physics.
+      const auto image = s.layout.initial_image(p.req.problem);
+      const auto bytes = std::as_bytes(std::span{image});
+      cq_write.enqueue_write_buffer(*pair[0], bytes, /*blocking=*/false);
+      cq_write.enqueue_write_buffer(*pair[1], bytes, /*blocking=*/false);
+    } else {
+      // Resume: upload the CRC-verified checkpoint — the exact padded
+      // device image after iterations_done sweeps — so the segment
+      // continues the solve bit-exactly, on whichever card this is.
+      const auto& image = p.ckpt.image();
+      TTSIM_CHECK_MSG(image.size() == s.layout.elems(),
+                      "checkpoint image does not match the session layout");
+      const auto bytes = std::as_bytes(std::span{image});
+      cq_write.enqueue_write_buffer(*pair[0], bytes, /*blocking=*/false);
+      cq_write.enqueue_write_buffer(*pair[1], bytes, /*blocking=*/false);
+      if (p.ckpt_card != card.index) {
+        ++metrics_.migrations;
+        ++rr.migrations;
+      }
+    }
   }
   fl.write_done = cq_write.record_event();
   cq_kernel.wait_for_event(fl.write_done);
@@ -456,29 +615,38 @@ bool StencilService::dispatch_on(Card& card) {
     auto& r = results_.at(id);
     r.card = card.index;
     r.batch_size = b;
-    r.dispatched = t;
-    record_span(sim::TraceEventKind::kServeQueueWait, r.admit, t - r.admit,
-                tenant_track(r.tenant), id);
+    if (requests_.at(id).iterations_done == 0) {
+      r.dispatched = t;
+      record_span(sim::TraceEventKind::kServeQueueWait, r.admit, t - r.admit,
+                  tenant_track(r.tenant), id);
+    }
   }
   card.inflight.push_back(std::move(fl));
   return true;
+}
+
+void StencilService::note_clean_harvest(Card& card) {
+  card.consecutive_failures = 0;
+  if (card.health == CardHealth::kDegraded) {
+    if (++card.clean_streak >= cfg_.health.readmit_successes) {
+      card.health = CardHealth::kHealthy;
+      card.clean_streak = 0;
+    }
+  }
 }
 
 void StencilService::harvest_one(Card& card) {
   TTSIM_CHECK(!card.inflight.empty());
   try {
     card.device->synchronize(card.inflight.front().read_done);
-  } catch (const ttmetal::DeviceTimeoutError& e) {
-    handle_card_failure(card, e.what());
-    return;
-  } catch (const ttmetal::TransferError& e) {
-    handle_card_failure(card, e.what());
-    return;
-  } catch (const CheckError& e) {
-    // Engine deadlock: a core kill with no watchdog armed drains the queue.
-    handle_card_failure(card, e.what());
+  } catch (const SimError& e) {
+    // One catch for the whole fault taxonomy: watchdog timeouts, transfer
+    // retry exhaustion and engine deadlocks are retryable (the victims
+    // requeue onto a fresh generation); a violated invariant is not.
+    handle_card_failure(card, e.what(), e.retryable());
     return;
   }
+  note_clean_harvest(card);
 
   InFlight fl = std::move(card.inflight.front());
   card.inflight.pop_front();
@@ -495,10 +663,34 @@ void StencilService::harvest_one(Card& card) {
   record_span(sim::TraceEventKind::kServeD2H, kernel_end, d2h_end - kernel_end,
               track, fl.members.front(), b);
 
+  // Batch service time feeds the SLO admission estimate (integer EWMA,
+  // newest sample weighted 1/4 — smooth but responsive, and deterministic).
+  const SimTime sample = d2h_end - fl.dispatched;
+  ewma_batch_ = ewma_batch_ == 0 ? sample : (3 * ewma_batch_ + sample) / 4;
+
+  std::vector<std::uint64_t> continuations;
   for (int g = 0; g < b; ++g) {
     const std::uint64_t id = fl.members[static_cast<std::size_t>(g)];
-    const Pending& p = requests_.at(id);
+    Pending& p = requests_.at(id);
     auto& r = results_.at(id);
+    p.iterations_done += fl.key.iterations;
+    if (p.iterations_done < p.req.problem.iterations) {
+      // Mid-solve segment: seal the readback — the full padded device image
+      // — as this request's checkpoint and requeue the remainder. The next
+      // segment may land on any card (migration).
+      p.ckpt = SessionCheckpoint::capture(
+          std::move(fl.outputs[static_cast<std::size_t>(g)]), p.iterations_done,
+          d2h_end);
+      p.ckpt_card = card.index;
+      p.key = effective_key(p);
+      // Causality across skewed card clocks: the next segment must not
+      // dispatch (on any card) before this one's readback finished.
+      p.req.arrival = std::max(p.req.arrival, d2h_end);
+      ++metrics_.checkpoints_taken;
+      metrics_.checkpoint_bytes += p.ckpt.bytes();
+      continuations.push_back(id);
+      continue;
+    }
     r.status = RequestStatus::kCompleted;
     r.completed = d2h_end;
     r.latency = d2h_end - r.admit;
@@ -512,60 +704,133 @@ void StencilService::harvest_one(Card& card) {
     ts.latencies.push_back(r.latency);
     requests_.erase(id);
   }
+  // Continuations go to the FRONT in slot order so a long solve is not
+  // starved by traffic that arrived while its segment ran.
+  for (auto it = continuations.rbegin(); it != continuations.rend(); ++it) {
+    pending_.push_front(*it);
+  }
 }
 
-void StencilService::handle_card_failure(Card& card, const std::string& why) {
+void StencilService::reopen_card(Card& card, SimTime resume_at) {
+  // Sessions hold the card's buffers and compiled programs; they must be
+  // torn down before the device they were built on.
+  card.sessions.clear();
+  card.device.reset();
+  // Reopen: the card's FaultPlan spans generations, so a failed core stays
+  // failed (unless a probe healed it) and the next session on this card
+  // shrinks its batch width accordingly.
+  card.device = ttmetal::Device::open(cfg_.spec, card.dev_cfg);
+  // A reboot does not rewind time: restore the card clock so service
+  // latencies stay monotone.
+  card.device->hw().engine().run_until(resume_at);
+}
+
+void StencilService::handle_card_failure(Card& card, const std::string& why,
+                                         bool retryable) {
   ++metrics_.card_reopens;
   const SimTime old_now = card.device->now();
+
+  // Health bookkeeping: the first failure degrades the card; a streak
+  // quarantines it (the scheduler stops feeding it until a probe passes).
+  card.clean_streak = 0;
+  ++card.consecutive_failures;
+  if (card.consecutive_failures >= cfg_.health.quarantine_after) {
+    if (card.health != CardHealth::kQuarantined) ++metrics_.quarantines;
+    card.health = CardHealth::kQuarantined;
+    card.probe_at = old_now + cfg_.health.probe_after;
+  } else if (card.health == CardHealth::kHealthy) {
+    card.health = CardHealth::kDegraded;
+  }
 
   std::vector<std::uint64_t> victims;
   for (const auto& fl : card.inflight)
     for (std::uint64_t id : fl.members) victims.push_back(id);
   card.inflight.clear();
-  // Sessions hold the card's buffers and compiled programs; they must be
-  // torn down before the device they were built on.
-  card.sessions.clear();
-  card.device.reset();
-  // Reopen: the shared FaultPlan in cfg_.device remembers the failed cores,
-  // so the fresh generation comes up with fewer usable workers and the next
-  // session on this card shrinks its batch width accordingly.
-  card.device = ttmetal::Device::open(cfg_.spec, cfg_.device);
-  // A reboot does not rewind time: restore the card clock so service
-  // latencies stay monotone.
-  card.device->hw().engine().run_until(old_now);
+  // Drop what never started off the wedged queues (and clear the parked
+  // host error) so teardown does not trip over half-enqueued work.
+  metrics_.commands_cancelled += card.device->cancel_queues();
+  reopen_card(card, old_now);
 
   // Oldest-first victims requeue to the *front* of the pending queue in
-  // their original order (reverse iteration + push_front).
+  // their original order (reverse iteration + push_front). A victim with a
+  // checkpoint resumes from it — only the lost segment re-runs.
   for (auto it = victims.rbegin(); it != victims.rend(); ++it) {
     const std::uint64_t id = *it;
     auto& r = results_.at(id);
-    const Pending& p = requests_.at(id);
-    if (r.retries >= cfg_.max_retries ||
-        (p.req.deadline != 0 && p.req.deadline <= old_now)) {
+    Pending& p = requests_.at(id);
+    const bool expired = p.req.deadline != 0 && p.req.deadline <= old_now;
+    if (!retryable || r.retries >= cfg_.max_retries || expired) {
+      if (expired) {
+        r.deadline_missed = true;
+        ++metrics_.tenants[p.req.tenant].deadline_missed;
+      }
       fail_request(id, why);
       continue;
     }
     ++r.retries;
+    metrics_.iterations_saved += static_cast<std::uint64_t>(p.iterations_done);
+    // The retried segment must not dispatch before the failure was observed.
+    p.req.arrival = std::max(p.req.arrival, old_now);
     r.card = -1;
     r.batch_size = 0;
     pending_.push_front(id);
   }
 }
 
+void StencilService::probe_card(Card& card) {
+  ++metrics_.probes;
+  const SimTime at = std::max(card.device->now(), card.probe_at);
+  if (cfg_.health.heal_on_probe && card.dev_cfg.fault_plan != nullptr) {
+    // Field service resets the flapping card's transient core faults; kills
+    // scripted for later times survive, so a card can flap repeatedly.
+    card.dev_cfg.fault_plan->heal_dead_cores(at);
+  }
+  reopen_card(card, at);
+  const int slot = cfg_.run.cores_x * cfg_.run.cores_y;
+  const int usable = static_cast<int>(card.device->usable_workers().size());
+  if (usable >= slot) {
+    // Readmit on probation: degraded until readmit_successes clean harvests.
+    card.health = CardHealth::kDegraded;
+    card.consecutive_failures = 0;
+    card.clean_streak = 0;
+    ++metrics_.readmissions;
+    return;
+  }
+  if (cfg_.health.heal_on_probe) {
+    card.probe_at = at + cfg_.health.probe_after;  // the flap may clear later
+  } else {
+    card.retired = true;  // dead silicon, no field service: written off
+  }
+}
+
 bool StencilService::step() {
   bool progress = false;
-  // Dispatch onto the least-loaded card (fewest batches in flight), clock
-  // furthest behind as the tie-break, for as long as batches can be formed.
-  // Load first matters for a same-instant wave: dispatching does not advance
-  // a card's clock, so a clock-only rule would stack the wave onto card 0 up
-  // to pipeline depth before the rest of the pool saw any work.
+  // Readmission probes due on the service clock run first, so a recovered
+  // card is back in the pool before this step's dispatch decisions.
+  const SimTime tnow = now();
+  for (auto& c : cards_) {
+    if (c->health == CardHealth::kQuarantined && !c->retired &&
+        tnow >= c->probe_at) {
+      probe_card(*c);
+      progress = true;
+    }
+  }
+  // Dispatch onto the best available card for as long as batches can be
+  // formed. Health first (steer away from degraded cards), then fewest
+  // batches in flight, then the clock furthest behind. Load before clock
+  // matters for a same-instant wave: dispatching does not advance a card's
+  // clock, so a clock-only rule would stack the wave onto card 0 up to
+  // pipeline depth before the rest of the pool saw any work.
   while (!pending_.empty()) {
     Card* best = nullptr;
+    auto rank = [](const Card& c) {
+      return std::make_tuple(c.health == CardHealth::kDegraded ? 1 : 0,
+                             c.inflight.size(), c.device->now());
+    };
     for (auto& c : cards_) {
+      if (c->retired || c->health == CardHealth::kQuarantined) continue;
       if (c->inflight.size() >= kPipelineDepth) continue;
-      if (!best || std::make_pair(c->inflight.size(), c->device->now()) <
-                       std::make_pair(best->inflight.size(), best->device->now()))
-        best = c.get();
+      if (!best || rank(*c) < rank(*best)) best = c.get();
     }
     if (!best || !dispatch_on(*best)) break;
     progress = true;
@@ -581,6 +846,36 @@ bool StencilService::step() {
   if (oldest) {
     harvest_one(*oldest);
     progress = true;
+  }
+  // Stall guard: work is queued but every card is quarantined. Fast-forward
+  // the service clock to the earliest probe and run it; when no card can
+  // ever come back, fail the queue instead of spinning.
+  if (!progress && !pending_.empty()) {
+    Card* next_probe = nullptr;
+    for (auto& c : cards_) {
+      if (c->health != CardHealth::kQuarantined || c->retired) continue;
+      if (!next_probe || c->probe_at < next_probe->probe_at)
+        next_probe = c.get();
+    }
+    if (next_probe != nullptr) {
+      service_now_ = std::max(service_now_, next_probe->probe_at);
+      probe_card(*next_probe);
+      progress = true;
+    } else {
+      bool any_usable = false;
+      for (const auto& c : cards_) {
+        if (!c->retired && c->health != CardHealth::kQuarantined)
+          any_usable = true;
+      }
+      if (!any_usable) {
+        while (!pending_.empty()) {
+          const std::uint64_t id = pending_.front();
+          pending_.pop_front();
+          fail_request(id, "no usable card left in the pool");
+        }
+        progress = true;
+      }
+    }
   }
   return progress;
 }

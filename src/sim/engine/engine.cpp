@@ -113,7 +113,7 @@ void Engine::throw_deadlock(const std::string& diagnosis) const {
      << " process(es) blocked forever:";
   for (const auto& name : blocked_process_names()) os << ' ' << name;
   if (!diagnosis.empty()) os << '\n' << diagnosis;
-  throw CheckError(os.str());
+  throw DeadlockError(os.str());
 }
 
 bool Engine::run_until(SimTime deadline) {

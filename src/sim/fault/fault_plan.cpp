@@ -18,6 +18,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kMoverStall: return "mover-stall";
     case FaultKind::kCoreFailure: return "core-failure";
     case FaultKind::kPcieCorrupt: return "pcie-corrupt";
+    case FaultKind::kCoreHeal: return "core-heal";
   }
   return "unknown";
 }
@@ -140,6 +141,25 @@ void FaultPlan::commit_elapsed_kills(SimTime now) {
   for (const auto& kill : config_.core_kills) {
     if (now >= kill.at) record_core_failure(now, kill.core);
   }
+}
+
+void FaultPlan::heal_core(SimTime now, int core) {
+  if (!core_dead(core, now)) return;
+  failed_cores_.erase(std::remove(failed_cores_.begin(), failed_cores_.end(), core),
+                      failed_cores_.end());
+  auto& kills = config_.core_kills;
+  kills.erase(std::remove_if(kills.begin(), kills.end(),
+                             [&](const CoreKill& k) {
+                               return k.core == core && k.at <= now;
+                             }),
+              kills.end());
+  record(FaultKind::kCoreHeal, now, core, 0, 0);
+}
+
+int FaultPlan::heal_dead_cores(SimTime now) {
+  const std::vector<int> dead = dead_cores(now);
+  for (int core : dead) heal_core(now, core);
+  return static_cast<int>(dead.size());
 }
 
 std::vector<int> FaultPlan::dead_cores(SimTime now) const {

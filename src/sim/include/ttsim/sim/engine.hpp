@@ -119,10 +119,11 @@ class Engine {
   /// ordering) between events while preserving the engine's (time, seq)
   /// order exactly.
   bool step();
-  /// Throw the same deadlock CheckError run() raises when the queue drains
-  /// with unfinished processes. Exposed so external drivers report blocked
-  /// kernels identically to run(). A non-empty `diagnosis` (e.g. a wait-for
-  /// cycle report) is appended on its own line.
+  /// Throw the same deadlock error run() raises when the queue drains with
+  /// unfinished processes: a DeadlockError (a retryable CheckError — see
+  /// common/error.hpp). Exposed so external drivers report blocked kernels
+  /// identically to run(). A non-empty `diagnosis` (e.g. a wait-for cycle
+  /// report) is appended on its own line.
   [[noreturn]] void throw_deadlock(const std::string& diagnosis = {}) const;
 
   SimTime now() const { return now_; }

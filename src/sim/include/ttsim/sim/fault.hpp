@@ -28,6 +28,10 @@
 ///                       108-of-120 harvesting story, mid-run).
 ///  * kPcieCorrupt     — a host<->device transfer delivers one corrupted
 ///                       byte.
+///  * kCoreHeal        — a field-service heal (FaultPlan::heal_core): a
+///                       core's transient failure is reset and it rejoins
+///                       the usable set — the card-level flap/heal hook the
+///                       serving layer's readmission probe uses.
 
 #include <cstdint>
 #include <string>
@@ -49,6 +53,7 @@ enum class FaultKind {
   kMoverStall,
   kCoreFailure,
   kPcieCorrupt,
+  kCoreHeal,
 };
 
 const char* to_string(FaultKind kind);
@@ -151,6 +156,26 @@ class FaultPlan {
   /// while it sat blocked (never charging, hence never observing its own
   /// death) is still excluded from the next device generation.
   void commit_elapsed_kills(SimTime now);
+
+  // ---- card-level flap/heal hooks ----
+  // A "flap" is a card that goes down and comes back: its cores hang
+  // (configured kills fire, the card wedges and is quarantined by its
+  // owner), and a later field-service probe RESETS the transient condition
+  // instead of writing the silicon off. heal_core models that reset: the
+  // core's observed failure is cleared and its already-elapsed kills are
+  // dropped, so the next device generation sees it usable again. Kills
+  // configured for later times survive a heal — which is exactly how a
+  // deterministic flapping card is scripted: kill at t1, heal at t2 > t1,
+  // kill again at t3 > t2.
+
+  /// Clear `core`'s observed failure and drop its configured kills with
+  /// at <= now. Logs a kCoreHeal event (the heal is part of the
+  /// deterministic fault story and shows up in trace_string()). No-op when
+  /// the core is alive.
+  void heal_core(SimTime now, int core);
+
+  /// heal_core for every core dead at `now`. Returns how many were healed.
+  int heal_dead_cores(SimTime now);
 
   /// Cores unusable at `now` (sorted ascending).
   std::vector<int> dead_cores(SimTime now) const;

@@ -85,6 +85,23 @@ void CommandQueue::finish() {
   device_.drive([this] { return commands_.empty(); });
 }
 
+std::size_t CommandQueue::cancel_pending() {
+  std::size_t cancelled = 0;
+  // The head may be in flight: scheduled engine callbacks hold a reference
+  // to it, so it must stay until it completes (or the device is destroyed).
+  while (!commands_.empty() && !commands_.back()->started) {
+    Command& c = *commands_.back();
+    if (c.kind == Command::Kind::kWaitEvent && c.registered) {
+      auto& waiters = c.event->waiters;
+      waiters.erase(std::remove(waiters.begin(), waiters.end(), this),
+                    waiters.end());
+    }
+    commands_.pop_back();
+    ++cancelled;
+  }
+  return cancelled;
+}
+
 void CommandQueue::pump() {
   while (!commands_.empty()) {
     Command& c = *commands_.front();

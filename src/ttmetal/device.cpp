@@ -187,6 +187,18 @@ CommandQueue& Device::command_queue(int id) {
   return *slot;
 }
 
+std::size_t Device::cancel_queues() {
+  std::size_t cancelled = 0;
+  for (auto& queue : command_queues_) {
+    if (queue != nullptr) cancelled += queue->cancel_pending();
+  }
+  // A queued async error (e.g. kWedgedRunError from a follow-up program)
+  // belongs to the abandoned commands; surfacing it later would double-report
+  // a failure the caller already handled.
+  pending_host_error_ = nullptr;
+  return cancelled;
+}
+
 void Device::synchronize(const Event& event) {
   TTSIM_CHECK_MSG(event.valid(), "synchronize on a default-constructed Event");
   TTSIM_CHECK_MSG(event.state_->device == this,

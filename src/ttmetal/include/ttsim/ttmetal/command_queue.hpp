@@ -92,6 +92,17 @@ class CommandQueue {
   /// DeviceTimeoutError, ...) exactly as the blocking APIs would.
   void finish();
 
+  /// Drop every command that has not started executing (a started head — a
+  /// transfer mid-air or a launched program — is left to run out). Parked
+  /// event waits are unregistered from their events; record-event markers
+  /// are discarded without completing (their Events stay incomplete
+  /// forever). Returns how many commands were cancelled. This is the drain
+  /// path for a wedged device: after a watchdog timeout the queued
+  /// follow-ups can never run, and cancelling them lets the owner count and
+  /// release the abandoned work instead of tripping over kWedgedRunError
+  /// one command at a time.
+  std::size_t cancel_pending();
+
   int id() const { return id_; }
   Device& device() { return device_; }
   /// Commands enqueued but not yet completed.

@@ -19,6 +19,7 @@
 #include <span>
 #include <stdexcept>
 
+#include "ttsim/common/error.hpp"
 #include "ttsim/sim/fault.hpp"
 #include "ttsim/sim/metrics.hpp"
 #include "ttsim/sim/tensix_core.hpp"
@@ -46,18 +47,25 @@ inline constexpr const char* kWedgedRunError =
 /// DeviceConfig::sim_time_limit; the message names every stuck kernel. The
 /// device is wedged afterwards (the hung kernels still hold its cores): open
 /// a fresh Device to continue — a failed core recorded in the FaultPlan
-/// stays failed across the reopen.
-class DeviceTimeoutError : public std::runtime_error {
+/// stays failed across the reopen. Retryable (SimError): a fresh generation
+/// minus the dead cores usually completes the work.
+class DeviceTimeoutError : public std::runtime_error, public SimError {
  public:
   using std::runtime_error::runtime_error;
+  bool retryable() const noexcept override { return true; }
+  const char* what() const noexcept override { return std::runtime_error::what(); }
 };
 
 /// Thrown when a checksummed transfer still mismatches after
 /// DeviceConfig::transfer_max_retries retries; the message carries the first
 /// injected fault that hit the transfer so post-mortems see the root cause.
-class TransferError : public std::runtime_error {
+/// Retryable (SimError): the exhaustion is of one bounded backoff window —
+/// transient bus corruption may well spare a later re-attempt.
+class TransferError : public std::runtime_error, public SimError {
  public:
   using std::runtime_error::runtime_error;
+  bool retryable() const noexcept override { return true; }
+  const char* what() const noexcept override { return std::runtime_error::what(); }
 };
 
 /// Host-side robustness knobs, fixed at Device::open time.
@@ -148,6 +156,14 @@ class Device {
   /// Drive the simulator until `event` completes. Rethrows any error an
   /// async command hit in the meantime.
   void synchronize(const Event& event);
+  /// Cancel every not-yet-started command on every queue of this device
+  /// (CommandQueue::cancel_pending over all queues) and discard any queued
+  /// async error. The drain step before abandoning a wedged device: the
+  /// queued work can never run, and the count is what the owner lost.
+  std::size_t cancel_queues();
+  /// Did a watchdog timeout leave kernels holding this device's cores? A
+  /// wedged device rejects further program launches; open a fresh Device.
+  bool wedged() const { return wedged_; }
 
   // --- blocking convenience API (one enqueue + finish on queue 0) ---
   /// With DeviceConfig::checksum_transfers, each transfer is CRC-verified

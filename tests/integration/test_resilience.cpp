@@ -184,5 +184,30 @@ TEST(Resilience, RestartBudgetExhaustionRethrowsTimeout) {
                ttmetal::DeviceTimeoutError);
 }
 
+TEST(Resilience, HealCoreRestoresFlappedCoreButKeepsFutureKills) {
+  // A flapping card scripted deterministically: core 3 dies at 1ms, field
+  // service heals it at 5ms, and a second kill is scheduled for 9ms. The
+  // heal must clear only the elapsed kill.
+  sim::FaultConfig fc;
+  fc.core_kills.push_back({3, 1 * kMillisecond});
+  fc.core_kills.push_back({3, 9 * kMillisecond});
+  sim::FaultPlan plan(fc);
+
+  EXPECT_FALSE(plan.core_dead(3, 0));
+  EXPECT_TRUE(plan.core_dead(3, 2 * kMillisecond));
+  plan.commit_elapsed_kills(2 * kMillisecond);  // observed, as a reopen would
+
+  EXPECT_EQ(plan.heal_dead_cores(5 * kMillisecond), 1);
+  EXPECT_FALSE(plan.core_dead(3, 5 * kMillisecond));
+  // The 9ms kill survives the heal: the card flaps again.
+  EXPECT_TRUE(plan.core_dead(3, 9 * kMillisecond));
+  // Healing a live core is a no-op (no event logged, nothing changes).
+  const std::size_t events = plan.trace().size();
+  plan.heal_core(5 * kMillisecond, 3);
+  EXPECT_EQ(plan.trace().size(), events);
+  // The heal itself is part of the deterministic fault trace.
+  EXPECT_NE(plan.trace_string().find("core-heal"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ttsim::core

@@ -207,5 +207,47 @@ TEST(CommandQueue, QueueIdValidated) {
   EXPECT_EQ(dev->command_queue(63).id(), 63);
 }
 
+TEST(CommandQueue, CancelQueuesDropsUnstartedWorkOnStuckDevice) {
+  // A deadlocked program leaves a backlog parked behind it. Failure
+  // handling completes the hung head and pumps the queue, so a record
+  // directly behind the hang still fires — the durable backlog is whatever
+  // sits behind the NEXT command the pump starts (here a second hang) plus
+  // any queue parked on an event that will now never be recorded. The owner
+  // — the serving layer — cancels that backlog before tearing the device
+  // down; cancelled commands never run and parked waits are unregistered.
+  auto dev = Device::open();  // no watchdog: the hang surfaces as a deadlock
+  auto make_hang = [] {
+    Program p;
+    p.create_semaphore(0, {0}, 0);
+    p.create_kernel(
+        KernelKind::kDataMover0, {0},
+        [](DataMoverCtx& ctx) { ctx.semaphore_wait(0); }, "hang");
+    return p;
+  };
+  Program hang1 = make_hang();
+  Program hang2 = make_hang();
+  auto& cq0 = dev->command_queue(0);
+  auto& cq1 = dev->command_queue(1);
+  cq0.enqueue_program(hang1, /*blocking=*/false);
+  cq0.enqueue_program(hang2, /*blocking=*/false);
+  Event gate = cq0.record_event();  // unstarted behind the second hang
+  cq1.wait_for_event(gate);         // parks cq1 on the doomed event
+  Program after;
+  after.create_kernel(
+      KernelKind::kDataMover0, {1}, [](DataMoverCtx&) {}, "after");
+  cq1.enqueue_program(after, /*blocking=*/false);
+  Event never = cq1.record_event();
+
+  EXPECT_THROW(cq0.finish(), DeadlockError);
+
+  // cq0's record + cq1's wait/program/record; the started hang stays.
+  EXPECT_EQ(dev->cancel_queues(), 4u);
+  EXPECT_FALSE(gate.completed());
+  EXPECT_FALSE(never.completed());
+  // With the backlog gone the other queues are empty: finish() returns
+  // without replaying the hang.
+  cq1.finish();
+}
+
 }  // namespace
 }  // namespace ttsim::ttmetal

@@ -134,5 +134,28 @@ TEST(Device, IndependentDevicesHaveIndependentClocks) {
   EXPECT_EQ(b->now(), 0);
 }
 
+TEST(Device, SimErrorTaxonomyClassifiesRetryability) {
+  // Every fault the serving layer can see at harvest implements SimError;
+  // one catch plus retryable() replaces per-type handling. Timeouts,
+  // transfer-retry exhaustion and engine deadlocks survive a card reopen;
+  // a violated invariant does not.
+  EXPECT_TRUE(DeviceTimeoutError("watchdog").retryable());
+  EXPECT_TRUE(TransferError("checksum").retryable());
+  EXPECT_TRUE(DeadlockError("drained").retryable());
+  EXPECT_FALSE(CheckError("invariant").retryable());
+
+  try {
+    throw DeviceTimeoutError("watchdog fired");
+  } catch (const SimError& e) {
+    EXPECT_TRUE(e.retryable());
+    EXPECT_STREQ(e.what(), "watchdog fired");
+  }
+  try {
+    throw DeadlockError("event queue drained");
+  } catch (const CheckError& e) {  // existing catch sites keep working
+    EXPECT_TRUE(e.retryable());
+  }
+}
+
 }  // namespace
 }  // namespace ttsim::ttmetal
