@@ -1,0 +1,206 @@
+/// \file gallery.cpp
+/// Gallery workload factories. Initial fields are deterministic functions
+/// of the geometry (and, for life, a seed) so every run of a factory
+/// produces the identical problem — golden traces and conformance sweeps
+/// depend on that.
+
+#include "ttsim/core/gallery.hpp"
+
+namespace ttsim::core::gallery {
+namespace {
+
+/// splitmix64 — the usual stateless bit mixer for seeded patterns.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+void add_term(StencilPass& pass, int field, Tap tap, float w) {
+  if (w != 0.0f) pass.terms.push_back(TapTerm{field, tap, w});
+}
+
+}  // namespace
+
+GeneralStencilProblem hotspot(std::uint32_t width, std::uint32_t height,
+                              int iterations, float k, float cp) {
+  GeneralStencilProblem g;
+  g.width = width;
+  g.height = height;
+  g.iterations = iterations;
+
+  FieldSpec temp;
+  temp.name = "T";
+  temp.initial = 0.25f;
+  temp.bc_left = temp.bc_right = temp.bc_top = temp.bc_bottom = 0.25f;
+  g.fields.push_back(std::move(temp));
+
+  // Static power density: a large block in the centre and a hot strip near
+  // the origin (two "functional units" dissipating heat).
+  FieldSpec power;
+  power.name = "P";
+  power.initial_field.assign(g.points(), 0.0f);
+  for (std::uint32_t r = 0; r < height; ++r) {
+    for (std::uint32_t c = 0; c < width; ++c) {
+      const bool centre = r >= height / 3 && r < 2 * height / 3 &&
+                          c >= width / 3 && c < 2 * width / 3;
+      const bool strip = r >= height / 8 && r < height / 4 && c >= width / 16 &&
+                         c < width / 4;
+      if (centre) power.initial_field[static_cast<std::size_t>(r) * width + c] = 1.0f;
+      if (strip) power.initial_field[static_cast<std::size_t>(r) * width + c] = 0.5f;
+    }
+  }
+  g.fields.push_back(std::move(power));
+
+  StencilPass pass;
+  pass.target = 0;
+  add_term(pass, 0, Tap::kC, 1.0f - 4.0f * k);
+  add_term(pass, 0, Tap::kW, k);
+  add_term(pass, 0, Tap::kE, k);
+  add_term(pass, 0, Tap::kN, k);
+  add_term(pass, 0, Tap::kS, k);
+  add_term(pass, 1, Tap::kC, cp);
+  g.passes.push_back(std::move(pass));
+  return g;
+}
+
+GeneralStencilProblem fdtd2d(std::uint32_t width, std::uint32_t height,
+                             int iterations, float ch, float ce) {
+  GeneralStencilProblem g;
+  g.width = width;
+  g.height = height;
+  g.iterations = iterations;
+
+  FieldSpec ez;
+  ez.name = "Ez";
+  // A centred square pulse radiates outward under the leapfrog.
+  ez.initial_field.assign(g.points(), 0.0f);
+  const std::uint32_t r0 = height / 2, c0 = width / 2;
+  for (std::uint32_t r = r0 > 0 ? r0 - 1 : 0; r <= r0 && r < height; ++r) {
+    for (std::uint32_t c = c0 > 0 ? c0 - 1 : 0; c <= c0 && c < width; ++c) {
+      ez.initial_field[static_cast<std::size_t>(r) * width + c] = 1.0f;
+    }
+  }
+  g.fields.push_back(std::move(ez));
+  FieldSpec hx;
+  hx.name = "Hx";
+  g.fields.push_back(std::move(hx));
+  FieldSpec hy;
+  hy.name = "Hy";
+  g.fields.push_back(std::move(hy));
+
+  // Hx -= ch*(Ez(S) - Ez(C)): reads the PREVIOUS iteration's Ez (pass
+  // order puts the Ez update last).
+  StencilPass px;
+  px.target = 1;
+  add_term(px, 1, Tap::kC, 1.0f);
+  add_term(px, 0, Tap::kC, ch);
+  add_term(px, 0, Tap::kS, -ch);
+  g.passes.push_back(std::move(px));
+
+  // Hy += ch*(Ez(E) - Ez(C)).
+  StencilPass py;
+  py.target = 2;
+  add_term(py, 2, Tap::kC, 1.0f);
+  add_term(py, 0, Tap::kC, -ch);
+  add_term(py, 0, Tap::kE, ch);
+  g.passes.push_back(std::move(py));
+
+  // Ez += ce*((Hy(C) - Hy(W)) - (Hx(C) - Hx(N))): reads the Hx/Hy values
+  // the two passes above just wrote (leapfrog).
+  StencilPass pz;
+  pz.target = 0;
+  add_term(pz, 0, Tap::kC, 1.0f);
+  add_term(pz, 2, Tap::kC, ce);
+  add_term(pz, 2, Tap::kW, -ce);
+  add_term(pz, 1, Tap::kC, -ce);
+  add_term(pz, 1, Tap::kN, ce);
+  g.passes.push_back(std::move(pz));
+  return g;
+}
+
+GeneralStencilProblem convection(std::uint32_t width, std::uint32_t height,
+                                 int iterations, float cx, float cy, float k) {
+  GeneralStencilProblem g;
+  g.width = width;
+  g.height = height;
+  g.iterations = iterations;
+
+  FieldSpec u;
+  u.name = "u";
+  u.bc_left = 1.0f;  // inflow
+  u.initial_field.assign(g.points(), 0.0f);
+  // A square plume off-centre so both transport and diffusion show.
+  for (std::uint32_t r = height / 4; r < height / 2 && r < height; ++r) {
+    for (std::uint32_t c = width / 8; c < width / 4 && c < width; ++c) {
+      u.initial_field[static_cast<std::size_t>(r) * width + c] = 1.0f;
+    }
+  }
+  g.fields.push_back(std::move(u));
+
+  // Isotropic 9-point Laplacian (1/6)[1 4 1; 4 -20 4; 1 4 1] scaled by k,
+  // plus first-order upwind transport towards +x/+y.
+  const float edge = 2.0f * k / 3.0f;
+  const float corner = k / 6.0f;
+  StencilPass pass;
+  pass.target = 0;
+  add_term(pass, 0, Tap::kC, 1.0f - cx - cy - 20.0f * k / 6.0f);
+  add_term(pass, 0, Tap::kW, cx + edge);
+  add_term(pass, 0, Tap::kE, edge);
+  add_term(pass, 0, Tap::kN, cy + edge);
+  add_term(pass, 0, Tap::kS, edge);
+  add_term(pass, 0, Tap::kNW, corner);
+  add_term(pass, 0, Tap::kNE, corner);
+  add_term(pass, 0, Tap::kSW, corner);
+  add_term(pass, 0, Tap::kSE, corner);
+  g.passes.push_back(std::move(pass));
+  return g;
+}
+
+GeneralStencilProblem life(std::uint32_t width, std::uint32_t height,
+                           int iterations, std::uint64_t seed, float density) {
+  GeneralStencilProblem g;
+  g.width = width;
+  g.height = height;
+  g.iterations = iterations;
+
+  FieldSpec cells;
+  cells.name = "cells";
+  cells.initial_field.assign(g.points(), 0.0f);
+  for (std::uint32_t r = 0; r < height; ++r) {
+    for (std::uint32_t c = 0; c < width; ++c) {
+      const std::uint64_t h =
+          mix(seed ^ (static_cast<std::uint64_t>(r) << 32 | c));
+      const float uniform =
+          static_cast<float>(h >> 40) / static_cast<float>(1ULL << 24);
+      if (uniform < density) {
+        cells.initial_field[static_cast<std::size_t>(r) * width + c] = 1.0f;
+      }
+    }
+  }
+  g.fields.push_back(std::move(cells));
+
+  StencilPass pass;
+  pass.target = 0;
+  for (Tap t : {Tap::kW, Tap::kE, Tap::kN, Tap::kS, Tap::kNW, Tap::kNE,
+                Tap::kSW, Tap::kSE}) {
+    add_term(pass, 0, t, 1.0f);
+  }
+  pass.post = PostOp::kLife;
+  pass.post_self_field = 0;
+  g.passes.push_back(std::move(pass));
+  return g;
+}
+
+std::vector<NamedProblem> suite(std::uint32_t width, std::uint32_t height,
+                                int iterations) {
+  return {
+      {"hotspot", hotspot(width, height, iterations)},
+      {"fdtd2d", fdtd2d(width, height, iterations)},
+      {"convection", convection(width, height, iterations)},
+      {"life", life(width, height, iterations)},
+  };
+}
+
+}  // namespace ttsim::core::gallery

@@ -1,0 +1,57 @@
+#pragma once
+/// \file gallery.hpp
+/// The workload gallery: classic stencil applications expressed as
+/// GeneralStencilProblem instances (the StencilStream example set ported
+/// onto the general frontend). Each factory fixes its weights, boundary
+/// data and deterministic initial fields so golden traces and CPU
+/// references pin the exact same run everywhere.
+///
+///   * hotspot    — thermal simulation with a static power-density field
+///                  (two fields: temperature updated, power read-only).
+///   * fdtd2d     — 2-D FDTD, transverse-electric mode (three fields,
+///                  three leapfrog passes: Hx and Hy from the previous
+///                  Ez, then Ez from the freshly updated Hx/Hy).
+///   * convection — 9-point convection-diffusion: first-order upwind
+///                  transport plus the isotropic 9-point Laplacian (the
+///                  diagonal-tap stress case).
+///   * life       — Conway's Game of Life: 8 unit-weight neighbour taps
+///                  plus the threshold post-op (the non-linear case).
+
+#include "ttsim/core/stencil_spec.hpp"
+
+namespace ttsim::core::gallery {
+
+/// Temperature diffuses (FTCS, coefficient k) while the power map injects
+/// heat: T' = (1-4k)T + k(W+E+N+S) + cp*P. P holds two hot blocks.
+GeneralStencilProblem hotspot(std::uint32_t width = 128, std::uint32_t height = 128,
+                              int iterations = 50, float k = 0.1f, float cp = 0.05f);
+
+/// TE-mode FDTD on a centred pulse:
+///   Hx -= ch*(Ez(S) - Ez(C));  Hy += ch*(Ez(E) - Ez(C));
+///   Ez += ce*((Hy(C) - Hy(W)) - (Hx(C) - Hx(N)))
+/// with Ez the primary (last-pass) field.
+GeneralStencilProblem fdtd2d(std::uint32_t width = 128, std::uint32_t height = 128,
+                             int iterations = 40, float ch = 0.5f, float ce = 0.5f);
+
+/// Upwind convection (Courant cx, cy >= 0) plus isotropic 9-point
+/// diffusion (coefficient k): convex for cx + cy + 10k/3 <= 1.
+GeneralStencilProblem convection(std::uint32_t width = 128, std::uint32_t height = 128,
+                                 int iterations = 50, float cx = 0.2f, float cy = 0.1f,
+                                 float k = 0.05f);
+
+/// Conway's Game of Life on a dead border, seeded with a deterministic
+/// hash-based soup of the given live-cell density.
+GeneralStencilProblem life(std::uint32_t width = 128, std::uint32_t height = 128,
+                           int iterations = 30, std::uint64_t seed = 42,
+                           float density = 0.35f);
+
+/// The whole gallery at a common geometry, in a fixed order (hotspot,
+/// fdtd2d, convection, life) — the iteration surface for tests.
+struct NamedProblem {
+  const char* name;
+  GeneralStencilProblem problem;
+};
+std::vector<NamedProblem> suite(std::uint32_t width = 64, std::uint32_t height = 48,
+                                int iterations = 6);
+
+}  // namespace ttsim::core::gallery

@@ -1,112 +1,163 @@
 /// \file stencil_device.cpp
-/// Generic weighted-stencil kernels, built on the Section VI row-chunk
-/// machinery: contiguous chunk+halo reads two batches ahead, no memcpy
-/// (compute aliases the mover's slots via cb_set_rd_ptr), aligned writes
-/// through the Fig. 5 padding. Each active tap costs one FPU multiply by a
-/// weight-filled scalar CB plus (after the first) one addition — so a
-/// 3-tap upwind advection runs cheaper per point than 5-tap diffusion,
-/// exactly the cost structure a real port would see.
+/// The general radius-1 stencil lowering onto the Section VI row-chunk
+/// machinery: every pass of every iteration streams each referenced field
+/// through its own slot rotation (contiguous chunk+halo reads, read-ahead
+/// deep, no memcpy — the compute kernel aliases CB read pointers into the
+/// mover's slots), and the shared tap-chain emitter replays the problem's
+/// terms in listed order. Each term costs one FPU multiply against the
+/// weight table plus (after the first) one addition — so a 3-tap upwind
+/// advection still runs cheaper per point than 5-tap diffusion, and a
+/// field whose taps need no vertical halo streams one row per batch
+/// instead of three.
 
-#include <array>
+#include <algorithm>
+#include <set>
 
-#include "jacobi_internal.hpp"
-#include "ttsim/core/stencil.hpp"
+#include "stencil_internal.hpp"
 #include "ttsim/cpu/stencil_cpu.hpp"
 
 namespace ttsim::core {
+
+namespace detail {
 namespace {
 
-using detail::kCbInter;
-using detail::kCbOut;
-using detail::kIterationBarrier;
-using detail::kTileBytes;
-
-constexpr int kCbTmp = 6;
-constexpr int kCbTapBase = 0;     // tap alias CBs 0..4 (C,W,E,N,S order below)
-constexpr int kCbWeightBase = 8;  // weight CBs 8..12
-
-/// Tap order fixed across device and CPU reference: centre, W, E, N, S.
-struct Tap {
-  float weight;
-  int index;  // 0=C 1=W 2=E 3=N 4=S
-};
-
-std::vector<Tap> active_taps(const WeightedStencil& s) {
-  std::vector<Tap> taps;
-  const float w[] = {s.wc, s.ww, s.we, s.wn, s.ws};
-  for (int i = 0; i < 5; ++i) {
-    if (w[i] != 0.0f) taps.push_back(Tap{w[i], i});
-  }
-  return taps;
+std::uint32_t slot_bytes_for(std::uint32_t chunk) {
+  // chunk + 2 halo elements, plus up to 32 alignment-prefix bytes.
+  return static_cast<std::uint32_t>(align_up((chunk + 2) * 2 + 32, 64));
 }
 
-struct StencilShared {
-  std::uint64_t d1 = 0, d2 = 0;
-  PaddedLayout layout;
-  int iterations = 0;
-  std::uint32_t chunk_elems = 1024;
-  int read_ahead = 2;
-  std::vector<Tap> taps;
-  bool needs_north = false, needs_south = false;
-  std::vector<detail::CoreRange> ranges;
-  /// Iteration-barrier id (distinct per group when several independent
-  /// stencil solves share one program launch).
-  int barrier_id = kIterationBarrier;
-
-  explicit StencilShared(const PaddedLayout& l) : layout(l) {}
-};
-
+/// Per-core chunk geometry with the continuous slot rotation of
+/// jacobi_rowchunk: nslots = 2N+3 so a new column's first rows never land
+/// in slots the previous column's in-flight batches still reference.
 struct ChunkGrid {
-  detail::CoreRange rg;
-  std::uint32_t chunk, ncols, nrows;
-  std::uint32_t nslots;  // row-slot rotation length (2 * read_ahead + 1)
+  CoreRange rg;
+  std::uint32_t chunk, ncols, nrows, nslots;
 
-  ChunkGrid(const detail::CoreRange& r, std::uint32_t chunk_elems,
-            std::uint32_t slots)
+  ChunkGrid(const CoreRange& r, std::uint32_t chunk_elems, std::uint32_t slots)
       : rg(r), nslots(slots) {
     const std::uint32_t strip = rg.col_hi - rg.col_lo;
     chunk = std::min(chunk_elems, strip);
     while (chunk > 16 && (strip % chunk != 0 || chunk % 16 != 0)) --chunk;
-    TTSIM_CHECK(strip % chunk == 0 && chunk % 16 == 0);
+    TTSIM_CHECK_MSG(strip % chunk == 0 && chunk % 16 == 0,
+                    "no valid chunk width for strip " << strip);
     ncols = strip / chunk;
     nrows = rg.row_hi - rg.row_lo;
   }
-  std::uint32_t slot_of(std::int64_t y) const {
-    return static_cast<std::uint32_t>(
-        (y - (static_cast<std::int64_t>(rg.row_lo) - 1) + nslots) % nslots);
+  std::uint32_t slot_of(std::uint32_t col, std::int64_t y) const {
+    const std::int64_t t =
+        static_cast<std::int64_t>(col) * (nrows + 2) +
+        (y - (static_cast<std::int64_t>(rg.row_lo) - 1));
+    return static_cast<std::uint32_t>(t % nslots);
   }
 };
 
-std::uint32_t slot_bytes_for(std::uint32_t chunk) {
-  return static_cast<std::uint32_t>(align_up((chunk + 2) * 2 + 32, 64));
+}  // namespace
+
+void lower_program(const GeneralStencilProblem& p, GeneralShared& sh) {
+  p.validate();
+  const int nfields = static_cast<int>(p.fields.size());
+  sh.iterations = p.iterations;
+  sh.written_pass.assign(static_cast<std::size_t>(nfields), -1);
+  for (int f = 0; f < nfields; ++f) sh.written_pass[static_cast<std::size_t>(f)] = p.written_pass(f);
+
+  // Distinct weights in first-appearance order: the table index each term's
+  // multiply aliases kCbWgt onto.
+  sh.weights.clear();
+  auto weight_index = [&](float w) {
+    for (std::size_t i = 0; i < sh.weights.size(); ++i) {
+      if (sh.weights[i] == w) return static_cast<int>(i);
+    }
+    sh.weights.push_back(w);
+    return static_cast<int>(sh.weights.size() - 1);
+  };
+
+  sh.passes.clear();
+  for (const auto& pass : p.passes) {
+    LoweredPass lp;
+    lp.target = pass.target;
+    lp.post = pass.post;
+    lp.self_field = pass.post_self_field;
+    auto touch = [&](int field, int dr) {
+      for (auto& pf : lp.reads) {
+        if (pf.field == field) {
+          pf.lo = std::min(pf.lo, dr);
+          pf.hi = std::max(pf.hi, dr);
+          return;
+        }
+      }
+      lp.reads.push_back(PassField{field, std::min(dr, 0), std::max(dr, 0)});
+    };
+    for (const auto& term : pass.terms) {
+      const int dr = tap_dr(term.tap);
+      lp.terms.push_back(LoweredTerm{term.field, dr, tap_dc(term.tap),
+                                     weight_index(term.weight)});
+      touch(term.field, dr);
+    }
+    // The Life recombination reads the self field's centre row — stream it
+    // even when no tap term references it.
+    if (lp.post == PostOp::kLife) touch(lp.self_field, 0);
+    sh.passes.push_back(std::move(lp));
+  }
 }
 
-void build_stencil_program(ttmetal::Program& prog,
-                           std::shared_ptr<StencilShared> sh) {
+void build_general_rowchunk_group(ttmetal::Program& prog,
+                                  std::shared_ptr<GeneralShared> sh) {
   const int ncores = static_cast<int>(sh->ranges.size());
-  std::vector<int> cores;
-  for (int c = 0; c < ncores; ++c) cores.push_back(c);
+  const std::vector<int> cores = sh->workers();
+  TTSIM_CHECK(static_cast<int>(cores.size()) == ncores);
+  const int nfields = sh->nfields();
 
-  // Read-ahead depth N (2 = the paper's scheme): 2N+1 row slots and N-page
-  // tap CBs keep up to N batches of reads in flight (see jacobi_rowchunk).
   const auto depth = static_cast<std::uint32_t>(std::max(2, sh->read_ahead));
-  const std::uint32_t nslots = 2 * depth + 1;
-
-  for (const auto& tap : sh->taps) {
-    prog.create_cb(kCbTapBase + tap.index, cores, kTileBytes, depth);
-    prog.create_cb(kCbWeightBase + tap.index, cores, kTileBytes, 1);
+  // Continuous rotation bound. With every read issue gated behind a CB
+  // reserve (the prologue is folded into batch 0's reserve below), at most
+  // N batches are reserved-but-unpopped, so the newest issued row is at
+  // most 2N rows past the oldest row a pending batch still reads — plus 2
+  // halo rows for every column boundary inside that window. A window of N
+  // batches crosses at most ceil(N/nrows_min) boundaries, which matters
+  // when the decomposition leaves fewer rows per core than the read-ahead
+  // depth (jacobi_rowchunk never sees that regime; the general frontend's
+  // conformance sweep does).
+  std::uint32_t nrows_min = UINT32_MAX;
+  for (const auto& rg : sh->ranges) {
+    nrows_min = std::min(nrows_min, rg.row_hi - rg.row_lo);
   }
-  prog.create_cb(kCbInter, cores, kTileBytes, 2);
-  prog.create_cb(kCbTmp, cores, kTileBytes, 2);
-  prog.create_cb(kCbOut, cores, kTileBytes, 4);
+  nrows_min = std::max(nrows_min, 1u);
+  const std::uint32_t nslots =
+      2 * depth + 3 + 2 * ((depth + nrows_min - 1) / nrows_min);
+
+  // One stream CB per field any pass references; the accumulator CBs only
+  // when a chain is long enough to need them.
+  std::vector<char> streamed(static_cast<std::size_t>(nfields), 0);
+  bool needs_inter = false, needs_post = false;
+  for (const auto& pass : sh->passes) {
+    for (const auto& pf : pass.reads) streamed[static_cast<std::size_t>(pf.field)] = 1;
+    if (pass.terms.size() > 1) needs_inter = true;
+    if (pass.post != PostOp::kNone) needs_post = true;
+  }
+  for (int f = 0; f < nfields; ++f) {
+    if (streamed[static_cast<std::size_t>(f)]) {
+      prog.create_cb(kCbFieldBase + f, cores, kTileBytes, depth);
+    }
+  }
+  prog.create_cb(kCbWgt, cores, kTileBytes, 1);
+  if (needs_inter) prog.create_cb(kCbGInter, cores, kTileBytes, 2);
+  if (needs_inter || needs_post) prog.create_cb(kCbGTmp, cores, kTileBytes, 2);
+  if (needs_post) prog.create_cb(kCbGTmp2, cores, kTileBytes, 2);
+  prog.create_cb(kCbGOut, cores, kTileBytes, 4);
 
   std::uint32_t max_chunk = 16;
   for (const auto& rg : sh->ranges) {
     max_chunk = std::max(max_chunk, std::min(sh->chunk_elems, rg.col_hi - rg.col_lo));
   }
   const std::uint32_t sbytes = slot_bytes_for(max_chunk);
-  const std::uint32_t slots_addr =
-      prog.l1_buffer_address(prog.create_l1_buffer(cores, nslots * sbytes));
+  // Field f's rotation lives at slots_addr + f*nslots*sbytes.
+  const std::uint32_t slots_addr = prog.l1_buffer_address(prog.create_l1_buffer(
+      cores, static_cast<std::uint64_t>(nfields) * nslots * sbytes));
+  const std::uint32_t wtab = prog.l1_buffer_address(prog.create_l1_buffer(
+      cores, static_cast<std::uint64_t>(sh->weights.size()) * kTileBytes));
+  // Reader and writer rendezvous after EVERY pass: a pass may read fields
+  // the previous pass just wrote (FDTD's leapfrog), so no core's reader may
+  // start pass p+1 until every writer has finished pass p.
   prog.create_global_barrier(sh->barrier_id, 2 * ncores);
 
   // ---------------- reading data mover ----------------
@@ -116,65 +167,93 @@ void build_stencil_program(ttmetal::Program& prog,
         const ChunkGrid grid(sh->ranges[static_cast<std::size_t>(ctx.position())],
                              sh->chunk_elems, nslots);
         const PaddedLayout& L = sh->layout;
-        for (const auto& tap : sh->taps) {
-          detail::fill_scalar_page(ctx, kCbWeightBase + tap.index, tap.weight);
-        }
-        // Rows needed per output row j: j plus the active vertical halos.
-        const std::int64_t lo = sh->needs_north ? -1 : 0;
-        const std::int64_t hi = sh->needs_south ? 1 : 0;
+        std::vector<std::uint64_t> src;
+        std::vector<std::int64_t> issued_hi, max_row;
         for (int it = 0; it < sh->iterations; ++it) {
-          const std::uint64_t src = (it % 2 == 0) ? sh->d1 : sh->d2;
-          for (std::uint32_t col = 0; col < grid.ncols; ++col) {
-            const std::int64_t c0 =
-                grid.rg.col_lo + static_cast<std::int64_t>(col) * grid.chunk;
-            const std::uint32_t off =
-                static_cast<std::uint32_t>(L.byte_offset(0, c0 - 1) % 32);
-            const std::uint32_t read_bytes = (grid.chunk + 2) * 2 + off;
-            // Slot-tagged reads, as in the Jacobi row-chunk reader: each
-            // batch waits only on the row it still needs while up to
-            // `depth` batches of reads stay in flight.
-            auto issue_row = [&](std::int64_t y) {
-              const std::uint32_t slot = grid.slot_of(y);
-              ctx.noc_async_read(
-                  ctx.get_noc_addr(src + L.byte_offset(y, c0 - 1) - off),
-                  slots_addr + slot * sbytes, read_bytes,
-                  static_cast<int>(slot));
-            };
-            const std::int64_t r0 = grid.rg.row_lo, r1 = grid.rg.row_hi;
-            // Column boundary: as in the Jacobi reader, the prologue's slots
-            // still alias the previous column's tail rows while up to N-1 of
-            // its batches are in flight. N = 2 (the paper's scheme) is
-            // covered by the DRAM round trip; deeper pipelines must drain.
-            // All `depth` pages of the last-popped tap CB free means the
-            // compute kernel is past every slot read of the previous column.
-            if (depth > 2 && col > 0) {
-              ctx.cb_reserve_back(kCbTapBase + sh->taps.back().index, depth);
+          for (std::size_t p = 0; p < sh->passes.size(); ++p) {
+            const LoweredPass& pass = sh->passes[p];
+            const std::size_t nf = pass.reads.size();
+            src.resize(nf);
+            issued_hi.resize(nf);
+            max_row.resize(nf);
+            for (std::size_t e = 0; e < nf; ++e) {
+              src[e] = sh->src_of(pass.reads[e].field, it, static_cast<int>(p));
             }
-            // Last row any batch of this column needs.
-            const std::int64_t max_row = hi == 1 ? r1 : r1 - 1;
-            std::int64_t issued_hi = std::min<std::int64_t>(r0 + 1, r1);
-            for (std::int64_t y = r0 + lo; y <= issued_hi; ++y) issue_row(y);
-            for (std::int64_t j = r0; j < r1; ++j) {
-              for (const auto& tap : sh->taps)
-                ctx.cb_reserve_back(kCbTapBase + tap.index, 1);
-              // Batch j's furthest input row is min(j+hi, max_row); waiting
-              // the tag of min(j+1, max_row) covers it (rows below were
-              // waited by earlier batches; an already-drained tag is free).
-              if (j == r0) {
-                ctx.noc_async_read_barrier();
-              } else {
-                ctx.noc_async_read_barrier(static_cast<int>(
-                    grid.slot_of(std::min<std::int64_t>(j + 1, max_row))));
+            for (std::uint32_t col = 0; col < grid.ncols; ++col) {
+              const std::int64_t c0 = grid.rg.col_lo +
+                                      static_cast<std::int64_t>(col) * grid.chunk;
+              const std::uint32_t off =
+                  static_cast<std::uint32_t>(L.byte_offset(0, c0 - 1) % 32);
+              const std::uint32_t read_bytes = (grid.chunk + 2) * 2 + off;
+              // Reads are tagged per (field, slot) so a batch waits only on
+              // the one row it still needs while `depth` batches of reads
+              // stay in flight (see jacobi_rowchunk for the rotation and
+              // tag-reuse argument; tags of different fields never clash).
+              auto issue_row = [&](std::size_t e, std::int64_t y) {
+                const int f = pass.reads[e].field;
+                const std::uint32_t slot = grid.slot_of(col, y);
+                ctx.noc_async_read(
+                    ctx.get_noc_addr(src[e] + L.byte_offset(y, c0 - 1) - off),
+                    slots_addr + (static_cast<std::uint32_t>(f) * nslots + slot) * sbytes,
+                    read_bytes,
+                    static_cast<int>(static_cast<std::uint32_t>(f) * nslots + slot));
+              };
+
+              const std::int64_t r0 = grid.rg.row_lo;
+              const std::int64_t r1 = grid.rg.row_hi;
+              for (std::size_t e = 0; e < nf; ++e) {
+                max_row[e] = r1 - 1 + pass.reads[e].hi;
+                issued_hi[e] = r0 + pass.reads[e].lo - 1;
               }
-              while (issued_hi < std::min<std::int64_t>(j + depth, max_row)) {
-                issue_row(++issued_hi);
+              for (std::int64_t j = r0; j < r1; ++j) {
+                // Flow control: a free page means the compute kernel popped
+                // batch j-N, so the slots the next issues rotate into are no
+                // longer referenced. EVERY issue of this column sits behind
+                // one of these reserves — including the first batch's
+                // prologue below — which is what bounds the reader's
+                // cross-column run-ahead (see the nslots derivation).
+                for (std::size_t e = 0; e < nf; ++e) {
+                  ctx.cb_reserve_back(kCbFieldBase + pass.reads[e].field, 1);
+                }
+                // Batch j's furthest input row of field e is j+hi (earlier
+                // rows were waited by earlier batches); the first batch
+                // issues its whole window [r0+lo, r0+hi] — clamped to the
+                // last row any batch of this column needs; fields without
+                // vertical taps read one row per batch, so the
+                // fewer-taps-run-faster cost structure extends to the
+                // reader — and waits it untagged.
+                if (j == r0) {
+                  for (std::size_t e = 0; e < nf; ++e) {
+                    const std::int64_t hi =
+                        std::min<std::int64_t>(r0 + pass.reads[e].hi, max_row[e]);
+                    while (issued_hi[e] < hi) issue_row(e, ++issued_hi[e]);
+                  }
+                  ctx.noc_async_read_barrier();
+                } else {
+                  for (std::size_t e = 0; e < nf; ++e) {
+                    const int f = pass.reads[e].field;
+                    const std::uint32_t slot = grid.slot_of(
+                        col, std::min<std::int64_t>(j + pass.reads[e].hi, max_row[e]));
+                    ctx.noc_async_read_barrier(
+                        static_cast<int>(static_cast<std::uint32_t>(f) * nslots + slot));
+                  }
+                }
+                // ...and issue non-blocking reads up to N batches ahead.
+                for (std::size_t e = 0; e < nf; ++e) {
+                  while (issued_hi[e] <
+                         std::min<std::int64_t>(j + depth - 1 + pass.reads[e].hi,
+                                                max_row[e])) {
+                    issue_row(e, ++issued_hi[e]);
+                  }
+                }
+                for (std::size_t e = 0; e < nf; ++e) {
+                  ctx.cb_push_back(kCbFieldBase + pass.reads[e].field, 1);
+                }
+                ctx.loop_tick();
               }
-              for (const auto& tap : sh->taps)
-                ctx.cb_push_back(kCbTapBase + tap.index, 1);
-              ctx.loop_tick();
             }
+            ctx.global_barrier(sh->barrier_id);
           }
-          ctx.global_barrier(sh->barrier_id);
         }
       },
       "stencil_reader");
@@ -182,60 +261,53 @@ void build_stencil_program(ttmetal::Program& prog,
   // ---------------- compute cores ----------------
   prog.create_kernel(
       cores,
-      [sh, slots_addr, sbytes, nslots](ttmetal::ComputeCtx& ctx) {
+      [sh, slots_addr, sbytes, wtab, nslots](ttmetal::ComputeCtx& ctx) {
         const ChunkGrid grid(sh->ranges[static_cast<std::size_t>(ctx.position())],
                              sh->chunk_elems, nslots);
         const PaddedLayout& L = sh->layout;
-        constexpr int dst0 = 0;
+        ctx.binary_op_init_common(kCbWgt, kCbFieldBase);
+        fill_weight_table(ctx, wtab, sh->weights);
+        std::vector<TapAddr> taps;
         for (int it = 0; it < sh->iterations; ++it) {
-          for (std::uint32_t col = 0; col < grid.ncols; ++col) {
-            const std::int64_t c0 =
-                grid.rg.col_lo + static_cast<std::int64_t>(col) * grid.chunk;
-            const std::uint32_t off =
-                static_cast<std::uint32_t>(L.byte_offset(0, c0 - 1) % 32);
-            for (std::int64_t j = grid.rg.row_lo; j < grid.rg.row_hi; ++j) {
-              const std::uint32_t sj = slots_addr + grid.slot_of(j) * sbytes + off;
-              const std::uint32_t sup =
-                  slots_addr + grid.slot_of(j - 1) * sbytes + off;
-              const std::uint32_t sdn =
-                  slots_addr + grid.slot_of(j + 1) * sbytes + off;
-              // Alias address per tap: C/W/E from row j, N/S from j-1/j+1.
-              const std::array<std::uint32_t, 5> tap_addr = {
-                  sj + 2, sj, sj + 4, sup + 2, sdn + 2};
-
-              const std::size_t n = sh->taps.size();
-              for (std::size_t k = 0; k < n; ++k) {
-                const auto& tap = sh->taps[k];
-                const int tap_cb = kCbTapBase + tap.index;
-                const int w_cb = kCbWeightBase + tap.index;
-                ctx.cb_wait_front(tap_cb, 1);
-                ctx.cb_set_rd_ptr(tap_cb, tap_addr[static_cast<std::size_t>(tap.index)]);
-                ctx.cb_wait_front(w_cb, 1);
-                ctx.mul_tiles(w_cb, tap_cb, 0, 0, dst0);
-                ctx.cb_pop_front(tap_cb, 1);
-                if (k == 0) {
-                  // First product seeds the accumulator (or goes straight
-                  // out for single-tap stencils).
-                  const int target = n == 1 ? kCbOut : kCbInter;
-                  ctx.cb_reserve_back(target, 1);
-                  ctx.pack_tile(dst0, target);
-                  ctx.cb_push_back(target, 1);
-                } else {
-                  ctx.cb_reserve_back(kCbTmp, 1);
-                  ctx.pack_tile(dst0, kCbTmp);
-                  ctx.cb_push_back(kCbTmp, 1);
-                  ctx.cb_wait_front(kCbInter, 1);
-                  ctx.cb_wait_front(kCbTmp, 1);
-                  ctx.add_tiles(kCbInter, kCbTmp, 0, 0, dst0);
-                  ctx.cb_pop_front(kCbTmp, 1);
-                  ctx.cb_pop_front(kCbInter, 1);
-                  const int target = k + 1 == n ? kCbOut : kCbInter;
-                  ctx.cb_reserve_back(target, 1);
-                  ctx.pack_tile(dst0, target);
-                  ctx.cb_push_back(target, 1);
+          for (const LoweredPass& pass : sh->passes) {
+            for (std::uint32_t col = 0; col < grid.ncols; ++col) {
+              const std::int64_t c0 = grid.rg.col_lo +
+                                      static_cast<std::int64_t>(col) * grid.chunk;
+              const std::uint32_t off =
+                  static_cast<std::uint32_t>(L.byte_offset(0, c0 - 1) % 32);
+              // A redirected tile covers only the chunk's elements, not a
+              // full 2 KiB page — declared so the race detector's read spans
+              // stay within this batch's slots.
+              const std::uint32_t valid = grid.chunk * 2;
+              for (std::int64_t j = grid.rg.row_lo; j < grid.rg.row_hi; ++j) {
+                for (const auto& pf : pass.reads) {
+                  ctx.cb_wait_front(kCbFieldBase + pf.field, 1);
                 }
+                // Tap alias: field f's row j+dr slot, shifted by dc elements
+                // (the slot holds elements from column c0-1).
+                auto tap_at = [&](int f, int dr, int dc) {
+                  return slots_addr +
+                         (static_cast<std::uint32_t>(f) * nslots +
+                          grid.slot_of(col, j + dr)) * sbytes +
+                         off + static_cast<std::uint32_t>(2 + 2 * dc);
+                };
+                taps.clear();
+                for (const auto& t : pass.terms) {
+                  taps.push_back(TapAddr{kCbFieldBase + t.field,
+                                         tap_at(t.field, t.dr, t.dc), valid, t.widx});
+                }
+                const TapAddr self{kCbFieldBase + pass.self_field,
+                                   tap_at(pass.self_field, 0, 0), valid, 0};
+                emit_tap_chain(ctx, wtab, taps, pass.post, self, [&](int reg) {
+                  ctx.cb_reserve_back(kCbGOut, 1);
+                  ctx.pack_tile(reg, kCbGOut);
+                  ctx.cb_push_back(kCbGOut, 1);
+                });
+                for (const auto& pf : pass.reads) {
+                  ctx.cb_pop_front(kCbFieldBase + pf.field, 1);
+                }
+                ctx.loop_tick();
               }
-              ctx.loop_tick();
             }
           }
         }
@@ -250,36 +322,49 @@ void build_stencil_program(ttmetal::Program& prog,
                              sh->chunk_elems, nslots);
         const PaddedLayout& L = sh->layout;
         for (int it = 0; it < sh->iterations; ++it) {
-          const std::uint64_t dst = (it % 2 == 0) ? sh->d2 : sh->d1;
-          for (std::uint32_t col = 0; col < grid.ncols; ++col) {
-            const std::int64_t c0 =
-                grid.rg.col_lo + static_cast<std::int64_t>(col) * grid.chunk;
-            for (std::int64_t j = grid.rg.row_lo; j < grid.rg.row_hi; ++j) {
-              ctx.cb_wait_front(kCbOut, 1);
-              ctx.noc_async_write(ctx.get_read_ptr(kCbOut),
-                                  ctx.get_noc_addr(dst + L.byte_offset(j, c0)),
-                                  grid.chunk * 2);
-              ctx.noc_async_write_barrier();
-              ctx.cb_pop_front(kCbOut, 1);
-              ctx.loop_tick();
+          for (const LoweredPass& pass : sh->passes) {
+            const std::uint64_t dst = sh->dst_of(pass.target, it);
+            for (std::uint32_t col = 0; col < grid.ncols; ++col) {
+              const std::int64_t c0 = grid.rg.col_lo +
+                                      static_cast<std::int64_t>(col) * grid.chunk;
+              for (std::int64_t j = grid.rg.row_lo; j < grid.rg.row_hi; ++j) {
+                ctx.cb_wait_front(kCbGOut, 1);
+                ctx.noc_async_write(ctx.get_read_ptr(kCbGOut),
+                                    ctx.get_noc_addr(dst + L.byte_offset(j, c0)),
+                                    grid.chunk * 2);
+                ctx.noc_async_write_barrier();
+                ctx.cb_pop_front(kCbGOut, 1);
+                ctx.loop_tick();
+              }
             }
+            ctx.global_barrier(sh->barrier_id);
           }
-          ctx.global_barrier(sh->barrier_id);
         }
       },
       "stencil_writer");
 }
 
-std::vector<bfloat16_t> stencil_image(const PaddedLayout& layout,
-                                      const StencilProblem& p) {
-  auto image = layout.initial_image(p.geometry());
-  if (!p.initial_field.empty()) {
-    TTSIM_CHECK_MSG(p.initial_field.size() == p.points(),
-                    "initial_field must be width*height values");
+}  // namespace detail
+
+std::vector<bfloat16_t> general_field_image(const PaddedLayout& layout,
+                                            const GeneralStencilProblem& p,
+                                            int field) {
+  const FieldSpec& f = p.fields[static_cast<std::size_t>(field)];
+  JacobiProblem g = p.geometry();
+  g.bc_left = f.bc_left;
+  g.bc_right = f.bc_right;
+  g.bc_top = f.bc_top;
+  g.bc_bottom = f.bc_bottom;
+  g.initial = f.initial;
+  auto image = layout.initial_image(g);
+  if (!f.initial_field.empty()) {
+    TTSIM_CHECK_MSG(f.initial_field.size() == p.points(),
+                    "initial_field of field " << field
+                                              << " must be width*height values");
     for (std::int64_t r = 0; r < p.height; ++r) {
       for (std::int64_t c = 0; c < p.width; ++c) {
         image[layout.index(r, c)] =
-            bfloat16_t{p.initial_field[static_cast<std::size_t>(r) * p.width +
+            bfloat16_t{f.initial_field[static_cast<std::size_t>(r) * p.width +
                                        static_cast<std::size_t>(c)]};
       }
     }
@@ -287,16 +372,40 @@ std::vector<bfloat16_t> stencil_image(const PaddedLayout& layout,
   return image;
 }
 
+namespace {
+
+void validate_run_config(const GeneralStencilProblem& p, const DeviceRunConfig& cfg) {
+  p.validate();
+  if (cfg.read_ahead < 2 || cfg.read_ahead > 64) {
+    TTSIM_THROW_API("read_ahead must be in [2, 64] (got " << cfg.read_ahead
+                    << "); 2 is the paper's two-batch scheme");
+  }
+  if (cfg.strategy != DeviceStrategy::kRowChunk &&
+      cfg.strategy != DeviceStrategy::kSramResident) {
+    TTSIM_THROW_API("general stencils lower onto the row-chunk or SRAM-resident "
+                    "strategies (got " << to_string(cfg.strategy) << ")");
+  }
+  if (cfg.strategy == DeviceStrategy::kSramResident) {
+    if (p.fields.size() != 1 || p.passes.size() != 1) {
+      TTSIM_THROW_API("the SRAM-resident strategy holds ONE field's slabs in "
+                      "L1: single-field single-pass programs only");
+    }
+    if (cfg.cores_x != 1) {
+      TTSIM_THROW_API("the SRAM-resident solver decomposes in Y only (cores_x == 1)");
+    }
+    if (p.width > 1024 && p.width % 1024 != 0) {
+      TTSIM_THROW_API("SRAM-resident domains must be <= 1024 wide or a multiple of "
+                      "1024 (FPU tile packs write straight into the slab)");
+    }
+  }
+}
+
 }  // namespace
 
-DeviceRunResult run_stencil_on_device(ttmetal::Device& device, const StencilProblem& p,
-                                      const DeviceRunConfig& cfg) {
-  const auto taps = active_taps(p.stencil);
-  if (taps.empty()) TTSIM_THROW_API("stencil has no non-zero taps");
-  if (p.iterations < 1) TTSIM_THROW_API("need at least one iteration");
-  if (cfg.read_ahead < 2 || cfg.read_ahead > 64) {
-    TTSIM_THROW_API("read_ahead must be in [2, 64] (got " << cfg.read_ahead << ")");
-  }
+GeneralRunResult run_general_stencil_on_device(ttmetal::Device& device,
+                                               const GeneralStencilProblem& p,
+                                               const DeviceRunConfig& cfg) {
+  validate_run_config(p, cfg);
   const int ncores = cfg.cores_x * cfg.cores_y;
   if (ncores > device.num_workers()) {
     TTSIM_THROW_API("decomposition needs " << ncores << " cores but the e150 has "
@@ -304,56 +413,162 @@ DeviceRunResult run_stencil_on_device(ttmetal::Device& device, const StencilProb
   }
 
   const PaddedLayout layout(p.width, p.height);
-  ttmetal::BufferConfig bc;
-  bc.size = layout.bytes();
-  bc.layout = cfg.buffer_layout;
-  if (cfg.buffer_layout == ttmetal::BufferLayout::kInterleaved) {
-    bc.page_size = cfg.interleave_page;
-  } else if (cfg.buffer_layout == ttmetal::BufferLayout::kStriped) {
-    bc.page_size = align_up(layout.bytes() / 16 + 1, 32);
-    bc.balanced_stripes = cfg.balanced_stripes;
-  }
-  auto d1 = device.create_buffer(bc);
-  auto d2 = device.create_buffer(bc);
+  const ttmetal::BufferConfig bc = detail::grid_buffer_config(cfg, layout);
+  const int nfields = static_cast<int>(p.fields.size());
 
-  const SimTime t_start = device.now();
-  const auto image = stencil_image(layout, p);
-  device.write_buffer(*d1, std::as_bytes(std::span{image}));
-  device.write_buffer(*d2, std::as_bytes(std::span{image}));
-
-  auto shared = std::make_shared<StencilShared>(layout);
-  shared->d1 = d1->address();
-  shared->d2 = d2->address();
-  shared->iterations = p.iterations;
+  auto shared = std::make_shared<detail::GeneralShared>(layout);
+  detail::lower_program(p, *shared);
   shared->chunk_elems = cfg.chunk_elems;
   shared->read_ahead = cfg.read_ahead;
-  shared->taps = taps;
-  shared->needs_north = p.stencil.wn != 0.0f;
-  shared->needs_south = p.stencil.ws != 0.0f;
   shared->ranges = detail::decompose(p.geometry(), cfg.cores_x, cfg.cores_y, 16);
 
+  // One buffer pair per field — read-only fields live in a single buffer
+  // (their "pair" slot stays 0 and src_of always resolves to d1).
+  std::vector<decltype(device.create_buffer(bc))> d1(static_cast<std::size_t>(nfields));
+  std::vector<decltype(device.create_buffer(bc))> d2(static_cast<std::size_t>(nfields));
+  shared->d1.assign(static_cast<std::size_t>(nfields), 0);
+  shared->d2.assign(static_cast<std::size_t>(nfields), 0);
+  for (int f = 0; f < nfields; ++f) {
+    d1[static_cast<std::size_t>(f)] = device.create_buffer(bc);
+    shared->d1[static_cast<std::size_t>(f)] = d1[static_cast<std::size_t>(f)]->address();
+    if (p.written_pass(f) >= 0) {
+      d2[static_cast<std::size_t>(f)] = device.create_buffer(bc);
+      shared->d2[static_cast<std::size_t>(f)] = d2[static_cast<std::size_t>(f)]->address();
+    }
+  }
+
+  const SimTime t_start = device.now();
+  for (int f = 0; f < nfields; ++f) {
+    const auto image = general_field_image(layout, p, f);
+    device.write_buffer(*d1[static_cast<std::size_t>(f)], std::as_bytes(std::span{image}));
+    // The parity partner needs the same boundary cells (and, before its
+    // first write lands, the same interior the early rows' halo reads see).
+    if (d2[static_cast<std::size_t>(f)]) {
+      device.write_buffer(*d2[static_cast<std::size_t>(f)], std::as_bytes(std::span{image}));
+    }
+  }
+
   ttmetal::Program prog;
-  build_stencil_program(prog, shared);
+  if (cfg.strategy == DeviceStrategy::kSramResident) {
+    detail::build_general_sram_program(prog, shared);
+  } else {
+    detail::build_general_rowchunk_group(prog, shared);
+  }
   device.run_program(prog);
 
-  auto& final_buf = (p.iterations % 2 == 1) ? *d2 : *d1;
-  std::vector<bfloat16_t> out(layout.elems());
-  device.read_buffer(final_buf, std::as_writable_bytes(std::span{out}));
-
-  DeviceRunResult result;
+  GeneralRunResult result;
+  result.fields.resize(static_cast<std::size_t>(nfields));
+  for (int f = 0; f < nfields; ++f) {
+    auto& final_buf = shared->final_of(f) == shared->d1[static_cast<std::size_t>(f)]
+                          ? *d1[static_cast<std::size_t>(f)]
+                          : *d2[static_cast<std::size_t>(f)];
+    std::vector<bfloat16_t> out(layout.elems());
+    device.read_buffer(final_buf, std::as_writable_bytes(std::span{out}));
+    result.fields[static_cast<std::size_t>(f)] = layout.extract_interior(out);
+  }
   result.kernel_time = device.last_kernel_duration();
   result.total_time = device.now() - t_start;
   result.cores_used = ncores;
-  result.solution = layout.extract_interior(out);
+  result.solution = result.fields[static_cast<std::size_t>(p.primary_field())];
 
   if (cfg.verify) {
-    const auto ref = cpu::stencil_reference_bf16(p);
-    result.verified_ok = ref.size() == result.solution.size();
-    for (std::size_t i = 0; result.verified_ok && i < ref.size(); ++i) {
-      if (static_cast<float>(ref[i]) != result.solution[i]) result.verified_ok = false;
+    const auto ref = cpu::general_reference_bf16(p);
+    result.verified_ok = ref.size() == result.fields.size();
+    for (int f = 0; result.verified_ok && f < nfields; ++f) {
+      const auto& rf = ref[static_cast<std::size_t>(f)];
+      const auto& df = result.fields[static_cast<std::size_t>(f)];
+      result.verified_ok = rf.size() == df.size();
+      for (std::size_t i = 0; result.verified_ok && i < rf.size(); ++i) {
+        if (static_cast<float>(rf[i]) != df[i]) result.verified_ok = false;
+      }
     }
   }
   return result;
+}
+
+GeneralRunResult run_general_stencil_on_device(const GeneralStencilProblem& p,
+                                               const DeviceRunConfig& cfg,
+                                               sim::GrayskullSpec spec) {
+  auto device = ttmetal::Device::open(spec);
+  return run_general_stencil_on_device(*device, p, cfg);
+}
+
+void build_batched_stencil_program(ttmetal::Program& prog,
+                                   const GeneralStencilProblem& p,
+                                   const DeviceRunConfig& cfg,
+                                   const std::vector<GeneralBatchSlot>& slots) {
+  if (slots.empty()) TTSIM_THROW_API("batched launch needs at least one slot");
+  if (cfg.strategy != DeviceStrategy::kRowChunk) {
+    TTSIM_THROW_API("batched launches are built on the row-chunk strategy");
+  }
+  validate_stencil_request(p, cfg);
+
+  const PaddedLayout layout(p.width, p.height);
+  const auto ranges = detail::decompose(p.geometry(), cfg.cores_x, cfg.cores_y, 16);
+  const std::size_t nfields = p.fields.size();
+
+  std::set<int> used;
+  for (std::size_t g = 0; g < slots.size(); ++g) {
+    const GeneralBatchSlot& slot = slots[g];
+    if (slot.core_ids.size() != ranges.size()) {
+      TTSIM_THROW_API("batch slot " << g << " supplies " << slot.core_ids.size()
+                      << " cores but the decomposition needs " << ranges.size());
+    }
+    if (slot.d1.size() != nfields || slot.d2.size() != nfields) {
+      TTSIM_THROW_API("batch slot " << g << " must supply one buffer pair per "
+                      "field (" << nfields << ")");
+    }
+    for (int id : slot.core_ids) {
+      if (!used.insert(id).second) {
+        TTSIM_THROW_API("batch slots must use disjoint cores (worker " << id
+                        << " appears twice)");
+      }
+    }
+  }
+
+  for (std::size_t g = 0; g < slots.size(); ++g) {
+    const GeneralBatchSlot& slot = slots[g];
+    auto shared = std::make_shared<detail::GeneralShared>(layout);
+    detail::lower_program(p, *shared);
+    shared->chunk_elems = cfg.chunk_elems;
+    shared->read_ahead = cfg.read_ahead;
+    shared->d1 = slot.d1;
+    shared->d2 = slot.d2;
+    shared->ranges = ranges;
+    shared->core_ids = slot.core_ids;
+    shared->barrier_id = static_cast<int>(g);
+    detail::build_general_rowchunk_group(prog, shared);
+  }
+}
+
+void validate_stencil_request(const GeneralStencilProblem& p,
+                              const DeviceRunConfig& cfg) {
+  p.validate();
+  if (cfg.strategy != DeviceStrategy::kRowChunk) {
+    TTSIM_THROW_API("batched launches are built on the row-chunk strategy");
+  }
+  if (cfg.read_ahead < 2 || cfg.read_ahead > 64) {
+    TTSIM_THROW_API("read_ahead must be in [2, 64] (got " << cfg.read_ahead
+                    << "); 2 is the paper's two-batch scheme");
+  }
+  (void)detail::decompose(p.geometry(), cfg.cores_x, cfg.cores_y, 16);
+}
+
+DeviceRunResult run_stencil_on_device(ttmetal::Device& device, const StencilProblem& p,
+                                      const DeviceRunConfig& cfg) {
+  if (p.stencil.active_taps() == 0) TTSIM_THROW_API("stencil has no non-zero taps");
+  DeviceRunConfig c = cfg;
+  if (c.strategy != DeviceStrategy::kSramResident) {
+    c.strategy = DeviceStrategy::kRowChunk;
+  }
+  auto r = run_general_stencil_on_device(device, to_general(p), c);
+  DeviceRunResult out;
+  out.solution = std::move(r.solution);
+  out.kernel_time = r.kernel_time;
+  out.total_time = r.total_time;
+  out.cores_used = r.cores_used;
+  out.verified_ok = r.verified_ok;
+  return out;
 }
 
 DeviceRunResult run_stencil_on_device(const StencilProblem& p,

@@ -59,10 +59,12 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "ttsim/core/jacobi_device.hpp"
+#include "ttsim/core/stencil.hpp"
 #include "ttsim/serve/checkpoint.hpp"
 #include "ttsim/serve/health.hpp"
 #include "ttsim/sim/trace.hpp"
@@ -81,6 +83,11 @@ struct ShapeKey {
   int iterations = 0;
   std::uint32_t chunk_elems = 0;
   int read_ahead = 0;
+  /// transition_hash() of a general stencil program; 0 = classic Jacobi.
+  /// Structure (fields, passes, taps, weights) keys the compiled program;
+  /// boundary values and initial fields stay per-request data, so gallery
+  /// requests with different physics batch together like Jacobi ones do.
+  std::uint64_t program = 0;
   auto operator<=>(const ShapeKey&) const = default;
 };
 
@@ -88,6 +95,14 @@ struct ShapeKey {
 /// (simulated time on the service clock).
 struct Request {
   core::JacobiProblem problem;
+  /// General radius-1 stencil program (the workload gallery and beyond).
+  /// When set, `problem` is ignored: geometry and iterations come from the
+  /// general problem, the session lowers through the general frontend, and
+  /// the delivered `solution` is the primary field's interior. General
+  /// requests run as ONE segment — multi-field state does not fit the
+  /// single-image checkpoint format, so checkpoint_every does not split
+  /// them (a card fault restarts the solve, pre-resilience behavior).
+  std::optional<core::GeneralStencilProblem> general;
   int tenant = 0;
   int priority = 0;       ///< higher dispatches first
   SimTime arrival = 0;    ///< earliest dispatch time (simulated)
@@ -270,7 +285,8 @@ class StencilService {
   struct InFlight;
   struct Pending;
 
-  Session& session(Card& card, const ShapeKey& key);
+  Session& session(Card& card, const ShapeKey& key,
+                   const core::GeneralStencilProblem* general);
   /// The shape of `p`'s NEXT segment (remaining sweeps, capped at
   /// checkpoint_every when checkpointing is on).
   ShapeKey effective_key(const Pending& p) const;

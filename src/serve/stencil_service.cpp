@@ -15,6 +15,7 @@
 
 #include "ttsim/common/check.hpp"
 #include "ttsim/core/jacobi_batch.hpp"
+#include "ttsim/core/stencil.hpp"
 #include "ttsim/ttmetal/device.hpp"
 
 namespace ttsim::serve {
@@ -77,6 +78,12 @@ struct StencilService::Session {
   /// banks[bank][g] = {d1, d2} grid buffers for slot g. Two banks so batch
   /// j+1's H2D staging can overlap batch j's kernels without a hazard.
   std::array<std::vector<std::array<std::shared_ptr<ttmetal::Buffer>, 2>>, 2> banks;
+  /// General-frontend sessions only: the program structure the key's hash
+  /// pins (the first request's problem; same hash = same lowering), and
+  /// per-field double-banked buffers — gbanks[bank][g][f] is field f's d1,
+  /// gbanks[bank][g][nfields+f] its d2 (null for read-only fields).
+  std::optional<core::GeneralStencilProblem> general;
+  std::array<std::vector<std::vector<std::shared_ptr<ttmetal::Buffer>>>, 2> gbanks;
   /// Compiled batch programs, keyed by (bank, batch width B). Programs are
   /// reusable across launches, so each (bank, B) compiles once.
   std::map<std::pair<int, int>, std::unique_ptr<ttmetal::Program>> programs;
@@ -193,11 +200,22 @@ void StencilService::record_span(sim::TraceEventKind kind, SimTime ts, SimTime d
 
 ShapeKey StencilService::effective_key(const Pending& p) const {
   ShapeKey key;
-  key.width = p.req.problem.width;
-  key.height = p.req.problem.height;
-  int remaining = p.req.problem.iterations - p.iterations_done;
-  if (cfg_.checkpoint_every > 0) remaining = std::min(remaining, cfg_.checkpoint_every);
-  key.iterations = remaining;
+  if (p.req.general) {
+    // General programs run whole: no checkpoint segmentation (the
+    // single-image checkpoint format cannot carry multi-field state).
+    key.width = p.req.general->width;
+    key.height = p.req.general->height;
+    key.iterations = p.req.general->iterations;
+    key.program = p.req.general->transition_hash();
+  } else {
+    key.width = p.req.problem.width;
+    key.height = p.req.problem.height;
+    int remaining = p.req.problem.iterations - p.iterations_done;
+    if (cfg_.checkpoint_every > 0) {
+      remaining = std::min(remaining, cfg_.checkpoint_every);
+    }
+    key.iterations = remaining;
+  }
   key.chunk_elems = cfg_.run.chunk_elems;
   key.read_ahead = cfg_.run.read_ahead;
   return key;
@@ -222,7 +240,7 @@ SimTime StencilService::estimate_completion(const Request& request) const {
   const auto waves =
       static_cast<SimTime>(pending_.size() / static_cast<std::size_t>(slots));
   SimTime segments = 1;
-  if (cfg_.checkpoint_every > 0) {
+  if (cfg_.checkpoint_every > 0 && !request.general) {
     segments = (request.problem.iterations + cfg_.checkpoint_every - 1) /
                cfg_.checkpoint_every;
   }
@@ -252,11 +270,23 @@ Ticket StencilService::submit(const Request& request) {
   r.admit = request.arrival;
 
   // Invalid shapes fail immediately — they would fail on every card.
+  // (CheckError covers general-program structural faults such as an
+  // initial_field of the wrong size.)
+  std::string invalid;
   try {
-    core::validate_batch_request(request.problem, cfg_.run);
+    if (request.general) {
+      core::validate_stencil_request(*request.general, cfg_.run);
+    } else {
+      core::validate_batch_request(request.problem, cfg_.run);
+    }
   } catch (const ApiError& e) {
+    invalid = e.what();
+  } catch (const CheckError& e) {
+    invalid = e.what();
+  }
+  if (!invalid.empty()) {
     r.status = RequestStatus::kFailed;
-    r.error = e.what();
+    r.error = invalid;
     ++ts.failed;
     results_.emplace(ticket.id, std::move(r));
     ticket.status = RequestStatus::kFailed;
@@ -362,7 +392,8 @@ std::vector<verify::Finding> StencilService::verify_findings() const {
   return all;
 }
 
-StencilService::Session& StencilService::session(Card& card, const ShapeKey& key) {
+StencilService::Session& StencilService::session(
+    Card& card, const ShapeKey& key, const core::GeneralStencilProblem* general) {
   auto it = card.sessions.find(key);
   if (it != card.sessions.end()) {
     ++metrics_.session_cache_hits;
@@ -385,20 +416,50 @@ StencilService::Session& StencilService::session(Card& card, const ShapeKey& key
   shape.height = key.height;
   shape.iterations = key.iterations;
   const ttmetal::BufferConfig base = core::batch_grid_buffer_config(cfg_.run, shape);
-  for (int bank = 0; bank < 2; ++bank) {
-    auto& vec = s->banks[static_cast<std::size_t>(bank)];
-    for (int g = 0; g < groups; ++g) {
-      std::array<std::shared_ptr<ttmetal::Buffer>, 2> pair;
-      for (int half = 0; half < 2; ++half) {
-        ttmetal::BufferConfig bc = base;
-        std::ostringstream name;
-        name << "serve-c" << card.index << '-' << key.width << 'x' << key.height
-             << "-i" << key.iterations << "-bank" << bank << "-slot" << g << "-d"
-             << (half + 1);
-        bc.name = name.str();
-        pair[static_cast<std::size_t>(half)] = card.device->create_buffer(bc);
+  if (general != nullptr) {
+    TTSIM_CHECK_MSG(key.program == general->transition_hash(),
+                    "session key does not match the general program");
+    s->general = *general;
+    const int nf = static_cast<int>(general->fields.size());
+    for (int bank = 0; bank < 2; ++bank) {
+      auto& vec = s->gbanks[static_cast<std::size_t>(bank)];
+      for (int g = 0; g < groups; ++g) {
+        std::vector<std::shared_ptr<ttmetal::Buffer>> bufs(
+            static_cast<std::size_t>(2 * nf));
+        for (int f = 0; f < nf; ++f) {
+          for (int half = 0; half < 2; ++half) {
+            // Read-only fields never flip parity: one grid is enough.
+            if (half == 1 && general->written_pass(f) < 0) continue;
+            ttmetal::BufferConfig bc = base;
+            std::ostringstream name;
+            name << "serve-c" << card.index << '-' << key.width << 'x'
+                 << key.height << "-i" << key.iterations << "-p" << std::hex
+                 << key.program << std::dec << "-bank" << bank << "-slot" << g
+                 << "-f" << f << "-d" << (half + 1);
+            bc.name = name.str();
+            bufs[static_cast<std::size_t>(half * nf + f)] =
+                card.device->create_buffer(bc);
+          }
+        }
+        vec.push_back(std::move(bufs));
       }
-      vec.push_back(std::move(pair));
+    }
+  } else {
+    for (int bank = 0; bank < 2; ++bank) {
+      auto& vec = s->banks[static_cast<std::size_t>(bank)];
+      for (int g = 0; g < groups; ++g) {
+        std::array<std::shared_ptr<ttmetal::Buffer>, 2> pair;
+        for (int half = 0; half < 2; ++half) {
+          ttmetal::BufferConfig bc = base;
+          std::ostringstream name;
+          name << "serve-c" << card.index << '-' << key.width << 'x' << key.height
+               << "-i" << key.iterations << "-bank" << bank << "-slot" << g << "-d"
+               << (half + 1);
+          bc.name = name.str();
+          pair[static_cast<std::size_t>(half)] = card.device->create_buffer(bc);
+        }
+        vec.push_back(std::move(pair));
+      }
     }
   }
   auto& ref = *s;
@@ -498,7 +559,9 @@ bool StencilService::dispatch_on(Card& card) {
     return false;
   }
 
-  Session& s = session(card, key);
+  const Pending& head_req = requests_.at(head);
+  Session& s = session(card, key,
+                       head_req.req.general ? &*head_req.req.general : nullptr);
   const int max_slots =
       std::min(static_cast<int>(s.groups.size()), cfg_.max_batch);
 
@@ -537,19 +600,36 @@ bool StencilService::dispatch_on(Card& card) {
   auto pit = s.programs.find(pkey);
   if (pit == s.programs.end()) {
     auto prog = std::make_unique<ttmetal::Program>();
-    std::vector<core::BatchSlot> slots(static_cast<std::size_t>(b));
-    for (int g = 0; g < b; ++g) {
-      auto& slot = slots[static_cast<std::size_t>(g)];
-      const auto& pair = s.banks[static_cast<std::size_t>(bank)][static_cast<std::size_t>(g)];
-      slot.d1 = pair[0]->address();
-      slot.d2 = pair[1]->address();
-      slot.core_ids = s.groups[static_cast<std::size_t>(g)];
+    if (s.general) {
+      const int nf = static_cast<int>(s.general->fields.size());
+      std::vector<core::GeneralBatchSlot> slots(static_cast<std::size_t>(b));
+      for (int g = 0; g < b; ++g) {
+        auto& slot = slots[static_cast<std::size_t>(g)];
+        const auto& bufs =
+            s.gbanks[static_cast<std::size_t>(bank)][static_cast<std::size_t>(g)];
+        for (int f = 0; f < nf; ++f) {
+          slot.d1.push_back(bufs[static_cast<std::size_t>(f)]->address());
+          const auto& d2 = bufs[static_cast<std::size_t>(nf + f)];
+          slot.d2.push_back(d2 ? d2->address() : 0);
+        }
+        slot.core_ids = s.groups[static_cast<std::size_t>(g)];
+      }
+      core::build_batched_stencil_program(*prog, *s.general, cfg_.run, slots);
+    } else {
+      std::vector<core::BatchSlot> slots(static_cast<std::size_t>(b));
+      for (int g = 0; g < b; ++g) {
+        auto& slot = slots[static_cast<std::size_t>(g)];
+        const auto& pair = s.banks[static_cast<std::size_t>(bank)][static_cast<std::size_t>(g)];
+        slot.d1 = pair[0]->address();
+        slot.d2 = pair[1]->address();
+        slot.core_ids = s.groups[static_cast<std::size_t>(g)];
+      }
+      core::JacobiProblem shape;
+      shape.width = key.width;
+      shape.height = key.height;
+      shape.iterations = key.iterations;
+      core::build_batched_rowchunk_program(*prog, shape, cfg_.run, slots);
     }
-    core::JacobiProblem shape;
-    shape.width = key.width;
-    shape.height = key.height;
-    shape.iterations = key.iterations;
-    core::build_batched_rowchunk_program(*prog, shape, cfg_.run, slots);
     pit = s.programs.emplace(pkey, std::move(prog)).first;
   }
 
@@ -569,6 +649,25 @@ bool StencilService::dispatch_on(Card& card) {
   for (int g = 0; g < b; ++g) {
     Pending& p = requests_.at(batch[static_cast<std::size_t>(g)]);
     auto& rr = results_.at(batch[static_cast<std::size_t>(g)]);
+    if (s.general) {
+      // Per-field staging: every field's padded image from THIS request's
+      // physics (boundary constants / initial fields are per-request data;
+      // the session only pins the program structure). Written fields stage
+      // both parities so the first pass reads a defined halo everywhere.
+      (void)rr;
+      const auto& bufs =
+          s.gbanks[static_cast<std::size_t>(bank)][static_cast<std::size_t>(g)];
+      const int nf = static_cast<int>(p.req.general->fields.size());
+      for (int f = 0; f < nf; ++f) {
+        const auto image = core::general_field_image(s.layout, *p.req.general, f);
+        const auto bytes = std::as_bytes(std::span{image});
+        cq_write.enqueue_write_buffer(*bufs[static_cast<std::size_t>(f)], bytes,
+                                      /*blocking=*/false);
+        const auto& d2 = bufs[static_cast<std::size_t>(nf + f)];
+        if (d2) cq_write.enqueue_write_buffer(*d2, bytes, /*blocking=*/false);
+      }
+      continue;
+    }
     const auto& pair = s.banks[static_cast<std::size_t>(bank)][static_cast<std::size_t>(g)];
     if (p.iterations_done == 0) {
       // First segment: the initial image from the request's physics.
@@ -602,6 +701,18 @@ bool StencilService::dispatch_on(Card& card) {
   for (int g = 0; g < b; ++g) {
     auto& out = fl.outputs[static_cast<std::size_t>(g)];
     out.resize(s.layout.elems());
+    if (s.general) {
+      // Deliver the primary field (the last pass's target, always written:
+      // its final parity follows the iteration count).
+      const int nf = static_cast<int>(s.general->fields.size());
+      const int pf = s.general->primary_field();
+      const auto& bufs =
+          s.gbanks[static_cast<std::size_t>(bank)][static_cast<std::size_t>(g)];
+      cq_read.enqueue_read_buffer(*bufs[static_cast<std::size_t>(odd ? nf + pf : pf)],
+                                  std::as_writable_bytes(std::span{out}),
+                                  /*blocking=*/false);
+      continue;
+    }
     const auto& pair = s.banks[static_cast<std::size_t>(bank)][static_cast<std::size_t>(g)];
     cq_read.enqueue_read_buffer(*pair[odd ? 1 : 0],
                                 std::as_writable_bytes(std::span{out}),
@@ -674,7 +785,9 @@ void StencilService::harvest_one(Card& card) {
     Pending& p = requests_.at(id);
     auto& r = results_.at(id);
     p.iterations_done += fl.key.iterations;
-    if (p.iterations_done < p.req.problem.iterations) {
+    const int total =
+        p.req.general ? p.req.general->iterations : p.req.problem.iterations;
+    if (p.iterations_done < total) {
       // Mid-solve segment: seal the readback — the full padded device image
       // — as this request's checkpoint and requeue the remainder. The next
       // segment may land on any card (migration).

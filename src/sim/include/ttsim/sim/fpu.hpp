@@ -62,6 +62,19 @@ class Fpu {
     std::memcpy(raw, reg(dst), kTileBytes);
   }
 
+  /// Elementwise compare-to-scalar on a destination register (SFPU unary
+  /// op): dst[i] = (dst[i] == v) ? 1 : 0. The building block for threshold
+  /// transitions (Game of Life counts neighbours, then masks on the count).
+  void eq_scalar_tile(int dst, bfloat16_t v) {
+    charge(spec_.tile_math_cost);
+    auto* r = reg(dst);
+    for (std::uint32_t i = 0; i < kTileElems; ++i) {
+      const bool eq = !r[i].is_nan() &&
+                      static_cast<float>(r[i]) == static_cast<float>(v);
+      r[i] = bfloat16_t{eq ? 1.0f : 0.0f};
+    }
+  }
+
   /// Elementwise |x| on a destination register (SFPU unary op).
   void abs_tile(int dst) {
     charge(spec_.tile_math_cost);

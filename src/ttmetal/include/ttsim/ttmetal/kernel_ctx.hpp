@@ -239,6 +239,9 @@ class ComputeCtx : public KernelCtxBase {
   void pack_tile(int dst, int cb, std::uint32_t page_offset = 0);
   /// Elementwise |x| on a dst register (SFPU unary op).
   void abs_tile(int dst);
+  /// Elementwise compare-to-scalar: dst[i] = (dst[i] == v) ? 1 : 0 (SFPU
+  /// unary op; threshold transitions such as Game of Life).
+  void eq_scalar_tile(int dst, bfloat16_t v);
   /// Reduce a dst register to its maximum lane (device-side residuals).
   bfloat16_t reduce_max(int dst);
 

@@ -617,6 +617,10 @@ void ComputeCtx::abs_tile(int dst) {
   fpu_op([&] { core_.fpu().abs_tile(dst); });
 }
 
+void ComputeCtx::eq_scalar_tile(int dst, bfloat16_t v) {
+  fpu_op([&] { core_.fpu().eq_scalar_tile(dst, v); });
+}
+
 bfloat16_t ComputeCtx::reduce_max(int dst) {
   bfloat16_t result{};
   fpu_op([&] { result = core_.fpu().reduce_max(dst); });

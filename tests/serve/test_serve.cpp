@@ -7,7 +7,9 @@
 #include <algorithm>
 #include <vector>
 
+#include "ttsim/core/gallery.hpp"
 #include "ttsim/cpu/jacobi_cpu.hpp"
+#include "ttsim/cpu/stencil_cpu.hpp"
 #include "ttsim/serve/serve.hpp"
 
 namespace ttsim::serve {
@@ -251,6 +253,76 @@ TEST(Serve, SpanTimelineIsDeterministic) {
   const std::string second = run();
   EXPECT_FALSE(first.empty());
   EXPECT_EQ(first, second);
+}
+
+TEST(Serve, GalleryWorkloadsServeEndToEnd) {
+  // Every gallery workload — hotspot, FDTD-2D, convection, Life — is
+  // servable through the shape-keyed sessions; each delivered solution is
+  // the primary field of the BF16-exact CPU reference, bit-for-bit.
+  StencilService svc(base_config());
+  const auto suite = core::gallery::suite(64, 48, 4);
+  std::vector<Ticket> tickets;
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    Request req;
+    req.general = suite[i].problem;
+    req.tenant = static_cast<int>(i);
+    tickets.push_back(svc.submit(req));
+    ASSERT_EQ(tickets.back().status, RequestStatus::kQueued) << suite[i].name;
+  }
+  svc.drain();
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const auto& r = svc.result(tickets[i].id);
+    ASSERT_EQ(r.status, RequestStatus::kCompleted)
+        << suite[i].name << ": " << r.error;
+    const auto ref = cpu::general_reference_bf16(suite[i].problem);
+    const auto& primary =
+        ref[static_cast<std::size_t>(suite[i].problem.primary_field())];
+    ASSERT_EQ(r.solution.size(), primary.size()) << suite[i].name;
+    for (std::size_t e = 0; e < primary.size(); ++e) {
+      ASSERT_EQ(r.solution[e], static_cast<float>(primary[e]))
+          << suite[i].name << " elem " << e;
+    }
+  }
+  // Four distinct transition hashes = four sessions, no batching across
+  // different programs.
+  EXPECT_EQ(svc.metrics().session_cache_misses, 4u);
+}
+
+TEST(Serve, SameProgramGalleryRequestsBatch) {
+  // Two hotspot requests with different physics share one session (the key
+  // hashes the program structure, not the boundary data) and ride one
+  // launch, like same-shape Jacobi requests do.
+  StencilService svc(base_config());
+  auto a = core::gallery::hotspot(64, 48, 4);
+  auto b = a;
+  b.fields[0].bc_left = 0.75f;  // different physics, same structure
+  Request ra, rb;
+  ra.general = a;
+  rb.general = b;
+  rb.tenant = 1;
+  const Ticket ta = svc.submit(ra);
+  const Ticket tb = svc.submit(rb);
+  svc.drain();
+  EXPECT_EQ(svc.metrics().batches, 1u);
+  EXPECT_EQ(svc.result(ta.id).batch_size, 2);
+  for (const auto& [t, p] : {std::pair{ta, a}, std::pair{tb, b}}) {
+    const auto& r = svc.result(t.id);
+    ASSERT_EQ(r.status, RequestStatus::kCompleted) << r.error;
+    const auto ref = cpu::general_reference_bf16(p);
+    const auto& primary = ref[static_cast<std::size_t>(p.primary_field())];
+    for (std::size_t e = 0; e < primary.size(); ++e) {
+      ASSERT_EQ(r.solution[e], static_cast<float>(primary[e])) << "elem " << e;
+    }
+  }
+}
+
+TEST(Serve, InvalidGeneralProgramFailsFast) {
+  StencilService svc(base_config());
+  Request req;
+  req.general = core::GeneralStencilProblem{};  // no fields, no passes
+  const Ticket t = svc.submit(req);
+  EXPECT_EQ(t.status, RequestStatus::kFailed);
+  EXPECT_FALSE(svc.result(t.id).error.empty());
 }
 
 TEST(Serve, MultiCardPoolSharesLoad) {

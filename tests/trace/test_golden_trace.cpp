@@ -17,8 +17,11 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
+#include "ttsim/core/gallery.hpp"
 #include "ttsim/core/jacobi_device.hpp"
+#include "ttsim/core/stencil.hpp"
 #include "ttsim/sim/trace.hpp"
 #include "ttsim/stream/stream_bench.hpp"
 #include "ttsim/ttmetal/device.hpp"
@@ -86,6 +89,25 @@ GoldenRun faulty_run() {
       dc);
 }
 
+/// One gallery workload from the generic-stencil frontend, lowered through
+/// the same row-chunk kernels the conformance sweep exercises. The suite's
+/// default shape (64x48, 6 iterations) on a 1x2 grid keeps multi-field CB
+/// maps, multi-pass barriers and the Life post-op all inside the pinned
+/// stream.
+GoldenRun gallery_run(const std::string& name) {
+  return traced([&](ttmetal::Device& dev) {
+    for (const auto& named : core::gallery::suite()) {
+      if (named.name != name) continue;
+      core::DeviceRunConfig cfg;
+      cfg.strategy = core::DeviceStrategy::kRowChunk;
+      cfg.cores_y = 2;
+      core::run_general_stencil_on_device(dev, named.problem, cfg);
+      return;
+    }
+    FAIL() << "gallery workload not found: " << name;
+  });
+}
+
 /// Pin `run` to `golden`, or print the replacement constant when
 /// TTSIM_REGEN_GOLDEN is set. Always re-executes the workload a second time
 /// and demands hash equality: a golden value is only meaningful if the trace
@@ -118,6 +140,10 @@ constexpr std::uint64_t kGoldenJacobiRowChunkMulticore = 0x29c55a7f6c24610full; 
 constexpr std::uint64_t kGoldenStreamSingleCore = 0xeca69c538be2aafull;        // 521 events
 constexpr std::uint64_t kGoldenStreamInterleaved = 0x3794630502d0b6f3ull;      // 598 events
 constexpr std::uint64_t kGoldenFaultyRowChunk = 0xe8d649c109af0e42ull;         // 5458 events
+constexpr std::uint64_t kGoldenGalleryHotspot = 0x133936c67a17a930ull;         // 20963 events
+constexpr std::uint64_t kGoldenGalleryFdtd2d = 0x4f49ec64b9bbeabdull;          // 50079 events
+constexpr std::uint64_t kGoldenGalleryConvection = 0x626b6734c264ad2cull;      // 25269 events
+constexpr std::uint64_t kGoldenGalleryLife = 0x7e37c045e2025bceull;            // 28149 events
 
 TEST(GoldenTrace, JacobiTiled) {
   expect_golden(
@@ -162,6 +188,27 @@ TEST(GoldenTrace, StreamInterleavedMulticore) {
 TEST(GoldenTrace, FaultInjectionRowChunk) {
   expect_golden("kGoldenFaultyRowChunk", [] { return faulty_run(); },
                 kGoldenFaultyRowChunk);
+}
+
+TEST(GoldenTrace, GalleryHotspot) {
+  expect_golden("kGoldenGalleryHotspot", [] { return gallery_run("hotspot"); },
+                kGoldenGalleryHotspot);
+}
+
+TEST(GoldenTrace, GalleryFdtd2d) {
+  expect_golden("kGoldenGalleryFdtd2d", [] { return gallery_run("fdtd2d"); },
+                kGoldenGalleryFdtd2d);
+}
+
+TEST(GoldenTrace, GalleryConvection) {
+  expect_golden("kGoldenGalleryConvection",
+                [] { return gallery_run("convection"); },
+                kGoldenGalleryConvection);
+}
+
+TEST(GoldenTrace, GalleryLife) {
+  expect_golden("kGoldenGalleryLife", [] { return gallery_run("life"); },
+                kGoldenGalleryLife);
 }
 
 /// The hash is a digest of the canonical text; make sure the two stay in

@@ -14,7 +14,9 @@
 #include <string>
 #include <vector>
 
+#include "ttsim/core/gallery.hpp"
 #include "ttsim/core/jacobi_device.hpp"
+#include "ttsim/core/stencil.hpp"
 #include "ttsim/serve/serve.hpp"
 #include "ttsim/sim/trace.hpp"
 #include "ttsim/stream/stream_bench.hpp"
@@ -179,6 +181,49 @@ TEST(VerifyClean, ServeBatchedSmoke) {
   EXPECT_TRUE(fs.empty()) << render(fs);
 }
 
+// Every gallery workload — hotspot, FDTD-2D, convection, Life — runs the
+// generic-frontend lowering (multi-field CB maps, multi-pass barriers, the
+// Life post-op) and must come back with zero findings: the general reader /
+// compute / writer protocol is as clean as the hand-written Jacobi one.
+TEST(VerifyClean, GalleryWorkloadsAreClean) {
+  for (const auto& named : core::gallery::suite()) {
+    ttmetal::DeviceConfig dc;
+    dc.enable_verify = true;
+    auto dev = ttmetal::Device::open({}, dc);
+    core::DeviceRunConfig cfg;
+    cfg.strategy = core::DeviceStrategy::kRowChunk;
+    cfg.cores_y = 2;
+    cfg.read_ahead = 3;
+    core::run_general_stencil_on_device(*dev, named.problem, cfg);
+    const auto fs = dev->verifier()->findings();
+    EXPECT_TRUE(fs.empty()) << named.name << "\n" << render(fs);
+  }
+}
+
+// The cross-column run-ahead regime: fewer interior rows per core than the
+// read-ahead depth, with multiple chunk columns per strip, lets the reader
+// cross several column boundaries inside one reserve window. This is the
+// exact configuration where the conformance sweep caught the generalized
+// reader recycling live slots (fixed by gating the column prologue behind
+// the batch reserve and widening the slot ring) — pinned here so the fix
+// cannot regress.
+TEST(VerifyClean, GallerySmallRowsDeepReadAhead) {
+  const auto p = core::gallery::hotspot(96, 7, 3);
+  for (const int depth : {6, 8}) {
+    ttmetal::DeviceConfig dc;
+    dc.enable_verify = true;
+    auto dev = ttmetal::Device::open({}, dc);
+    core::DeviceRunConfig cfg;
+    cfg.strategy = core::DeviceStrategy::kRowChunk;
+    cfg.cores_y = 3;      // 3/2/2 interior rows per core — all < depth
+    cfg.read_ahead = depth;
+    cfg.chunk_elems = 32;  // three chunk columns across the 96-wide strip
+    core::run_general_stencil_on_device(*dev, p, cfg);
+    const auto fs = dev->verifier()->findings();
+    EXPECT_TRUE(fs.empty()) << "read_ahead=" << depth << "\n" << render(fs);
+  }
+}
+
 // --- neutrality: enable_verify must be observationally invisible ---
 
 struct NeutralRun {
@@ -199,6 +244,38 @@ NeutralRun neutral_run(core::DeviceStrategy strategy, bool verify_on) {
   const auto res = core::run_jacobi_on_device(*dev, golden_problem(), cfg);
   return {dev->trace()->hash(), dev->trace()->size(), res.kernel_time,
           res.solution};
+}
+
+NeutralRun general_neutral_run(const core::GeneralStencilProblem& p,
+                               bool verify_on) {
+  ttmetal::DeviceConfig dc;
+  dc.enable_trace = true;
+  dc.enable_verify = verify_on;
+  auto dev = ttmetal::Device::open({}, dc);
+  core::DeviceRunConfig cfg;
+  cfg.strategy = core::DeviceStrategy::kRowChunk;
+  cfg.cores_y = 2;
+  const auto res = core::run_general_stencil_on_device(*dev, p, cfg);
+  NeutralRun out{dev->trace()->hash(), dev->trace()->size(), res.kernel_time, {}};
+  for (const auto& field : res.fields) {
+    out.solution.insert(out.solution.end(), field.begin(), field.end());
+  }
+  return out;
+}
+
+TEST(VerifyNeutrality, GalleryTraceResultsAndTimingBitIdentical) {
+  for (const auto& named : core::gallery::suite()) {
+    const NeutralRun off = general_neutral_run(named.problem, false);
+    const NeutralRun on = general_neutral_run(named.problem, true);
+    EXPECT_EQ(off.trace_hash, on.trace_hash)
+        << named.name << ": trace stream changed";
+    EXPECT_EQ(off.trace_events, on.trace_events) << named.name;
+    EXPECT_EQ(off.kernel_time, on.kernel_time) << named.name;
+    ASSERT_EQ(off.solution.size(), on.solution.size()) << named.name;
+    for (std::size_t i = 0; i < off.solution.size(); ++i) {
+      ASSERT_EQ(off.solution[i], on.solution[i]) << named.name << " at " << i;
+    }
+  }
 }
 
 TEST(VerifyNeutrality, TraceResultsAndTimingBitIdentical) {

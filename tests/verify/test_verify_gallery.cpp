@@ -337,5 +337,79 @@ TEST(VerifyGallery, ReadAheadSlotRecycle) {
   EXPECT_TRUE(contains(fs[0].what, "slot_consumer")) << fs[0].what;
 }
 
+/// 8. Conway with a missing halo barrier: the gallery's Life workload splits
+/// the grid across cores and ships edge rows into the neighbour's halo slot
+/// (noc_async_write_core + noc_semaphore_inc arrival post). The correct cell
+/// update waits on the arrival semaphore before tapping the halo row for its
+/// neighbour count; this one doesn't. The detector must name both kernels
+/// and the unsynchronised landing — and the same program with the wait put
+/// back must be clean, proving the diagnostic is about the missing barrier
+/// and nothing else.
+constexpr int kHaloSem = 3;
+
+void build_conway_halo_program(Program& prog, std::uint64_t stall_dram_addr,
+                               bool wait_for_halo) {
+  const std::uint32_t row_bytes = 64 * 2;  // one 64-cell BF16 halo row
+  const std::vector<int> cores{0, 1};
+  prog.create_semaphore(kHaloSem, cores, 0);
+  auto halo = prog.create_l1_buffer(cores, row_bytes);
+  auto edge = prog.create_l1_buffer(cores, row_bytes);
+  auto scratch = prog.create_l1_buffer(cores, row_bytes);
+  const std::uint32_t halo_addr = prog.l1_buffer_address(halo);
+  const std::uint32_t edge_addr = prog.l1_buffer_address(edge);
+  const std::uint32_t scratch_addr = prog.l1_buffer_address(scratch);
+  prog.create_kernel(
+      KernelKind::kDataMover0, {0},
+      [halo_addr, edge_addr, row_bytes](DataMoverCtx& ctx) {
+        // Ship this core's bottom interior row into the neighbour's halo
+        // slot, then post the arrival semaphore (the sender is correct).
+        ctx.noc_async_write_core(1, halo_addr, edge_addr, row_bytes);
+        ctx.noc_semaphore_inc(1, kHaloSem);
+      },
+      "conway_halo_sender");
+  prog.create_kernel(
+      KernelKind::kDataMover0, {1},
+      [halo_addr, scratch_addr, stall_dram_addr, row_bytes,
+       wait_for_halo](DataMoverCtx& ctx) {
+        // A DRAM round trip stands in for loading the core's own rows — and
+        // guarantees the halo landing is recorded before the tap below, so
+        // the broken variant exercises the write-then-read direction.
+        ctx.noc_async_read(ctx.get_noc_addr(stall_dram_addr), scratch_addr,
+                           row_bytes);
+        ctx.noc_async_read_barrier();
+        if (wait_for_halo) ctx.semaphore_wait(kHaloSem);
+        // BUG (when !wait_for_halo): taps the halo row for the neighbour
+        // count without waiting on the arrival semaphore.
+        ctx.l1_memcpy(scratch_addr, halo_addr, row_bytes);
+      },
+      "conway_cell_update");
+}
+
+TEST(VerifyGallery, ConwayMissingHaloBarrier) {
+  auto dev = Device::open({}, verify_config());
+  auto stall = dev->create_buffer({.size = 4096});
+  Program prog;
+  build_conway_halo_program(prog, stall->address(), /*wait_for_halo=*/false);
+  dev->run_program(prog);
+
+  const auto& fs = dev->verifier()->findings();
+  ASSERT_FALSE(fs.empty());
+  EXPECT_EQ(fs[0].kind, verify::Finding::Kind::kDataRace);
+  EXPECT_TRUE(contains(fs[0].what, "noc_async_write_core landing"))
+      << fs[0].what;
+  EXPECT_TRUE(contains(fs[0].what, "is not ordered before read")) << fs[0].what;
+  EXPECT_TRUE(contains(fs[0].what, "conway_halo_sender")) << fs[0].what;
+  EXPECT_TRUE(contains(fs[0].what, "conway_cell_update")) << fs[0].what;
+}
+
+TEST(VerifyGallery, ConwayHaloBarrierRestoredIsClean) {
+  auto dev = Device::open({}, verify_config());
+  auto stall = dev->create_buffer({.size = 4096});
+  Program prog;
+  build_conway_halo_program(prog, stall->address(), /*wait_for_halo=*/true);
+  dev->run_program(prog);
+  EXPECT_TRUE(dev->verifier()->findings().empty());
+}
+
 }  // namespace
 }  // namespace ttsim::ttmetal
