@@ -1,0 +1,122 @@
+/// \file ablation_temporal.cpp
+/// Temporal-tiling depth ablation on the Table VIII workload (9216-wide BF16,
+/// striped buffers, Y-only strips): sweeps DeviceRunConfig::temporal_depth
+/// (k = 1/2/4/8 iterations chained through SRAM per DRAM pass) across core
+/// counts and reports the steady-state rate plus the measured per-iteration
+/// DRAM traffic. Per-iteration bytes are isolated with a two-length
+/// subtraction — (bytes at 2n iterations - bytes at n) / n — which cancels
+/// the PCIe staging and initial-load constants that a single run folds in.
+///
+///   ablation_temporal [--full | --quick]   # the k x cores sweep
+///   ablation_temporal --smoke              # CI: 16 cores, k = 1/2/4/8,
+///                                          # verified + bit-exact across k,
+///                                          # DRAM bytes monotone dropping,
+///                                          # >= 3x reduction at k = 4;
+///                                          # exits non-zero on regression
+///
+/// The depth-1 column is the row-chunk data path's traffic shape (one grid
+/// read + one grid write per iteration); DESIGN.md "Temporal tiling" derives
+/// the expected ~(2B + 2k)/(kB) rows-per-row scaling the deeper columns
+/// should follow.
+
+#include <cstring>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "ttsim/core/jacobi_device.hpp"
+#include "ttsim/ttmetal/device.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ttsim;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  bench::print_header(
+      "Temporal tiling ablation: 9216-wide BF16 Jacobi (Table VIII workload)",
+      opts);
+
+  core::JacobiProblem p;
+  p.width = 9216;
+  p.height = smoke ? 512 : 1024;
+
+  const std::vector<int> depths = {1, 2, 4, 8};
+  const std::vector<int> core_rows =
+      smoke ? std::vector<int>{16} : std::vector<int>{1, 2, 4, 8, 16};
+
+  // One run on a freshly opened device: the DRAM byte delta across the run
+  // is exact (the simulator's stats are, like the trace, deterministic).
+  struct Sample {
+    core::DeviceRunResult result;
+    std::uint64_t dram_bytes = 0;
+  };
+  auto run = [&](int cores_y, int depth, int iters, bool verify) {
+    core::JacobiProblem q = p;
+    q.iterations = iters;
+    core::DeviceRunConfig cfg;
+    cfg.strategy = core::DeviceStrategy::kTemporal;
+    cfg.cores_y = cores_y;
+    cfg.temporal_depth = depth;
+    cfg.buffer_layout = ttmetal::BufferLayout::kStriped;
+    cfg.verify = verify;
+    auto dev = ttmetal::Device::open({}, {});
+    Sample s;
+    s.result = core::run_jacobi_on_device(*dev, q, cfg);
+    const auto& st = dev->hw().dram().stats();
+    s.dram_bytes = st.bytes_read + st.bytes_written;
+    return s;
+  };
+
+  const int n = smoke ? 8 : (opts.quick ? 8 : 16);
+
+  Table t{"Cores", "k", "GPt/s", "DRAM MB/iter", "reduction", "bit-exact"};
+  bool ok = true;
+  for (const int cores_y : core_rows) {
+    double base_bytes = 0;
+    std::uint64_t prev_bytes = ~0ull;
+    std::vector<float> base_solution;
+    for (const int k : depths) {
+      const Sample a = run(cores_y, k, n, /*verify=*/smoke);
+      const Sample b = run(cores_y, k, 2 * n, /*verify=*/false);
+      const double per_iter =
+          static_cast<double>(b.dram_bytes - a.dram_bytes) / n;
+      core::JacobiProblem q = p;
+      q.iterations = n;
+      const double g = a.result.gpts(q, /*kernel_only=*/true);
+      if (k == 1) {
+        base_bytes = per_iter;
+        base_solution = a.result.solution;
+      }
+      const bool exact = a.result.solution == base_solution;
+      t.add_row(cores_y, k, Table::fmt(g, 2),
+                Table::fmt(per_iter / (1024.0 * 1024.0), 2),
+                Table::fmt(base_bytes / per_iter, 2) + "x",
+                exact ? "yes" : "NO");
+      ok = ok && exact && (!smoke || a.result.verified_ok);
+      // Chaining more generations per pass must never *add* DRAM traffic.
+      if (static_cast<std::uint64_t>(per_iter) > prev_bytes) {
+        std::cout << "REGRESSION: k=" << k << " moves more DRAM bytes/iter "
+                  << "than the previous depth at " << cores_y << " cores\n";
+        ok = false;
+      }
+      prev_bytes = static_cast<std::uint64_t>(per_iter);
+      // The acceptance bar: k=4 must cut DRAM traffic at least 3x.
+      if (k == 4 && base_bytes / per_iter < 3.0) {
+        std::cout << "REGRESSION: k=4 DRAM reduction "
+                  << Table::fmt(base_bytes / per_iter, 2) << "x < 3x at "
+                  << cores_y << " cores\n";
+        ok = false;
+      }
+    }
+  }
+
+  t.print(std::cout);
+  if (smoke) {
+    std::cout << (ok ? "\nsmoke OK: verified, bit-exact across k, DRAM "
+                       "bytes/iter monotone, k=4 >= 3x\n"
+                     : "\nsmoke FAILED\n");
+    return ok ? 0 : 1;
+  }
+  return ok ? 0 : 1;
+}

@@ -9,6 +9,8 @@
 ///   attr_bottleneck table7 --cores 2         # Table VII: single-bank stream
 ///   attr_bottleneck table7-interleaved --cores 8 [--page 16384]
 ///   attr_bottleneck table8 --cores 64        # Table VIII: full-card Jacobi
+///   attr_bottleneck table8 --cores 16 --temporal-depth 4
+///                                            # Table VIII on temporal tiling
 ///   ... --export trace.json                  # Perfetto-loadable trace
 ///
 /// Geometries are scaled down from the paper's (steady-state mechanisms are
@@ -34,19 +36,24 @@ struct Options {
   int cores = 2;
   std::uint64_t page = 16 * KiB;
   int read_ahead = 2;
+  int temporal_depth = 0;
   std::string export_path;
 };
 
 [[noreturn]] void usage() {
   std::cout
       << "usage: attr_bottleneck <row> [--cores N] [--page BYTES] "
-         "[--read-ahead N] [--export FILE]\n"
+         "[--read-ahead N] [--temporal-depth K] [--export FILE]\n"
          "rows: table2-memcpy table2-rowchunk table7 table7-interleaved "
          "table8\n"
          "--read-ahead > 2 also enables the pipelined DRAM bank service and\n"
          "balanced stripe placement (table8), so the attribution shows the\n"
          "bank queues draining (the metrics report grows a 'Bank pipeline'\n"
-         "section) and the hot-bank imbalance flattening\n";
+         "section) and the hot-bank imbalance flattening\n"
+         "--temporal-depth K switches the table8 row to the temporal-tiling\n"
+         "strategy (k iterations chained per DRAM pass, Y-only strips), so\n"
+         "the attribution shows the DRAM-side pressure dropping ~k-fold and\n"
+         "the bottleneck migrating into the compute kernel's skirt recompute\n";
   std::exit(2);
 }
 
@@ -187,6 +194,15 @@ sim::MetricsReport run_row(ttmetal::Device& device, const Options& opt) {
       cfg.cores_x = opt.cores;
       cfg.cores_y = 1;
     }
+    if (opt.temporal_depth > 0) {
+      // Temporal tiling decomposes in Y only; fold the requested core count
+      // into strips and chain enough iterations for a few full epochs.
+      cfg.strategy = core::DeviceStrategy::kTemporal;
+      cfg.temporal_depth = opt.temporal_depth;
+      cfg.cores_x = 1;
+      cfg.cores_y = opt.cores;
+      p.iterations = std::max(4, 2 * opt.temporal_depth);
+    }
     device.trace()->clear();
     core::run_jacobi_on_device(device, p, cfg);
   } else {
@@ -206,6 +222,8 @@ int main(int argc, char** argv) {
       opt.page = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--read-ahead") == 0 && i + 1 < argc) {
       opt.read_ahead = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--temporal-depth") == 0 && i + 1 < argc) {
+      opt.temporal_depth = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--export") == 0 && i + 1 < argc) {
       opt.export_path = argv[++i];
     } else if (argv[i][0] != '-' && opt.row.empty()) {

@@ -129,6 +129,33 @@ int main(int argc, char** argv) {
                  Table::fmt(row.paper_gpts, 2));
   }
 
+  // --- temporal tiling supplement (not part of the paper comparison) ---
+  // The paper's own Table VII attribution blames the DRAM bank queues, yet
+  // every row-chunk sweep round-trips the grid through DRAM. Chaining k
+  // iterations through SRAM per pass (DeviceRunConfig::temporal_depth) cuts
+  // that traffic ~k-fold; bench/ablation_temporal has the full k x cores
+  // sweep with measured per-iteration DRAM bytes. Temporal tiling
+  // decomposes in Y only, so rows re-run at cores_x = 1.
+  Table temporal{"Type", "Total cores", "row-chunk (GPt/s)", "k=4 (GPt/s)",
+                 "speedup"};
+  for (const int cores_y : {8, 16}) {
+    double base_g = 0;
+    double temp_g = 0;
+    for (const bool tiled : {false, true}) {
+      core::DeviceRunConfig cfg;
+      cfg.strategy = tiled ? core::DeviceStrategy::kTemporal
+                           : core::DeviceStrategy::kRowChunk;
+      cfg.cores_y = cores_y;
+      cfg.buffer_layout = ttmetal::BufferLayout::kStriped;
+      if (tiled) cfg.temporal_depth = 4;
+      const auto r = core::run_jacobi_on_device(p, cfg, spec);
+      (tiled ? temp_g : base_g) = r.gpts(p, /*kernel_only=*/true);
+    }
+    temporal.add_row("e150", cores_y, Table::fmt(base_g, 2),
+                     Table::fmt(temp_g, 2),
+                     Table::fmt(temp_g / base_g, 2) + "x");
+  }
+
   // --- multi-card rows ---
   const struct {
     int cards;
@@ -158,6 +185,11 @@ int main(int argc, char** argv) {
                "pipelined banks, balanced stripes at depth > 2; supplement, "
                "not part of the paper comparison):\n";
   deep.print(std::cout);
+  std::cout << "\nTemporal tiling (k = 4 iterations chained through SRAM per "
+               "DRAM pass, Y-only strips; supplement, not part of the paper "
+               "comparison — see bench/ablation_temporal for the DRAM-byte "
+               "sweep):\n";
+  temporal.print(std::cout);
   std::cout << '\n' << perf.to_string() << '\n' << joules.to_string() << '\n';
 
   // The paper's headline claims, checked explicitly.

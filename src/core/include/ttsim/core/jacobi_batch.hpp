@@ -27,8 +27,9 @@ struct BatchSlot {
 };
 
 /// Build one program that solves `p` independently on every slot (row-chunk
-/// strategy only: the serving layer compiles per shape and the paper's
-/// streaming design is the one worth batching). The slots share the problem
+/// or temporal strategy: the serving layer compiles per shape, and both the
+/// paper's streaming design and its k-deep temporal variant are worth
+/// batching). The slots share the problem
 /// shape and run config; slot i writes its result into its own d1/d2 pair
 /// with the usual parity (odd iteration counts finish in d2). Throws
 /// ApiError on invalid decompositions or overlapping slot core sets.
@@ -37,7 +38,7 @@ void build_batched_rowchunk_program(ttmetal::Program& prog, const JacobiProblem&
                                     const std::vector<BatchSlot>& slots);
 
 /// Validate that `p` decomposes onto one batch slot under `cfg` — the exact
-/// checks a batched launch applies (row-chunk only, iterations >= 1,
+/// checks a batched launch applies (row-chunk or temporal, iterations >= 1,
 /// read_ahead in [2, 64], width divisible across cores_x into 16-aligned
 /// strips, cores_y <= height). Throws ApiError naming the violation; the
 /// serving layer calls this at admission so bad shapes fail fast instead of

@@ -37,6 +37,19 @@ enum class DeviceStrategy {
   /// (cores_x == 1), domains whose width is <= 1024 or a multiple of 1024,
   /// and slabs that fit the 1 MB SRAM.
   kSramResident,
+  /// Temporal tiling: chain `temporal_depth` iterations through SRAM per
+  /// DRAM pass. Each core walks its strip in row blocks; per block the
+  /// reading mover fetches the block plus a depth-deep halo skirt from the
+  /// epoch's source grid, the compute kernel runs `temporal_depth`
+  /// trapezoidal sub-iterations entirely out of L1 slabs (the valid
+  /// interior shrinks by the stencil's vertical reach per step — skirt
+  /// rows are recomputed redundantly instead of exchanged), and the
+  /// writing mover stores only the final generation — cutting DRAM
+  /// traffic ~depth-fold. Same eligibility rules as kSramResident
+  /// (cores_x == 1, width <= 1024 or a multiple of 1024) but the domain
+  /// height is unbounded: only a block's working set must fit L1.
+  /// Bit-exact with `temporal_depth` sequential row-chunk sweeps.
+  kTemporal,
 };
 
 std::string to_string(DeviceStrategy s);
@@ -76,6 +89,12 @@ struct DeviceRunConfig {
   /// wall (see bench/ablation_read_ahead). Honoured by kRowChunk (and the
   /// stencil runner); other strategies read as the paper describes them.
   int read_ahead = 2;
+  /// kTemporal only: how many iterations one DRAM pass chains through SRAM
+  /// (k in [1, 8]). 1 degenerates to a blocked single-sweep; the DRAM-bytes
+  /// win grows with k until the shrinking block size makes the redundant
+  /// skirt dominate (see bench/ablation_temporal and DESIGN.md). Ignored by
+  /// every other strategy.
+  int temporal_depth = 1;
   /// kStriped only: round-robin the grid's row slabs over the banks instead
   /// of the default allocator-order hash. The hash (the paper-faithful
   /// model of per-core slab allocation) deals 16 stripes 3/2/.../1 across 8

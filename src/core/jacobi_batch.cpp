@@ -10,14 +10,7 @@ void build_batched_rowchunk_program(ttmetal::Program& prog, const JacobiProblem&
                                     const DeviceRunConfig& cfg,
                                     const std::vector<BatchSlot>& slots) {
   if (slots.empty()) TTSIM_THROW_API("batched launch needs at least one slot");
-  if (cfg.strategy != DeviceStrategy::kRowChunk) {
-    TTSIM_THROW_API("batched launches are built on the row-chunk strategy");
-  }
-  if (p.iterations < 1) TTSIM_THROW_API("need at least one iteration");
-  if (cfg.read_ahead < 2 || cfg.read_ahead > 64) {
-    TTSIM_THROW_API("read_ahead must be in [2, 64] (got " << cfg.read_ahead
-                    << "); 2 is the paper's two-batch scheme");
-  }
+  validate_batch_request(p, cfg);
 
   const PaddedLayout layout(p.width, p.height);
   const auto ranges = detail::decompose(p, cfg.cores_x, cfg.cores_y, 16);
@@ -47,16 +40,36 @@ void build_batched_rowchunk_program(ttmetal::Program& prog, const JacobiProblem&
     shared->toggles = cfg.toggles;
     shared->chunk_elems = cfg.chunk_elems;
     shared->read_ahead = cfg.read_ahead;
+    shared->temporal_depth = cfg.temporal_depth;
     shared->ranges = ranges;
     shared->core_ids = slot.core_ids;
     shared->barrier_id = static_cast<int>(g);
-    detail::build_rowchunk_program(prog, shared);
+    if (cfg.strategy == DeviceStrategy::kTemporal) {
+      detail::build_temporal_program(prog, shared);
+    } else {
+      detail::build_rowchunk_program(prog, shared);
+    }
   }
 }
 
 void validate_batch_request(const JacobiProblem& p, const DeviceRunConfig& cfg) {
-  if (cfg.strategy != DeviceStrategy::kRowChunk) {
-    TTSIM_THROW_API("batched launches are built on the row-chunk strategy");
+  if (cfg.strategy != DeviceStrategy::kRowChunk &&
+      cfg.strategy != DeviceStrategy::kTemporal) {
+    TTSIM_THROW_API("batched launches are built on the row-chunk or temporal "
+                    "strategies");
+  }
+  if (cfg.strategy == DeviceStrategy::kTemporal) {
+    if (cfg.cores_x != 1) {
+      TTSIM_THROW_API("temporal tiling decomposes in Y only (cores_x == 1)");
+    }
+    if (p.width > 1024 && p.width % 1024 != 0) {
+      TTSIM_THROW_API("SRAM-slab domains must be <= 1024 wide or a multiple of "
+                      "1024 (FPU tile packs write straight into the slab)");
+    }
+    if (cfg.temporal_depth < 1 || cfg.temporal_depth > 8) {
+      TTSIM_THROW_API("temporal_depth must be in [1, 8] (got "
+                      << cfg.temporal_depth << ")");
+    }
   }
   if (p.iterations < 1) TTSIM_THROW_API("need at least one iteration");
   if (cfg.read_ahead < 2 || cfg.read_ahead > 64) {

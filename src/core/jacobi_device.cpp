@@ -99,17 +99,24 @@ void validate_config(const ttmetal::Device& device, const JacobiProblem& p,
     TTSIM_THROW_API("read_ahead must be in [2, 64] (got " << cfg.read_ahead
                     << "); 2 is the paper's two-batch scheme");
   }
-  if (cfg.strategy == DeviceStrategy::kSramResident) {
+  if (cfg.strategy == DeviceStrategy::kSramResident ||
+      cfg.strategy == DeviceStrategy::kTemporal) {
     if (cfg.cores_x != 1) {
-      TTSIM_THROW_API("the SRAM-resident solver decomposes in Y only (cores_x == 1)");
+      TTSIM_THROW_API(to_string(cfg.strategy)
+                      << " decomposes in Y only (cores_x == 1)");
     }
     if (p.width > 1024 && p.width % 1024 != 0) {
-      TTSIM_THROW_API("SRAM-resident domains must be <= 1024 wide or a multiple of "
+      TTSIM_THROW_API("SRAM-slab domains must be <= 1024 wide or a multiple of "
                       "1024 (FPU tile packs write straight into the slab)");
     }
     if (!cfg.toggles.all_enabled()) {
       TTSIM_THROW_API("component toggles are a Table II instrument of the tiled "
                       "(Section IV) designs");
+    }
+    if (cfg.strategy == DeviceStrategy::kTemporal &&
+        (cfg.temporal_depth < 1 || cfg.temporal_depth > 8)) {
+      TTSIM_THROW_API("temporal_depth must be in [1, 8] (got "
+                      << cfg.temporal_depth << ")");
     }
     return;
   }
@@ -138,7 +145,8 @@ DeviceRunResult run_jacobi_on_device(ttmetal::Device& device, const JacobiProble
   const ttmetal::RetryScope retries(device);
   const PaddedLayout layout(p.width, p.height);
   const bool tiled = cfg.strategy != DeviceStrategy::kRowChunk &&
-                     cfg.strategy != DeviceStrategy::kSramResident;
+                     cfg.strategy != DeviceStrategy::kSramResident &&
+                     cfg.strategy != DeviceStrategy::kTemporal;
 
   const ttmetal::BufferConfig bc = detail::grid_buffer_config(cfg, layout);
   auto d1 = device.create_buffer(bc);
@@ -157,6 +165,7 @@ DeviceRunResult run_jacobi_on_device(ttmetal::Device& device, const JacobiProble
   shared->toggles = cfg.toggles;
   shared->chunk_elems = cfg.chunk_elems;
   shared->read_ahead = cfg.read_ahead;
+  shared->temporal_depth = cfg.temporal_depth;
   shared->ranges = detail::decompose(p, sel.cores_x, sel.cores_y,
                                      tiled ? detail::kTile : 16);
   shared->core_ids = sel.core_ids;
@@ -166,6 +175,8 @@ DeviceRunResult run_jacobi_on_device(ttmetal::Device& device, const JacobiProble
     detail::build_tiled_program(prog, shared);
   } else if (cfg.strategy == DeviceStrategy::kRowChunk) {
     detail::build_rowchunk_program(prog, shared);
+  } else if (cfg.strategy == DeviceStrategy::kTemporal) {
+    detail::build_temporal_program(prog, shared);
   } else {
     detail::build_sram_resident_program(prog, shared);
   }

@@ -68,6 +68,8 @@ struct KernelShared {
   /// Row-chunk reader's in-flight batch depth (DeviceRunConfig::read_ahead);
   /// 2 reproduces the paper's two-batch scheme bit-exactly.
   int read_ahead = 2;
+  /// kTemporal: iterations chained through SRAM per DRAM pass (1..8).
+  int temporal_depth = 1;
   /// When non-zero: on the final iteration the compute kernel tracks the
   /// per-core max |unew - u| on the FPU and the writing mover stores it (one
   /// BF16 value per core, 32-byte slots) at this DRAM address. Requires
@@ -109,6 +111,14 @@ void build_rowchunk_program(ttmetal::Program& prog, std::shared_ptr<KernelShared
 /// direct neighbour-to-neighbour halo exchange.
 void build_sram_resident_program(ttmetal::Program& prog,
                                  std::shared_ptr<KernelShared> sh);
+
+/// Temporal-tiling program (kTemporal): each core chains
+/// sh->temporal_depth Jacobi iterations per DRAM pass, computing a
+/// trapezoid of redundant skirt rows in L1 instead of exchanging halos
+/// between sub-iterations. Bit-exact with temporal_depth sequential
+/// row-chunk sweeps.
+void build_temporal_program(ttmetal::Program& prog,
+                            std::shared_ptr<KernelShared> sh);
 
 /// Fill a reserved CB page with 1024 copies of `value` (the cb_scalar trick).
 void fill_scalar_page(ttmetal::KernelCtxBase& ctx, int cb_id, float value);

@@ -73,8 +73,12 @@ void build_sram_resident_program(ttmetal::Program& prog,
   sh->iterations = base->iterations;
   sh->ranges = base->ranges;
   const std::uint32_t W = base->layout.width();
-  sh->chunk = std::min<std::uint32_t>(base->chunk_elems, W);
-  while (sh->chunk > 16 && (W % sh->chunk != 0 || sh->chunk % 16 != 0)) --sh->chunk;
+  // Chunks are full width (or 1024 on wider multiples) so the tile-pack
+  // spill stays inside the row's pad: a narrower chunk's pack would spill
+  // into the *next* slab row's L column, poisoning the following sweep's
+  // xm reads. cfg.chunk_elems is deliberately not honoured here (as in the
+  // general SRAM lowering); the per-element op chain is chunk-independent.
+  sh->chunk = std::min<std::uint32_t>(1024, W);
   TTSIM_CHECK(W % sh->chunk == 0);
   sh->row_data_elems = W + 2;
   // Room for the alignment prefix and the FPU tile spill past the interior.

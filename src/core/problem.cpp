@@ -52,6 +52,7 @@ std::string to_string(DeviceStrategy s) {
     case DeviceStrategy::kDoubleBuffered: return "double-buffered";
     case DeviceStrategy::kRowChunk: return "row-chunk (optimised)";
     case DeviceStrategy::kSramResident: return "SRAM-resident (future work)";
+    case DeviceStrategy::kTemporal: return "temporal tiling (k per DRAM pass)";
   }
   return "?";
 }

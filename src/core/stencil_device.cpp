@@ -381,20 +381,36 @@ void validate_run_config(const GeneralStencilProblem& p, const DeviceRunConfig& 
                     << "); 2 is the paper's two-batch scheme");
   }
   if (cfg.strategy != DeviceStrategy::kRowChunk &&
-      cfg.strategy != DeviceStrategy::kSramResident) {
-    TTSIM_THROW_API("general stencils lower onto the row-chunk or SRAM-resident "
-                    "strategies (got " << to_string(cfg.strategy) << ")");
+      cfg.strategy != DeviceStrategy::kSramResident &&
+      cfg.strategy != DeviceStrategy::kTemporal) {
+    TTSIM_THROW_API("general stencils lower onto the row-chunk, SRAM-resident "
+                    "or temporal strategies (got " << to_string(cfg.strategy)
+                    << ")");
   }
-  if (cfg.strategy == DeviceStrategy::kSramResident) {
-    if (p.fields.size() != 1 || p.passes.size() != 1) {
-      TTSIM_THROW_API("the SRAM-resident strategy holds ONE field's slabs in "
-                      "L1: single-field single-pass programs only");
+  if (cfg.strategy == DeviceStrategy::kSramResident &&
+      (p.fields.size() != 1 || p.passes.size() != 1)) {
+    TTSIM_THROW_API("the SRAM-resident strategy holds ONE field's slabs in "
+                    "L1: single-field single-pass programs only");
+  }
+  if (cfg.strategy == DeviceStrategy::kTemporal) {
+    if (p.passes.size() != 1) {
+      TTSIM_THROW_API("temporal tiling chains generations of ONE pass through "
+                      "L1: single-pass programs only (multi-pass leapfrogs "
+                      "would need every written field's skirt per sub-step)");
     }
+    if (cfg.temporal_depth < 1 || cfg.temporal_depth > 8) {
+      TTSIM_THROW_API("temporal_depth must be in [1, 8] (got "
+                      << cfg.temporal_depth << ")");
+    }
+  }
+  if (cfg.strategy == DeviceStrategy::kSramResident ||
+      cfg.strategy == DeviceStrategy::kTemporal) {
     if (cfg.cores_x != 1) {
-      TTSIM_THROW_API("the SRAM-resident solver decomposes in Y only (cores_x == 1)");
+      TTSIM_THROW_API(to_string(cfg.strategy)
+                      << " decomposes in Y only (cores_x == 1)");
     }
     if (p.width > 1024 && p.width % 1024 != 0) {
-      TTSIM_THROW_API("SRAM-resident domains must be <= 1024 wide or a multiple of "
+      TTSIM_THROW_API("SRAM-slab domains must be <= 1024 wide or a multiple of "
                       "1024 (FPU tile packs write straight into the slab)");
     }
   }
@@ -420,6 +436,7 @@ GeneralRunResult run_general_stencil_on_device(ttmetal::Device& device,
   detail::lower_program(p, *shared);
   shared->chunk_elems = cfg.chunk_elems;
   shared->read_ahead = cfg.read_ahead;
+  shared->temporal_depth = cfg.temporal_depth;
   shared->ranges = detail::decompose(p.geometry(), cfg.cores_x, cfg.cores_y, 16);
 
   // One buffer pair per field — read-only fields live in a single buffer
@@ -451,6 +468,8 @@ GeneralRunResult run_general_stencil_on_device(ttmetal::Device& device,
   ttmetal::Program prog;
   if (cfg.strategy == DeviceStrategy::kSramResident) {
     detail::build_general_sram_program(prog, shared);
+  } else if (cfg.strategy == DeviceStrategy::kTemporal) {
+    detail::build_general_temporal_group(prog, shared);
   } else {
     detail::build_general_rowchunk_group(prog, shared);
   }
@@ -498,9 +517,6 @@ void build_batched_stencil_program(ttmetal::Program& prog,
                                    const DeviceRunConfig& cfg,
                                    const std::vector<GeneralBatchSlot>& slots) {
   if (slots.empty()) TTSIM_THROW_API("batched launch needs at least one slot");
-  if (cfg.strategy != DeviceStrategy::kRowChunk) {
-    TTSIM_THROW_API("batched launches are built on the row-chunk strategy");
-  }
   validate_stencil_request(p, cfg);
 
   const PaddedLayout layout(p.width, p.height);
@@ -532,20 +548,44 @@ void build_batched_stencil_program(ttmetal::Program& prog,
     detail::lower_program(p, *shared);
     shared->chunk_elems = cfg.chunk_elems;
     shared->read_ahead = cfg.read_ahead;
+    shared->temporal_depth = cfg.temporal_depth;
     shared->d1 = slot.d1;
     shared->d2 = slot.d2;
     shared->ranges = ranges;
     shared->core_ids = slot.core_ids;
     shared->barrier_id = static_cast<int>(g);
-    detail::build_general_rowchunk_group(prog, shared);
+    if (cfg.strategy == DeviceStrategy::kTemporal) {
+      detail::build_general_temporal_group(prog, shared);
+    } else {
+      detail::build_general_rowchunk_group(prog, shared);
+    }
   }
 }
 
 void validate_stencil_request(const GeneralStencilProblem& p,
                               const DeviceRunConfig& cfg) {
   p.validate();
-  if (cfg.strategy != DeviceStrategy::kRowChunk) {
-    TTSIM_THROW_API("batched launches are built on the row-chunk strategy");
+  if (cfg.strategy != DeviceStrategy::kRowChunk &&
+      cfg.strategy != DeviceStrategy::kTemporal) {
+    TTSIM_THROW_API("batched launches are built on the row-chunk or temporal "
+                    "strategies");
+  }
+  if (cfg.strategy == DeviceStrategy::kTemporal) {
+    if (p.passes.size() != 1) {
+      TTSIM_THROW_API("temporal tiling chains generations of ONE pass through "
+                      "L1: single-pass programs only");
+    }
+    if (cfg.cores_x != 1) {
+      TTSIM_THROW_API("temporal tiling decomposes in Y only (cores_x == 1)");
+    }
+    if (p.width > 1024 && p.width % 1024 != 0) {
+      TTSIM_THROW_API("SRAM-slab domains must be <= 1024 wide or a multiple of "
+                      "1024 (FPU tile packs write straight into the slab)");
+    }
+    if (cfg.temporal_depth < 1 || cfg.temporal_depth > 8) {
+      TTSIM_THROW_API("temporal_depth must be in [1, 8] (got "
+                      << cfg.temporal_depth << ")");
+    }
   }
   if (cfg.read_ahead < 2 || cfg.read_ahead > 64) {
     TTSIM_THROW_API("read_ahead must be in [2, 64] (got " << cfg.read_ahead
@@ -558,7 +598,8 @@ DeviceRunResult run_stencil_on_device(ttmetal::Device& device, const StencilProb
                                       const DeviceRunConfig& cfg) {
   if (p.stencil.active_taps() == 0) TTSIM_THROW_API("stencil has no non-zero taps");
   DeviceRunConfig c = cfg;
-  if (c.strategy != DeviceStrategy::kSramResident) {
+  if (c.strategy != DeviceStrategy::kSramResident &&
+      c.strategy != DeviceStrategy::kTemporal) {
     c.strategy = DeviceStrategy::kRowChunk;
   }
   auto r = run_general_stencil_on_device(device, to_general(p), c);

@@ -56,6 +56,8 @@ struct GeneralShared {
   int iterations = 0;
   std::uint32_t chunk_elems = 1024;
   int read_ahead = 2;
+  /// kTemporal: iterations chained through SRAM per DRAM pass (1..8).
+  int temporal_depth = 1;
   std::vector<std::uint64_t> d1, d2;  ///< per field; d2[f]=0 for read-only
   std::vector<int> written_pass;      ///< per field: pass index or -1
   std::vector<LoweredPass> passes;
@@ -210,5 +212,14 @@ void build_general_rowchunk_group(ttmetal::Program& prog,
 /// the jacobi_sram halo/restore machinery driving the shared tap chain.
 void build_general_sram_program(ttmetal::Program& prog,
                                 std::shared_ptr<GeneralShared> sh);
+
+/// Temporal-tiling kernels for one core group (single-pass problems,
+/// cores_x==1): sh->temporal_depth sub-iterations per DRAM pass through
+/// ping-ponged L1 slabs, trapezoid skirt recompute instead of halo
+/// exchange, read-only fields held in single slabs per block. Called with
+/// the identity group by the driver and once per slot by the batched
+/// builder (each group's barrier_id must be distinct).
+void build_general_temporal_group(ttmetal::Program& prog,
+                                  std::shared_ptr<GeneralShared> sh);
 
 }  // namespace ttsim::core::detail

@@ -88,6 +88,11 @@ struct ShapeKey {
   /// boundary values and initial fields stay per-request data, so gallery
   /// requests with different physics batch together like Jacobi ones do.
   std::uint64_t program = 0;
+  /// Solver strategy the session's programs compile for (DeviceStrategy as
+  /// int) and, for kTemporal, the chained depth. Both shape the compiled
+  /// kernels, so requests only batch together when they match.
+  int strategy = 0;
+  int temporal_depth = 1;
   auto operator<=>(const ShapeKey&) const = default;
 };
 
@@ -98,11 +103,20 @@ struct Request {
   /// General radius-1 stencil program (the workload gallery and beyond).
   /// When set, `problem` is ignored: geometry and iterations come from the
   /// general problem, the session lowers through the general frontend, and
-  /// the delivered `solution` is the primary field's interior. General
-  /// requests run as ONE segment — multi-field state does not fit the
-  /// single-image checkpoint format, so checkpoint_every does not split
-  /// them (a card fault restarts the solve, pre-resilience behavior).
+  /// the delivered `solution` is the primary field's interior. With
+  /// checkpoint_every set, general solves segment exactly like Jacobi ones:
+  /// each segment seals one checkpoint per WRITTEN field (read-only fields
+  /// restage from the program spec), so a card fault only re-runs the lost
+  /// segment and the resume is bit-exact on any card.
   std::optional<core::GeneralStencilProblem> general;
+  /// Per-request solver strategy (kRowChunk or kTemporal); nullopt uses the
+  /// service's run.strategy. kTemporal requests must satisfy the temporal
+  /// eligibility rules (cores_x == 1, width <= 1024 or a multiple of 1024,
+  /// general programs single-pass) or they fail at submit.
+  std::optional<core::DeviceStrategy> strategy;
+  /// kTemporal: iterations chained per DRAM pass; 0 uses the service's
+  /// run.temporal_depth.
+  int temporal_depth = 0;
   int tenant = 0;
   int priority = 0;       ///< higher dispatches first
   SimTime arrival = 0;    ///< earliest dispatch time (simulated)
@@ -159,9 +173,10 @@ struct ServiceConfig {
   /// card its own fault plan so one card can storm while its pool-mates
   /// stay clean.
   std::vector<ttmetal::DeviceConfig> card_devices;
-  /// Per-slot solver config; strategy must be kRowChunk. cores_x * cores_y
-  /// workers serve one request; a card batches as many slots as its usable
-  /// workers allow (capped by max_batch).
+  /// Per-slot solver config; strategy must be kRowChunk or kTemporal (a
+  /// per-request Request::strategy can override either way). cores_x *
+  /// cores_y workers serve one request; a card batches as many slots as its
+  /// usable workers allow (capped by max_batch).
   core::DeviceRunConfig run;
   int max_batch = 8;
   /// Bounded admission queue; submissions beyond this reject (backpressure).
@@ -172,11 +187,11 @@ struct ServiceConfig {
   int max_retries = 1;
   /// Record per-request spans (admit/queue/h2d/kernel/d2h) in spans().
   bool record_spans = true;
-  /// Checkpoint period in Jacobi sweeps: a solve runs as segments of at most
-  /// this many iterations, each segment's result sealed host-side as a
-  /// migratable checkpoint. 0 (default) disables checkpointing — a card
-  /// fault restarts the solve from scratch, exactly the pre-resilience
-  /// behavior.
+  /// Checkpoint period in sweeps: a solve (classic Jacobi or general) runs
+  /// as segments of at most this many iterations, each segment's result
+  /// sealed host-side as a migratable checkpoint (one per written field for
+  /// general programs). 0 (default) disables checkpointing — a card fault
+  /// restarts the solve from scratch, exactly the pre-resilience behavior.
   int checkpoint_every = 0;
   /// Health state machine knobs (degrade / quarantine / probe / readmit).
   HealthConfig health;
@@ -302,9 +317,15 @@ class StencilService {
   /// Batch slots currently fielded by cards the scheduler may use.
   int active_slots() const;
   /// EWMA-based estimate of when a request admitted now would complete; 0
-  /// when there is no service-time history yet.
+  /// when there is no service-time history for ITS program yet. History is
+  /// kept per program hash (gallery programs cost a fraction of a Jacobi
+  /// batch), so a mixed-tenant pool neither over-rejects cheap workloads
+  /// nor under-rejects expensive ones.
   SimTime estimate_completion(const Request& request) const;
   SimTime backpressure_hint() const;
+  /// cfg_.run with the strategy / temporal depth the key's session compiled
+  /// for (per-request overrides land in the key at admission).
+  core::DeviceRunConfig run_for(const ShapeKey& key) const;
   void record_span(sim::TraceEventKind kind, SimTime ts, SimTime dur, int track,
                    std::uint64_t req, std::int32_t b = 0);
   int tenant_track(int tenant);
@@ -319,7 +340,10 @@ class StencilService {
   std::uint64_t batch_seq_ = 0;
   int rr_cursor_ = 0;  // round-robin start tenant index within a priority
   SimTime service_now_ = 0;
-  SimTime ewma_batch_ = 0;  // EWMA of dispatch->readback per batch (ns)
+  /// EWMA of dispatch->readback per batch (ns), keyed by the batch's
+  /// program hash (0 = classic Jacobi) so unlike-cost programs do not
+  /// poison each other's admission estimates.
+  std::map<std::uint64_t, SimTime> ewma_batch_;
   ServiceMetrics metrics_;
 
   sim::Engine span_engine_;  // never run; clock source for the span sink

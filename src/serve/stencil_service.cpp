@@ -63,9 +63,12 @@ std::uint64_t ServiceMetrics::total_completed() const {
 struct StencilService::Pending {
   Request req;
   ShapeKey key;  ///< shape of the NEXT segment (tracks remaining sweeps)
-  int iterations_done = 0;      ///< sweeps completed across prior segments
-  SessionCheckpoint ckpt;       ///< state after iterations_done sweeps
-  int ckpt_card = -1;           ///< card that produced the checkpoint
+  int iterations_done = 0;  ///< sweeps completed across prior segments
+  /// State after iterations_done sweeps: one checkpoint for classic Jacobi,
+  /// one per field for general programs (read-only fields stay empty — they
+  /// restage from the program spec).
+  std::vector<SessionCheckpoint> ckpt;
+  int ckpt_card = -1;  ///< card that produced the checkpoint
 };
 
 struct StencilService::Session {
@@ -96,7 +99,11 @@ struct StencilService::InFlight {
   int bank = 0;
   SimTime dispatched = 0;
   ttmetal::Event write_done, kernel_done, read_done;
-  std::vector<std::vector<bfloat16_t>> outputs;  ///< read destinations
+  /// Read destinations, per member: one image for a finishing member (the
+  /// delivered field) or, for a continuing general member, one per written
+  /// field in field order (the next segment's checkpoints).
+  std::vector<std::vector<std::vector<bfloat16_t>>> outputs;
+  std::vector<std::uint8_t> continues;  ///< per member: more segments left
 };
 
 struct StencilService::Card {
@@ -125,8 +132,9 @@ struct StencilService::Card {
 StencilService::StencilService(ServiceConfig config)
     : cfg_(std::move(config)), spans_(span_engine_) {
   if (cfg_.cards < 1) TTSIM_THROW_API("service needs at least one card");
-  if (cfg_.run.strategy != core::DeviceStrategy::kRowChunk) {
-    TTSIM_THROW_API("serving is built on the row-chunk strategy");
+  if (cfg_.run.strategy != core::DeviceStrategy::kRowChunk &&
+      cfg_.run.strategy != core::DeviceStrategy::kTemporal) {
+    TTSIM_THROW_API("serving is built on the row-chunk or temporal strategies");
   }
   if (cfg_.run.cores_x < 1 || cfg_.run.cores_y < 1) {
     TTSIM_THROW_API("need at least a 1x1 core grid per batch slot");
@@ -201,11 +209,13 @@ void StencilService::record_span(sim::TraceEventKind kind, SimTime ts, SimTime d
 ShapeKey StencilService::effective_key(const Pending& p) const {
   ShapeKey key;
   if (p.req.general) {
-    // General programs run whole: no checkpoint segmentation (the
-    // single-image checkpoint format cannot carry multi-field state).
     key.width = p.req.general->width;
     key.height = p.req.general->height;
-    key.iterations = p.req.general->iterations;
+    int remaining = p.req.general->iterations - p.iterations_done;
+    if (cfg_.checkpoint_every > 0) {
+      remaining = std::min(remaining, cfg_.checkpoint_every);
+    }
+    key.iterations = remaining;
     key.program = p.req.general->transition_hash();
   } else {
     key.width = p.req.problem.width;
@@ -218,7 +228,21 @@ ShapeKey StencilService::effective_key(const Pending& p) const {
   }
   key.chunk_elems = cfg_.run.chunk_elems;
   key.read_ahead = cfg_.run.read_ahead;
+  const auto strat = p.req.strategy.value_or(cfg_.run.strategy);
+  key.strategy = static_cast<int>(strat);
+  key.temporal_depth =
+      strat == core::DeviceStrategy::kTemporal
+          ? (p.req.temporal_depth > 0 ? p.req.temporal_depth
+                                      : cfg_.run.temporal_depth)
+          : 1;
   return key;
+}
+
+core::DeviceRunConfig StencilService::run_for(const ShapeKey& key) const {
+  core::DeviceRunConfig run = cfg_.run;
+  run.strategy = static_cast<core::DeviceStrategy>(key.strategy);
+  run.temporal_depth = key.temporal_depth;
+  return run;
 }
 
 int StencilService::active_slots() const {
@@ -233,29 +257,57 @@ int StencilService::active_slots() const {
 }
 
 SimTime StencilService::estimate_completion(const Request& request) const {
-  if (ewma_batch_ == 0) return 0;  // no history: admit optimistically
+  // Cost history is per program: a gallery batch can run at a fraction of a
+  // Jacobi batch's cost (fewer taps, fewer fields), so one pool-wide EWMA
+  // would over-reject cheap workloads and under-reject expensive ones the
+  // moment tenants mix.
+  const std::uint64_t prog =
+      request.general ? request.general->transition_hash() : 0;
+  const auto own_it = ewma_batch_.find(prog);
+  // No history for THIS program: admit optimistically.
+  if (own_it == ewma_batch_.end() || own_it->second == 0) return 0;
+  const SimTime own = own_it->second;
   const int slots = active_slots();
   if (slots < 1) return 0;  // pool is down; admission is not the gate
-  // Full batch waves queued ahead of this request, then its own segments.
-  const auto waves =
-      static_cast<SimTime>(pending_.size() / static_cast<std::size_t>(slots));
+  // Work queued ahead of this request, each entry at its own program's
+  // cost (unknown programs assumed to cost like the newcomer's), spread
+  // over the pool's slots; then the newcomer's own segments.
+  SimTime queued = 0;
+  for (std::uint64_t id : pending_) {
+    const auto it = ewma_batch_.find(requests_.at(id).key.program);
+    queued += it != ewma_batch_.end() && it->second != 0 ? it->second : own;
+  }
   SimTime segments = 1;
-  if (cfg_.checkpoint_every > 0 && !request.general) {
-    segments = (request.problem.iterations + cfg_.checkpoint_every - 1) /
-               cfg_.checkpoint_every;
+  if (cfg_.checkpoint_every > 0) {
+    const int total = request.general ? request.general->iterations
+                                      : request.problem.iterations;
+    segments = (total + cfg_.checkpoint_every - 1) / cfg_.checkpoint_every;
   }
   return std::max(service_now_, request.arrival) +
-         ewma_batch_ * (waves + segments);
+         queued / static_cast<SimTime>(slots) + own * segments;
 }
 
 SimTime StencilService::backpressure_hint() const {
-  if (!cfg_.adaptive_retry || ewma_batch_ == 0) return cfg_.retry_after;
+  if (!cfg_.adaptive_retry || ewma_batch_.empty()) return cfg_.retry_after;
   const int slots = active_slots();
   if (slots < 1) return cfg_.retry_after;
-  const auto waves = static_cast<SimTime>(
-      (pending_.size() + static_cast<std::size_t>(slots) - 1) /
-      static_cast<std::size_t>(slots));
-  return std::max<SimTime>(ewma_batch_ * waves, kMicrosecond);
+  // Drain time of the queue at per-program costs; programs with no history
+  // yet cost the pool mean.
+  SimTime mean = 0;
+  SimTime n = 0;
+  for (const auto& [prog, e] : ewma_batch_) {
+    if (e == 0) continue;
+    mean += e;
+    ++n;
+  }
+  if (n == 0) return cfg_.retry_after;
+  mean /= n;
+  SimTime queued = 0;
+  for (std::uint64_t id : pending_) {
+    const auto it = ewma_batch_.find(requests_.at(id).key.program);
+    queued += it != ewma_batch_.end() && it->second != 0 ? it->second : mean;
+  }
+  return std::max<SimTime>(queued / static_cast<SimTime>(slots), kMicrosecond);
 }
 
 Ticket StencilService::submit(const Request& request) {
@@ -274,10 +326,13 @@ Ticket StencilService::submit(const Request& request) {
   // initial_field of the wrong size.)
   std::string invalid;
   try {
+    core::DeviceRunConfig vrun = cfg_.run;
+    if (request.strategy) vrun.strategy = *request.strategy;
+    if (request.temporal_depth > 0) vrun.temporal_depth = request.temporal_depth;
     if (request.general) {
-      core::validate_stencil_request(*request.general, cfg_.run);
+      core::validate_stencil_request(*request.general, vrun);
     } else {
-      core::validate_batch_request(request.problem, cfg_.run);
+      core::validate_batch_request(request.problem, vrun);
     }
   } catch (const ApiError& e) {
     invalid = e.what();
@@ -614,7 +669,11 @@ bool StencilService::dispatch_on(Card& card) {
         }
         slot.core_ids = s.groups[static_cast<std::size_t>(g)];
       }
-      core::build_batched_stencil_program(*prog, *s.general, cfg_.run, slots);
+      // The session pins the program STRUCTURE; this launch runs the key's
+      // segment length (checkpointed solves dispatch shorter tails).
+      core::GeneralStencilProblem gshape = *s.general;
+      gshape.iterations = key.iterations;
+      core::build_batched_stencil_program(*prog, gshape, run_for(key), slots);
     } else {
       std::vector<core::BatchSlot> slots(static_cast<std::size_t>(b));
       for (int g = 0; g < b; ++g) {
@@ -628,7 +687,7 @@ bool StencilService::dispatch_on(Card& card) {
       shape.width = key.width;
       shape.height = key.height;
       shape.iterations = key.iterations;
-      core::build_batched_rowchunk_program(*prog, shape, cfg_.run, slots);
+      core::build_batched_rowchunk_program(*prog, shape, run_for(key), slots);
     }
     pit = s.programs.emplace(pkey, std::move(prog)).first;
   }
@@ -654,17 +713,36 @@ bool StencilService::dispatch_on(Card& card) {
       // physics (boundary constants / initial fields are per-request data;
       // the session only pins the program structure). Written fields stage
       // both parities so the first pass reads a defined halo everywhere.
-      (void)rr;
       const auto& bufs =
           s.gbanks[static_cast<std::size_t>(bank)][static_cast<std::size_t>(g)];
       const int nf = static_cast<int>(p.req.general->fields.size());
       for (int f = 0; f < nf; ++f) {
+        const auto& d2 = bufs[static_cast<std::size_t>(nf + f)];
+        if (p.iterations_done > 0 && d2) {
+          // Resume a written field from its sealed checkpoint — the exact
+          // padded image after iterations_done sweeps — staged to both
+          // parities exactly like a fresh start stages the initial image,
+          // so the remaining sweeps continue the solve bit-exactly.
+          const auto& image = p.ckpt[static_cast<std::size_t>(f)].image();
+          TTSIM_CHECK_MSG(image.size() == s.layout.elems(),
+                          "checkpoint image does not match the session layout");
+          const auto bytes = std::as_bytes(std::span{image});
+          cq_write.enqueue_write_buffer(*bufs[static_cast<std::size_t>(f)], bytes,
+                                        /*blocking=*/false);
+          cq_write.enqueue_write_buffer(*d2, bytes, /*blocking=*/false);
+          continue;
+        }
+        // Fresh start, or a read-only field (never flips parity: its image
+        // restages from the program spec on every segment).
         const auto image = core::general_field_image(s.layout, *p.req.general, f);
         const auto bytes = std::as_bytes(std::span{image});
         cq_write.enqueue_write_buffer(*bufs[static_cast<std::size_t>(f)], bytes,
                                       /*blocking=*/false);
-        const auto& d2 = bufs[static_cast<std::size_t>(nf + f)];
         if (d2) cq_write.enqueue_write_buffer(*d2, bytes, /*blocking=*/false);
+      }
+      if (p.iterations_done > 0 && p.ckpt_card != card.index) {
+        ++metrics_.migrations;
+        ++rr.migrations;
       }
       continue;
     }
@@ -679,7 +757,7 @@ bool StencilService::dispatch_on(Card& card) {
       // Resume: upload the CRC-verified checkpoint — the exact padded
       // device image after iterations_done sweeps — so the segment
       // continues the solve bit-exactly, on whichever card this is.
-      const auto& image = p.ckpt.image();
+      const auto& image = p.ckpt.front().image();
       TTSIM_CHECK_MSG(image.size() == s.layout.elems(),
                       "checkpoint image does not match the session layout");
       const auto bytes = std::as_bytes(std::span{image});
@@ -697,25 +775,52 @@ bool StencilService::dispatch_on(Card& card) {
   fl.kernel_done = cq_kernel.record_event();
   cq_read.wait_for_event(fl.kernel_done);
   fl.outputs.resize(static_cast<std::size_t>(b));
+  fl.continues.assign(static_cast<std::size_t>(b), 0);
   const bool odd = key.iterations % 2 == 1;
   for (int g = 0; g < b; ++g) {
-    auto& out = fl.outputs[static_cast<std::size_t>(g)];
-    out.resize(s.layout.elems());
+    const Pending& p = requests_.at(batch[static_cast<std::size_t>(g)]);
+    const int total = p.req.general ? p.req.general->iterations
+                                    : p.req.problem.iterations;
+    const bool cont = p.iterations_done + key.iterations < total;
+    fl.continues[static_cast<std::size_t>(g)] = cont ? 1 : 0;
+    auto& outs = fl.outputs[static_cast<std::size_t>(g)];
     if (s.general) {
-      // Deliver the primary field (the last pass's target, always written:
-      // its final parity follows the iteration count).
       const int nf = static_cast<int>(s.general->fields.size());
-      const int pf = s.general->primary_field();
       const auto& bufs =
           s.gbanks[static_cast<std::size_t>(bank)][static_cast<std::size_t>(g)];
+      if (cont) {
+        // Mid-solve segment: read back EVERY written field at the segment's
+        // final parity — together they are the whole numerical state, the
+        // next segment's per-field checkpoints. (Pre-size so the async
+        // reads' destinations never reallocate.)
+        int nw = 0;
+        for (int f = 0; f < nf; ++f)
+          if (s.general->written_pass(f) >= 0) ++nw;
+        outs.assign(static_cast<std::size_t>(nw),
+                    std::vector<bfloat16_t>(s.layout.elems()));
+        std::size_t j = 0;
+        for (int f = 0; f < nf; ++f) {
+          if (s.general->written_pass(f) < 0) continue;
+          cq_read.enqueue_read_buffer(
+              *bufs[static_cast<std::size_t>(odd ? nf + f : f)],
+              std::as_writable_bytes(std::span{outs[j]}), /*blocking=*/false);
+          ++j;
+        }
+        continue;
+      }
+      // Deliver the primary field (the last pass's target, always written:
+      // its final parity follows the iteration count).
+      const int pf = s.general->primary_field();
+      outs.assign(1, std::vector<bfloat16_t>(s.layout.elems()));
       cq_read.enqueue_read_buffer(*bufs[static_cast<std::size_t>(odd ? nf + pf : pf)],
-                                  std::as_writable_bytes(std::span{out}),
+                                  std::as_writable_bytes(std::span{outs.front()}),
                                   /*blocking=*/false);
       continue;
     }
+    outs.assign(1, std::vector<bfloat16_t>(s.layout.elems()));
     const auto& pair = s.banks[static_cast<std::size_t>(bank)][static_cast<std::size_t>(g)];
     cq_read.enqueue_read_buffer(*pair[odd ? 1 : 0],
-                                std::as_writable_bytes(std::span{out}),
+                                std::as_writable_bytes(std::span{outs.front()}),
                                 /*blocking=*/false);
   }
   fl.read_done = cq_read.record_event();
@@ -775,9 +880,12 @@ void StencilService::harvest_one(Card& card) {
               track, fl.members.front(), b);
 
   // Batch service time feeds the SLO admission estimate (integer EWMA,
-  // newest sample weighted 1/4 — smooth but responsive, and deterministic).
+  // newest sample weighted 1/4 — smooth but responsive, and deterministic),
+  // keyed by the batch's program so unlike-cost workloads keep separate
+  // histories.
   const SimTime sample = d2h_end - fl.dispatched;
-  ewma_batch_ = ewma_batch_ == 0 ? sample : (3 * ewma_batch_ + sample) / 4;
+  SimTime& ewma = ewma_batch_[fl.key.program];
+  ewma = ewma == 0 ? sample : (3 * ewma + sample) / 4;
 
   std::vector<std::uint64_t> continuations;
   for (int g = 0; g < b; ++g) {
@@ -785,22 +893,34 @@ void StencilService::harvest_one(Card& card) {
     Pending& p = requests_.at(id);
     auto& r = results_.at(id);
     p.iterations_done += fl.key.iterations;
-    const int total =
-        p.req.general ? p.req.general->iterations : p.req.problem.iterations;
-    if (p.iterations_done < total) {
-      // Mid-solve segment: seal the readback — the full padded device image
-      // — as this request's checkpoint and requeue the remainder. The next
-      // segment may land on any card (migration).
-      p.ckpt = SessionCheckpoint::capture(
-          std::move(fl.outputs[static_cast<std::size_t>(g)]), p.iterations_done,
-          d2h_end);
+    if (fl.continues[static_cast<std::size_t>(g)] != 0) {
+      // Mid-solve segment: seal the readback — the full padded device image,
+      // one per written field for general programs — as this request's
+      // checkpoint and requeue the remainder. The next segment may land on
+      // any card (migration).
+      auto& imgs = fl.outputs[static_cast<std::size_t>(g)];
+      if (p.req.general) {
+        const int nf = static_cast<int>(p.req.general->fields.size());
+        p.ckpt.assign(static_cast<std::size_t>(nf), SessionCheckpoint{});
+        std::size_t j = 0;
+        for (int f = 0; f < nf; ++f) {
+          if (p.req.general->written_pass(f) < 0) continue;
+          p.ckpt[static_cast<std::size_t>(f)] = SessionCheckpoint::capture(
+              std::move(imgs[j]), p.iterations_done, d2h_end);
+          ++j;
+        }
+      } else {
+        p.ckpt.assign(1, SessionCheckpoint{});
+        p.ckpt.front() = SessionCheckpoint::capture(
+            std::move(imgs.front()), p.iterations_done, d2h_end);
+      }
       p.ckpt_card = card.index;
       p.key = effective_key(p);
       // Causality across skewed card clocks: the next segment must not
       // dispatch (on any card) before this one's readback finished.
       p.req.arrival = std::max(p.req.arrival, d2h_end);
       ++metrics_.checkpoints_taken;
-      metrics_.checkpoint_bytes += p.ckpt.bytes();
+      for (const auto& c : p.ckpt) metrics_.checkpoint_bytes += c.bytes();
       continuations.push_back(id);
       continue;
     }
@@ -811,7 +931,8 @@ void StencilService::harvest_one(Card& card) {
       r.deadline_missed = true;
       ++metrics_.tenants[r.tenant].deadline_missed;
     }
-    r.solution = s.layout.extract_interior(fl.outputs[static_cast<std::size_t>(g)]);
+    r.solution = s.layout.extract_interior(
+        fl.outputs[static_cast<std::size_t>(g)].front());
     TenantStats& ts = metrics_.tenants[r.tenant];
     ++ts.completed;
     ts.latencies.push_back(r.latency);

@@ -50,6 +50,7 @@ struct Config {
   core::GeneralStencilProblem problem;
   core::DeviceRunConfig cfg;        // row-chunk leg (cores, chunk, read-ahead)
   bool try_sram = false;            // eligible + sampled
+  int try_temporal = 0;             // > 0: also run kTemporal at this depth
   int batch_slots = 0;              // >= 2: also run the batched program
   sim::FaultConfig faults;          // delay-only schedule (or inert)
 };
@@ -65,6 +66,7 @@ std::string describe(const Config& c) {
      << c.cfg.chunk_elems << " depth=" << c.cfg.read_ahead
      << (c.try_sram ? " +sram" : "") << " batch=" << c.batch_slots
      << (c.faults.any_probabilistic() ? " +faults" : "");
+  if (c.try_temporal > 0) os << " +temporal k=" << c.try_temporal;
   return os.str();
 }
 
@@ -174,6 +176,12 @@ Config sample(std::uint64_t seed) {
 
   c.try_sram = c.problem.fields.size() == 1 && c.problem.passes.size() == 1 &&
                rng.next_bool();
+  // Temporal eligibility is wider than SRAM's: any single-pass program
+  // (read-only fields stream alongside the written one). Widths here are
+  // always <= 128, so the slab width rule never excludes a sample.
+  c.try_temporal = c.problem.passes.size() == 1 && rng.next_int(0, 2) == 0
+                       ? static_cast<int>(rng.next_int(1, 8))
+                       : 0;
   c.batch_slots = rng.next_int(0, 3) == 0 ? static_cast<int>(rng.next_int(2, 3)) : 0;
 
   if (rng.next_int(0, 3) == 0) {
@@ -338,6 +346,40 @@ bool check(const Config& c, std::string* why) {
     }
   }
 
+  // Temporal leg: the k-deep chain must agree with the reference AND with
+  // its own k=1 degenerate form (k chained sub-iterations vs k sequential
+  // single-sweep passes — the tentpole's bit-exactness contract), and both
+  // runs must be verifier-clean under the same fault schedule.
+  if (c.try_temporal > 0) {
+    core::DeviceRunConfig tcfg = c.cfg;
+    tcfg.strategy = core::DeviceStrategy::kTemporal;
+    tcfg.cores_x = 1;
+    tcfg.temporal_depth = c.try_temporal;
+    auto tdev = ttmetal::Device::open({}, device_config(c));
+    const auto chained = core::run_general_stencil_on_device(*tdev, c.problem, tcfg);
+    if (!fields_match(ref, chained.fields, why)) {
+      *why = "temporal k=" + std::to_string(c.try_temporal) + ": " + *why;
+      return false;
+    }
+    tcfg.temporal_depth = 1;
+    auto odev = ttmetal::Device::open({}, device_config(c));
+    const auto once = core::run_general_stencil_on_device(*odev, c.problem, tcfg);
+    for (std::size_t i = 0; i < chained.solution.size(); ++i) {
+      if (chained.solution[i] != once.solution[i]) {
+        *why = "temporal k=" + std::to_string(c.try_temporal) +
+               " vs k=1 divergence at elem " + std::to_string(i);
+        return false;
+      }
+    }
+    for (auto* d : {tdev.get(), odev.get()}) {
+      const auto tfs = d->verifier()->findings();
+      if (!tfs.empty()) {
+        *why = "temporal verifier findings:\n" + render(tfs);
+        return false;
+      }
+    }
+  }
+
   if (c.batch_slots >= 2 && !run_batched(c, ref, why)) return false;
   return true;
 }
@@ -372,6 +414,16 @@ Config shrink(Config c, std::string* why) {
     if (c.batch_slots > 0) {
       Config m = c;
       m.batch_slots = 0;
+      moves.push_back(std::move(m));
+    }
+    if (c.try_temporal > 1) {
+      Config m = c;
+      m.try_temporal = 1;
+      moves.push_back(std::move(m));
+    }
+    if (c.try_temporal > 0) {
+      Config m = c;
+      m.try_temporal = 0;
       moves.push_back(std::move(m));
     }
     if (c.cfg.cores_x * c.cfg.cores_y > 1) {
@@ -452,6 +504,22 @@ TEST(StencilConformance, PinnedCorners) {
     c.cfg.chunk_elems = 16;  // many chunk columns per strip
     std::string why;
     EXPECT_TRUE(check(c, &why)) << describe(c) << "\n" << why;
+  }
+
+  // Temporal depth axis: every k in [1, 8] on a single-pass two-field
+  // gallery program (the read-only power map streams beside the chained
+  // field), each depth bit-exact vs the reference and its own k=1 run, and
+  // verifier-clean — the race detector and deadlock diagnoser must report
+  // zero findings across the whole axis.
+  for (int k = 1; k <= 8; ++k) {
+    Config c;
+    c.seed = 0;
+    c.problem = core::gallery::hotspot(64, 24, 5);
+    c.cfg.cores_y = 2;
+    c.try_temporal = k;
+    std::string why;
+    EXPECT_TRUE(check(c, &why))
+        << "temporal k=" << k << ": " << describe(c) << "\n" << why;
   }
 }
 

@@ -9,7 +9,9 @@
 #include <memory>
 #include <vector>
 
+#include "ttsim/core/gallery.hpp"
 #include "ttsim/cpu/jacobi_cpu.hpp"
+#include "ttsim/cpu/stencil_cpu.hpp"
 #include "ttsim/serve/serve.hpp"
 #include "ttsim/sim/fault.hpp"
 
@@ -117,6 +119,165 @@ TEST(ServeResilience, KilledCardMigratesSessionBitExact) {
   EXPECT_EQ(svc.metrics().quarantines, 1u);
   EXPECT_EQ(svc.card_health(0), CardHealth::kQuarantined);
   EXPECT_EQ(svc.card_health(1), CardHealth::kHealthy);
+}
+
+void expect_matches_general_reference(const RequestResult& r,
+                                      const core::GeneralStencilProblem& p) {
+  ASSERT_EQ(r.status, RequestStatus::kCompleted) << r.error;
+  const auto ref = cpu::general_reference_bf16(p);
+  const auto& primary = ref[static_cast<std::size_t>(p.primary_field())];
+  ASSERT_EQ(r.solution.size(), primary.size());
+  for (std::size_t i = 0; i < primary.size(); ++i) {
+    ASSERT_EQ(static_cast<float>(primary[i]), r.solution[i]) << "at " << i;
+  }
+}
+
+TEST(ServeResilience, GeneralCheckpointedSolveIsBitExact) {
+  // The general-solve segmentation bugfix: gallery solves must honour
+  // checkpoint_every exactly like classic Jacobi sessions — 7 FDTD sweeps
+  // in segments of 2 run as four launches sealing three multi-field
+  // checkpoints (one image per written field), and the delivered primary
+  // field is bit-identical to the unsegmented CPU reference.
+  ServiceConfig cfg = base_config();
+  cfg.checkpoint_every = 2;
+  StencilService svc(cfg);
+  auto p = core::gallery::fdtd2d(64, 48, 7);
+  Request req;
+  req.general = p;
+  const Ticket t = svc.submit(req);
+  svc.drain();
+  expect_matches_general_reference(svc.result(t.id), p);
+  EXPECT_EQ(svc.metrics().batches, 4u);
+  EXPECT_EQ(svc.metrics().checkpoints_taken, 3u);
+  EXPECT_GT(svc.metrics().checkpoint_bytes, 0u);
+}
+
+TEST(ServeResilience, KilledCardMigratesGeneralSessionBitExact) {
+  // The general-solve counterpart of the acceptance scenario above: a
+  // gallery FDTD session (three written fields) checkpointing every 25
+  // sweeps loses card 0 mid-solve and must finish on card 1 from its
+  // per-field checkpoints — bit-exact vs the fault-free run and the CPU
+  // reference, with the checkpointed sweeps demonstrably not re-run.
+  auto make_cfg = [](bool with_kill, SimTime kill_at) {
+    ServiceConfig cfg = base_config();
+    cfg.cards = 2;
+    cfg.checkpoint_every = 25;
+    cfg.device.sim_time_limit = 20 * kMillisecond;
+    cfg.health.quarantine_after = 1;
+    cfg.health.probe_after = 10 * kSecond;  // stays quarantined for the test
+    cfg.card_devices.assign(2, cfg.device);
+    if (with_kill) {
+      sim::FaultConfig fc;
+      fc.core_kills.push_back({0, kill_at});
+      cfg.card_devices[0].fault_plan = std::make_shared<sim::FaultPlan>(fc);
+    }
+    return cfg;
+  };
+  auto p = core::gallery::fdtd2d(64, 48, 100);
+
+  StencilService clean(make_cfg(false, 0));
+  Request req;
+  req.general = p;
+  const Ticket tc = clean.submit(req);
+  clean.drain();
+  const RequestResult& rc = clean.result(tc.id);
+  ASSERT_EQ(rc.status, RequestStatus::kCompleted) << rc.error;
+
+  StencilService svc(make_cfg(true, rc.completed / 2));
+  const Ticket t = svc.submit(req);
+  svc.drain();
+  const RequestResult& r = svc.result(t.id);
+  ASSERT_EQ(r.status, RequestStatus::kCompleted) << r.error;
+  expect_matches_general_reference(r, p);
+  ASSERT_EQ(r.solution.size(), rc.solution.size());
+  for (std::size_t i = 0; i < r.solution.size(); ++i) {
+    ASSERT_EQ(r.solution[i], rc.solution[i]) << "diverged at " << i;
+  }
+  EXPECT_EQ(r.retries, 1);
+  EXPECT_EQ(r.card, 1);  // finished on the surviving card
+  EXPECT_GE(svc.metrics().card_reopens, 1u);
+  EXPECT_GE(svc.metrics().migrations, 1u);
+  EXPECT_GE(svc.metrics().iterations_saved, 25u);  // checkpoint paid off
+  EXPECT_EQ(svc.card_health(0), CardHealth::kQuarantined);
+}
+
+TEST(ServeResilience, MixedProgramAdmissionUsesPerProgramCost) {
+  // SLO admission keyed by program hash: a cheap gallery batch and an
+  // expensive Jacobi batch warm SEPARATE cost histories, so a deadline
+  // feasible at the cheap program's cost admits even though the expensive
+  // program's cost (which a pool-wide EWMA would have bled into the
+  // estimate) says it is hopeless — and vice versa.
+  ServiceConfig cfg = base_config();
+  cfg.slo_admission = true;
+  StencilService svc(cfg);
+
+  auto cheap = core::gallery::hotspot(64, 48, 2);
+  core::JacobiProblem expensive;
+  expensive.width = 512;
+  expensive.height = 512;
+  expensive.iterations = 40;
+
+  // Warm both histories: the expensive batch harvests LAST, so a pool-wide
+  // EWMA would be dominated by it at the moment the cheap request arrives.
+  Request wc;
+  wc.general = cheap;
+  const Ticket t1 = svc.submit(wc);
+  svc.drain();
+  Request we;
+  we.problem = expensive;
+  we.tenant = 1;
+  const Ticket t2 = svc.submit(we);
+  svc.drain();
+  const SimTime cheap_cost = svc.result(t1.id).latency;
+  const SimTime expensive_cost = svc.result(t2.id).latency;
+  ASSERT_GT(expensive_cost, 4 * cheap_cost)
+      << "workloads must have clearly different costs for this test";
+
+  // A deadline generous for the cheap program, hopeless for the expensive
+  // one: between the two costs.
+  const SimTime slack = 2 * cheap_cost;
+  Request rc;
+  rc.general = cheap;
+  rc.arrival = svc.now();
+  rc.deadline = svc.now() + slack;
+  const Ticket ta = svc.submit(rc);
+  EXPECT_EQ(ta.status, RequestStatus::kQueued)
+      << "cheap request over-rejected: expensive history bled into its cost";
+  svc.drain();
+  EXPECT_EQ(svc.result(ta.id).status, RequestStatus::kCompleted);
+  EXPECT_FALSE(svc.result(ta.id).deadline_missed);
+
+  Request re;
+  re.problem = expensive;
+  re.tenant = 1;
+  re.arrival = svc.now();
+  re.deadline = svc.now() + slack;
+  const Ticket tb = svc.submit(re);
+  EXPECT_EQ(tb.status, RequestStatus::kRejected)
+      << "expensive request under-rejected: cheap history hid its real cost";
+  EXPECT_EQ(svc.metrics().infeasible_rejects, 1u);
+  svc.drain();
+}
+
+TEST(ServeResilience, TemporalCheckpointedSolveIsBitExact) {
+  // Temporal tiling under segmentation: segments of 3 sweeps at depth 4
+  // clamp the chain to each segment's tail (3, 3, then 1), and the
+  // end-anchored parity must keep every segment's readback in the canonical
+  // buffer — the composed solve stays bit-exact vs the CPU reference.
+  ServiceConfig cfg = base_config();
+  cfg.checkpoint_every = 3;
+  cfg.run.strategy = core::DeviceStrategy::kTemporal;
+  cfg.run.temporal_depth = 4;
+  StencilService svc(cfg);
+  auto p = small_problem();
+  p.iterations = 7;
+  Request req;
+  req.problem = p;
+  const Ticket t = svc.submit(req);
+  svc.drain();
+  expect_matches_reference(svc.result(t.id), p);
+  EXPECT_EQ(svc.metrics().batches, 3u);
+  EXPECT_EQ(svc.metrics().checkpoints_taken, 2u);
 }
 
 TEST(ServeResilience, FlappingCardIsQuarantinedProbedHealedAndReadmitted) {

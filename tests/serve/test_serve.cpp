@@ -316,6 +316,72 @@ TEST(Serve, SameProgramGalleryRequestsBatch) {
   }
 }
 
+TEST(Serve, TemporalStrategyRequestsServeBitExact) {
+  // A per-request kTemporal override runs the k-deep chained kernels and
+  // must deliver the same bits as the default row-chunk path; the two
+  // strategies compile different programs, so they key separate sessions
+  // and never share a batch.
+  StencilService svc(base_config());
+  const auto p = small_problem();
+  Request row;
+  row.problem = p;
+  Request temporal;
+  temporal.problem = p;
+  temporal.strategy = core::DeviceStrategy::kTemporal;
+  temporal.temporal_depth = 3;
+  temporal.tenant = 1;
+  const Ticket tr = svc.submit(row);
+  const Ticket tt = svc.submit(temporal);
+  svc.drain();
+  expect_matches_reference(svc.result(tr.id), p);
+  expect_matches_reference(svc.result(tt.id), p);
+  EXPECT_EQ(svc.metrics().session_cache_misses, 2u);
+  EXPECT_EQ(svc.metrics().batches, 2u);
+}
+
+TEST(Serve, TemporalServiceDefaultServesJacobiAndGallery) {
+  // A pool configured with run.strategy = kTemporal serves classic and
+  // general single-pass requests end to end, bit-exact vs the references.
+  ServiceConfig cfg = base_config();
+  cfg.run.strategy = core::DeviceStrategy::kTemporal;
+  cfg.run.temporal_depth = 4;
+  StencilService svc(cfg);
+  auto p = small_problem();
+  p.iterations = 9;  // not a multiple of the depth: exercises the short tail
+  Request req;
+  req.problem = p;
+  const Ticket tj = svc.submit(req);
+  Request greq;
+  greq.general = core::gallery::hotspot(64, 48, 6);
+  greq.tenant = 1;
+  const Ticket tg = svc.submit(greq);
+  svc.drain();
+  expect_matches_reference(svc.result(tj.id), p);
+  const auto& rg = svc.result(tg.id);
+  ASSERT_EQ(rg.status, RequestStatus::kCompleted) << rg.error;
+  const auto ref = cpu::general_reference_bf16(*greq.general);
+  const auto& primary =
+      ref[static_cast<std::size_t>(greq.general->primary_field())];
+  ASSERT_EQ(rg.solution.size(), primary.size());
+  for (std::size_t e = 0; e < primary.size(); ++e) {
+    ASSERT_EQ(rg.solution[e], static_cast<float>(primary[e])) << "elem " << e;
+  }
+}
+
+TEST(Serve, TemporalIneligibleRequestFailsFast) {
+  // Multi-pass programs cannot chain through SRAM (leapfrog visibility
+  // needs every pass's writes each iteration); the override fails at
+  // submit, before a card is touched.
+  StencilService svc(base_config());
+  Request req;
+  req.general = core::gallery::fdtd2d(64, 48, 4);
+  req.strategy = core::DeviceStrategy::kTemporal;
+  req.temporal_depth = 2;
+  const Ticket t = svc.submit(req);
+  EXPECT_EQ(t.status, RequestStatus::kFailed);
+  EXPECT_FALSE(svc.result(t.id).error.empty());
+}
+
 TEST(Serve, InvalidGeneralProgramFailsFast) {
   StencilService svc(base_config());
   Request req;

@@ -59,6 +59,23 @@ GoldenRun jacobi_run(core::DeviceStrategy strategy, int cores_y = 1) {
   });
 }
 
+/// Temporal tiling with two epochs (4 iterations at depth 2): the pinned
+/// stream covers the skirt loads, the in-L1 sub-step chain, the semaphore
+/// ring hand-off and the inter-epoch global barrier.
+GoldenRun temporal_run() {
+  return traced([&](ttmetal::Device& dev) {
+    core::JacobiProblem p;
+    p.width = 64;
+    p.height = 64;
+    p.iterations = 4;
+    core::DeviceRunConfig cfg;
+    cfg.strategy = core::DeviceStrategy::kTemporal;
+    cfg.cores_y = 2;
+    cfg.temporal_depth = 2;
+    core::run_jacobi_on_device(dev, p, cfg);
+  });
+}
+
 GoldenRun stream_run(int num_cores, std::uint64_t interleave_page) {
   return traced([&](ttmetal::Device& dev) {
     stream::StreamParams p;
@@ -144,6 +161,7 @@ constexpr std::uint64_t kGoldenGalleryHotspot = 0x133936c67a17a930ull;         /
 constexpr std::uint64_t kGoldenGalleryFdtd2d = 0x4f49ec64b9bbeabdull;          // 50079 events
 constexpr std::uint64_t kGoldenGalleryConvection = 0x626b6734c264ad2cull;      // 25269 events
 constexpr std::uint64_t kGoldenGalleryLife = 0x7e37c045e2025bceull;            // 28149 events
+constexpr std::uint64_t kGoldenJacobiTemporal = 0x4dbb2e1396942c25ull;         // 6091 events
 
 TEST(GoldenTrace, JacobiTiled) {
   expect_golden(
@@ -171,6 +189,11 @@ TEST(GoldenTrace, JacobiRowChunkMulticore) {
       "kGoldenJacobiRowChunkMulticore",
       [] { return jacobi_run(core::DeviceStrategy::kRowChunk, /*cores_y=*/2); },
       kGoldenJacobiRowChunkMulticore);
+}
+
+TEST(GoldenTrace, JacobiTemporal) {
+  expect_golden("kGoldenJacobiTemporal", [] { return temporal_run(); },
+                kGoldenJacobiTemporal);
 }
 
 TEST(GoldenTrace, StreamSingleCore) {

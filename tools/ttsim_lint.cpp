@@ -46,7 +46,8 @@ void usage(std::ostream& os) {
   os << "usage: ttsim_lint [options] [workload...]\n"
         "\n"
         "workloads (default: all):\n"
-        "  tiled write-optimised double-buffered rowchunk sram stream serve\n"
+        "  tiled write-optimised double-buffered rowchunk sram temporal\n"
+        "  stream serve\n"
         "\n"
         "options:\n"
         "  --width N --height N --iters N   Jacobi problem shape (default "
@@ -88,6 +89,30 @@ int run_jacobi(const std::string& name, ttsim::core::DeviceStrategy strategy,
   cfg.read_ahead = opt.read_ahead;
   ttsim::core::run_jacobi_on_device(*dev, p, cfg);
   return print_findings(name, dev->verifier()->findings());
+}
+
+/// Temporal tiling at every chained depth: the semaphore-ring/epoch-barrier
+/// protocol must stay race- and deadlock-clean across k = 2..8 (k + 1
+/// iterations each, so every run has a full epoch plus a partial one).
+int run_temporal(const Options& opt) {
+  int rc = 0;
+  for (int k = 2; k <= 8; ++k) {
+    ttsim::ttmetal::DeviceConfig dc;
+    dc.enable_verify = true;
+    auto dev = ttsim::ttmetal::Device::open({}, dc);
+    ttsim::core::JacobiProblem p;
+    p.width = opt.width;
+    p.height = opt.height;
+    p.iterations = std::max(opt.iterations, k + 1);
+    ttsim::core::DeviceRunConfig cfg;
+    cfg.strategy = ttsim::core::DeviceStrategy::kTemporal;
+    cfg.cores_y = opt.cores_y;
+    cfg.temporal_depth = k;
+    ttsim::core::run_jacobi_on_device(*dev, p, cfg);
+    rc |= print_findings("temporal k=" + std::to_string(k),
+                         dev->verifier()->findings());
+  }
+  return rc;
 }
 
 int run_stream(const Options& opt) {
@@ -195,8 +220,8 @@ int main(int argc, char** argv) {
   if (opt.demo_lint) return demo_lint();
   if (opt.workloads.empty()) {
     opt.workloads = {"tiled",    "write-optimised", "double-buffered",
-                     "rowchunk", "sram",            "stream",
-                     "serve"};
+                     "rowchunk", "sram",            "temporal",
+                     "stream",   "serve"};
   }
 
   const std::vector<std::pair<std::string, std::function<int()>>> runners = {
@@ -218,6 +243,7 @@ int main(int argc, char** argv) {
        [&] {
          return run_jacobi("sram", ttsim::core::DeviceStrategy::kSramResident, opt);
        }},
+      {"temporal", [&] { return run_temporal(opt); }},
       {"stream", [&] { return run_stream(opt); }},
       {"serve", [&] { return run_serve(opt); }},
   };
