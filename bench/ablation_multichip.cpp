@@ -1,0 +1,128 @@
+/// \file ablation_multichip.cpp
+/// Multi-chip scaling ablation: the deep-halo sharded Jacobi solver
+/// (core/sharded.hpp) across 1-8 cabled cards, against the single-card
+/// optimised solver as the baseline. Reports strong scaling (fixed domain,
+/// more cards), the epoch-length (exchange_every = k) trade — more frequent
+/// exchanges pay more link latency, deeper halos pay redundant compute —
+/// and the measured chip-to-chip link traffic per exchange. The sharded
+/// protocol is bit-exact, so every row also cross-checks the assembled
+/// solution against the 1-card run.
+///
+///   ablation_multichip [--full | --quick]   # cards x k sweep + weak scaling
+///   ablation_multichip --smoke              # CI: 2 cards must beat 1 card
+///                                           # by > 1.5x on a bandwidth-bound
+///                                           # shape, bit-exactly; exits
+///                                           # non-zero on regression
+///
+/// DESIGN.md "Multi-chip" derives the protocol; EXPERIMENTS.md records the
+/// scaling table this prints.
+
+#include <cstring>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "ttsim/core/jacobi_device.hpp"
+#include "ttsim/core/sharded.hpp"
+#include "ttsim/ttmetal/device.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ttsim;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  bench::print_header(
+      "Multi-chip scaling: deep-halo sharded Jacobi across cabled cards",
+      opts);
+
+  // Bandwidth-bound shape: wide rows (striped over the banks), enough owned
+  // rows per card that the k-1 redundant extension rows stay in the noise.
+  core::JacobiProblem p;
+  p.width = 2048;
+  p.height = smoke ? 2048 : 2048;
+  p.iterations = smoke ? 32 : (opts.quick ? 12 : 24);
+
+  core::DeviceRunConfig run;
+  run.strategy = core::DeviceStrategy::kRowChunk;
+  run.cores_x = 2;
+  run.cores_y = 8;
+  run.buffer_layout = ttmetal::BufferLayout::kStriped;
+
+  // 1-card baseline: the same run config through the single-card solver.
+  const auto base = core::run_jacobi_on_device(p, run);
+  const double base_gpts = base.gpts(p);
+
+  const std::vector<int> card_counts =
+      smoke ? std::vector<int>{2} : std::vector<int>{2, 4, 8};
+  const std::vector<int> epoch_lengths =
+      smoke ? std::vector<int>{16} : std::vector<int>{1, 4, 8};
+
+  Table t{"cards", "k", "GPt/s", "speedup", "exchange us", "link MB",
+          "bit-exact"};
+  t.add_row(1, "-", Table::fmt(base_gpts, 2), "1.00x", "-", "-", "yes");
+
+  bool ok = true;
+  double smoke_speedup = 0.0;
+  for (const int cards : card_counts) {
+    for (const int k : epoch_lengths) {
+      core::ShardedRunConfig scfg;
+      scfg.run = run;
+      scfg.exchange_every = k;
+      const auto r = core::run_jacobi_sharded(p, cards, scfg);
+      const double g = r.gpts(p);
+      const double speedup = g / base_gpts;
+      const bool exact = r.solution == base.solution;
+      ok = ok && exact;
+      if (smoke && cards == 2) smoke_speedup = speedup;
+      t.add_row(cards, k, Table::fmt(g, 2), Table::fmt(speedup, 2) + "x",
+                Table::fmt(to_seconds(r.exchange_time) * 1e6, 1),
+                Table::fmt(static_cast<double>(r.link_bytes) / (1024.0 * 1024.0),
+                           2),
+                exact ? "yes" : "NO");
+    }
+  }
+  t.print(std::cout);
+
+  if (!smoke) {
+    // Weak scaling: the per-card slab stays fixed while the domain grows
+    // with the pool — the regime the Wormhole galaxy boxes target.
+    Table w{"cards", "rows", "GPt/s", "efficiency", "link MB"};
+    core::JacobiProblem q = p;
+    const std::uint32_t rows_per_card = p.height;
+    double solo_gpts = 0.0;
+    for (const int cards : {1, 2, 4, 8}) {
+      q.height = rows_per_card * static_cast<std::uint32_t>(cards);
+      double g = 0.0;
+      double link_mb = 0.0;
+      if (cards == 1) {
+        const auto r = core::run_jacobi_on_device(q, run);
+        g = r.gpts(q);
+        solo_gpts = g;
+      } else {
+        core::ShardedRunConfig scfg;
+        scfg.run = run;
+        scfg.exchange_every = 8;
+        const auto r = core::run_jacobi_sharded(q, cards, scfg);
+        g = r.gpts(q);
+        link_mb = static_cast<double>(r.link_bytes) / (1024.0 * 1024.0);
+      }
+      w.add_row(cards, q.height, Table::fmt(g, 2),
+                Table::fmt(g / (solo_gpts * cards) * 100.0, 1) + "%",
+                cards == 1 ? std::string("-") : Table::fmt(link_mb, 2));
+    }
+    w.print(std::cout);
+  }
+
+  if (smoke) {
+    if (smoke_speedup <= 1.5) {
+      std::cout << "REGRESSION: 2-card speedup " << Table::fmt(smoke_speedup, 2)
+                << "x <= 1.5x\n";
+      ok = false;
+    }
+    std::cout << (ok ? "\nsmoke OK: 2 cards > 1.5x over 1 card, bit-exact\n"
+                     : "\nsmoke FAILED\n");
+    return ok ? 0 : 1;
+  }
+  return ok ? 0 : 1;
+}

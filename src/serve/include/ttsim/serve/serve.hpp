@@ -51,6 +51,18 @@
 ///     implements SimError; harvest catches the one base and consults
 ///     retryable() to pick requeue-and-reopen vs fail-fast.
 ///
+/// **Multi-chip** (DESIGN.md, "Multi-chip"): the pool may mix device-family
+/// members (ServiceConfig::card_specs — Grayskulls beside Wormholes), with
+/// capacity and cost tracked per spec. A request whose grids exceed every
+/// single card's DRAM budget is admitted as a **sharded session**: its
+/// segments dispatch synchronously onto a group of idle cards cabled into a
+/// per-group ChipLinkFabric and run through core/sharded.hpp's bit-exact
+/// halo-exchange solver. Segment results are sealed as CRC'd checkpoints of
+/// the GLOBAL padded image, so a card dying mid-group wedges only that
+/// segment: the victims reopen through the health machinery, the group
+/// re-forms around the casualty, and the solve resumes bit-exactly
+/// (migrations are counted when the group changes).
+///
 /// Everything is simulated time on the cards' deterministic engines: the
 /// same submission sequence always produces the same timeline, latencies and
 /// span trace (byte-identical across runs — the loadgen pins this).
@@ -67,6 +79,7 @@
 #include "ttsim/core/stencil.hpp"
 #include "ttsim/serve/checkpoint.hpp"
 #include "ttsim/serve/health.hpp"
+#include "ttsim/sim/chiplink.hpp"
 #include "ttsim/sim/trace.hpp"
 
 namespace ttsim::serve {
@@ -158,11 +171,24 @@ struct RequestResult {
   bool deadline_missed = false;
   std::string error;            ///< kFailed: why
   std::vector<float> solution;  ///< interior, row-major (kCompleted only)
+  /// Sharded multi-card sessions only: the cards of the LAST segment's
+  /// group (empty for single-card requests). `card` holds the group head.
+  std::vector<int> group;
 };
 
 struct ServiceConfig {
   int cards = 1;
   sim::GrayskullSpec spec;
+  /// Per-card spec overrides — a heterogeneous pool mixing device family
+  /// members (Grayskull e150s beside Wormholes). Empty = every card uses
+  /// `spec`; otherwise size must equal `cards`. Capacity (usable workers,
+  /// DRAM budget) and cost (the EWMA admission history is keyed per spec)
+  /// are tracked per family member.
+  std::vector<sim::DeviceSpec> card_specs;
+  /// Chip-to-chip link parameters for sharded multi-card sessions; nullopt
+  /// derives them from the group head's spec (ChipLinkConfig::from_spec —
+  /// Ethernet on Wormhole, the PCIe-host bounce on Grayskull).
+  std::optional<sim::ChipLinkConfig> link;
   /// Per-card device config. Shared fault_plan spans card reopens, so a
   /// failed core stays failed for the service's lifetime. Set
   /// sim_time_limit to arm the watchdog that converts core kills into
@@ -239,6 +265,11 @@ struct ServiceMetrics {
   std::uint64_t commands_cancelled = 0;  ///< queue entries dropped off wedged
                                          ///< devices before reopen
 
+  // -- sharded multi-card sessions --
+  std::uint64_t sharded_sessions = 0;    ///< requests admitted as card groups
+  std::uint64_t sharded_segments = 0;    ///< group launches across those
+  std::uint64_t sharded_link_bytes = 0;  ///< halo bytes over chip links
+
   /// Latency percentile over every completed request (0 when none).
   SimTime latency_percentile(double p) const;
   SimTime p50() const { return latency_percentile(0.50); }
@@ -289,6 +320,11 @@ class StencilService {
   int card_capacity(int card, const ShapeKey& key);
   /// Current health state of `card` (see health.hpp for the machine).
   CardHealth card_health(int card) const;
+  /// The device-family spec card `card` was opened with.
+  const sim::DeviceSpec& card_spec(int card) const;
+  /// EWMA batch-cost history for (program transition hash, spec name); 0 =
+  /// no history yet. The SLO admission estimate reads exactly this table.
+  SimTime ewma_cost(std::uint64_t program, const std::string& spec_name) const;
 
   /// Race-detector findings accumulated across every card's device, in card
   /// order. Empty unless ServiceConfig::device.enable_verify is set.
@@ -306,6 +342,9 @@ class StencilService {
   /// checkpoint_every when checkpointing is on).
   ShapeKey effective_key(const Pending& p) const;
   bool dispatch_on(Card& card);
+  /// Synchronous group dispatch of one sharded request's next segment onto
+  /// idle cards. Returns false when too few idle cards are available yet.
+  bool dispatch_sharded(std::uint64_t id);
   void harvest_one(Card& card);
   void handle_card_failure(Card& card, const std::string& why, bool retryable);
   void reopen_card(Card& card, SimTime resume_at);
@@ -340,10 +379,13 @@ class StencilService {
   std::uint64_t batch_seq_ = 0;
   int rr_cursor_ = 0;  // round-robin start tenant index within a priority
   SimTime service_now_ = 0;
-  /// EWMA of dispatch->readback per batch (ns), keyed by the batch's
-  /// program hash (0 = classic Jacobi) so unlike-cost programs do not
-  /// poison each other's admission estimates.
-  std::map<std::uint64_t, SimTime> ewma_batch_;
+  /// EWMA of dispatch->readback per batch, keyed by (program hash, spec
+  /// name): a Wormhole retires the same program at a different cost than a
+  /// Grayskull, so a hash-only key would let one family member's history
+  /// poison the other's admission estimates in a mixed pool (and gallery
+  /// programs already cost a fraction of a Jacobi batch — the hash half of
+  /// the key). Estimates read the OPTIMISTIC (minimum) cost across specs.
+  std::map<std::pair<std::uint64_t, std::string>, SimTime> ewma_batch_;
   ServiceMetrics metrics_;
 
   sim::Engine span_engine_;  // never run; clock source for the span sink

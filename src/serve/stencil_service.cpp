@@ -15,6 +15,7 @@
 
 #include "ttsim/common/check.hpp"
 #include "ttsim/core/jacobi_batch.hpp"
+#include "ttsim/core/sharded.hpp"
 #include "ttsim/core/stencil.hpp"
 #include "ttsim/ttmetal/device.hpp"
 
@@ -66,9 +67,16 @@ struct StencilService::Pending {
   int iterations_done = 0;  ///< sweeps completed across prior segments
   /// State after iterations_done sweeps: one checkpoint for classic Jacobi,
   /// one per field for general programs (read-only fields stay empty — they
-  /// restage from the program spec).
+  /// restage from the program spec). Sharded sessions seal the GLOBAL
+  /// padded image(s) here — the whole-domain numerical state, so the next
+  /// segment's group may be ANY set of cards.
   std::vector<SessionCheckpoint> ckpt;
   int ckpt_card = -1;  ///< card that produced the checkpoint
+  /// Sharded multi-card sessions: cards this request's slabs must spread
+  /// over (0 = a normal single-card request), and the group that ran the
+  /// previous segment (a different group counts as a migration).
+  int shard_cards = 0;
+  std::vector<int> group;
 };
 
 struct StencilService::Session {
@@ -108,6 +116,9 @@ struct StencilService::InFlight {
 
 struct StencilService::Card {
   int index = 0;
+  /// This card's device-family spec (cfg_.spec or its card_specs override);
+  /// reopens use it so a Wormhole comes back a Wormhole.
+  sim::DeviceSpec spec;
   /// This card's device config (cfg_.device or its card_devices override);
   /// reopens after faults and probes reuse it so the card keeps its own
   /// fault plan across generations.
@@ -153,13 +164,20 @@ StencilService::StencilService(ServiceConfig config)
       cfg_.card_devices.size() != static_cast<std::size_t>(cfg_.cards)) {
     TTSIM_THROW_API("card_devices must be empty or have one entry per card");
   }
+  if (!cfg_.card_specs.empty() &&
+      cfg_.card_specs.size() != static_cast<std::size_t>(cfg_.cards)) {
+    TTSIM_THROW_API("card_specs must be empty or have one entry per card");
+  }
   for (int i = 0; i < cfg_.cards; ++i) {
     auto card = std::make_unique<Card>();
     card->index = i;
+    card->spec = cfg_.card_specs.empty()
+                     ? cfg_.spec
+                     : cfg_.card_specs[static_cast<std::size_t>(i)];
     card->dev_cfg = cfg_.card_devices.empty()
                         ? cfg_.device
                         : cfg_.card_devices[static_cast<std::size_t>(i)];
-    card->device = ttmetal::Device::open(cfg_.spec, card->dev_cfg);
+    card->device = ttmetal::Device::open(card->spec, card->dev_cfg);
     const int slot = cfg_.run.cores_x * cfg_.run.cores_y;
     if (slot > card->device->num_workers()) {
       TTSIM_THROW_API("a batch slot needs " << slot << " cores but the card has "
@@ -257,16 +275,28 @@ int StencilService::active_slots() const {
 }
 
 SimTime StencilService::estimate_completion(const Request& request) const {
-  // Cost history is per program: a gallery batch can run at a fraction of a
-  // Jacobi batch's cost (fewer taps, fewer fields), so one pool-wide EWMA
-  // would over-reject cheap workloads and under-reject expensive ones the
-  // moment tenants mix.
+  // Cost history is per (program, spec): a gallery batch can run at a
+  // fraction of a Jacobi batch's cost, and a Wormhole retires the same
+  // program at a different cost than a Grayskull — either collapse would
+  // over-reject cheap (workload, card) pairings and under-reject expensive
+  // ones the moment tenants or family members mix. The estimate takes the
+  // MINIMUM cost across specs with history: the scheduler is free to place
+  // the batch on the fastest family member, so rejecting against a slower
+  // card's cost would turn admission pessimistic on exactly the requests a
+  // mixed pool exists to serve.
   const std::uint64_t prog =
       request.general ? request.general->transition_hash() : 0;
-  const auto own_it = ewma_batch_.find(prog);
-  // No history for THIS program: admit optimistically.
-  if (own_it == ewma_batch_.end() || own_it->second == 0) return 0;
-  const SimTime own = own_it->second;
+  auto cheapest = [&](std::uint64_t program) -> SimTime {
+    SimTime best = 0;
+    for (const auto& [key, e] : ewma_batch_) {
+      if (key.first != program || e == 0) continue;
+      if (best == 0 || e < best) best = e;
+    }
+    return best;
+  };
+  const SimTime own = cheapest(prog);
+  // No history for THIS program on ANY spec: admit optimistically.
+  if (own == 0) return 0;
   const int slots = active_slots();
   if (slots < 1) return 0;  // pool is down; admission is not the gate
   // Work queued ahead of this request, each entry at its own program's
@@ -274,8 +304,8 @@ SimTime StencilService::estimate_completion(const Request& request) const {
   // over the pool's slots; then the newcomer's own segments.
   SimTime queued = 0;
   for (std::uint64_t id : pending_) {
-    const auto it = ewma_batch_.find(requests_.at(id).key.program);
-    queued += it != ewma_batch_.end() && it->second != 0 ? it->second : own;
+    const SimTime e = cheapest(requests_.at(id).key.program);
+    queued += e != 0 ? e : own;
   }
   SimTime segments = 1;
   if (cfg_.checkpoint_every > 0) {
@@ -295,7 +325,7 @@ SimTime StencilService::backpressure_hint() const {
   // yet cost the pool mean.
   SimTime mean = 0;
   SimTime n = 0;
-  for (const auto& [prog, e] : ewma_batch_) {
+  for (const auto& [key, e] : ewma_batch_) {
     if (e == 0) continue;
     mean += e;
     ++n;
@@ -304,8 +334,14 @@ SimTime StencilService::backpressure_hint() const {
   mean /= n;
   SimTime queued = 0;
   for (std::uint64_t id : pending_) {
-    const auto it = ewma_batch_.find(requests_.at(id).key.program);
-    queued += it != ewma_batch_.end() && it->second != 0 ? it->second : mean;
+    // Cheapest spec with history for this program; pool mean otherwise.
+    const std::uint64_t prog = requests_.at(id).key.program;
+    SimTime best = 0;
+    for (const auto& [key, e] : ewma_batch_) {
+      if (key.first != prog || e == 0) continue;
+      if (best == 0 || e < best) best = e;
+    }
+    queued += best != 0 ? best : mean;
   }
   return std::max<SimTime>(queued / static_cast<SimTime>(slots), kMicrosecond);
 }
@@ -346,6 +382,81 @@ Ticket StencilService::submit(const Request& request) {
     results_.emplace(ticket.id, std::move(r));
     ticket.status = RequestStatus::kFailed;
     return ticket;
+  }
+
+  // Capacity triage: a shape whose session buffers exceed every card's DRAM
+  // is not a failure — it is a sharded multi-card session. Find the smallest
+  // group (each card holding its slab plus deep-halo overlap) that fits the
+  // pool's TIGHTEST card, since the group may be drawn from any idle cards;
+  // only when no group fits does the request fail.
+  int shard_n = 0;
+  {
+    const std::uint32_t w =
+        request.general ? request.general->width : request.problem.width;
+    const std::uint32_t h =
+        request.general ? request.general->height : request.problem.height;
+    // Grid images a session must hold per slot: both parities of the solve
+    // grid, or per general field one image plus a second for written fields.
+    std::uint64_t grids = 2;
+    if (request.general) {
+      grids = 0;
+      for (int f = 0; f < static_cast<int>(request.general->fields.size()); ++f)
+        grids += request.general->written_pass(f) >= 0 ? 2 : 1;
+    }
+    std::uint64_t max_budget = 0;
+    std::uint64_t min_budget = 0;
+    int pool = 0;
+    for (const auto& c : cards_) {
+      if (c->retired) continue;
+      // 7/8 of DRAM: headroom for alignment and the allocator's metadata.
+      const std::uint64_t budget = c->spec.dram_total_bytes() / 8 * 7;
+      max_budget = std::max(max_budget, budget);
+      min_budget = pool == 0 ? budget : std::min(min_budget, budget);
+      ++pool;
+    }
+    const std::uint64_t needed =
+        grids * core::PaddedLayout(w, h).bytes();
+    if (max_budget != 0 && needed > max_budget) {
+      const auto strat = request.strategy.value_or(cfg_.run.strategy);
+      const int depth = request.temporal_depth > 0 ? request.temporal_depth
+                                                   : cfg_.run.temporal_depth;
+      const int k = strat == core::DeviceStrategy::kTemporal ? depth : 1;
+      const bool shardable =
+          (strat == core::DeviceStrategy::kRowChunk ||
+           strat == core::DeviceStrategy::kTemporal) &&
+          (!request.general || request.general->passes.size() == 1);
+      std::string why;
+      if (!shardable) {
+        why = "shape exceeds one card's DRAM and the program cannot shard "
+              "(multi-pass or non-row-chunk/temporal strategy)";
+      } else {
+        for (int n = 2; n <= pool; ++n) {
+          const std::uint32_t owned = (h + static_cast<std::uint32_t>(n) - 1) /
+                                      static_cast<std::uint32_t>(n);
+          if (h / static_cast<std::uint32_t>(n) <
+              static_cast<std::uint32_t>(std::max(k, cfg_.run.cores_y)))
+            break;  // slabs too thin for the halo protocol / core grid
+          const std::uint64_t slab =
+              grids * core::PaddedLayout(
+                          w, owned + 2 * static_cast<std::uint32_t>(k - 1))
+                          .bytes();
+          if (slab <= min_budget) {
+            shard_n = n;
+            break;
+          }
+        }
+        if (shard_n == 0) why = "shape exceeds the pool's combined capacity";
+      }
+      if (shard_n == 0) {
+        r.status = RequestStatus::kFailed;
+        r.error = why;
+        ++ts.failed;
+        results_.emplace(ticket.id, std::move(r));
+        ticket.status = RequestStatus::kFailed;
+        return ticket;
+      }
+      ++metrics_.sharded_sessions;
+    }
   }
 
   // SLO admission: when history says the deadline cannot be met even if
@@ -414,6 +525,7 @@ Ticket StencilService::submit(const Request& request) {
   Pending p;
   p.req = request;
   p.key = effective_key(p);
+  p.shard_cards = shard_n;
   requests_.emplace(ticket.id, std::move(p));
   pending_.push_back(ticket.id);
   metrics_.max_queue_depth = std::max(metrics_.max_queue_depth, pending_.size());
@@ -435,6 +547,17 @@ int StencilService::card_capacity(int card, const ShapeKey& key) {
 CardHealth StencilService::card_health(int card) const {
   TTSIM_CHECK(card >= 0 && card < static_cast<int>(cards_.size()));
   return cards_[static_cast<std::size_t>(card)]->health;
+}
+
+const sim::DeviceSpec& StencilService::card_spec(int card) const {
+  TTSIM_CHECK(card >= 0 && card < static_cast<int>(cards_.size()));
+  return cards_[static_cast<std::size_t>(card)]->spec;
+}
+
+SimTime StencilService::ewma_cost(std::uint64_t program,
+                                  const std::string& spec_name) const {
+  const auto it = ewma_batch_.find({program, spec_name});
+  return it == ewma_batch_.end() ? 0 : it->second;
 }
 
 std::vector<verify::Finding> StencilService::verify_findings() const {
@@ -539,8 +662,13 @@ bool StencilService::dispatch_on(Card& card) {
 
   auto eligible_ids = [&](SimTime at) {
     std::vector<std::uint64_t> ids;
-    for (std::uint64_t id : pending_)
-      if (requests_.at(id).req.arrival <= at) ids.push_back(id);
+    for (std::uint64_t id : pending_) {
+      const Pending& p = requests_.at(id);
+      // Sharded sessions dispatch through dispatch_sharded (a card GROUP),
+      // never through a single card's batch pipeline.
+      if (p.shard_cards != 0) continue;
+      if (p.req.arrival <= at) ids.push_back(id);
+    }
     return ids;
   };
   std::vector<std::uint64_t> eligible = eligible_ids(t);
@@ -841,6 +969,225 @@ bool StencilService::dispatch_on(Card& card) {
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Sharded multi-card sessions
+
+bool StencilService::dispatch_sharded(std::uint64_t id) {
+  Pending& p = requests_.at(id);
+  const int n = p.shard_cards;
+  TTSIM_CHECK(n >= 2);
+  const int slot = cfg_.run.cores_x * cfg_.run.cores_y;
+
+  // When the pool can never field the group again, fail now rather than
+  // stalling drain() forever. A quarantined card still counts if a probe
+  // could heal it back.
+  int possible = 0;
+  for (const auto& c : cards_) {
+    if (c->retired) continue;
+    if (static_cast<int>(c->device->usable_workers().size()) >= slot ||
+        (c->health == CardHealth::kQuarantined && cfg_.health.heal_on_probe)) {
+      ++possible;
+    }
+  }
+  if (possible < n) {
+    pending_.erase(std::find(pending_.begin(), pending_.end(), id));
+    fail_request(id, "not enough usable cards left for the sharded group");
+    return true;
+  }
+
+  // Group formation: idle cards only — the group runs the whole segment
+  // synchronously in lockstep, so a card with batches in flight would stall
+  // its neighbours. Healthy cards are drafted before degraded ones, in index
+  // order within a class (deterministic).
+  std::vector<Card*> group;
+  for (auto& c : cards_) {
+    if (c->retired || c->health == CardHealth::kQuarantined) continue;
+    if (!c->inflight.empty()) continue;
+    if (static_cast<int>(c->device->usable_workers().size()) < slot) continue;
+    group.push_back(c.get());
+  }
+  std::stable_sort(group.begin(), group.end(),
+                   [](const Card* a, const Card* b) {
+                     return (a->health == CardHealth::kHealthy ? 0 : 1) <
+                            (b->health == CardHealth::kHealthy ? 0 : 1);
+                   });
+  if (static_cast<int>(group.size()) < n) return false;  // wait for harvests
+  group.resize(static_cast<std::size_t>(n));
+
+  // Align the group's clocks at the segment start (a future arrival
+  // fast-forwards the idle group, exactly like dispatch_on's idle path).
+  SimTime t0 = std::max(service_now_, p.req.arrival);
+  for (Card* c : group) t0 = std::max(t0, c->device->now());
+  for (Card* c : group) c->device->hw().engine().run_until(t0);
+
+  pending_.erase(std::find(pending_.begin(), pending_.end(), id));
+  auto& rr = results_.at(id);
+  if (p.req.deadline != 0 && p.req.deadline < t0) {
+    rr.deadline_missed = true;
+    ++metrics_.tenants[p.req.tenant].deadline_missed;
+    fail_request(id, "deadline passed before dispatch");
+    return true;
+  }
+
+  std::vector<int> gids;
+  std::vector<ttmetal::Device*> devs;
+  for (Card* c : group) {
+    // The slab buffers need the card's DRAM to themselves; cached
+    // single-card sessions (idle by construction) give their buffers back.
+    c->sessions.clear();
+    gids.push_back(c->index);
+    devs.push_back(c->device.get());
+  }
+
+  const ShapeKey key = p.key;
+  core::ShardedRunConfig scfg;
+  scfg.run = run_for(key);
+  scfg.exchange_every = 0;  // the strategy's natural epoch
+  scfg.verify = false;
+
+  // A per-group fabric: positions are group slots, global card ids name the
+  // trace tracks and fault hooks. Link parameters come from the service
+  // config or, by default, from the drafted cards' own family spec.
+  sim::ChipLinkFabric fabric(
+      n,
+      cfg_.link ? *cfg_.link
+                : sim::ChipLinkConfig::from_spec(group.front()->spec),
+      gids);
+
+  if (p.iterations_done == 0) {
+    rr.dispatched = t0;
+    record_span(sim::TraceEventKind::kServeQueueWait, rr.admit, t0 - rr.admit,
+                tenant_track(rr.tenant), id);
+  } else if (p.group != gids) {
+    // The resumed segment landed on a different card group: the sealed
+    // GLOBAL checkpoint is what makes that legal.
+    ++metrics_.migrations;
+    ++rr.migrations;
+  }
+
+  const int total =
+      p.req.general ? p.req.general->iterations : p.req.problem.iterations;
+  try {
+    core::ShardedRunResult res;
+    std::vector<bfloat16_t> jstate;
+    std::vector<std::vector<bfloat16_t>> gstate;
+    if (p.req.general) {
+      core::GeneralStencilProblem gp = *p.req.general;
+      gp.iterations = key.iterations;
+      if (p.iterations_done > 0) {
+        const core::PaddedLayout global(gp.width, gp.height);
+        for (int f = 0; f < static_cast<int>(gp.fields.size()); ++f) {
+          // Written fields resume from their sealed checkpoints; read-only
+          // fields never change, so their images restage from the spec.
+          gstate.push_back(gp.written_pass(f) >= 0
+                               ? p.ckpt[static_cast<std::size_t>(f)].image()
+                               : core::general_field_image(global, gp, f));
+        }
+      }
+      res = core::run_general_sharded(devs, fabric, gp, scfg, &gstate);
+    } else {
+      core::JacobiProblem jp = p.req.problem;
+      jp.iterations = key.iterations;
+      if (p.iterations_done > 0) jstate = p.ckpt.front().image();
+      res = core::run_jacobi_sharded(devs, fabric, jp, scfg, &jstate);
+    }
+
+    SimTime end = t0;
+    for (ttmetal::Device* d : devs) end = std::max(end, d->now());
+    ++metrics_.sharded_segments;
+    metrics_.sharded_link_bytes += res.link_bytes;
+    record_span(sim::TraceEventKind::kServeKernel, t0, end - t0,
+                card_track(gids.front()), id, n);
+
+    p.iterations_done += key.iterations;
+    p.group = gids;
+    rr.card = gids.front();
+    rr.group = gids;
+    rr.batch_size = 1;
+    if (p.iterations_done < total) {
+      // Seal the whole-domain state — one global padded image per written
+      // field — so the next segment may run on ANY group of idle cards.
+      if (p.req.general) {
+        const int nf = static_cast<int>(p.req.general->fields.size());
+        p.ckpt.assign(static_cast<std::size_t>(nf), SessionCheckpoint{});
+        for (int f = 0; f < nf; ++f) {
+          if (p.req.general->written_pass(f) < 0) continue;
+          p.ckpt[static_cast<std::size_t>(f)] = SessionCheckpoint::capture(
+              std::move(gstate[static_cast<std::size_t>(f)]),
+              p.iterations_done, end);
+        }
+      } else {
+        p.ckpt.assign(1, SessionCheckpoint{});
+        p.ckpt.front() = SessionCheckpoint::capture(std::move(jstate),
+                                                    p.iterations_done, end);
+      }
+      p.ckpt_card = gids.front();
+      p.key = effective_key(p);
+      p.req.arrival = std::max(p.req.arrival, end);
+      ++metrics_.checkpoints_taken;
+      for (const auto& c : p.ckpt) metrics_.checkpoint_bytes += c.bytes();
+      pending_.push_front(id);
+      return true;
+    }
+    rr.status = RequestStatus::kCompleted;
+    rr.completed = end;
+    rr.latency = end - rr.admit;
+    if (p.req.deadline != 0 && end > p.req.deadline) {
+      rr.deadline_missed = true;
+      ++metrics_.tenants[rr.tenant].deadline_missed;
+    }
+    rr.solution = std::move(res.solution);
+    TenantStats& ts = metrics_.tenants[rr.tenant];
+    ++ts.completed;
+    ts.latencies.push_back(rr.latency);
+    requests_.erase(id);
+    return true;
+  } catch (const SimError& e) {
+    // Group-wide recovery: reopen EVERY card (the segment may have wedged
+    // any of their queues), but penalise only the cards that come back
+    // short of a slot — a link fault is nobody's silicon.
+    SimTime fail_now = t0;
+    for (ttmetal::Device* d : devs) fail_now = std::max(fail_now, d->now());
+    for (Card* c : group) {
+      ++metrics_.card_reopens;
+      metrics_.commands_cancelled += c->device->cancel_queues();
+      reopen_card(*c, fail_now);
+      if (static_cast<int>(c->device->usable_workers().size()) >= slot)
+        continue;
+      c->clean_streak = 0;
+      ++c->consecutive_failures;
+      if (c->consecutive_failures >= cfg_.health.quarantine_after) {
+        if (c->health != CardHealth::kQuarantined) ++metrics_.quarantines;
+        c->health = CardHealth::kQuarantined;
+        c->probe_at = fail_now + cfg_.health.probe_after;
+      } else if (c->health == CardHealth::kHealthy) {
+        c->health = CardHealth::kDegraded;
+      }
+    }
+    const bool expired = p.req.deadline != 0 && p.req.deadline <= fail_now;
+    if (!e.retryable() || rr.retries >= cfg_.max_retries || expired) {
+      if (expired) {
+        rr.deadline_missed = true;
+        ++metrics_.tenants[p.req.tenant].deadline_missed;
+      }
+      fail_request(id, e.what());
+      return true;
+    }
+    ++rr.retries;
+    metrics_.iterations_saved += static_cast<std::uint64_t>(p.iterations_done);
+    p.req.arrival = std::max(p.req.arrival, fail_now);
+    rr.card = -1;
+    rr.batch_size = 0;
+    pending_.push_front(id);
+    return true;
+  } catch (const ApiError& e) {
+    // Structural rejection from the sharded runner (infeasible
+    // decomposition): the request fails, the cards are untouched.
+    fail_request(id, e.what());
+    return true;
+  }
+}
+
 void StencilService::note_clean_harvest(Card& card) {
   card.consecutive_failures = 0;
   if (card.health == CardHealth::kDegraded) {
@@ -881,10 +1228,10 @@ void StencilService::harvest_one(Card& card) {
 
   // Batch service time feeds the SLO admission estimate (integer EWMA,
   // newest sample weighted 1/4 — smooth but responsive, and deterministic),
-  // keyed by the batch's program so unlike-cost workloads keep separate
-  // histories.
+  // keyed by (program, spec) so unlike-cost workloads keep separate
+  // histories and a Wormhole's samples never pollute a Grayskull's.
   const SimTime sample = d2h_end - fl.dispatched;
-  SimTime& ewma = ewma_batch_[fl.key.program];
+  SimTime& ewma = ewma_batch_[{fl.key.program, card.spec.name}];
   ewma = ewma == 0 ? sample : (3 * ewma + sample) / 4;
 
   std::vector<std::uint64_t> continuations;
@@ -953,7 +1300,7 @@ void StencilService::reopen_card(Card& card, SimTime resume_at) {
   // Reopen: the card's FaultPlan spans generations, so a failed core stays
   // failed (unless a probe healed it) and the next session on this card
   // shrinks its batch width accordingly.
-  card.device = ttmetal::Device::open(cfg_.spec, card.dev_cfg);
+  card.device = ttmetal::Device::open(card.spec, card.dev_cfg);
   // A reboot does not rewind time: restore the card clock so service
   // latencies stay monotone.
   card.device->hw().engine().run_until(resume_at);
@@ -1049,6 +1396,26 @@ bool StencilService::step() {
       progress = true;
     }
   }
+  // Sharded sessions dispatch first: a group of idle cards is easiest to
+  // assemble before the single-card scheduler parcels them out. Ids are
+  // snapshotted because a dispatched segment rewrites the queue.
+  auto try_sharded = [&](bool allow_future) {
+    bool any = false;
+    std::vector<std::uint64_t> ids;
+    for (std::uint64_t sid : pending_) {
+      const Pending& p = requests_.at(sid);
+      if (p.shard_cards == 0) continue;
+      if (!allow_future && p.req.arrival > tnow) continue;
+      ids.push_back(sid);
+    }
+    for (std::uint64_t sid : ids) {
+      if (std::find(pending_.begin(), pending_.end(), sid) == pending_.end())
+        continue;
+      if (dispatch_sharded(sid)) any = true;
+    }
+    return any;
+  };
+  if (try_sharded(/*allow_future=*/false)) progress = true;
   // Dispatch onto the best available card for as long as batches can be
   // formed. Health first (steer away from degraded cards), then fewest
   // batches in flight, then the clock furthest behind. Load before clock
@@ -1083,7 +1450,13 @@ bool StencilService::step() {
   }
   // Stall guard: work is queued but every card is quarantined. Fast-forward
   // the service clock to the earliest probe and run it; when no card can
-  // ever come back, fail the queue instead of spinning.
+  // ever come back, fail the queue instead of spinning. A sharded request
+  // whose arrival is still in the future gets one more chance first — an
+  // idle group fast-forwards to it.
+  if (!progress && !pending_.empty() &&
+      try_sharded(/*allow_future=*/true)) {
+    progress = true;
+  }
   if (!progress && !pending_.empty()) {
     Card* next_probe = nullptr;
     for (auto& c : cards_) {

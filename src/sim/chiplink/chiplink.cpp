@@ -1,0 +1,165 @@
+#include "ttsim/sim/chiplink.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ttsim/common/check.hpp"
+
+namespace ttsim::sim {
+
+ChipLinkFabric::ChipLinkFabric(int cards, ChipLinkConfig config,
+                               std::vector<int> card_ids)
+    : cards_(cards), config_(std::move(config)), card_ids_(std::move(card_ids)) {
+  TTSIM_CHECK_MSG(cards_ >= 1, "a fabric needs at least one card");
+  TTSIM_CHECK_MSG(config_.link_gbs > 0.0, "link bandwidth must be positive");
+  TTSIM_CHECK_MSG(config_.parallel_links >= 1, "parallel_links must be >= 1");
+  if (card_ids_.empty()) {
+    for (int i = 0; i < cards_; ++i) card_ids_.push_back(i);
+  }
+  TTSIM_CHECK_MSG(static_cast<int>(card_ids_.size()) == cards_,
+                  "card_ids must name every fabric position");
+  if (config_.enable_trace) trace_ = std::make_unique<TraceSink>(engine_);
+
+  // Directed links in a fixed order (forward chain, backward chain, then the
+  // ring wrap pair) so track interning — and therefore the golden trace
+  // hash — is a function of the card ids alone.
+  auto add_link = [&](int src, int dst) {
+    Link l;
+    l.src = src;
+    l.dst = dst;
+    if (trace_ != nullptr) {
+      std::ostringstream name;
+      name << "eth/card" << card_ids_[static_cast<std::size_t>(src)] << "->card"
+           << card_ids_[static_cast<std::size_t>(dst)];
+      l.track = trace_->track(name.str());
+    }
+    links_.push_back(std::move(l));
+  };
+  for (int i = 0; i + 1 < cards_; ++i) add_link(i, i + 1);
+  for (int i = 0; i + 1 < cards_; ++i) add_link(i + 1, i);
+  if (config_.topology == ChipLinkTopology::kRing && cards_ > 2) {
+    add_link(cards_ - 1, 0);
+    add_link(0, cards_ - 1);
+  }
+}
+
+int ChipLinkFabric::link_index(int src, int dst) const {
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (links_[i].src == src && links_[i].dst == dst) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int ChipLinkFabric::hops(int src, int dst) const {
+  TTSIM_CHECK(src >= 0 && src < cards_ && dst >= 0 && dst < cards_);
+  const int line = std::abs(dst - src);
+  if (config_.topology == ChipLinkTopology::kLine || cards_ <= 2) return line;
+  return std::min(line, cards_ - line);
+}
+
+SimTime ChipLinkFabric::cross(Link& link, std::uint64_t bytes, SimTime start) {
+  const SimTime wire =
+      transfer_time(bytes, config_.link_gbs * config_.parallel_links);
+  const int src_id = card_ids_[static_cast<std::size_t>(link.src)];
+  const int dst_id = card_ids_[static_cast<std::size_t>(link.dst)];
+
+  int attempts = 0;
+  SimTime at = start;
+  for (;;) {
+    const std::uint64_t seq = sequence_++;
+    const SimTime begin = link.timeline.acquire(at, wire);
+    SimTime done = begin + wire + config_.link_latency;
+    link.stats.bytes += bytes;
+    link.stats.busy += wire;
+    if (attempts == 0) {
+      link.stats.transfers += 1;
+    } else {
+      link.stats.retransmits += 1;
+    }
+    if (trace_ != nullptr) {
+      trace_->record(TraceEventKind::kChipLinkTransfer, begin, done - begin,
+                     TraceSink::Rec{src_id, src_id, dst_id, /*addr=*/seq, bytes},
+                     link.track);
+    }
+
+    // Reuse the NoC fault machinery: the fabric is "NoC 2", the source card
+    // id stands in for the core, and the message sequence number keys the
+    // deterministic schedule. Ethernet frames are writes from the link's
+    // point of view (drops and duplicates both apply).
+    if (config_.fault_plan != nullptr) {
+      const auto f = config_.fault_plan->noc_transaction(
+          begin, src_id, /*noc_id=*/2, /*addr=*/seq,
+          static_cast<std::uint32_t>(std::min<std::uint64_t>(bytes, ~0u)),
+          /*is_write=*/true);
+      done += f.extra_delay;
+      if (f.duplicate) {
+        // The duplicate frame occupies the wire again behind the original.
+        const SimTime dup = link.timeline.acquire(done, wire);
+        link.stats.duplicates += 1;
+        link.stats.busy += wire;
+        done = std::max(done, dup + wire);
+      }
+      if (f.drop) {
+        if (++attempts > config_.max_retransmits) {
+          std::ostringstream os;
+          os << "chip link card" << src_id << "->card" << dst_id
+             << " dropped a " << bytes << "-byte message "
+             << config_.max_retransmits
+             << " times; link fault schedule exhausted the retransmit budget";
+          throw ChipLinkError(os.str());
+        }
+        at = done;  // sender times out and re-injects after the failed frame
+        continue;
+      }
+    }
+    return done;
+  }
+}
+
+SimTime ChipLinkFabric::transfer(int src, int dst, std::uint64_t bytes,
+                                 SimTime start) {
+  TTSIM_CHECK(src >= 0 && src < cards_ && dst >= 0 && dst < cards_);
+  TTSIM_CHECK_MSG(src != dst, "a card cannot link-transfer to itself");
+  TTSIM_CHECK_MSG(bytes > 0, "empty link transfer");
+
+  // Route hop by hop. Line: walk towards dst. Ring: walk the shorter arc
+  // (ties break towards increasing indices).
+  const int n = cards_;
+  int step;
+  if (config_.topology == ChipLinkTopology::kLine || n <= 2) {
+    step = dst > src ? 1 : -1;
+  } else {
+    const int fwd = (dst - src + n) % n;
+    step = fwd <= n - fwd ? 1 : -1;
+  }
+  SimTime at = start;
+  int here = src;
+  while (here != dst) {
+    const int next = (here + step + n) % n;
+    const int li = link_index(here, next);
+    TTSIM_CHECK_MSG(li >= 0, "route crossed a missing link");
+    at = cross(links_[static_cast<std::size_t>(li)], bytes, at);
+    here = next;
+  }
+  return at;
+}
+
+const ChipLinkStats& ChipLinkFabric::link_stats(int src, int dst) const {
+  const int li = link_index(src, dst);
+  TTSIM_CHECK_MSG(li >= 0, "link_stats of a non-adjacent card pair");
+  return links_[static_cast<std::size_t>(li)].stats;
+}
+
+ChipLinkStats ChipLinkFabric::totals() const {
+  ChipLinkStats t;
+  for (const auto& l : links_) {
+    t.transfers += l.stats.transfers;
+    t.bytes += l.stats.bytes;
+    t.retransmits += l.stats.retransmits;
+    t.duplicates += l.stats.duplicates;
+    t.busy += l.stats.busy;
+  }
+  return t;
+}
+
+}  // namespace ttsim::sim

@@ -1,0 +1,154 @@
+#pragma once
+/// \file chiplink.hpp
+/// Cycle-accounted chip-to-chip Ethernet fabric for multi-card simulations.
+///
+/// Wormhole-class cards carry point-to-point 100 GbE links between
+/// neighbouring cards (DeviceSpec::eth_links); a ChipLinkFabric models N
+/// cards cabled into a line or ring of such links. Each *directed* physical
+/// link is a serialised resource (ResourceTimeline): a message from card i
+/// to card j is routed hop by hop (store-and-forward), each hop charging
+///   serialisation = bytes / (link_gbs * parallel_links)
+/// of link occupancy plus a fixed per-hop latency (MAC + wire + the two
+/// Ethernet RISC endpoints). The fabric keeps its own simulated clock
+/// contributions out of any card's engine: callers inject messages at an
+/// absolute cluster time and get back the delivery time, then fast-forward
+/// their card engines past it (see core/sharded.cpp for the epoch loop).
+///
+/// Fault injection reuses the FaultPlan NoC machinery: every hop consults
+/// FaultPlan::noc_transaction (as a write on synthetic NoC id 2, core = the
+/// source card's global id), so a plan's noc_drop_prob / noc_dup_prob /
+/// noc_delay_prob apply to the fabric too. Drops retransmit (re-charging
+/// the wire) up to ChipLinkConfig::max_retransmits before surfacing a
+/// retryable ChipLinkError; duplicates charge the wire twice; delays push
+/// the delivery time.
+///
+/// Tracing mirrors the serve layer's private-sink pattern: the fabric owns
+/// its TraceSink (never a device's), with one track per directed link named
+/// after the *global* card ids — "eth/card0->card1" — so interned track ids
+/// stay stable no matter how many cards a run opens, and single-card golden
+/// hashes never see fabric events.
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "ttsim/common/error.hpp"
+#include "ttsim/common/units.hpp"
+#include "ttsim/sim/dram.hpp"
+#include "ttsim/sim/engine.hpp"
+#include "ttsim/sim/fault.hpp"
+#include "ttsim/sim/spec.hpp"
+#include "ttsim/sim/trace.hpp"
+
+namespace ttsim::sim {
+
+enum class ChipLinkTopology {
+  kLine,  ///< cards 0..N-1 cabled in a chain (the Wormhole paper's galaxy row)
+  kRing,  ///< chain plus a wrap link N-1 -> 0; routes take the shorter arc
+};
+
+struct ChipLinkConfig {
+  ChipLinkTopology topology = ChipLinkTopology::kLine;
+  /// Effective bandwidth of one link, and how many parallel links cable each
+  /// neighbouring pair (Wormhole exposes 16 ports; a pair bonded with L of
+  /// them moves one message L times faster).
+  double link_gbs = 12.0;
+  int parallel_links = 1;
+  /// Fixed per-hop, per-message latency.
+  SimTime link_latency = 1 * kMicrosecond;
+  /// Bounded recovery for injected drops before a ChipLinkError surfaces.
+  int max_retransmits = 8;
+  /// Optional deterministic fault plan; hops consult noc_transaction on it.
+  std::shared_ptr<FaultPlan> fault_plan;
+  /// Record kChipLinkTransfer events on the fabric's private sink.
+  bool enable_trace = false;
+
+  /// Link parameters of `spec`, keeping this config's topology/trace knobs.
+  /// Cards without Ethernet ports (Grayskull) keep the defaults above — the
+  /// fabric then models the PCIe-host bounce a real e150 pair would need,
+  /// rated at the card's PCIe bandwidth.
+  static ChipLinkConfig from_spec(const DeviceSpec& spec) {
+    ChipLinkConfig c;
+    if (spec.eth_links > 0) {
+      c.link_gbs = spec.eth_link_gbs;
+      c.link_latency = spec.eth_link_latency;
+    } else {
+      c.link_gbs = spec.pcie_gbs;
+      c.link_latency = spec.pcie_latency;
+    }
+    return c;
+  }
+};
+
+/// A message exhausted max_retransmits on one hop. Retryable: the drops come
+/// from a probabilistic fault schedule, and a re-run of the exchange (or a
+/// fresh card group) may well pass.
+class ChipLinkError : public std::runtime_error, public SimError {
+ public:
+  using std::runtime_error::runtime_error;
+  bool retryable() const noexcept override { return true; }
+  const char* what() const noexcept override { return std::runtime_error::what(); }
+};
+
+/// Per-directed-link traffic counters (cumulative).
+struct ChipLinkStats {
+  std::uint64_t transfers = 0;    ///< messages that crossed this link
+  std::uint64_t bytes = 0;        ///< payload bytes (retransmits recounted)
+  std::uint64_t retransmits = 0;  ///< extra crossings forced by drops
+  std::uint64_t duplicates = 0;   ///< extra crossings forced by duplication
+  SimTime busy = 0;               ///< total serialisation occupancy
+};
+
+class ChipLinkFabric {
+ public:
+  /// Cable `cards` simulated cards together. `card_ids` optionally names
+  /// each position with its global card id (trace tracks and fault hooks use
+  /// the global id); defaults to 0..cards-1.
+  explicit ChipLinkFabric(int cards, ChipLinkConfig config = {},
+                          std::vector<int> card_ids = {});
+
+  int cards() const { return cards_; }
+  const ChipLinkConfig& config() const { return config_; }
+
+  /// Hop count of the route src -> dst (0 when src == dst).
+  int hops(int src, int dst) const;
+
+  /// Inject a `bytes`-byte message from card `src` to card `dst` at absolute
+  /// time `start`; returns the delivery time at `dst`. Store-and-forward:
+  /// each hop serialises on that directed link's timeline, so concurrent
+  /// messages over the same cable queue behind each other.
+  SimTime transfer(int src, int dst, std::uint64_t bytes, SimTime start);
+
+  /// Counters of the directed physical link `src -> dst` (must be adjacent).
+  const ChipLinkStats& link_stats(int src, int dst) const;
+  /// Sum over every directed link.
+  ChipLinkStats totals() const;
+
+  /// The fabric's private sink (nullptr unless config.enable_trace).
+  TraceSink* trace() { return trace_ ? trace_.get() : nullptr; }
+
+ private:
+  struct Link {
+    int src = 0;  ///< fabric position, not global id
+    int dst = 0;
+    ResourceTimeline timeline;
+    ChipLinkStats stats;
+    int track = -1;
+  };
+
+  int link_index(int src, int dst) const;  ///< -1 when not adjacent
+  SimTime cross(Link& link, std::uint64_t bytes, SimTime start);
+
+  int cards_;
+  ChipLinkConfig config_;
+  std::vector<int> card_ids_;
+  std::vector<Link> links_;
+  std::uint64_t sequence_ = 0;  ///< per-fabric message counter (fault hook key)
+  /// Trace plumbing mirrors serve: a private engine that never runs, only
+  /// anchoring the private sink's clock.
+  Engine engine_;
+  std::unique_ptr<TraceSink> trace_;
+};
+
+}  // namespace ttsim::sim

@@ -1,11 +1,18 @@
 #pragma once
 /// \file spec.hpp
-/// GrayskullSpec: the architectural and timing parameters of the simulated
-/// e150. Every timing constant is calibrated against the paper's own
-/// microbenchmarks (Tables II–VII); the derivation is recorded next to each
-/// value so the calibration is auditable. DESIGN.md carries the summary.
+/// DeviceSpec: the architectural and timing parameters of a simulated
+/// Tenstorrent card. The default-constructed spec is the Grayskull e150 the
+/// paper characterises (GrayskullSpec remains an alias for it, and every
+/// timing constant is calibrated against the paper's own microbenchmarks,
+/// Tables II–VII; the derivation is recorded next to each value so the
+/// calibration is auditable — DESIGN.md carries the summary). Named
+/// factories produce the family members: DeviceSpec::grayskull_e150() and
+/// DeviceSpec::wormhole() (the follow-on Wormhole paper's card: more cores,
+/// bigger SRAM, GDDR6, and chip-to-chip Ethernet links — see chiplink.hpp
+/// for the link model those feed).
 
 #include <cstdint>
+#include <string>
 
 #include "ttsim/common/units.hpp"
 
@@ -26,7 +33,12 @@ enum class AlignmentPolicy {
   kPermissive,
 };
 
-struct GrayskullSpec {
+struct DeviceSpec {
+  /// Family member this spec describes. Purely descriptive for reports and
+  /// per-spec cost bookkeeping (serve keys its EWMA cost model on it);
+  /// nothing in the simulator dispatches on the name.
+  std::string name = "grayskull-e150";
+
   // ---- Architecture (Tenstorrent e150 datasheet / paper Section II) ----
   Clock clock{1.2};                     ///< Tensix cores run at 1.2 GHz.
   int grid_cols = 12;                   ///< 12 x 10 Tensix grid = 120 cores.
@@ -156,9 +168,66 @@ struct GrayskullSpec {
   double card_power_base_w = 46.5;
   double card_power_per_core_w = 0.045;
 
+  // ---- Chip-to-chip Ethernet links (Wormhole and later; see chiplink.hpp) --
+  /// Point-to-point link ports on the card. Grayskull has none: e150s cannot
+  /// access each other's memory (paper Section VII), which is exactly the
+  /// limitation the Wormhole family lifts.
+  int eth_links = 0;
+  /// Effective per-link bandwidth. Wormhole's ports are 100 GbE: 12.5 GB/s
+  /// raw, ~12 GB/s after framing.
+  double eth_link_gbs = 0.0;
+  /// Per-message link latency (serialisation + MAC + switchless
+  /// point-to-point wire, both endpoints' Ethernet RISC cores included).
+  SimTime eth_link_latency = 0;
+
   std::uint64_t dram_total_bytes() const {
     return static_cast<std::uint64_t>(dram_banks) * dram_bank_bytes;
   }
+
+  /// The paper's Grayskull e150: exactly the default-constructed spec (kept
+  /// as a named factory so call sites read symmetrically with wormhole()).
+  static DeviceSpec grayskull_e150() { return DeviceSpec{}; }
+
+  /// Wormhole: the follow-on card the multi-chip papers target. 120 worker
+  /// Tensix cores at 1.0 GHz with 1.5 MB SRAM each, 28 GB GDDR6 over 14
+  /// banks at 448 GB/s aggregate, PCIe Gen 5, and 16 x 100 GbE chip-to-chip
+  /// links. Bank-level constants scale from the e150 calibration by the
+  /// bandwidth ratio (no Wormhole microbenchmark tables exist in the source
+  /// paper, so the baby-core/FPU cost structure is carried over verbatim and
+  /// the DRAM path keeps the e150's measured ~81% aggregate derate:
+  /// 448 -> ~364 GB/s effective, 32 GB/s per bank).
+  static DeviceSpec wormhole() {
+    DeviceSpec s;
+    s.name = "wormhole";
+    s.clock = Clock{1.0};
+    s.grid_cols = 12;
+    s.grid_rows = 10;
+    s.worker_cores = 120;  // no harvested row on this family member
+    s.sram_bytes = 1536 * KiB;
+    s.dram_banks = 14;
+    s.dram_bank_bytes = 2 * GiB;
+    s.bank_read_gbs = 32.0;
+    s.bank_write_gbs = 30.0;
+    s.aggregate_gbs = 364.0;
+    s.dma_read_gbs = 56.0;   // GDDR6 controllers double the mover pull rate
+    s.dma_write_gbs = 13.0;  // and the posted-write drain alongside it
+    s.noc_link_gbs = 192.0;  // wider NoC so the aggregate cap binds first
+    s.pcie_gbs = 40.0;       // effective PCIe Gen 5 x16
+    s.eth_links = 16;
+    s.eth_link_gbs = 12.0;
+    s.eth_link_latency = 1 * kMicrosecond;
+    s.card_power_base_w = 80.0;
+    s.card_power_per_core_w = 0.06;
+    return s;
+  }
 };
+
+/// Historical name from the single-card reproduction: the default DeviceSpec
+/// IS the Grayskull e150, so every existing call site keeps meaning exactly
+/// what it did before the family existed.
+using GrayskullSpec = DeviceSpec;
+
+/// The Wormhole family member under its family-style name.
+inline DeviceSpec WormholeSpec() { return DeviceSpec::wormhole(); }
 
 }  // namespace ttsim::sim

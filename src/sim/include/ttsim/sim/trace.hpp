@@ -70,6 +70,12 @@ enum class TraceEventKind : std::uint8_t {
   kServeH2D,          ///< host->device staging of a batch; dur = PCIe time
   kServeKernel,       ///< batched kernel launch; dur = program time; b = batch
   kServeD2H,          ///< device->host readback of a batch; dur = PCIe time
+  // Chip-to-chip fabric (src/sim/chiplink/). Recorded only by the
+  // ChipLinkFabric's private sink on per-directed-link tracks named after
+  // the global card ids ("eth/card0->card1"), so single-card golden hashes
+  // are unaffected and multi-card track ids stay stable across card counts.
+  kChipLinkTransfer,  ///< one link message; a = src card, b = dst card,
+                      ///< bytes = payload, dur = wire + serialisation time
 };
 
 const char* to_string(TraceEventKind kind);

@@ -43,6 +43,7 @@ const char* to_string(TraceEventKind kind) {
     case TraceEventKind::kServeH2D: return "serve_h2d";
     case TraceEventKind::kServeKernel: return "serve_kernel";
     case TraceEventKind::kServeD2H: return "serve_d2h";
+    case TraceEventKind::kChipLinkTransfer: return "chip_link_transfer";
   }
   return "unknown";
 }

@@ -20,8 +20,7 @@ Buffer::~Buffer() { device_.release_buffer(*this); }
 Device::Device(sim::GrayskullSpec spec, DeviceConfig config)
     : hw_(spec),
       config_(std::move(config)),
-      bank_top_(static_cast<std::size_t>(spec.dram_banks), 0),
-      interleaved_top_(0) {
+      bank_live_(static_cast<std::size_t>(spec.dram_banks)) {
   TTSIM_CHECK(config_.transfer_max_retries >= 0);
   // Enable tracing before installing the fault plan so install_fault_plan
   // binds the plan's mirror to this device's sink.
@@ -130,14 +129,16 @@ std::shared_ptr<Buffer> Device::create_buffer(const BufferConfig& config) {
   if (config.layout == BufferLayout::kSingleBank) {
     bank = config.bank >= 0 ? config.bank : (next_bank_++ % spec.dram_banks);
     TTSIM_CHECK_MSG(bank < spec.dram_banks, "bank index out of range");
-    auto& top = bank_top_[static_cast<std::size_t>(bank)];
+    auto& live = bank_live_[static_cast<std::size_t>(bank)];
+    std::uint64_t top = 0;
+    for (const auto& [off, size] : live) top = std::max(top, off + size);
     const std::uint64_t offset = align_up(top, spec.dram_alignment);
     if (offset + config.size > spec.dram_bank_bytes) {
       TTSIM_THROW_API("DRAM bank " << bank << " exhausted: requested " << config.size
                                    << " bytes with "
                                    << (spec.dram_bank_bytes - offset) << " free");
     }
-    top = offset + config.size;
+    live.emplace_back(offset, config.size);
     addr = static_cast<std::uint64_t>(bank) * spec.dram_bank_bytes + offset;
     region = sim::DramRegion{addr, config.size, bank, 0, false, nullptr};
   } else {
@@ -152,8 +153,10 @@ std::shared_ptr<Buffer> Device::create_buffer(const BufferConfig& config) {
       TTSIM_THROW_API("interleave page size must be in (0, 64KiB], got " << page);
     }
     const std::uint64_t base = spec.dram_total_bytes();  // virtual region above banks
-    const std::uint64_t offset = align_up(interleaved_top_, spec.dram_alignment);
-    interleaved_top_ = offset + config.size;
+    std::uint64_t top = 0;
+    for (const auto& [off, size] : interleaved_live_) top = std::max(top, off + size);
+    const std::uint64_t offset = align_up(top, spec.dram_alignment);
+    interleaved_live_.emplace_back(offset, config.size);
     addr = base + offset;
     region = sim::DramRegion{addr, config.size, -1, page, coarse, nullptr};
     region.balanced = coarse && config.balanced_stripes;
@@ -166,6 +169,22 @@ std::shared_ptr<Buffer> Device::create_buffer(const BufferConfig& config) {
 
 void Device::release_buffer(const Buffer& buffer) {
   hw_.dram().remove_region(buffer.address());
+  const auto& spec = hw_.spec();
+  auto drop = [](auto& live, std::uint64_t offset) {
+    for (auto it = live.begin(); it != live.end(); ++it) {
+      if (it->first == offset) {
+        live.erase(it);
+        return;
+      }
+    }
+  };
+  if (buffer.config().layout == BufferLayout::kSingleBank) {
+    const auto bank = static_cast<std::uint64_t>(buffer.bank());
+    drop(bank_live_[static_cast<std::size_t>(buffer.bank())],
+         buffer.address() - bank * spec.dram_bank_bytes);
+  } else {
+    drop(interleaved_live_, buffer.address() - spec.dram_total_bytes());
+  }
 }
 
 void Device::validate_transfer(const Buffer& buffer, std::uint64_t offset,

@@ -306,8 +306,16 @@ class Device {
 
   sim::Grayskull hw_;
   DeviceConfig config_;
-  std::vector<std::uint64_t> bank_top_;  // single-bank bump allocators
-  std::uint64_t interleaved_top_;        // virtual region above the banks
+  /// DRAM allocation is high-water-of-live: a new buffer lands just above
+  /// the highest LIVE region of its bank (or of the virtual interleaved
+  /// space), so freed buffers are reclaimed once nothing sits above them.
+  /// Workloads that never free mid-run see byte-identical addresses to a
+  /// pure bump allocator (golden traces pin those); workloads that tear a
+  /// whole working set down and rebuild — sharded multi-card segments, a
+  /// serving card cycling sessions — get their DRAM back.
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+      bank_live_;  // per bank: live (offset, size) regions
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> interleaved_live_;
   int next_bank_ = 0;
   SimTime last_kernel_duration_ = 0;
   SimTime pcie_time_ = 0;

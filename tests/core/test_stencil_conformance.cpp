@@ -30,6 +30,7 @@
 #include "ttsim/common/rng.hpp"
 #include "ttsim/core/gallery.hpp"
 #include "ttsim/core/jacobi_batch.hpp"
+#include "ttsim/core/sharded.hpp"
 #include "ttsim/core/stencil.hpp"
 #include "ttsim/cpu/stencil_cpu.hpp"
 #include "ttsim/sim/fault.hpp"
@@ -53,6 +54,9 @@ struct Config {
   int try_temporal = 0;             // > 0: also run kTemporal at this depth
   int batch_slots = 0;              // >= 2: also run the batched program
   sim::FaultConfig faults;          // delay-only schedule (or inert)
+  int shard_cards = 0;              // >= 2: also run the multi-card leg
+  int shard_k = 1;                  // halo-exchange epoch length
+  bool shard_temporal = false;      // per-card strategy of the sharded leg
 };
 
 std::string describe(const Config& c) {
@@ -67,6 +71,10 @@ std::string describe(const Config& c) {
      << (c.try_sram ? " +sram" : "") << " batch=" << c.batch_slots
      << (c.faults.any_probabilistic() ? " +faults" : "");
   if (c.try_temporal > 0) os << " +temporal k=" << c.try_temporal;
+  if (c.shard_cards >= 2) {
+    os << " +shard=" << c.shard_cards << " k=" << c.shard_k
+       << (c.shard_temporal ? " (temporal)" : " (rowchunk)");
+  }
   return os.str();
 }
 
@@ -190,6 +198,21 @@ Config sample(std::uint64_t seed) {
     c.faults.seed = rng.next_u64();
     c.faults.mover_stall_prob = 0.03;
     c.faults.noc_delay_prob = 0.03;
+  }
+
+  // Multi-card sharding axis (drawn last so earlier seeds' configs are
+  // unchanged): single-pass programs split across 2-3 cards with halo
+  // exchanges every k iterations, per-card row-chunk or temporal. Every
+  // card must own at least k rows (and a row per core).
+  if (c.problem.passes.size() == 1 && rng.next_int(0, 2) == 0) {
+    const int cards = static_cast<int>(rng.next_int(2, 3));
+    const int kx = static_cast<int>(rng.next_int(1, 4));
+    const int owned = static_cast<int>(h) / cards;
+    if (owned >= std::max(kx, 4)) {
+      c.shard_cards = cards;
+      c.shard_k = kx;
+      c.shard_temporal = rng.next_bool();
+    }
   }
   return c;
 }
@@ -380,6 +403,45 @@ bool check(const Config& c, std::string* why) {
     }
   }
 
+  // Multi-card leg: the same problem sharded across shard_cards cards with
+  // one halo exchange per k iterations must match the reference (hence also
+  // the single-card row-chunk leg above — device-vs-device bit-exactness
+  // across card counts) and leave every card's verifier clean.
+  if (c.shard_cards >= 2) {
+    core::ShardedRunConfig scfg;
+    scfg.run = c.cfg;
+    scfg.exchange_every = c.shard_k;
+    if (c.shard_temporal) {
+      scfg.run.strategy = core::DeviceStrategy::kTemporal;
+      scfg.run.cores_x = 1;
+      scfg.run.temporal_depth = c.shard_k;
+    }
+    auto cluster = core::ShardedCluster::open(c.shard_cards, {}, device_config(c));
+    const auto devs = cluster.devices();
+    const auto sh = core::run_general_sharded(devs, *cluster.fabric, c.problem, scfg);
+    if (!fields_match(ref, sh.fields, why)) {
+      *why = "sharded x" + std::to_string(c.shard_cards) + " k=" +
+             std::to_string(c.shard_k) + ": " + *why;
+      return false;
+    }
+    for (std::size_t i = 0; i < row.solution.size(); ++i) {
+      if (row.solution[i] != sh.solution[i]) {
+        *why = "1-card-vs-" + std::to_string(c.shard_cards) +
+               "-card divergence at elem " + std::to_string(i);
+        return false;
+      }
+    }
+    for (int card = 0; card < c.shard_cards; ++card) {
+      const auto cfs =
+          cluster.cards[static_cast<std::size_t>(card)]->verifier()->findings();
+      if (!cfs.empty()) {
+        *why = "sharded card " + std::to_string(card) +
+               " verifier findings:\n" + render(cfs);
+        return false;
+      }
+    }
+  }
+
   if (c.batch_slots >= 2 && !run_batched(c, ref, why)) return false;
   return true;
 }
@@ -426,6 +488,17 @@ Config shrink(Config c, std::string* why) {
       m.try_temporal = 0;
       moves.push_back(std::move(m));
     }
+    if (c.shard_cards > 2 || (c.shard_cards == 2 && c.shard_k > 1)) {
+      Config m = c;
+      m.shard_cards = 2;
+      m.shard_k = 1;
+      moves.push_back(std::move(m));
+    }
+    if (c.shard_cards >= 2) {
+      Config m = c;
+      m.shard_cards = 0;
+      moves.push_back(std::move(m));
+    }
     if (c.cfg.cores_x * c.cfg.cores_y > 1) {
       Config m = c;
       m.cfg.cores_x = m.cfg.cores_y = 1;
@@ -442,6 +515,11 @@ Config shrink(Config c, std::string* why) {
         m.cfg.cores_x = 1;
       }
       if (m.cfg.cores_y > static_cast<int>(m.problem.height)) m.cfg.cores_y = 1;
+      if (m.shard_cards >= 2 &&
+          static_cast<int>(m.problem.height) / m.shard_cards <
+              std::max(m.shard_k, m.cfg.cores_y)) {
+        m.shard_cards = 0;
+      }
       std::string w;
       if (!check(m, &w)) {
         c = std::move(m);
@@ -520,6 +598,21 @@ TEST(StencilConformance, PinnedCorners) {
     std::string why;
     EXPECT_TRUE(check(c, &why))
         << "temporal k=" << k << ": " << describe(c) << "\n" << why;
+  }
+
+  // Multi-card corner: 3 cards, per-card temporal chains, deep halo k=4 —
+  // the cross-card analogue of the axis above, pinned independent of the
+  // sweep's sampling.
+  {
+    Config c;
+    c.seed = 0;
+    c.problem = core::gallery::hotspot(64, 30, 7);
+    c.cfg.cores_y = 2;
+    c.shard_cards = 3;
+    c.shard_k = 4;
+    c.shard_temporal = true;
+    std::string why;
+    EXPECT_TRUE(check(c, &why)) << describe(c) << "\n" << why;
   }
 }
 

@@ -21,6 +21,7 @@
 
 #include "ttsim/core/gallery.hpp"
 #include "ttsim/core/jacobi_device.hpp"
+#include "ttsim/core/sharded.hpp"
 #include "ttsim/core/stencil.hpp"
 #include "ttsim/sim/trace.hpp"
 #include "ttsim/stream/stream_bench.hpp"
@@ -125,6 +126,42 @@ GoldenRun gallery_run(const std::string& name) {
   });
 }
 
+/// Two line-cabled cards running the deep-halo sharded solver, with the
+/// fabric's private sink traced alongside both devices. The pinned digest is
+/// FNV-1a over the concatenation card0 + card1 + fabric canonical texts —
+/// track ids inside each sink are named by *global* card id, so the combined
+/// stream is stable no matter how the cluster is assembled.
+GoldenRun sharded_run() {
+  ttmetal::DeviceConfig dc;
+  dc.enable_trace = true;
+  sim::ChipLinkConfig link = sim::ChipLinkConfig::from_spec({});
+  link.enable_trace = true;
+  auto cluster = core::ShardedCluster::open(2, {}, dc, link);
+  core::JacobiProblem p;
+  p.width = 64;
+  p.height = 64;
+  p.iterations = 4;
+  core::ShardedRunConfig cfg;
+  cfg.run.strategy = core::DeviceStrategy::kRowChunk;
+  cfg.exchange_every = 2;  // two epochs, one extension row per cut
+  const auto devs = cluster.devices();
+  core::run_jacobi_sharded(devs, *cluster.fabric, p, cfg);
+  std::string canon;
+  std::size_t events = 0;
+  for (auto* dev : devs) {
+    canon += dev->trace()->canonical();
+    events += dev->trace()->size();
+  }
+  canon += cluster.fabric->trace()->canonical();
+  events += cluster.fabric->trace()->size();
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : canon) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return {h, events};
+}
+
 /// Pin `run` to `golden`, or print the replacement constant when
 /// TTSIM_REGEN_GOLDEN is set. Always re-executes the workload a second time
 /// and demands hash equality: a golden value is only meaningful if the trace
@@ -162,6 +199,7 @@ constexpr std::uint64_t kGoldenGalleryFdtd2d = 0x4f49ec64b9bbeabdull;          /
 constexpr std::uint64_t kGoldenGalleryConvection = 0x626b6734c264ad2cull;      // 25269 events
 constexpr std::uint64_t kGoldenGalleryLife = 0x7e37c045e2025bceull;            // 28149 events
 constexpr std::uint64_t kGoldenJacobiTemporal = 0x4dbb2e1396942c25ull;         // 6091 events
+constexpr std::uint64_t kGoldenJacobiSharded2Card = 0xa46130ea2462e6bfull;     // 11236 events
 
 TEST(GoldenTrace, JacobiTiled) {
   expect_golden(
@@ -194,6 +232,11 @@ TEST(GoldenTrace, JacobiRowChunkMulticore) {
 TEST(GoldenTrace, JacobiTemporal) {
   expect_golden("kGoldenJacobiTemporal", [] { return temporal_run(); },
                 kGoldenJacobiTemporal);
+}
+
+TEST(GoldenTrace, JacobiSharded2Card) {
+  expect_golden("kGoldenJacobiSharded2Card", [] { return sharded_run(); },
+                kGoldenJacobiSharded2Card);
 }
 
 TEST(GoldenTrace, StreamSingleCore) {

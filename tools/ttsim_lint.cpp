@@ -24,6 +24,7 @@
 
 #include "ttsim/common/check.hpp"
 #include "ttsim/core/jacobi_device.hpp"
+#include "ttsim/core/sharded.hpp"
 #include "ttsim/serve/serve.hpp"
 #include "ttsim/stream/stream_bench.hpp"
 #include "ttsim/ttmetal/device.hpp"
@@ -47,7 +48,7 @@ void usage(std::ostream& os) {
         "\n"
         "workloads (default: all):\n"
         "  tiled write-optimised double-buffered rowchunk sram temporal\n"
-        "  stream serve\n"
+        "  stream serve multichip\n"
         "\n"
         "options:\n"
         "  --width N --height N --iters N   Jacobi problem shape (default "
@@ -154,6 +155,32 @@ int run_serve(const Options& opt) {
   return print_findings("serve", svc.verify_findings());
 }
 
+/// Two cards cabled with chip-to-chip links running the deep-halo sharded
+/// solver: the per-card kernel protocol plus the exchange epochs must stay
+/// clean on every card in the group.
+int run_multichip(const Options& opt) {
+  ttsim::ttmetal::DeviceConfig dc;
+  dc.enable_verify = true;
+  auto cluster = ttsim::core::ShardedCluster::open(2, {}, dc);
+  ttsim::core::JacobiProblem p;
+  p.width = opt.width;
+  p.height = opt.height;
+  p.iterations = std::max(opt.iterations, 4);
+  ttsim::core::ShardedRunConfig cfg;
+  cfg.run.strategy = ttsim::core::DeviceStrategy::kRowChunk;
+  cfg.run.cores_y = opt.cores_y;
+  cfg.run.read_ahead = opt.read_ahead;
+  cfg.exchange_every = 2;  // more than one epoch, deep halo on each cut
+  const auto devs = cluster.devices();
+  ttsim::core::run_jacobi_sharded(devs, *cluster.fabric, p, cfg);
+  int rc = 0;
+  for (std::size_t i = 0; i < devs.size(); ++i) {
+    rc |= print_findings("multichip card " + std::to_string(i),
+                         devs[i]->verifier()->findings());
+  }
+  return rc;
+}
+
 /// --demo-lint: every static check firing at once, so the report format is
 /// easy to eyeball (and to paste into docs).
 int demo_lint() {
@@ -221,7 +248,7 @@ int main(int argc, char** argv) {
   if (opt.workloads.empty()) {
     opt.workloads = {"tiled",    "write-optimised", "double-buffered",
                      "rowchunk", "sram",            "temporal",
-                     "stream",   "serve"};
+                     "stream",   "serve",           "multichip"};
   }
 
   const std::vector<std::pair<std::string, std::function<int()>>> runners = {
@@ -246,6 +273,7 @@ int main(int argc, char** argv) {
       {"temporal", [&] { return run_temporal(opt); }},
       {"stream", [&] { return run_stream(opt); }},
       {"serve", [&] { return run_serve(opt); }},
+      {"multichip", [&] { return run_multichip(opt); }},
   };
 
   int exit_code = 0;
