@@ -54,6 +54,18 @@ enum class DeviceStrategy {
 
 std::string to_string(DeviceStrategy s);
 
+/// How the driver produces the kernel program. kIr (the default) builds the
+/// dataflow-IR graph of the run, proves the protocol race/deadlock-free with
+/// the static checker (src/ir) and then lowers it — the graph's emit closure
+/// invokes the hand-wired builder, so the emitted Program is bit-identical
+/// to kHandWired. kHandWired calls the builder directly, skipping the proof
+/// (the pre-IR behaviour; also what strategies without an IR model — the
+/// tiled Section-IV programs, batched multi-group launches — always use).
+enum class LoweringPath {
+  kIr,
+  kHandWired,
+};
+
 /// Table II switches: selectively disable pipeline stages while keeping the
 /// CB structure and synchronisation intact. Only honoured by the tiled
 /// (Section IV) strategies, matching the paper's methodology.
@@ -104,6 +116,10 @@ struct DeviceRunConfig {
   bool balanced_stripes = false;
   /// Verify against the BF16-exact CPU reference after the run.
   bool verify = false;
+  /// Program production path: prove-then-lower through the dataflow IR
+  /// (default) or call the hand-wired builder directly. Both emit the same
+  /// bits; kIr additionally rejects protocol-unsound programs before launch.
+  LoweringPath lowering = LoweringPath::kIr;
 };
 
 struct DeviceRunResult {

@@ -3,8 +3,10 @@
 #include <cstring>
 #include <limits>
 
+#include "ir_frontend.hpp"
 #include "jacobi_internal.hpp"
 #include "ttsim/cpu/jacobi_cpu.hpp"
+#include "ttsim/ir/lower.hpp"
 #include "ttsim/ttmetal/counters.hpp"
 
 namespace ttsim::core {
@@ -172,7 +174,15 @@ DeviceRunResult run_jacobi_on_device(ttmetal::Device& device, const JacobiProble
 
   ttmetal::Program prog;
   if (tiled) {
+    // The Section-IV programs predate the flow-controlled protocol the IR
+    // models: always hand-wired.
     detail::build_tiled_program(prog, shared);
+  } else if (cfg.lowering == LoweringPath::kIr) {
+    // Prove the protocol race/deadlock-free, then lower; the graph's emit
+    // closure calls the same builder the kHandWired branch does.
+    ir::lower(detail::make_jacobi_graph(
+                  shared, static_cast<std::int64_t>(device.spec().sram_bytes)),
+              prog);
   } else if (cfg.strategy == DeviceStrategy::kRowChunk) {
     detail::build_rowchunk_program(prog, shared);
   } else if (cfg.strategy == DeviceStrategy::kTemporal) {
@@ -259,7 +269,14 @@ AdaptiveRunResult run_jacobi_adaptive(ttmetal::Device& device, const JacobiProbl
     shared->core_ids = sel.core_ids;
 
     ttmetal::Program prog;
-    detail::build_rowchunk_program(prog, shared);
+    if (cfg.lowering == LoweringPath::kIr) {
+      ir::lower(detail::make_jacobi_graph(
+                    shared,
+                    static_cast<std::int64_t>(device.spec().sram_bytes)),
+                prog);
+    } else {
+      detail::build_rowchunk_program(prog, shared);
+    }
     device.run_program(prog);
     result.kernel_time += device.last_kernel_duration();
     result.iterations_run += chunk;

@@ -13,8 +13,10 @@
 #include <algorithm>
 #include <set>
 
+#include "ir_frontend.hpp"
 #include "stencil_internal.hpp"
 #include "ttsim/cpu/stencil_cpu.hpp"
+#include "ttsim/ir/lower.hpp"
 
 namespace ttsim::core {
 
@@ -466,7 +468,14 @@ GeneralRunResult run_general_stencil_on_device(ttmetal::Device& device,
   }
 
   ttmetal::Program prog;
-  if (cfg.strategy == DeviceStrategy::kSramResident) {
+  if (cfg.lowering == LoweringPath::kIr) {
+    // Prove the protocol race/deadlock-free, then lower; the graph's emit
+    // closure calls the same strategy builder the kHandWired branch does.
+    ir::lower(detail::make_general_graph(
+                  shared, cfg.strategy,
+                  static_cast<std::int64_t>(device.spec().sram_bytes)),
+              prog);
+  } else if (cfg.strategy == DeviceStrategy::kSramResident) {
     detail::build_general_sram_program(prog, shared);
   } else if (cfg.strategy == DeviceStrategy::kTemporal) {
     detail::build_general_temporal_group(prog, shared);

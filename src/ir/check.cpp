@@ -1,0 +1,605 @@
+#include "ttsim/ir/check.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ttsim::ir {
+
+namespace {
+
+using verify::LintError;
+
+/// The symbolic/eval hybrid prover. Symbolic sign proofs (all coefficients
+/// one-signed) decide most obligations for every trip count at once; the
+/// rest are swept over the graph's declared symbol ranges and bindings.
+class Prover {
+ public:
+  explicit Prover(const Graph& g) : g_(g) {}
+
+  /// d >= 0 for every supported assignment?
+  bool nonnegative(const Count& d) const {
+    if (d.always_nonnegative()) return true;
+    if (d.always_nonpositive()) return d.is_zero();
+    for (const auto& a : assignments(d)) {
+      if (d.eval(a) < 0) return false;
+    }
+    return true;
+  }
+
+  /// d == 0 for every supported assignment?
+  bool zero(const Count& d) const {
+    if (d.is_zero()) return true;
+    if (d.always_nonnegative() || d.always_nonpositive()) return false;
+    for (const auto& a : assignments(d)) {
+      if (d.eval(a) != 0) return false;
+    }
+    return true;
+  }
+
+  /// Can d be > 0 for some supported assignment?
+  bool can_be_positive(const Count& d) const {
+    if (d.is_zero()) return false;
+    if (d.always_nonpositive()) return false;
+    if (d.always_nonnegative()) return true;  // nonzero with >= 0 everywhere
+    for (const auto& a : assignments(d)) {
+      if (d.eval(a) > 0) return true;
+    }
+    return false;
+  }
+
+  /// A witness assignment with d(a) < 0, for diagnostics; empty if the
+  /// failure is symbol-free.
+  std::string negative_witness(const Count& d) const {
+    for (const auto& a : assignments(d)) {
+      if (d.eval(a) < 0) {
+        std::string s;
+        for (const auto& [k, v] : a) {
+          if (!s.empty()) s += ", ";
+          s += k + "=" + std::to_string(v);
+        }
+        return s;
+      }
+    }
+    return "";
+  }
+
+ private:
+  std::vector<std::map<std::string, std::int64_t>> assignments(
+      const Count& d) const {
+    const std::vector<std::string> syms = d.symbols();
+    std::vector<std::map<std::string, std::int64_t>> out;
+    out.emplace_back();
+    for (const std::string& s : syms) {
+      std::vector<std::int64_t> values;
+      const auto r = g_.ranges.find(s);
+      const auto b = g_.bindings.find(s);
+      if (r != g_.ranges.end()) {
+        const auto [lo, hi] = r->second;
+        if (hi - lo <= 16) {
+          for (std::int64_t v = lo; v <= hi; ++v) values.push_back(v);
+        } else {
+          values = {lo, lo + 1, lo + 2, (lo + hi) / 2, hi - 1, hi};
+        }
+      } else if (b != g_.bindings.end()) {
+        values = {b->second};
+      } else {
+        values = {1, 2, 3, 7};  // unbound trip count: a few representatives
+      }
+      std::vector<std::map<std::string, std::int64_t>> next;
+      for (const auto& partial : out) {
+        for (const std::int64_t v : values) {
+          next.push_back(partial);
+          next.back()[s] = v;
+          if (next.size() > 4096) break;  // cap the sweep
+        }
+        if (next.size() > 4096) break;
+      }
+      out = std::move(next);
+    }
+    return out;
+  }
+
+  const Graph& g_;
+};
+
+bool guard_holds(Guard guard, std::int64_t pos, std::int64_t ncores) {
+  switch (guard) {
+    case Guard::kAlways: return true;
+    case Guard::kHasUpper: return pos > 0;
+    case Guard::kHasLower: return pos < ncores - 1;
+  }
+  return true;
+}
+
+class Checker {
+ public:
+  explicit Checker(const Graph& g) : g_(g), prover_(g) {}
+
+  std::vector<LintError> run() {
+    check_cbs();
+    check_semaphores();
+    check_barriers();
+    check_regions();
+    check_rings();
+    check_wait_cycles();
+    return std::move(errors_);
+  }
+
+ private:
+  void add(LintError::Code code, int id, const std::string& message) {
+    errors_.push_back(LintError{code, -1, id, message});
+  }
+
+  // ---- family 1: CB credit flow --------------------------------------
+
+  void check_cbs() {
+    for (const CbDecl& cb : g_.cbs) {
+      Count push_total, pop_total, wait_total;
+      bool referenced = false;
+      for (const KernelModel& k : g_.kernels) {
+        Count reserve_k, push_k;
+        for (const Op& op : k.ops) {
+          if (op.id != cb.id) continue;
+          const Count total = op.count * Count(op.pages);
+          switch (op.kind) {
+            case OpKind::kCbReserve: reserve_k += total; break;
+            case OpKind::kCbPush: push_k += total; break;
+            case OpKind::kCbWait: wait_total += total; break;
+            case OpKind::kCbPop: pop_total += total; break;
+            default: continue;
+          }
+          referenced = true;
+          // A single reserve/wait must fit in the buffer at all.
+          if ((op.kind == OpKind::kCbReserve || op.kind == OpKind::kCbWait) &&
+              !prover_.nonnegative(cb.pages - Count(op.pages))) {
+            std::ostringstream os;
+            os << g_.name << ": kernel '" << k.name << "' "
+               << (op.kind == OpKind::kCbReserve ? "reserves" : "waits for")
+               << " " << op.pages << " page(s) of " << cb.name << " (CB "
+               << cb.id << "), which only holds " << cb.pages.str()
+               << " — the call can never be satisfied";
+            add(LintError::Code::kCbOvercommit, cb.id, os.str());
+          }
+        }
+        // Producer discipline: every reserved page is pushed (and vice
+        // versa) for every trip count, else pages leak or pushes block.
+        if (!prover_.zero(reserve_k - push_k)) {
+          std::ostringstream os;
+          os << g_.name << ": kernel '" << k.name << "' reserves "
+             << reserve_k.str() << " but pushes " << push_k.str()
+             << " page(s) of " << cb.name << " (CB " << cb.id
+             << ") — reserve/push totals must match for all trip counts";
+          add(LintError::Code::kCbCreditImbalance, cb.id, os.str());
+        }
+        push_total += push_k;
+      }
+      if (!referenced) continue;  // address-alias CBs carry no protocol ops
+      // Consumers can never pop more than producers push...
+      if (!prover_.nonnegative(push_total - pop_total)) {
+        std::ostringstream os;
+        os << g_.name << ": " << cb.name << " (CB " << cb.id << ") is popped "
+           << pop_total.str() << " but only pushed " << push_total.str()
+           << " page(s) for some trip count (witness: "
+           << prover_.negative_witness(push_total - pop_total)
+           << ") — the consumer starves";
+        add(LintError::Code::kCbCreditImbalance, cb.id, os.str());
+      } else if (!prover_.nonnegative(cb.pages - (push_total - pop_total))) {
+        // ...and the un-popped residue must fit, else the producer's final
+        // pushes block forever.
+        std::ostringstream os;
+        os << g_.name << ": " << cb.name << " (CB " << cb.id << ") ends with "
+           << (push_total - pop_total).str()
+           << " un-popped page(s), more than its " << cb.pages.str()
+           << "-page capacity — the producer wedges on its final push";
+        add(LintError::Code::kCbCreditImbalance, cb.id, os.str());
+      }
+      // A waited-on CB nobody ever pushes starves its consumer outright.
+      if (prover_.can_be_positive(wait_total) && push_total.is_zero()) {
+        std::ostringstream os;
+        os << g_.name << ": " << cb.name << " (CB " << cb.id << ") is waited "
+           << "on (" << wait_total.str() << " page(s)) but never pushed";
+        add(LintError::Code::kCbCreditImbalance, cb.id, os.str());
+      }
+    }
+  }
+
+  // ---- family 2: semaphore pairing -----------------------------------
+
+  void check_semaphores() {
+    const std::int64_t ncores = std::max<std::int64_t>(
+        1, g_.ncores.eval(g_.bindings));
+    for (const SemDecl& sem : g_.sems) {
+      bool referenced = false;
+      for (const KernelModel& k : g_.kernels) {
+        for (const Op& op : k.ops) {
+          if (op.id == sem.id &&
+              (op.kind == OpKind::kSemWait || op.kind == OpKind::kSemPost)) {
+            referenced = true;
+          }
+        }
+      }
+      if (!referenced) {
+        std::ostringstream os;
+        os << g_.name << ": " << sem.name << " (semaphore " << sem.id
+           << ") is declared but no kernel ever waits on or posts it";
+        add(LintError::Code::kOrphanSemaphore, sem.id, os.str());
+        continue;
+      }
+      // Resolve posts per concrete position: a post with peer kUpper from
+      // core q lands at q-1, etc.; guards gate on the *posting* core.
+      // Guards only distinguish boundary cores, so first/middle/last
+      // positions cover every distinct case.
+      std::vector<std::int64_t> positions;
+      if (ncores <= 6) {
+        for (std::int64_t p = 0; p < ncores; ++p) positions.push_back(p);
+      } else {
+        positions = {0, 1, 2, ncores / 2, ncores - 3, ncores - 2, ncores - 1};
+      }
+      for (const std::int64_t p : positions) {
+        Count available(sem.initial);
+        Count waits;
+        for (const KernelModel& k : g_.kernels) {
+          for (const Op& op : k.ops) {
+            if (op.id != sem.id) continue;
+            if (op.kind == OpKind::kSemWait) {
+              if (guard_holds(op.guard, p, ncores)) {
+                waits += op.count * Count(op.pages);
+              }
+            } else if (op.kind == OpKind::kSemPost) {
+              std::int64_t q = p;  // posting core whose target is p
+              if (op.peer == Peer::kUpper) q = p + 1;
+              if (op.peer == Peer::kLower) q = p - 1;
+              if (q < 0 || q >= ncores) continue;
+              if (guard_holds(op.guard, q, ncores)) {
+                available += op.count * Count(op.pages);
+              }
+            }
+          }
+        }
+        const Count deficit = available - waits;
+        if (!prover_.nonnegative(deficit)) {
+          std::ostringstream os;
+          os << g_.name << ": core " << p << " waits on " << sem.name
+             << " (semaphore " << sem.id << ") " << waits.str()
+             << " time(s), but only " << available.str()
+             << " post(s) (incl. initial " << sem.initial
+             << ") can ever arrive — the last wait hangs";
+          add(LintError::Code::kSemImbalance, sem.id, os.str());
+          break;  // one position witnesses the bug; don't repeat per core
+        }
+      }
+    }
+  }
+
+  // ---- family 3: barrier participant arithmetic ----------------------
+
+  void check_barriers() {
+    for (const BarrierDecl& b : g_.barriers) {
+      Count total_instances;
+      std::vector<std::pair<const KernelModel*, Count>> arriving;
+      for (const KernelModel& k : g_.kernels) {
+        Count arrivals;
+        for (const Op& op : k.ops) {
+          if (op.kind == OpKind::kBarrierArrive && op.id == b.id) {
+            arrivals += op.count;
+          }
+        }
+        if (!arrivals.is_zero()) {
+          arriving.emplace_back(&k, arrivals);
+          total_instances += k.instances;
+        }
+      }
+      if (arriving.empty()) {
+        std::ostringstream os;
+        os << g_.name << ": barrier " << b.id << " expects "
+           << b.participants.str() << " participant(s) but no kernel ever "
+           << "arrives — the rendezvous can never complete";
+        add(LintError::Code::kBadBarrier, b.id, os.str());
+        continue;
+      }
+      // Every round must see exactly `participants` arrivals: all arriving
+      // kernels agree on a per-instance round count, and their instance
+      // total matches the declaration.
+      for (std::size_t i = 1; i < arriving.size(); ++i) {
+        if (!prover_.zero(arriving[i].second - arriving[0].second)) {
+          std::ostringstream os;
+          os << g_.name << ": barrier " << b.id << ": kernel '"
+             << arriving[0].first->name << "' arrives "
+             << arriving[0].second.str() << " time(s) per instance but '"
+             << arriving[i].first->name << "' arrives "
+             << arriving[i].second.str()
+             << " — unequal round counts deadlock the rendezvous";
+          add(LintError::Code::kBadBarrier, b.id, os.str());
+        }
+      }
+      if (!prover_.zero(total_instances - b.participants)) {
+        std::ostringstream os;
+        os << g_.name << ": barrier " << b.id << " declares "
+           << b.participants.str() << " participant(s) but "
+           << total_instances.str() << " kernel instance(s) arrive";
+        add(LintError::Code::kBadBarrier, b.id, os.str());
+      }
+    }
+  }
+
+  // ---- family 4: SRAM region liveness --------------------------------
+
+  void check_regions() {
+    if (g_.regions.empty()) return;
+    // Mirror Program::plan_allocate's bump allocator over every supported
+    // symbol assignment; pinned regions sit where the graph says.
+    Count all_bytes;
+    for (const RegionDecl& r : g_.regions) all_bytes += r.bytes;
+    std::vector<std::map<std::string, std::int64_t>> sweep;
+    {
+      const std::vector<std::string> syms = all_bytes.symbols();
+      std::map<std::string, std::int64_t> base = g_.bindings;
+      sweep.push_back(base);
+      for (const std::string& s : syms) {
+        const auto r = g_.ranges.find(s);
+        if (r == g_.ranges.end()) continue;
+        std::vector<std::map<std::string, std::int64_t>> next;
+        for (auto partial : sweep) {
+          for (std::int64_t v = r->second.first; v <= r->second.second; ++v) {
+            partial[s] = v;
+            next.push_back(partial);
+            if (next.size() > 1024) break;
+          }
+          if (next.size() > 1024) break;
+        }
+        sweep = std::move(next);
+      }
+    }
+    std::set<std::pair<std::size_t, std::size_t>> reported_overlap;
+    std::set<std::size_t> reported_overflow;
+    for (const auto& a : sweep) {
+      struct Placed {
+        std::int64_t lo, hi;
+        std::size_t index;
+      };
+      std::vector<Placed> placed;
+      std::int64_t cursor = 0;
+      constexpr std::int64_t kAlign = 32;  // Program::plan_allocate's align
+
+      for (std::size_t i = 0; i < g_.regions.size(); ++i) {
+        const RegionDecl& r = g_.regions[i];
+        const std::int64_t bytes = std::max<std::int64_t>(0, r.bytes.eval(a));
+        const std::int64_t lo = r.pinned_addr >= 0 ? r.pinned_addr : cursor;
+        const std::int64_t hi = lo + bytes;
+        placed.push_back({lo, hi, i});
+        cursor = std::max(cursor, (hi + kAlign - 1) / kAlign * kAlign);
+        if (g_.sram_bytes > 0 && hi > g_.sram_bytes &&
+            reported_overflow.insert(i).second) {
+          std::ostringstream os;
+          os << g_.name << ": region '" << r.name << "' spans [" << lo << ", "
+             << hi << "), past the " << g_.sram_bytes << " B of core SRAM"
+             << witness_suffix(a);
+          add(LintError::Code::kSramOverflow, -1, os.str());
+        }
+      }
+      std::sort(placed.begin(), placed.end(),
+                [](const Placed& x, const Placed& y) { return x.lo < y.lo; });
+      for (std::size_t i = 1; i < placed.size(); ++i) {
+        const Placed& prev = placed[i - 1];
+        const Placed& cur = placed[i];
+        if (cur.lo < prev.hi &&
+            reported_overlap
+                .insert({std::min(prev.index, cur.index),
+                         std::max(prev.index, cur.index)})
+                .second) {
+          std::ostringstream os;
+          os << g_.name << ": regions '" << g_.regions[prev.index].name
+             << "' and '" << g_.regions[cur.index].name << "' overlap (["
+             << prev.lo << ", " << prev.hi << ") vs [" << cur.lo << ", "
+             << cur.hi << "))" << witness_suffix(a);
+          add(LintError::Code::kBufferOverlap, -1, os.str());
+        }
+      }
+    }
+  }
+
+  static std::string witness_suffix(
+      const std::map<std::string, std::int64_t>& a) {
+    if (a.empty()) return "";
+    std::string s;
+    for (const auto& [k, v] : a) {
+      if (!s.empty()) s += ", ";
+      s += k + "=" + std::to_string(v);
+    }
+    return " at " + s;
+  }
+
+  // ---- family 5: slot-ring reuse distance ----------------------------
+
+  void check_rings() {
+    for (std::size_t i = 0; i < g_.rings.size(); ++i) {
+      const RingDecl& ring = g_.rings[i];
+      if (!ring.continuous) {
+        // Per-column rotation reset: batches issued ahead at the end of
+        // one column are still in flight (credit_depth > 0) when the next
+        // column's prologue rewrites slot 0 — the pre-fix PR 3 pattern.
+        // Safe only when nothing is in flight or there is a single column.
+        if (prover_.can_be_positive(ring.credit_depth) &&
+            prover_.can_be_positive(ring.columns - Count(1))) {
+          std::ostringstream os;
+          os << g_.name << ": ring '" << ring.name
+             << "' resets its rotation per column with " << ring.credit_depth.str()
+             << " issued batch(es) still in flight across the boundary — the "
+             << "next column's prologue rewrites slots an unconsumed batch "
+             << "still reads (pre-fix PR 3 prologue pattern)";
+          add(LintError::Code::kSlotReuse, static_cast<int>(i), os.str());
+          continue;
+        }
+      }
+      // Continuous rotation: when batch j is being consumed, the reader
+      // may have issued up to batch j + issue_ahead, and credit_depth
+      // batches may sit issued-but-unconsumed; the consumer still reads
+      // down to slot j + read_lo. All of those slots must be distinct
+      // modulo the ring, for every depth:
+      //   slots >= issue_ahead + credit_depth - read_lo + 1 + boundary_extra
+      const Count required = ring.issue_ahead + ring.credit_depth +
+                             Count(-ring.read_lo) + Count(1) +
+                             ring.boundary_extra;
+      const Count margin = ring.slots - required;
+      if (!prover_.nonnegative(margin)) {
+        std::ostringstream os;
+        os << g_.name << ": ring '" << ring.name << "' has " << ring.slots.str()
+           << " slot(s) but needs " << required.str() << " (issue-ahead "
+           << ring.issue_ahead.str() << " + in-flight credits "
+           << ring.credit_depth.str() << " + trailing reads to offset "
+           << ring.read_lo << " + boundary extra " << ring.boundary_extra.str()
+           << ")";
+        const std::string w = prover_.negative_witness(margin);
+        if (!w.empty()) {
+          os << " — violated at " << w;
+        } else {
+          os << " — violated at every depth";
+        }
+        os << "; a slot is rewritten while an in-flight batch can still read "
+              "it";
+        add(LintError::Code::kSlotReuse, static_cast<int>(i), os.str());
+      }
+    }
+  }
+
+  // ---- family 6: static wait-for cycles ------------------------------
+
+  void check_wait_cycles() {
+    // Nodes: blocking ops. Edges: waiter -> the blocking op that gates the
+    // enabling event (push/pop/post/arrive) in the providing kernel, with
+    // slack = credits available before any provider action (CB capacity
+    // for reserve->pop, semaphore initial + cross-iteration delta for
+    // waits). Positive-slack edges can't participate in a deadlock at
+    // rest, so only the zero-slack subgraph is searched for cycles.
+    struct Node {
+      std::size_t kernel, op;
+    };
+    std::vector<Node> nodes;
+    std::map<std::pair<std::size_t, std::size_t>, std::size_t> node_of;
+    auto is_blocking = [](const Op& op) {
+      return op.kind == OpKind::kCbWait || op.kind == OpKind::kCbReserve ||
+             op.kind == OpKind::kSemWait || op.kind == OpKind::kBarrierArrive;
+    };
+    for (std::size_t k = 0; k < g_.kernels.size(); ++k) {
+      for (std::size_t o = 0; o < g_.kernels[k].ops.size(); ++o) {
+        if (is_blocking(g_.kernels[k].ops[o])) {
+          node_of[{k, o}] = nodes.size();
+          nodes.push_back({k, o});
+        }
+      }
+    }
+    // Nearest blocking op at or before position o in kernel k; -1 if the
+    // event is reachable unconditionally.
+    auto gate_before = [&](std::size_t k, std::size_t o) -> int {
+      for (std::size_t j = o + 1; j-- > 0;) {
+        if (is_blocking(g_.kernels[k].ops[j])) {
+          return static_cast<int>(node_of[{k, j}]);
+        }
+      }
+      return -1;
+    };
+    std::vector<std::vector<std::size_t>> edges(nodes.size());
+    auto cb_capacity = [&](int id) -> std::int64_t {
+      for (const CbDecl& cb : g_.cbs) {
+        if (cb.id == id) return std::max<std::int64_t>(0, cb.pages.eval(g_.bindings));
+      }
+      return 0;
+    };
+    auto sem_initial = [&](int id) -> std::int64_t {
+      for (const SemDecl& sem : g_.sems) {
+        if (sem.id == id) return sem.initial;
+      }
+      return 0;
+    };
+    for (std::size_t n = 0; n < nodes.size(); ++n) {
+      const std::size_t k = nodes[n].kernel;
+      const Op& op = g_.kernels[k].ops[nodes[n].op];
+      const std::int64_t iter_slack = op.iter_delta < 0 ? -op.iter_delta : 0;
+      for (std::size_t j = 0; j < g_.kernels.size(); ++j) {
+        for (std::size_t o = 0; o < g_.kernels[j].ops.size(); ++o) {
+          const Op& ev = g_.kernels[j].ops[o];
+          std::int64_t slack = -1;  // -1 = not an enabling event
+          if (op.kind == OpKind::kCbWait && ev.kind == OpKind::kCbPush &&
+              ev.id == op.id && j != k) {
+            slack = iter_slack;
+          } else if (op.kind == OpKind::kCbReserve &&
+                     ev.kind == OpKind::kCbPop && ev.id == op.id && j != k) {
+            // The whole buffer is free before anyone pops.
+            slack = cb_capacity(op.id) + iter_slack;
+          } else if (op.kind == OpKind::kSemWait &&
+                     ev.kind == OpKind::kSemPost && ev.id == op.id) {
+            slack = sem_initial(op.id) + iter_slack;
+          } else if (op.kind == OpKind::kBarrierArrive &&
+                     ev.kind == OpKind::kBarrierArrive && ev.id == op.id &&
+                     j != k) {
+            slack = 0;
+          }
+          if (slack != 0) continue;  // absent or positive slack: no edge
+          // A barrier completes once every peer *reaches* its arrive, so
+          // the dependency is on the gate strictly before the peer's
+          // arrive, not on the arrive's own completion (which would make
+          // every barrier a trivial false cycle).
+          const int gate = ev.kind == OpKind::kBarrierArrive
+                               ? (o == 0 ? -1 : gate_before(j, o - 1))
+                               : gate_before(j, o);
+          if (gate >= 0 && static_cast<std::size_t>(gate) != n) {
+            edges[n].push_back(static_cast<std::size_t>(gate));
+          }
+        }
+      }
+    }
+    // DFS for a cycle in the zero-slack graph.
+    std::vector<int> color(nodes.size(), 0);  // 0 white, 1 grey, 2 black
+    std::vector<std::size_t> stack;
+    std::vector<std::size_t> cycle;
+    std::function<bool(std::size_t)> dfs = [&](std::size_t n) -> bool {
+      color[n] = 1;
+      stack.push_back(n);
+      for (const std::size_t m : edges[n]) {
+        if (color[m] == 1) {
+          const auto it = std::find(stack.begin(), stack.end(), m);
+          cycle.assign(it, stack.end());
+          return true;
+        }
+        if (color[m] == 0 && dfs(m)) return true;
+      }
+      color[n] = 2;
+      stack.pop_back();
+      return false;
+    };
+    for (std::size_t n = 0; n < nodes.size() && cycle.empty(); ++n) {
+      if (color[n] == 0) dfs(n);
+    }
+    if (!cycle.empty()) {
+      std::ostringstream os;
+      os << g_.name << ": static wait-for cycle with no initial credit: ";
+      for (std::size_t i = 0; i < cycle.size(); ++i) {
+        const Node& nd = nodes[cycle[i]];
+        const Op& op = g_.kernels[nd.kernel].ops[nd.op];
+        if (i != 0) os << " -> ";
+        os << g_.kernels[nd.kernel].name << ":" << to_string(op.kind) << "("
+           << op.id << ")";
+      }
+      os << " — every participant needs another to move first";
+      add(LintError::Code::kWaitCycle, -1, os.str());
+    }
+  }
+
+  const Graph& g_;
+  Prover prover_;
+  std::vector<LintError> errors_;
+};
+
+}  // namespace
+
+std::vector<verify::LintError> check(const Graph& graph) {
+  return Checker(graph).run();
+}
+
+}  // namespace ttsim::ir

@@ -1,0 +1,29 @@
+#pragma once
+/// \file check.hpp
+/// The static protocol type-checker over the dataflow IR.
+///
+/// Six check families, each proving its property for ALL schedules and
+/// ALL loop trip counts (symbolically where the polynomial's sign is
+/// decided, by sweeping the graph's declared symbol ranges otherwise):
+///
+///  1. CB credit flow     -> cb-credit-imbalance / cb-overcommit
+///  2. Semaphore pairing  -> sem-imbalance / orphan-semaphore
+///  3. Barrier arithmetic -> bad-barrier
+///  4. SRAM liveness      -> buffer-overlap / sram-overflow
+///  5. Slot-ring reuse    -> slot-ring-reuse (the PR 3/PR 7 clobber class)
+///  6. Wait-for cycles    -> wait-cycle
+///
+/// Findings reuse verify::LintError so ttsim_lint, tests, and the dynamic
+/// detectors all speak one diagnostic vocabulary.
+
+#include <vector>
+
+#include "ttsim/ir/ir.hpp"
+#include "ttsim/verify/lint.hpp"
+
+namespace ttsim::ir {
+
+/// Run all six families; returns every finding (empty = certified).
+std::vector<verify::LintError> check(const Graph& graph);
+
+}  // namespace ttsim::ir

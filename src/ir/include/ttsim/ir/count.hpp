@@ -1,0 +1,149 @@
+#pragma once
+/// \file count.hpp
+/// Symbolic operation counts for the dataflow IR's protocol checker.
+///
+/// A Count is a polynomial with integer coefficients over named symbols
+/// ("iters", "batches", "depth", ...), kept in a canonical normal form
+/// (sorted symbol multiset -> coefficient). Two counts are equal for ALL
+/// symbol assignments iff their normal forms are identical, which is what
+/// lets the checker prove credit-flow balance "for all loop trip counts"
+/// instead of for the one shape a dynamic run observes. Symbols stand for
+/// nonnegative loop trip counts, so a polynomial whose coefficients are all
+/// >= 0 (or all <= 0) has a known sign everywhere; mixed-sign differences
+/// fall back to evaluation over the graph's declared symbol ranges.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ttsim::ir {
+
+class Count {
+ public:
+  Count() = default;
+  Count(std::int64_t constant) {  // NOLINT(google-explicit-constructor)
+    if (constant != 0) terms_[{}] = constant;
+  }
+  /// The symbol `name` as a count (coefficient 1).
+  static Count sym(const std::string& name) {
+    Count c;
+    c.terms_[{name}] = 1;
+    return c;
+  }
+
+  Count operator+(const Count& o) const {
+    Count r = *this;
+    for (const auto& [m, coeff] : o.terms_) r.accumulate(m, coeff);
+    return r;
+  }
+  Count operator-(const Count& o) const {
+    Count r = *this;
+    for (const auto& [m, coeff] : o.terms_) r.accumulate(m, -coeff);
+    return r;
+  }
+  Count operator*(const Count& o) const {
+    Count r;
+    for (const auto& [ma, ca] : terms_) {
+      for (const auto& [mb, cb] : o.terms_) {
+        std::vector<std::string> m = ma;
+        m.insert(m.end(), mb.begin(), mb.end());
+        std::sort(m.begin(), m.end());
+        r.accumulate(m, ca * cb);
+      }
+    }
+    return r;
+  }
+  Count& operator+=(const Count& o) { return *this = *this + o; }
+  Count& operator-=(const Count& o) { return *this = *this - o; }
+
+  bool operator==(const Count& o) const { return terms_ == o.terms_; }
+  bool operator!=(const Count& o) const { return !(*this == o); }
+
+  bool is_zero() const { return terms_.empty(); }
+  /// Every coefficient >= 0: the count is >= 0 for every nonnegative
+  /// assignment of its symbols.
+  bool always_nonnegative() const {
+    for (const auto& [m, coeff] : terms_) {
+      if (coeff < 0) return false;
+    }
+    return true;
+  }
+  /// Every coefficient <= 0: the count is <= 0 for every nonnegative
+  /// assignment of its symbols.
+  bool always_nonpositive() const {
+    for (const auto& [m, coeff] : terms_) {
+      if (coeff > 0) return false;
+    }
+    return true;
+  }
+
+  /// Evaluate with every symbol bound; unbound symbols evaluate as
+  /// `default_value` (the checker binds the graph's concrete shape).
+  std::int64_t eval(const std::map<std::string, std::int64_t>& bindings,
+                    std::int64_t default_value = 1) const {
+    std::int64_t total = 0;
+    for (const auto& [m, coeff] : terms_) {
+      std::int64_t prod = coeff;
+      for (const std::string& s : m) {
+        const auto it = bindings.find(s);
+        prod *= it == bindings.end() ? default_value : it->second;
+      }
+      total += prod;
+    }
+    return total;
+  }
+
+  /// Symbols appearing in the polynomial, sorted and deduplicated.
+  std::vector<std::string> symbols() const {
+    std::vector<std::string> out;
+    for (const auto& [m, coeff] : terms_) {
+      for (const std::string& s : m) out.push_back(s);
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+
+  /// Human-readable normal form, e.g. "2*depth + 3" or "iters*batches".
+  std::string str() const {
+    if (terms_.empty()) return "0";
+    std::string out;
+    for (const auto& [m, coeff] : terms_) {
+      if (!out.empty()) out += coeff < 0 ? " - " : " + ";
+      else if (coeff < 0) out += "-";
+      const std::int64_t a = coeff < 0 ? -coeff : coeff;
+      std::string body;
+      for (const std::string& s : m) {
+        if (!body.empty()) body += "*";
+        body += s;
+      }
+      if (body.empty()) {
+        out += std::to_string(a);
+      } else {
+        if (a != 1) out += std::to_string(a) + "*";
+        out += body;
+      }
+    }
+    return out;
+  }
+
+ private:
+  void accumulate(const std::vector<std::string>& monomial, std::int64_t coeff) {
+    const auto it = terms_.find(monomial);
+    if (it == terms_.end()) {
+      if (coeff != 0) terms_[monomial] = coeff;
+    } else if ((it->second += coeff) == 0) {
+      terms_.erase(it);
+    }
+  }
+
+  /// Sorted symbol multiset -> coefficient; zero coefficients are erased so
+  /// equality of maps is equality of polynomials.
+  std::map<std::vector<std::string>, std::int64_t> terms_;
+};
+
+inline Count operator*(std::int64_t k, const Count& c) { return Count(k) * c; }
+
+}  // namespace ttsim::ir

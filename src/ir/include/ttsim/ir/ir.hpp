@@ -1,0 +1,160 @@
+#pragma once
+/// \file ir.hpp
+/// The dataflow IR: a per-strategy protocol model of a stencil program.
+///
+/// A Graph describes, per kernel, the *protocol-relevant* operations in
+/// program order — CB reserve/push/wait/pop, semaphore wait/post, barrier
+/// arrivals, slot-ring writes/reads — each with a symbolic execution count
+/// (see count.hpp), plus the declared resources they act on (CBs with page
+/// capacities, semaphores with initial values, barriers with participant
+/// counts, SRAM regions with extents, slot rings with reuse geometry).
+/// High-level dataflow ops (read-region, halo-exchange, compute-tile,
+/// write-region) group the protocol ops into the phases the paper's
+/// kernels are built from; the checker consumes the protocol ops, the
+/// dump consumes both.
+///
+/// The static checker (check.hpp) proves race/deadlock freedom over ALL
+/// schedules and ALL loop trip counts from this model alone; the lowering
+/// pass (lower.hpp) then emits the concrete ttmetal::Program via the
+/// graph's emit closure. The closure is installed by the frontend
+/// (src/core/ir_frontend.cpp) and invokes the existing hand-tuned builder
+/// so the emitted program is bit-identical — the IR adds proof, not a
+/// second code generator to keep in sync.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ttsim/ir/count.hpp"
+
+namespace ttsim::ttmetal {
+class Program;
+}
+
+namespace ttsim::ir {
+
+enum class OpKind {
+  // High-level dataflow ops (documentation + dump structure; the checker
+  // reads through them to the protocol ops they carry).
+  kReadRegion,    ///< DRAM -> L1 load of a field region
+  kHaloExchange,  ///< NoC write of boundary rows to a neighbour core
+  kComputeTile,   ///< FPU pass over one tile/chunk
+  kWriteRegion,   ///< L1 -> DRAM store of a result region
+  // Protocol ops — what the checker actually analyses.
+  kCbReserve,     ///< cb_reserve_back(pages)
+  kCbPush,        ///< cb_push_back(pages)
+  kCbWait,        ///< cb_wait_front(pages)
+  kCbPop,         ///< cb_pop_front(pages)
+  kSemWait,       ///< noc_semaphore_wait-and-reset (consumes `pages` credits)
+  kSemPost,       ///< noc_semaphore_inc at peer (adds `pages` credits)
+  kBarrierArrive, ///< global barrier arrival
+  kRingWrite,     ///< write one slot of a slot ring (issue side)
+  kRingRead,      ///< read one slot of a slot ring (consume side)
+};
+
+const char* to_string(OpKind kind);
+
+/// Which core a kSemPost targets, relative to the posting core's position
+/// in the core list.
+enum class Peer { kSelf, kUpper, kLower };
+
+/// Predicate gating an op on the core's position: boundary cores skip
+/// halo work.
+enum class Guard { kAlways, kHasUpper, kHasLower };
+
+struct Op {
+  OpKind kind;
+  int id = -1;        ///< cb/sem/barrier id, or ring index for kRing*
+  Count count;        ///< how many times the op executes per kernel instance
+  int pages = 1;      ///< pages per CB op / credits per sem op
+  Peer peer = Peer::kSelf;      ///< kSemPost target
+  Guard guard = Guard::kAlways; ///< position predicate
+  /// For kSemWait / kCbWait: which producer iteration satisfies the k-th
+  /// wait, relative to the waiter's own iteration k. -1 means "waits for
+  /// iteration k-1's post" — that slack breaks would-be wait cycles.
+  int iter_delta = 0;
+  std::string note;   ///< free-form provenance for dumps/diagnostics
+
+  Op(OpKind k, int id_, Count c, int pages_ = 1)
+      : kind(k), id(id_), count(std::move(c)), pages(pages_) {}
+};
+
+/// One kernel (dm0 / dm1 / compute) with its protocol ops in program order.
+struct KernelModel {
+  std::string name;
+  int kind = 0;        ///< ttmetal::KernelKind as int (0=dm0, 1=dm1, 2=compute)
+  Count instances;     ///< how many cores run this kernel (usually ncores)
+  std::vector<Op> ops; ///< program order matters for the wait-cycle check
+};
+
+struct CbDecl {
+  int id;
+  Count pages;          ///< capacity in pages (may be symbolic, e.g. depth)
+  std::uint32_t page_size = 0;
+  std::string name;
+};
+
+struct SemDecl {
+  int id;
+  std::int64_t initial = 0;
+  std::string name;
+};
+
+struct BarrierDecl {
+  int id;
+  Count participants;  ///< declared rendezvous size (e.g. 2*ncores)
+};
+
+/// A named L1 region; regions are bump-allocated in declaration order from
+/// address 0 unless pinned, mirroring Program::plan_allocate.
+struct RegionDecl {
+  std::string name;
+  Count bytes;
+  std::int64_t pinned_addr = -1;  ///< >= 0 places the region explicitly
+};
+
+/// A slot ring: N reusable L1 slots written round-robin by a reader with
+/// bounded read-ahead and consumed by compute. The reuse-distance check
+/// proves slot j is never rewritten while an in-flight batch can still
+/// read it (the PR 3 / PR 7 clobber class).
+struct RingDecl {
+  std::string name;
+  Count slots;           ///< ring capacity in slots
+  Count issue_ahead;     ///< reader runs at most this many batches ahead
+  Count credit_depth;    ///< CB credits covering issued-but-unconsumed batches
+  int read_lo = 0;       ///< lowest slot offset a consuming batch reads
+  int read_hi = 0;       ///< highest slot offset a consuming batch reads
+  /// Extra live slots at column boundaries (0 when the builder clamps
+  /// issue ahead across columns, as the fixed rowchunk reader does).
+  Count boundary_extra;
+  bool continuous = true; ///< rotation carries across columns (vs reset)
+  Count columns = Count(1);
+};
+
+struct Graph {
+  std::string name;
+  Count ncores;  ///< usually the symbol "ncores"
+  /// Concrete values for this instantiation's symbols (used for guard
+  /// resolution, position enumeration, and eval fallback).
+  std::map<std::string, std::int64_t> bindings;
+  /// Declared [lo, hi] ranges for symbols (eval fallback sweeps these in
+  /// addition to bindings; e.g. depth in [2, 8]).
+  std::map<std::string, std::pair<std::int64_t, std::int64_t>> ranges;
+
+  std::vector<CbDecl> cbs;
+  std::vector<SemDecl> sems;
+  std::vector<BarrierDecl> barriers;
+  std::vector<RegionDecl> regions;
+  std::vector<RingDecl> rings;
+  std::vector<KernelModel> kernels;
+
+  std::int64_t sram_bytes = 0;  ///< per-core L1 budget for region liveness
+
+  /// Emits the concrete program. Installed by the frontend; invokes the
+  /// existing hand-wired builder so lowering is bit-identical to it.
+  std::function<void(ttmetal::Program&)> emit;
+};
+
+}  // namespace ttsim::ir

@@ -1,0 +1,40 @@
+#pragma once
+/// \file lower.hpp
+/// Lowering: static check, then emit the concrete ttmetal::Program.
+///
+/// lower() refuses to emit an ill-typed graph — it throws CheckError
+/// carrying the findings, so nothing un-certified ever reaches a device.
+/// dump() renders the graph (ops, counts, resources) as text for
+/// `ttsim_lint --ir-dump` and debugging.
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ttsim/ir/check.hpp"
+#include "ttsim/ir/ir.hpp"
+
+namespace ttsim::ttmetal {
+class Program;
+}
+
+namespace ttsim::ir {
+
+/// Thrown by lower() when the graph fails the static checker.
+class CheckError : public std::runtime_error {
+ public:
+  CheckError(std::string what, std::vector<verify::LintError> findings_)
+      : std::runtime_error(std::move(what)), findings(std::move(findings_)) {}
+  std::vector<verify::LintError> findings;
+};
+
+/// Check the graph, then invoke its emit closure on `prog`. Throws
+/// CheckError (with the findings) if the checker reports anything;
+/// throws std::logic_error if the graph has no emit closure.
+void lower(const Graph& graph, ttmetal::Program& prog);
+
+/// Human-readable rendering of the graph: resources with capacities,
+/// kernels with their op sequences and symbolic counts.
+std::string dump(const Graph& graph);
+
+}  // namespace ttsim::ir

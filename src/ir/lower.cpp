@@ -1,0 +1,129 @@
+#include "ttsim/ir/lower.hpp"
+
+#include <sstream>
+
+#include "ttsim/verify/lint.hpp"
+
+namespace ttsim::ir {
+
+const char* to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kReadRegion: return "read-region";
+    case OpKind::kHaloExchange: return "halo-exchange";
+    case OpKind::kComputeTile: return "compute-tile";
+    case OpKind::kWriteRegion: return "write-region";
+    case OpKind::kCbReserve: return "cb-reserve";
+    case OpKind::kCbPush: return "cb-push";
+    case OpKind::kCbWait: return "cb-wait";
+    case OpKind::kCbPop: return "cb-pop";
+    case OpKind::kSemWait: return "sem-wait";
+    case OpKind::kSemPost: return "sem-post";
+    case OpKind::kBarrierArrive: return "barrier-arrive";
+    case OpKind::kRingWrite: return "ring-write";
+    case OpKind::kRingRead: return "ring-read";
+  }
+  return "?";
+}
+
+void lower(const Graph& graph, ttmetal::Program& prog) {
+  std::vector<verify::LintError> findings = check(graph);
+  if (!findings.empty()) {
+    std::ostringstream os;
+    os << "ir: graph '" << graph.name << "' failed the static protocol "
+       << "checker with " << findings.size() << " finding(s):\n"
+       << verify::format_lint(findings);
+    throw CheckError(os.str(), std::move(findings));
+  }
+  if (!graph.emit) {
+    throw std::logic_error("ir: graph '" + graph.name +
+                           "' has no emit closure — nothing to lower");
+  }
+  graph.emit(prog);
+}
+
+namespace {
+
+const char* to_string(Guard g) {
+  switch (g) {
+    case Guard::kAlways: return "";
+    case Guard::kHasUpper: return " if has-upper";
+    case Guard::kHasLower: return " if has-lower";
+  }
+  return "";
+}
+
+const char* to_string(Peer p) {
+  switch (p) {
+    case Peer::kSelf: return "self";
+    case Peer::kUpper: return "upper";
+    case Peer::kLower: return "lower";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string dump(const Graph& graph) {
+  std::ostringstream os;
+  os << "graph " << graph.name << " (cores: " << graph.ncores.str() << ")\n";
+  if (!graph.bindings.empty()) {
+    os << "  bindings:";
+    for (const auto& [k, v] : graph.bindings) os << " " << k << "=" << v;
+    os << "\n";
+  }
+  if (!graph.ranges.empty()) {
+    os << "  ranges:";
+    for (const auto& [k, r] : graph.ranges) {
+      os << " " << k << " in [" << r.first << ", " << r.second << "]";
+    }
+    os << "\n";
+  }
+  for (const CbDecl& cb : graph.cbs) {
+    os << "  cb " << cb.id << " '" << cb.name << "': " << cb.pages.str()
+       << " page(s) x " << cb.page_size << " B\n";
+  }
+  for (const SemDecl& sem : graph.sems) {
+    os << "  sem " << sem.id << " '" << sem.name << "': initial "
+       << sem.initial << "\n";
+  }
+  for (const BarrierDecl& b : graph.barriers) {
+    os << "  barrier " << b.id << ": " << b.participants.str()
+       << " participant(s)\n";
+  }
+  for (const RegionDecl& r : graph.regions) {
+    os << "  region '" << r.name << "': " << r.bytes.str() << " B";
+    if (r.pinned_addr >= 0) os << " at " << r.pinned_addr;
+    os << "\n";
+  }
+  for (const RingDecl& r : graph.rings) {
+    os << "  ring '" << r.name << "': " << r.slots.str()
+       << " slot(s), issue-ahead " << r.issue_ahead.str() << ", credits "
+       << r.credit_depth.str() << ", reads [" << r.read_lo << ", "
+       << r.read_hi << "], " << (r.continuous ? "continuous" : "per-column")
+       << " over " << r.columns.str() << " column(s)";
+    if (!r.boundary_extra.is_zero()) {
+      os << ", boundary extra " << r.boundary_extra.str();
+    }
+    os << "\n";
+  }
+  for (const KernelModel& k : graph.kernels) {
+    os << "  kernel '" << k.name << "' (kind " << k.kind << ", "
+       << k.instances.str() << " instance(s)):\n";
+    for (const Op& op : k.ops) {
+      os << "    " << to_string(op.kind);
+      if (op.id >= 0) os << "(" << op.id << ")";
+      os << " x " << op.count.str();
+      if (op.pages != 1) os << ", " << op.pages << " page(s)";
+      if (op.kind == OpKind::kSemPost && op.peer != Peer::kSelf) {
+        os << " -> " << to_string(op.peer);
+      }
+      os << to_string(op.guard);
+      if (op.iter_delta != 0) os << " [iter " << op.iter_delta << "]";
+      if (!op.note.empty()) os << "  ; " << op.note;
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace ttsim::ir

@@ -41,6 +41,19 @@ struct LintError {
     kDuplicateKernel,    ///< two kernels of the same kind on one core
                          ///< (each baby core runs exactly one)
     kEmptyCoreList,      ///< resource or kernel declared over zero cores
+    // ---- codes emitted by the static IR protocol checker (ir/check) ----
+    kCbCreditImbalance,  ///< CB push/pop or reserve/push totals differ for
+                         ///< some loop trip count — a kernel starves or the
+                         ///< producer leaks reserved pages
+    kCbOvercommit,       ///< a single reserve/wait asks for more pages than
+                         ///< the CB holds — it can never be satisfied
+    kSemImbalance,       ///< a core can wait on a semaphore more times than
+                         ///< posts (plus the initial value) can ever arrive
+    kSlotReuse,          ///< slot-ring reuse distance too short: a rotation
+                         ///< slot is rewritten while an in-flight batch may
+                         ///< still read it (the PR 3/PR 7 clobber class)
+    kWaitCycle,          ///< static wait-for cycle with no initial credit —
+                         ///< every participant needs another to move first
   };
 
   Code code;

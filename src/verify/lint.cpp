@@ -22,6 +22,11 @@ const char* to_string(LintError::Code code) {
     case LintError::Code::kBufferOverlap: return "buffer-overlap";
     case LintError::Code::kDuplicateKernel: return "duplicate-kernel";
     case LintError::Code::kEmptyCoreList: return "empty-core-list";
+    case LintError::Code::kCbCreditImbalance: return "cb-credit-imbalance";
+    case LintError::Code::kCbOvercommit: return "cb-overcommit";
+    case LintError::Code::kSemImbalance: return "sem-imbalance";
+    case LintError::Code::kSlotReuse: return "slot-ring-reuse";
+    case LintError::Code::kWaitCycle: return "wait-cycle";
   }
   return "?";
 }

@@ -30,7 +30,9 @@
 #include "ttsim/common/rng.hpp"
 #include "ttsim/core/gallery.hpp"
 #include "ttsim/core/jacobi_batch.hpp"
+#include "ttsim/core/jacobi_device.hpp"
 #include "ttsim/core/sharded.hpp"
+#include "ttsim/sim/trace.hpp"
 #include "ttsim/core/stencil.hpp"
 #include "ttsim/cpu/stencil_cpu.hpp"
 #include "ttsim/sim/fault.hpp"
@@ -613,6 +615,134 @@ TEST(StencilConformance, PinnedCorners) {
     c.shard_temporal = true;
     std::string why;
     EXPECT_TRUE(check(c, &why)) << describe(c) << "\n" << why;
+  }
+}
+
+// The IR-lowering axis: for every strategy, shape sample and read-ahead /
+// temporal depth in [2, 8] / [1, 8], the program produced by prove-then-
+// lower (LoweringPath::kIr) must be bit-identical to the hand-wired
+// builder's — the same solution bits AND the same golden-trace hash, so
+// not one simulator event (timing, ordering, DRAM traffic) differs. The
+// IR path adds the static certificate, nothing else.
+TEST(StencilConformance, IrLoweringMatchesHandWiredBitExact) {
+  struct RunOut {
+    std::vector<float> solution;
+    std::uint64_t trace_hash = 0;
+    std::size_t findings = 0;
+  };
+  auto open_dev = [] {
+    ttmetal::DeviceConfig dc;
+    dc.enable_trace = true;
+    dc.enable_verify = true;
+    return ttmetal::Device::open({}, dc);
+  };
+  auto run_general = [&](const core::GeneralStencilProblem& p,
+                         core::DeviceRunConfig cfg, core::LoweringPath path) {
+    auto dev = open_dev();
+    cfg.lowering = path;
+    const auto r = core::run_general_stencil_on_device(*dev, p, cfg);
+    return RunOut{r.solution, dev->trace()->hash(),
+                  dev->verifier()->findings().size()};
+  };
+  auto run_jacobi = [&](const core::JacobiProblem& p,
+                        core::DeviceRunConfig cfg, core::LoweringPath path) {
+    auto dev = open_dev();
+    cfg.lowering = path;
+    const auto r = core::run_jacobi_on_device(*dev, p, cfg);
+    return RunOut{r.solution, dev->trace()->hash(),
+                  dev->verifier()->findings().size()};
+  };
+  auto expect_identical = [](const RunOut& ir, const RunOut& hw,
+                             const std::string& what) {
+    EXPECT_EQ(ir.trace_hash, hw.trace_hash)
+        << what << ": golden-trace hash diverged between kIr and kHandWired";
+    ASSERT_EQ(ir.solution.size(), hw.solution.size()) << what;
+    for (std::size_t i = 0; i < ir.solution.size(); ++i) {
+      ASSERT_EQ(ir.solution[i], hw.solution[i])
+          << what << ": solution diverged at elem " << i;
+    }
+    EXPECT_EQ(ir.findings, 0u) << what << ": kIr run has verifier findings";
+    EXPECT_EQ(hw.findings, 0u) << what
+                               << ": kHandWired run has verifier findings";
+  };
+
+  struct Shape {
+    std::uint32_t w, h;
+    int cx, cy;
+  };
+  const Shape shapes[] = {{64, 20, 1, 2}, {96, 12, 2, 1}};
+
+  // General row-chunk: both shapes, every read-ahead depth in [2, 8].
+  for (const Shape& s : shapes) {
+    const auto p = core::gallery::convection(s.w, s.h, 2);
+    for (int depth = 2; depth <= 8; ++depth) {
+      core::DeviceRunConfig cfg;
+      cfg.read_ahead = depth;
+      cfg.cores_x = s.cx;
+      cfg.cores_y = s.cy;
+      std::ostringstream what;
+      what << "convection " << s.w << "x" << s.h << " rowchunk depth " << depth;
+      expect_identical(run_general(p, cfg, core::LoweringPath::kIr),
+                       run_general(p, cfg, core::LoweringPath::kHandWired),
+                       what.str());
+    }
+  }
+  // Multi-pass (FDTD) row-chunk: the accumulator-chain protocol.
+  {
+    core::DeviceRunConfig cfg;
+    cfg.read_ahead = 4;
+    cfg.cores_y = 2;
+    expect_identical(
+        run_general(core::gallery::fdtd2d(64, 20, 2), cfg,
+                    core::LoweringPath::kIr),
+        run_general(core::gallery::fdtd2d(64, 20, 2), cfg,
+                    core::LoweringPath::kHandWired),
+        "fdtd2d rowchunk");
+  }
+  // General SRAM-resident: the halo-exchange semaphore protocol.
+  {
+    core::DeviceRunConfig cfg;
+    cfg.strategy = core::DeviceStrategy::kSramResident;
+    cfg.cores_y = 2;
+    const auto p = core::gallery::convection(64, 20, 3);
+    expect_identical(run_general(p, cfg, core::LoweringPath::kIr),
+                     run_general(p, cfg, core::LoweringPath::kHandWired),
+                     "convection sram");
+  }
+  // General temporal: every chain depth in [1, 8].
+  for (int k = 1; k <= 8; ++k) {
+    core::DeviceRunConfig cfg;
+    cfg.strategy = core::DeviceStrategy::kTemporal;
+    cfg.temporal_depth = k;
+    cfg.cores_y = 2;
+    const auto p = core::gallery::hotspot(64, 24, 4);
+    expect_identical(run_general(p, cfg, core::LoweringPath::kIr),
+                     run_general(p, cfg, core::LoweringPath::kHandWired),
+                     "hotspot temporal k=" + std::to_string(k));
+  }
+
+  // Jacobi: row-chunk across depths, then the SRAM and temporal lowerings.
+  core::JacobiProblem jp;
+  jp.width = 64;
+  jp.height = 32;
+  jp.iterations = 3;
+  for (int depth = 2; depth <= 8; ++depth) {
+    core::DeviceRunConfig cfg;
+    cfg.read_ahead = depth;
+    cfg.cores_y = 2;
+    expect_identical(run_jacobi(jp, cfg, core::LoweringPath::kIr),
+                     run_jacobi(jp, cfg, core::LoweringPath::kHandWired),
+                     "jacobi rowchunk depth " + std::to_string(depth));
+  }
+  for (const core::DeviceStrategy s :
+       {core::DeviceStrategy::kSramResident, core::DeviceStrategy::kTemporal}) {
+    core::DeviceRunConfig cfg;
+    cfg.strategy = s;
+    cfg.cores_y = 2;
+    cfg.temporal_depth = 4;
+    expect_identical(run_jacobi(jp, cfg, core::LoweringPath::kIr),
+                     run_jacobi(jp, cfg, core::LoweringPath::kHandWired),
+                     "jacobi " + core::to_string(s));
   }
 }
 

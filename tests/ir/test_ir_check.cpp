@@ -1,0 +1,378 @@
+/// \file test_ir_check.cpp
+/// The ill-typed graph gallery: one hand-built IR graph per protocol bug
+/// class, each asserting the checker rejects it with the right kebab-coded
+/// diagnostic — and the matching well-typed twin certifying clean. The
+/// slot-ring cases replay the pre-fix PR 3 read-ahead clobber at every
+/// depth in [2, 8], the class the reuse-distance check exists to kill.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "ttsim/ir/check.hpp"
+#include "ttsim/verify/lint.hpp"
+
+namespace ttsim::ir {
+namespace {
+
+using verify::LintError;
+
+Graph base_graph(int ncores = 1) {
+  Graph g;
+  g.name = "ill-typed";
+  g.ncores = Count(ncores);
+  g.bindings["iters"] = 4;
+  g.sram_bytes = std::int64_t{1} << 20;
+  return g;
+}
+
+Op op(OpKind k, int id, Count c, int pages = 1) { return Op(k, id, c, pages); }
+
+bool has(const std::vector<LintError>& fs, LintError::Code code,
+         const std::string& needle = "") {
+  return std::any_of(fs.begin(), fs.end(), [&](const LintError& e) {
+    return e.code == code && e.message.find(needle) != std::string::npos;
+  });
+}
+
+// ---- family 1: CB credit flow -----------------------------------------
+
+TEST(IrCheck, ReservePushMismatchIsRejected) {
+  Graph g = base_graph();
+  const Count it = Count::sym("iters");
+  g.cbs.push_back(CbDecl{0, it, 2048, "cb-a"});
+  KernelModel prod{"producer", 0, Count(1), {}};
+  prod.ops.push_back(op(OpKind::kCbReserve, 0, it));
+  prod.ops.push_back(op(OpKind::kCbPush, 0, it - Count(1)));
+  KernelModel cons{"consumer", 2, Count(1), {}};
+  cons.ops.push_back(op(OpKind::kCbWait, 0, it - Count(1)));
+  cons.ops.push_back(op(OpKind::kCbPop, 0, it - Count(1)));
+  g.kernels = {prod, cons};
+  const auto fs = check(g);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_TRUE(has(fs, LintError::Code::kCbCreditImbalance,
+                  "reserve/push totals must match"));
+}
+
+TEST(IrCheck, ConsumerStarvesForSomeTripCount) {
+  Graph g = base_graph();
+  const Count it = Count::sym("iters");
+  // Pushes a constant 2 pages but pops once per iteration: fine for
+  // iters <= 2, starves beyond — the sweep must find the witness.
+  g.cbs.push_back(CbDecl{0, Count(2), 2048, "cb-a"});
+  KernelModel prod{"producer", 0, Count(1), {}};
+  prod.ops.push_back(op(OpKind::kCbReserve, 0, Count(2)));
+  prod.ops.push_back(op(OpKind::kCbPush, 0, Count(2)));
+  KernelModel cons{"consumer", 2, Count(1), {}};
+  cons.ops.push_back(op(OpKind::kCbWait, 0, it));
+  cons.ops.push_back(op(OpKind::kCbPop, 0, it));
+  g.kernels = {prod, cons};
+  const auto fs = check(g);
+  EXPECT_TRUE(
+      has(fs, LintError::Code::kCbCreditImbalance, "the consumer starves"));
+  EXPECT_TRUE(has(fs, LintError::Code::kCbCreditImbalance, "iters=4"));
+}
+
+TEST(IrCheck, UnpoppedResiduePastCapacityWedgesProducer) {
+  Graph g = base_graph();
+  const Count it = Count::sym("iters");
+  // Producer pushes once per iteration, nobody ever pops: the residue
+  // outgrows the 2-page capacity and the final push blocks forever.
+  g.cbs.push_back(CbDecl{0, Count(2), 2048, "cb-a"});
+  KernelModel prod{"producer", 0, Count(1), {}};
+  prod.ops.push_back(op(OpKind::kCbReserve, 0, it));
+  prod.ops.push_back(op(OpKind::kCbPush, 0, it));
+  g.kernels = {prod};
+  const auto fs = check(g);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_TRUE(has(fs, LintError::Code::kCbCreditImbalance,
+                  "wedges on its final push"));
+}
+
+TEST(IrCheck, WaitedButNeverPushedStarvesOutright) {
+  Graph g = base_graph();
+  g.cbs.push_back(CbDecl{0, Count(2), 2048, "cb-a"});
+  KernelModel cons{"consumer", 2, Count(1), {}};
+  cons.ops.push_back(op(OpKind::kCbWait, 0, Count::sym("iters")));
+  g.kernels = {cons};
+  const auto fs = check(g);
+  EXPECT_TRUE(
+      has(fs, LintError::Code::kCbCreditImbalance, "but never pushed"));
+}
+
+TEST(IrCheck, ReserveLargerThanCapacityIsOvercommit) {
+  Graph g = base_graph();
+  g.cbs.push_back(CbDecl{0, Count(2), 2048, "cb-a"});
+  KernelModel prod{"producer", 0, Count(1), {}};
+  prod.ops.push_back(op(OpKind::kCbReserve, 0, Count(1), /*pages=*/4));
+  prod.ops.push_back(op(OpKind::kCbPush, 0, Count(1), /*pages=*/4));
+  g.kernels = {prod};
+  const auto fs = check(g);
+  EXPECT_TRUE(has(fs, LintError::Code::kCbOvercommit,
+                  "can never be satisfied"));
+}
+
+// ---- family 2: semaphore pairing --------------------------------------
+
+TEST(IrCheck, DeclaredButUntouchedSemaphoreIsOrphan) {
+  Graph g = base_graph();
+  g.sems.push_back(SemDecl{3, 0, "sem-ghost"});
+  g.kernels.push_back(KernelModel{"worker", 0, Count(1), {}});
+  const auto fs = check(g);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_TRUE(has(fs, LintError::Code::kOrphanSemaphore, "sem-ghost"));
+}
+
+TEST(IrCheck, MoreWaitsThanPostsHangsTheLastWait) {
+  Graph g = base_graph();
+  const Count it = Count::sym("iters");
+  g.sems.push_back(SemDecl{0, 0, "sem-ready"});
+  KernelModel waiter{"waiter", 2, Count(1), {}};
+  waiter.ops.push_back(op(OpKind::kSemWait, 0, it));
+  KernelModel poster{"poster", 0, Count(1), {}};
+  poster.ops.push_back(op(OpKind::kSemPost, 0, it - Count(1)));
+  g.kernels = {waiter, poster};
+  const auto fs = check(g);
+  EXPECT_TRUE(has(fs, LintError::Code::kSemImbalance, "the last wait hangs"));
+}
+
+TEST(IrCheck, UnguardedHaloWaitStrandsTheBoundaryCore) {
+  // Posts travel to the upper neighbour, so the bottom core (which has no
+  // lower neighbour to post to it) never receives one — an unguarded wait
+  // there hangs. Guarding the wait with kHasLower certifies clean.
+  auto build = [](Guard wait_guard) {
+    Graph g = base_graph(4);
+    g.sems.push_back(SemDecl{0, 0, "sem-halo"});
+    KernelModel dm{"dm0", 0, Count(4), {}};
+    Op wait = op(OpKind::kSemWait, 0, Count(1));
+    wait.guard = wait_guard;
+    dm.ops.push_back(wait);
+    Op post = op(OpKind::kSemPost, 0, Count(1));
+    post.peer = Peer::kUpper;
+    post.guard = Guard::kHasUpper;
+    dm.ops.push_back(post);
+    g.kernels = {dm};
+    return g;
+  };
+  const auto broken = check(build(Guard::kAlways));
+  EXPECT_TRUE(has(broken, LintError::Code::kSemImbalance, "core 3"));
+  EXPECT_TRUE(check(build(Guard::kHasLower)).empty());
+}
+
+// ---- family 3: barrier participant arithmetic -------------------------
+
+TEST(IrCheck, BarrierParticipantCountMismatch) {
+  Graph g = base_graph(2);
+  const Count it = Count::sym("iters");
+  // Declared as a reader+writer rendezvous (2*ncores = 4) but only one
+  // kernel's 2 instances ever arrive.
+  g.barriers.push_back(BarrierDecl{0, Count(4)});
+  KernelModel reader{"reader", 0, Count(2), {}};
+  reader.ops.push_back(op(OpKind::kBarrierArrive, 0, it));
+  g.kernels = {reader};
+  const auto fs = check(g);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_TRUE(has(fs, LintError::Code::kBadBarrier,
+                  "4 participant(s) but 2 kernel instance(s) arrive"));
+}
+
+TEST(IrCheck, BarrierUnequalRoundCountsDeadlock) {
+  Graph g = base_graph(2);
+  const Count it = Count::sym("iters");
+  g.barriers.push_back(BarrierDecl{0, Count(4)});
+  KernelModel reader{"reader", 0, Count(2), {}};
+  reader.ops.push_back(op(OpKind::kBarrierArrive, 0, it));
+  KernelModel writer{"writer", 1, Count(2), {}};
+  writer.ops.push_back(op(OpKind::kBarrierArrive, 0, it + Count(1)));
+  g.kernels = {reader, writer};
+  const auto fs = check(g);
+  EXPECT_TRUE(has(fs, LintError::Code::kBadBarrier,
+                  "unequal round counts deadlock the rendezvous"));
+}
+
+TEST(IrCheck, BarrierNobodyArrives) {
+  Graph g = base_graph(2);
+  g.barriers.push_back(BarrierDecl{0, Count(4)});
+  g.kernels.push_back(KernelModel{"reader", 0, Count(2), {}});
+  const auto fs = check(g);
+  EXPECT_TRUE(has(fs, LintError::Code::kBadBarrier, "no kernel ever"));
+}
+
+// ---- family 4: SRAM region liveness -----------------------------------
+
+TEST(IrCheck, RegionPastSramCapacityOverflows) {
+  Graph g = base_graph();
+  g.regions.push_back(RegionDecl{"slab", Count(std::int64_t{2} << 20)});
+  const auto fs = check(g);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_TRUE(has(fs, LintError::Code::kSramOverflow, "past the 1048576 B"));
+}
+
+TEST(IrCheck, PinnedRegionOverlappingTheBumpAllocatorIsCaught) {
+  Graph g = base_graph();
+  g.regions.push_back(RegionDecl{"cb-pages", Count(64)});
+  g.regions.push_back(RegionDecl{"pinned-slab", Count(64), /*pinned=*/32});
+  const auto fs = check(g);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_TRUE(has(fs, LintError::Code::kBufferOverlap,
+                  "'cb-pages' and 'pinned-slab' overlap"));
+}
+
+// ---- family 5: slot-ring reuse distance (the PR 3 clobber class) ------
+
+RingDecl rowchunk_ring(Count slots, Count issue, Count credit,
+                       bool continuous = true, Count columns = Count(1)) {
+  RingDecl r;
+  r.name = "row-slots";
+  r.slots = std::move(slots);
+  r.issue_ahead = std::move(issue);
+  r.credit_depth = std::move(credit);
+  r.read_lo = -1;  // a batch reads its row above...
+  r.read_hi = 1;   // ...and below
+  r.boundary_extra = Count(0);
+  r.continuous = continuous;
+  r.columns = std::move(columns);
+  return r;
+}
+
+TEST(IrCheck, PreFixReadAheadRingRejectedAtEveryDepthSymbolically) {
+  // The pre-fix PR 3 sizing: 2*depth+1 slots for a reader that runs
+  // `depth` batches ahead with `depth` in-flight credits and consumers
+  // reading one slot behind — one slot short at EVERY depth, and the
+  // margin is depth-free, so the symbolic proof needs no sweep.
+  Graph g = base_graph();
+  const Count d = Count::sym("depth");
+  g.bindings["depth"] = 2;
+  g.ranges["depth"] = {2, 8};
+  g.rings.push_back(rowchunk_ring(2 * d + Count(1), d, d));
+  const auto fs = check(g);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_TRUE(
+      has(fs, LintError::Code::kSlotReuse, "violated at every depth"));
+}
+
+TEST(IrCheck, PreFixReadAheadRingRejectedAtEachConcreteDepth) {
+  for (int depth = 2; depth <= 8; ++depth) {
+    Graph g = base_graph();
+    g.rings.push_back(rowchunk_ring(Count(2 * depth + 1), Count(depth),
+                                    Count(depth)));
+    EXPECT_TRUE(has(check(g), LintError::Code::kSlotReuse,
+                    "slot is rewritten while an in-flight batch"))
+        << "depth " << depth << " escaped the reuse-distance check";
+  }
+}
+
+TEST(IrCheck, FixedRingSizingIsCleanAtEveryDepth) {
+  // The fixed sizing 2*depth+3 leaves a one-slot margin for all depths.
+  Graph g = base_graph();
+  const Count d = Count::sym("depth");
+  g.bindings["depth"] = 2;
+  g.ranges["depth"] = {2, 8};
+  g.rings.push_back(rowchunk_ring(2 * d + Count(3), d, d));
+  EXPECT_TRUE(check(g).empty());
+}
+
+TEST(IrCheck, PerColumnRotationResetWithInflightBatchesIsThePr3Prologue) {
+  // Resetting the rotation at each column boundary while issued batches
+  // are still in flight rewrites slots an unconsumed batch reads — the
+  // pre-fix PR 3 prologue. Clamped single-column rotation is fine.
+  Graph g = base_graph();
+  const Count d = Count::sym("depth");
+  g.bindings["depth"] = 4;
+  g.rings.push_back(rowchunk_ring(2 * d + Count(3), d, d,
+                                  /*continuous=*/false,
+                                  /*columns=*/Count::sym("columns")));
+  const auto fs = check(g);
+  EXPECT_TRUE(has(fs, LintError::Code::kSlotReuse,
+                  "pre-fix PR 3 prologue pattern"));
+
+  Graph single = base_graph();
+  single.rings.push_back(rowchunk_ring(2 * d + Count(3), d, d,
+                                       /*continuous=*/false,
+                                       /*columns=*/Count(1)));
+  single.bindings["depth"] = 4;
+  EXPECT_TRUE(check(single).empty());
+}
+
+// ---- family 6: static wait-for cycles ---------------------------------
+
+Graph two_kernel_cycle(int iter_delta) {
+  Graph g = base_graph();
+  const Count it = Count::sym("iters");
+  g.cbs.push_back(CbDecl{0, Count(2), 2048, "cb-ab"});
+  g.cbs.push_back(CbDecl{1, Count(2), 2048, "cb-ba"});
+  KernelModel a{"kernel-a", 0, Count(1), {}};
+  a.ops.push_back(op(OpKind::kCbReserve, 0, it));
+  Op wait_b = op(OpKind::kCbWait, 1, it);
+  wait_b.iter_delta = iter_delta;
+  a.ops.push_back(wait_b);
+  a.ops.push_back(op(OpKind::kCbPop, 1, it));
+  a.ops.push_back(op(OpKind::kCbPush, 0, it));
+  KernelModel b{"kernel-b", 2, Count(1), {}};
+  b.ops.push_back(op(OpKind::kCbReserve, 1, it));
+  b.ops.push_back(op(OpKind::kCbWait, 0, it));
+  b.ops.push_back(op(OpKind::kCbPop, 0, it));
+  b.ops.push_back(op(OpKind::kCbPush, 1, it));
+  g.kernels = {a, b};
+  return g;
+}
+
+TEST(IrCheck, MutualFirstWaitIsAWaitCycle) {
+  // Each kernel reserves its output page (free at rest), then waits on a
+  // CB only the other kernel pushes — and each push sits behind that
+  // wait: nobody can move first. Credit-flow is balanced, so only the
+  // cycle check can see this bug.
+  const auto fs = check(two_kernel_cycle(/*iter_delta=*/0));
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_TRUE(has(fs, LintError::Code::kWaitCycle,
+                  "every participant needs another to move first"));
+}
+
+TEST(IrCheck, CrossIterationSlackBreaksTheCycle) {
+  // The same shape, but kernel A's wait targets iteration k-1's push
+  // (iter_delta -1): the first iteration proceeds on the initial credit,
+  // so the zero-slack graph is acyclic.
+  EXPECT_TRUE(check(two_kernel_cycle(/*iter_delta=*/-1)).empty());
+}
+
+// ---- a well-typed graph certifies clean -------------------------------
+
+TEST(IrCheck, CleanProducerConsumerGraphHasNoFindings) {
+  Graph g = base_graph();
+  const Count it = Count::sym("iters");
+  g.cbs.push_back(CbDecl{0, Count(2), 2048, "cb-rows"});
+  g.sems.push_back(SemDecl{0, 0, "sem-done"});
+  g.barriers.push_back(BarrierDecl{0, Count(2)});
+  g.regions.push_back(RegionDecl{"cb-rows", Count(4096)});
+  g.regions.push_back(RegionDecl{"slab", Count(64 * 1024)});
+  KernelModel prod{"producer", 0, Count(1), {}};
+  prod.ops.push_back(op(OpKind::kCbReserve, 0, it));
+  prod.ops.push_back(op(OpKind::kCbPush, 0, it));
+  prod.ops.push_back(op(OpKind::kSemWait, 0, Count(1)));
+  prod.ops.push_back(op(OpKind::kBarrierArrive, 0, Count(1)));
+  KernelModel cons{"consumer", 2, Count(1), {}};
+  cons.ops.push_back(op(OpKind::kCbWait, 0, it));
+  cons.ops.push_back(op(OpKind::kCbPop, 0, it));
+  cons.ops.push_back(op(OpKind::kSemPost, 0, Count(1)));
+  cons.ops.push_back(op(OpKind::kBarrierArrive, 0, Count(1)));
+  g.kernels = {prod, cons};
+  const auto fs = check(g);
+  EXPECT_TRUE(fs.empty()) << verify::format_lint(fs);
+}
+
+TEST(IrCheck, CheckerCodesRenderAsKebabSlugs) {
+  EXPECT_STREQ(verify::to_string(LintError::Code::kCbCreditImbalance),
+               "cb-credit-imbalance");
+  EXPECT_STREQ(verify::to_string(LintError::Code::kCbOvercommit),
+               "cb-overcommit");
+  EXPECT_STREQ(verify::to_string(LintError::Code::kSemImbalance),
+               "sem-imbalance");
+  EXPECT_STREQ(verify::to_string(LintError::Code::kSlotReuse),
+               "slot-ring-reuse");
+  EXPECT_STREQ(verify::to_string(LintError::Code::kWaitCycle), "wait-cycle");
+}
+
+}  // namespace
+}  // namespace ttsim::ir

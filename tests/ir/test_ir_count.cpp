@@ -1,0 +1,65 @@
+/// \file test_ir_count.cpp
+/// The symbolic Count polynomial: canonical normal form, sign proofs and
+/// evaluation — the algebra every checker obligation reduces to.
+
+#include <gtest/gtest.h>
+
+#include "ttsim/ir/count.hpp"
+
+namespace ttsim::ir {
+namespace {
+
+TEST(Count, ConstantsFoldAndZeroIsErased) {
+  EXPECT_TRUE(Count(0).is_zero());
+  EXPECT_TRUE((Count(3) - Count(3)).is_zero());
+  EXPECT_EQ(Count(2) + Count(3), Count(5));
+  EXPECT_EQ(Count(2) * Count(3), Count(6));
+}
+
+TEST(Count, NormalFormDecidesEqualityForAllAssignments) {
+  const Count a = Count::sym("a");
+  const Count b = Count::sym("b");
+  // (a + b)^2 == a^2 + 2ab + b^2 as polynomials, not just at one point.
+  EXPECT_EQ((a + b) * (a + b), a * a + 2 * (a * b) + b * b);
+  EXPECT_NE(a * b, a + b);
+  EXPECT_TRUE((a - a).is_zero());
+  // Monomials are sorted multisets: a*b and b*a are the same term.
+  EXPECT_EQ(a * b, b * a);
+}
+
+TEST(Count, SignProofs) {
+  const Count d = Count::sym("depth");
+  EXPECT_TRUE((2 * d + Count(3)).always_nonnegative());
+  EXPECT_TRUE((Count(0) - d).always_nonpositive());
+  // Mixed signs prove neither — the prover falls back to range sweeps.
+  const Count mixed = d - Count(5);
+  EXPECT_FALSE(mixed.always_nonnegative());
+  EXPECT_FALSE(mixed.always_nonpositive());
+}
+
+TEST(Count, EvalBindsSymbolsWithDefaultFallback) {
+  const Count c = 2 * Count::sym("depth") * Count::sym("iters") + Count(3);
+  EXPECT_EQ(c.eval({{"depth", 4}, {"iters", 10}}), 83);
+  // Unbound symbols evaluate as the default (1).
+  EXPECT_EQ(c.eval({{"depth", 4}}), 11);
+  EXPECT_EQ(c.eval({}, 2), 11);
+}
+
+TEST(Count, SymbolsAreSortedAndDeduplicated) {
+  const Count c = Count::sym("iters") * Count::sym("depth") +
+                  Count::sym("depth") + Count(7);
+  const std::vector<std::string> expect{"depth", "iters"};
+  EXPECT_EQ(c.symbols(), expect);
+  EXPECT_TRUE(Count(5).symbols().empty());
+}
+
+TEST(Count, RendersReadableNormalForm) {
+  EXPECT_EQ(Count(0).str(), "0");
+  EXPECT_EQ((2 * Count::sym("depth") + Count(3)).str(), "3 + 2*depth");
+  EXPECT_EQ((Count::sym("iters") * Count::sym("batches")).str(),
+            "batches*iters");
+  EXPECT_EQ((Count(0) - Count::sym("x")).str(), "-x");
+}
+
+}  // namespace
+}  // namespace ttsim::ir

@@ -1,0 +1,91 @@
+/// \file test_ir_lower.cpp
+/// lower(): the certify-then-emit gate. An ill-typed graph must never
+/// reach the emit closure; a certified one must emit exactly once; and
+/// dump() must render every declared resource and op for --ir-dump.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "ttsim/ir/lower.hpp"
+#include "ttsim/ttmetal/program.hpp"
+
+namespace ttsim::ir {
+namespace {
+
+Graph clean_graph() {
+  Graph g;
+  g.name = "unit";
+  g.ncores = Count(1);
+  g.bindings["iters"] = 4;
+  g.sram_bytes = std::int64_t{1} << 20;
+  const Count it = Count::sym("iters");
+  g.cbs.push_back(CbDecl{0, Count(2), 2048, "cb-rows"});
+  KernelModel prod{"producer", 0, Count(1), {}};
+  prod.ops.push_back(Op(OpKind::kCbReserve, 0, it));
+  prod.ops.push_back(Op(OpKind::kCbPush, 0, it));
+  KernelModel cons{"consumer", 2, Count(1), {}};
+  cons.ops.emplace_back(OpKind::kComputeTile, -1, it);
+  cons.ops.back().note = "5-point update";
+  cons.ops.push_back(Op(OpKind::kCbWait, 0, it));
+  cons.ops.push_back(Op(OpKind::kCbPop, 0, it));
+  g.kernels = {prod, cons};
+  return g;
+}
+
+TEST(IrLower, CertifiedGraphInvokesEmitExactlyOnce) {
+  Graph g = clean_graph();
+  int emitted = 0;
+  g.emit = [&emitted](ttmetal::Program&) { ++emitted; };
+  ttmetal::Program prog;
+  lower(g, prog);
+  EXPECT_EQ(emitted, 1);
+}
+
+TEST(IrLower, IllTypedGraphThrowsCheckErrorBeforeEmit) {
+  Graph g = clean_graph();
+  // Break the producer: reserve without the matching push.
+  g.kernels[0].ops.pop_back();
+  bool emitted = false;
+  g.emit = [&emitted](ttmetal::Program&) { emitted = true; };
+  ttmetal::Program prog;
+  try {
+    lower(g, prog);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_FALSE(emitted) << "emit ran on an un-certified graph";
+    ASSERT_FALSE(e.findings.empty());
+    EXPECT_NE(std::string(e.what()).find("cb-credit-imbalance"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(IrLower, GraphWithoutEmitClosureIsALogicError) {
+  Graph g = clean_graph();
+  ttmetal::Program prog;
+  EXPECT_THROW(lower(g, prog), std::logic_error);
+}
+
+TEST(IrLower, DumpRendersResourcesOpsAndCounts) {
+  Graph g = clean_graph();
+  const Count it = Count::sym("iters");
+  g.sems.push_back(SemDecl{0, 1, "sem-free"});
+  g.kernels[0].ops.push_back(Op(OpKind::kSemWait, 0, it));
+  g.kernels[1].ops.push_back(Op(OpKind::kSemPost, 0, it));
+  g.barriers.push_back(BarrierDecl{7, Count(2)});
+  g.kernels[0].ops.push_back(Op(OpKind::kBarrierArrive, 7, Count(1)));
+  g.kernels[1].ops.push_back(Op(OpKind::kBarrierArrive, 7, Count(1)));
+  g.regions.push_back(RegionDecl{"slab-a", Count(4096)});
+  const std::string text = dump(g);
+  for (const char* needle :
+       {"unit", "cb-rows", "producer", "consumer", "sem-free", "slab-a",
+        "iters", "5-point update"}) {
+    EXPECT_NE(text.find(needle), std::string::npos)
+        << "dump is missing '" << needle << "':\n" << text;
+  }
+}
+
+}  // namespace
+}  // namespace ttsim::ir

@@ -222,7 +222,9 @@ TEST(Lint, CodeSlugsAreDistinct) {
       LintError::Code::kOrphanSemaphore,    LintError::Code::kDuplicateBarrier,
       LintError::Code::kBadBarrier,         LintError::Code::kSramOverflow,
       LintError::Code::kBufferOverlap,      LintError::Code::kDuplicateKernel,
-      LintError::Code::kEmptyCoreList,
+      LintError::Code::kEmptyCoreList,      LintError::Code::kCbCreditImbalance,
+      LintError::Code::kCbOvercommit,       LintError::Code::kSemImbalance,
+      LintError::Code::kSlotReuse,          LintError::Code::kWaitCycle,
   };
   std::vector<std::string> names;
   for (const auto c : codes) names.emplace_back(verify::to_string(c));

@@ -1,20 +1,31 @@
 /// \file ttsim_lint.cpp
-/// Kernel protocol verifier CLI: runs the static linter, the happens-before
-/// race detector and the deadlock diagnoser over the repo's golden workloads
-/// (or a chosen subset) and reports every finding. Exit code 0 means every
-/// selected workload came back clean; 1 means at least one finding (lint
-/// error, race, clobber, misaligned read, or a diagnosed deadlock); 2 is a
-/// usage error.
+/// Kernel protocol verifier CLI. Two modes:
 ///
-/// This is the CI entry point for the verification gate:
-///   ttsim_lint            # all workloads, default shape
+///   * dynamic (default): runs the static linter, the happens-before race
+///     detector and the deadlock diagnoser over the repo's golden workloads
+///     (or a chosen subset) under DeviceConfig::enable_verify and reports
+///     every finding. A program with broken declarations fails the
+///     pre-launch lint pass before a single kernel is spawned.
+///   * static (--ir-check / --ir-dump): builds the dataflow-IR graph each
+///     workload would launch (src/ir) and runs the static protocol
+///     type-checker over it — no device is opened, and the proof covers
+///     all schedules and all trip counts, not the one a run observes.
+///
+/// Exit codes (distinct per failure class, for CI gating):
+///   0  every selected workload clean / certified
+///   1  dynamic findings (race, clobber, misaligned read, deadlock, lint)
+///   2  usage error (bad flag, unknown workload, config the API rejects)
+///   3  static IR findings (--ir-check rejected a graph)
+///   4  infrastructure failure (unexpected exception; neither a finding
+///      nor a usage error)
+///
+///   ttsim_lint                       # all dynamic workloads, default shape
 ///   ttsim_lint rowchunk sram --cores-y 4
-///   ttsim_lint --demo-lint  # show the static linter on a broken program
-///
-/// Everything runs under DeviceConfig::enable_verify, which also arms the
-/// pre-launch lint pass — a program with broken declarations fails before a
-/// single kernel is spawned, with the full lint report in the exception.
+///   ttsim_lint --ir-check            # certify every IR-modeled workload
+///   ttsim_lint --ir-dump rowchunk    # print the rowchunk protocol graph
+///   ttsim_lint --demo-lint           # the static linter on a broken program
 
+#include <algorithm>
 #include <cstring>
 #include <exception>
 #include <functional>
@@ -23,8 +34,12 @@
 #include <vector>
 
 #include "ttsim/common/check.hpp"
+#include "ttsim/core/gallery.hpp"
+#include "ttsim/core/ir_frontend.hpp"
 #include "ttsim/core/jacobi_device.hpp"
 #include "ttsim/core/sharded.hpp"
+#include "ttsim/ir/check.hpp"
+#include "ttsim/ir/lower.hpp"
 #include "ttsim/serve/serve.hpp"
 #include "ttsim/stream/stream_bench.hpp"
 #include "ttsim/ttmetal/device.hpp"
@@ -40,24 +55,36 @@ struct Options {
   int cores_y = 2;
   int read_ahead = 2;
   bool demo_lint = false;
+  bool ir_check = false;
+  bool ir_dump = false;
   std::vector<std::string> workloads;
 };
 
 void usage(std::ostream& os) {
   os << "usage: ttsim_lint [options] [workload...]\n"
         "\n"
-        "workloads (default: all):\n"
+        "dynamic workloads (default: all):\n"
         "  tiled write-optimised double-buffered rowchunk sram temporal\n"
         "  stream serve multichip\n"
+        "static (--ir-check/--ir-dump) workloads (default: all):\n"
+        "  rowchunk sram temporal gallery multichip\n"
         "\n"
         "options:\n"
         "  --width N --height N --iters N   Jacobi problem shape (default "
         "128x128x4)\n"
         "  --cores-y N                      worker rows per workload (default 2)\n"
         "  --read-ahead N                   rowchunk pipeline depth (default 2)\n"
+        "  --ir-check                       run the static IR protocol checker\n"
+        "                                   instead of dynamic runs (exit 3 on\n"
+        "                                   findings)\n"
+        "  --ir-dump                        print each workload's IR graph\n"
+        "                                   (combines with --ir-check)\n"
         "  --demo-lint                      lint an intentionally broken program\n"
         "                                   and print the report (always exits 1)\n"
-        "  -h, --help                       this message\n";
+        "  -h, --help                       this message\n"
+        "\n"
+        "exit codes: 0 clean, 1 dynamic findings, 2 usage, 3 static IR\n"
+        "findings, 4 infrastructure failure\n";
 }
 
 int print_findings(const std::string& name,
@@ -181,6 +208,123 @@ int run_multichip(const Options& opt) {
   return rc;
 }
 
+// ---- static IR mode -------------------------------------------------------
+//
+// Builds the protocol graph each workload's launch would certify and runs the
+// static checker over it. No device is opened; the row-chunk proof is swept
+// over concrete read-ahead depths 2..8 and temporal tiling over chain depths
+// 1..8, mirroring the dynamic sweeps above.
+
+ttsim::core::JacobiProblem jacobi_problem(const Options& opt) {
+  ttsim::core::JacobiProblem p;
+  p.width = opt.width;
+  p.height = opt.height;
+  p.iterations = opt.iterations;
+  return p;
+}
+
+/// Dump and/or check one graph. Returns 0 (certified or dump-only) or 3
+/// (static findings).
+int inspect(const std::string& name, const ttsim::ir::Graph& g,
+            const Options& opt) {
+  if (opt.ir_dump) std::cout << ttsim::ir::dump(g) << "\n";
+  if (!opt.ir_check) return 0;
+  const auto findings = ttsim::ir::check(g);
+  if (findings.empty()) {
+    std::cout << name << ": certified\n";
+    return 0;
+  }
+  std::cout << name << ": " << findings.size() << " static finding(s)\n"
+            << ttsim::verify::format_lint(findings);
+  return 3;
+}
+
+int ir_rowchunk(const Options& opt) {
+  int rc = 0;
+  for (int depth = 2; depth <= 8; ++depth) {
+    ttsim::core::DeviceRunConfig cfg;
+    cfg.strategy = ttsim::core::DeviceStrategy::kRowChunk;
+    cfg.cores_y = opt.cores_y;
+    cfg.read_ahead = depth;
+    rc = std::max(rc, inspect("rowchunk depth=" + std::to_string(depth),
+                              ttsim::core::jacobi_ir_graph(jacobi_problem(opt), cfg),
+                              opt));
+  }
+  return rc;
+}
+
+int ir_sram(const Options& opt) {
+  ttsim::core::DeviceRunConfig cfg;
+  cfg.strategy = ttsim::core::DeviceStrategy::kSramResident;
+  cfg.cores_y = opt.cores_y;
+  return inspect("sram", ttsim::core::jacobi_ir_graph(jacobi_problem(opt), cfg),
+                 opt);
+}
+
+int ir_temporal(const Options& opt) {
+  int rc = 0;
+  for (int k = 1; k <= 8; ++k) {
+    ttsim::core::JacobiProblem p = jacobi_problem(opt);
+    p.iterations = std::max(opt.iterations, k + 1);
+    ttsim::core::DeviceRunConfig cfg;
+    cfg.strategy = ttsim::core::DeviceStrategy::kTemporal;
+    cfg.cores_y = opt.cores_y;
+    cfg.temporal_depth = k;
+    rc = std::max(rc, inspect("temporal k=" + std::to_string(k),
+                              ttsim::core::jacobi_ir_graph(p, cfg), opt));
+  }
+  return rc;
+}
+
+int ir_gallery(const Options& opt) {
+  int rc = 0;
+  for (const auto& entry : ttsim::core::gallery::suite()) {
+    for (const ttsim::core::DeviceStrategy s :
+         {ttsim::core::DeviceStrategy::kRowChunk,
+          ttsim::core::DeviceStrategy::kSramResident,
+          ttsim::core::DeviceStrategy::kTemporal}) {
+      // Skip configs the device driver itself rejects.
+      if (s != ttsim::core::DeviceStrategy::kRowChunk &&
+          entry.problem.passes.size() > 1) {
+        continue;
+      }
+      if (s == ttsim::core::DeviceStrategy::kSramResident &&
+          entry.problem.fields.size() > 1) {
+        continue;
+      }
+      ttsim::core::DeviceRunConfig cfg;
+      cfg.strategy = s;
+      std::string name = "gallery ";
+      name += entry.name;
+      name += " / ";
+      name += ttsim::core::to_string(s);
+      rc = std::max(
+          rc, inspect(name, ttsim::core::general_ir_graph(entry.problem, cfg),
+                      opt));
+    }
+  }
+  return rc;
+}
+
+int ir_multichip(const Options& opt) {
+  // Each card of the two-card sharded solver runs the row-chunk protocol on
+  // its strip of the halo-split domain; the cross-card exchange reuses the
+  // same ring/semaphore protocol per strip, so certifying each card's strip
+  // graph covers the per-card launches.
+  int rc = 0;
+  for (int card = 0; card < 2; ++card) {
+    ttsim::core::JacobiProblem strip = jacobi_problem(opt);
+    strip.height = std::max(opt.height / 2, 8 * opt.cores_y);
+    ttsim::core::DeviceRunConfig cfg;
+    cfg.strategy = ttsim::core::DeviceStrategy::kRowChunk;
+    cfg.cores_y = opt.cores_y;
+    cfg.read_ahead = opt.read_ahead;
+    rc = std::max(rc, inspect("multichip card " + std::to_string(card),
+                              ttsim::core::jacobi_ir_graph(strip, cfg), opt));
+  }
+  return rc;
+}
+
 /// --demo-lint: every static check firing at once, so the report format is
 /// easy to eyeball (and to paste into docs).
 int demo_lint() {
@@ -226,6 +370,10 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--demo-lint") {
       opt.demo_lint = true;
+    } else if (arg == "--ir-check") {
+      opt.ir_check = true;
+    } else if (arg == "--ir-dump") {
+      opt.ir_dump = true;
     } else if (arg == "--width") {
       if (int rc = parse_int("--width", next(), opt, &Options::width)) return rc;
     } else if (arg == "--height") {
@@ -245,13 +393,26 @@ int main(int argc, char** argv) {
     }
   }
   if (opt.demo_lint) return demo_lint();
+  const bool ir_mode = opt.ir_check || opt.ir_dump;
   if (opt.workloads.empty()) {
-    opt.workloads = {"tiled",    "write-optimised", "double-buffered",
-                     "rowchunk", "sram",            "temporal",
-                     "stream",   "serve",           "multichip"};
+    opt.workloads =
+        ir_mode ? std::vector<std::string>{"rowchunk", "sram", "temporal",
+                                           "gallery", "multichip"}
+                : std::vector<std::string>{"tiled",    "write-optimised",
+                                           "double-buffered", "rowchunk",
+                                           "sram",     "temporal",
+                                           "stream",   "serve",
+                                           "multichip"};
   }
 
-  const std::vector<std::pair<std::string, std::function<int()>>> runners = {
+  const std::vector<std::pair<std::string, std::function<int()>>> ir_runners = {
+      {"rowchunk", [&] { return ir_rowchunk(opt); }},
+      {"sram", [&] { return ir_sram(opt); }},
+      {"temporal", [&] { return ir_temporal(opt); }},
+      {"gallery", [&] { return ir_gallery(opt); }},
+      {"multichip", [&] { return ir_multichip(opt); }},
+  };
+  const std::vector<std::pair<std::string, std::function<int()>>> dyn_runners = {
       {"tiled",
        [&] { return run_jacobi("tiled", ttsim::core::DeviceStrategy::kInitial, opt); }},
       {"write-optimised",
@@ -275,32 +436,59 @@ int main(int argc, char** argv) {
       {"serve", [&] { return run_serve(opt); }},
       {"multichip", [&] { return run_multichip(opt); }},
   };
+  const auto& runners = ir_mode ? ir_runners : dyn_runners;
 
-  int exit_code = 0;
+  // Severity classes, resolved to a distinct exit code at the end. Findings
+  // and usage errors used to collapse onto the same exit code (any exception
+  // set 1); now a config the API rejects is a usage error (2), a verifier or
+  // deadlock finding is 1, a static IR rejection is 3, and anything else is
+  // an infrastructure failure (4).
+  bool dynamic_findings = false;
+  bool static_findings = false;
+  bool infrastructure = false;
   for (const std::string& want : opt.workloads) {
     bool found = false;
     for (const auto& [name, fn] : runners) {
       if (name != want) continue;
       found = true;
       try {
-        exit_code |= fn();
+        const int rc = fn();
+        if (rc == 1) dynamic_findings = true;
+        if (rc == 3) static_findings = true;
       } catch (const ttsim::ttmetal::DeviceTimeoutError& e) {
         // Watchdog fired: the what() already carries the wait-for diagnosis.
         std::cout << name << ": deadlock (watchdog)\n" << e.what() << "\n";
-        exit_code = 1;
-      } catch (const std::exception& e) {
-        // CheckError from engine quiescence carries the wait-cycle report;
-        // a pre-launch lint failure carries the formatted lint errors.
+        dynamic_findings = true;
+      } catch (const ttsim::ir::CheckError& e) {
+        // lower() refused to emit; what() carries the formatted report.
+        std::cout << name << ": rejected by the static checker\n"
+                  << e.what() << "\n";
+        static_findings = true;
+      } catch (const ttsim::ApiError& e) {
+        // The API rejected the requested configuration before anything ran:
+        // that is a usage error, not a finding.
+        std::cerr << "ttsim_lint: " << name << ": " << e.what() << "\n";
+        return 2;
+      } catch (const ttsim::CheckError& e) {
+        // Engine quiescence (wait-cycle diagnosis) or the pre-launch lint
+        // pass: both are verifier findings, not infrastructure.
         std::cout << name << ": failed\n" << e.what() << "\n";
-        exit_code = 1;
+        dynamic_findings = true;
+      } catch (const std::exception& e) {
+        std::cout << name << ": infrastructure failure\n" << e.what() << "\n";
+        infrastructure = true;
       }
       break;
     }
     if (!found) {
-      std::cerr << "ttsim_lint: unknown workload '" << want << "'\n";
+      std::cerr << "ttsim_lint: unknown workload '" << want << "'"
+                << (ir_mode ? " (static IR mode)" : "") << "\n";
       usage(std::cerr);
       return 2;
     }
   }
-  return exit_code;
+  if (infrastructure) return 4;
+  if (static_findings) return 3;
+  if (dynamic_findings) return 1;
+  return 0;
 }
